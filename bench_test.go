@@ -1,0 +1,534 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3), plus ablation benches for the design
+// choices called out in DESIGN.md §5. The expensive setup — crawling
+// the full 2.5-year window over the synthetic web — runs once and is
+// shared; each benchmark iteration regenerates its table/figure from
+// the crawl data, which is the quantity of interest for a measurement
+// pipeline.
+//
+// Shapes (who wins, by what factor, where crossovers fall) match the
+// paper; absolute capture volumes are ≈1/100 scale. EXPERIMENTS.md
+// records paper-vs-measured values produced by cmd/analyze.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/cmps"
+	"repro/internal/compliance"
+	"repro/internal/consent"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/detect"
+	"repro/internal/gvl"
+	"repro/internal/interp"
+	"repro/internal/simtime"
+	"repro/internal/tcf"
+	"repro/internal/webserve"
+)
+
+var (
+	benchOnce     sync.Once
+	benchStudy    *core.Study
+	benchCampaign *crawler.CampaignResult
+)
+
+// benchSetup crawls once at a scale sized for benchmarking.
+func benchSetup(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := core.TestConfig()
+		benchStudy = core.NewStudy(cfg)
+		benchStudy.RunSocialCrawl(nil)
+		benchCampaign = benchStudy.RunToplistCampaign(simtime.Table1Snapshot, 1_000)
+	})
+	b.ResetTimer()
+	return benchStudy
+}
+
+// BenchmarkFigure1PriorWork regenerates the related-work inventory.
+func BenchmarkFigure1PriorWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		studies := analysis.PriorWork()
+		if len(studies) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTable1Vantage regenerates Table 1: CMP occurrence across
+// the six vantage configurations at the May 2020 snapshot.
+func BenchmarkTable1Vantage(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		vt := s.VantageTable(simtime.Table1Snapshot, 1_000)
+		if vt.Totals[analysis.EUUniversityExtendedKey()] == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableA3VantageJan regenerates Table A.3 (January 2020).
+func BenchmarkTableA3VantageJan(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		vt := s.VantageTable(simtime.TableA3Snapshot, 1_000)
+		if vt.Totals[analysis.EUUniversityExtendedKey()] == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure4Switching regenerates the CMP switching flows.
+func BenchmarkFigure4Switching(b *testing.B) {
+	s := benchSetup(b)
+	var losses int
+	for i := 0; i < b.N; i++ {
+		m, err := s.SwitchingFlows()
+		if err != nil {
+			b.Fatal(err)
+		}
+		losses = m.LossesToCompetitors(cmps.Cookiebot)
+	}
+	b.ReportMetric(float64(losses), "cookiebot-losses")
+}
+
+// BenchmarkFigure5MarketShare regenerates cumulative market share as
+// a function of toplist size (May 2020).
+func BenchmarkFigure5MarketShare(b *testing.B) {
+	s := benchSetup(b)
+	sizes := []int{100, 500, 1_000, 2_000, 5_000, s.Config.Domains}
+	var top1k float64
+	for i := 0; i < b.N; i++ {
+		pts, err := s.MarketShareByRank(simtime.Table1Snapshot, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top1k = pts[2].TotalShare
+	}
+	b.ReportMetric(top1k*100, "top1k-share-%")
+}
+
+// BenchmarkFigureA4A5MarketShareHistoric regenerates the January 2019
+// and January 2020 market-share snapshots (Figures A.4/A.5).
+func BenchmarkFigureA4A5MarketShareHistoric(b *testing.B) {
+	s := benchSetup(b)
+	sizes := []int{100, 1_000, 5_000}
+	for i := 0; i < b.N; i++ {
+		for _, day := range []simtime.Day{
+			simtime.Date(2019, 1, 15), simtime.Date(2020, 1, 15),
+		} {
+			if _, err := s.MarketShareByRank(day, sizes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6Adoption regenerates adoption over time in the
+// toplist with weekly resolution.
+func BenchmarkFigure6Adoption(b *testing.B) {
+	s := benchSetup(b)
+	top := s.Toplist.Top(s.Config.ToplistSize)
+	var endShare float64
+	for i := 0; i < b.N; i++ {
+		pts := analysis.AdoptionOverTime(s.Presence, top, 7)
+		last := pts[len(pts)-1]
+		endShare = float64(last.Total) / float64(len(top))
+	}
+	b.ReportMetric(endShare*100, "sep2020-share-%")
+}
+
+// BenchmarkFigure7GVLGrowth regenerates the GVL vendor/purpose series.
+func BenchmarkFigure7GVLGrowth(b *testing.B) {
+	h := gvl.GenerateHistory(gvl.DefaultHistoryConfig())
+	b.ResetTimer()
+	var vendors int
+	for i := 0; i < b.N; i++ {
+		series := h.PurposeSeries()
+		vendors = series[len(series)-1].VendorCount
+	}
+	b.ReportMetric(float64(vendors), "final-vendors")
+}
+
+// BenchmarkFigure8LegalBasis regenerates the monthly legal-basis
+// change flows.
+func BenchmarkFigure8LegalBasis(b *testing.B) {
+	h := gvl.GenerateHistory(gvl.DefaultHistoryConfig())
+	b.ResetTimer()
+	var net int
+	for i := 0; i < b.N; i++ {
+		if flows := h.LegalBasisFlows(); len(flows) == 0 {
+			b.Fatal("empty")
+		}
+		net = h.NetLegIntToConsent()
+	}
+	b.ReportMetric(float64(net), "net-LI-to-consent")
+}
+
+// BenchmarkFigure9TrustArcOptOut regenerates the two-week hourly
+// opt-out measurement series.
+func BenchmarkFigure9TrustArcOptOut(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		flow := consent.NewTrustArcFlow(1)
+		runs := flow.HourlySeries(consent.MeasurementWindowDays)
+		median = consent.MedianTotalMS(runs) / 1000
+	}
+	b.ReportMetric(median, "median-optout-s")
+}
+
+// BenchmarkFigure10QuantcastTiming regenerates the randomized dialog
+// timing experiment.
+func BenchmarkFigure10QuantcastTiming(b *testing.B) {
+	h := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 5, InitialVendors: 150, PeakVendors: 300})
+	list := &h.Versions[len(h.Versions)-1]
+	b.ResetTimer()
+	var medB float64
+	for i := 0; i < b.N; i++ {
+		exp := consent.NewFieldExperiment(1, list)
+		res, err := consent.Analyze(exp.Run())
+		if err != nil {
+			b.Fatal(err)
+		}
+		medB = res.MoreOptions.MedianRejectSec
+	}
+	b.ReportMetric(medB, "configB-median-reject-s")
+}
+
+// BenchmarkCustomizationI3 regenerates the publisher customization
+// statistics from the EU-university DOM store.
+func BenchmarkCustomizationI3(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		stats := s.Customization(benchCampaign)
+		if stats[cmps.OneTrust] == nil {
+			b.Fatal("missing stats")
+		}
+	}
+}
+
+// BenchmarkCoverageMissingData regenerates the Section 3.5 missing-
+// data breakdown.
+func BenchmarkCoverageMissingData(b *testing.B) {
+	s := benchSetup(b)
+	top := s.Toplist.Top(s.Config.ToplistSize)
+	for i := 0; i < b.N; i++ {
+		md := analysis.ComputeMissingData(s.World, top, func(domain string) bool {
+			d := s.World.Domain(domain)
+			return d != nil && !d.NeverShared
+		})
+		if md.NeverShared == 0 {
+			b.Fatal("empty breakdown")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationInterpolation compares presence reconstruction with
+// the paper's interpolation + fade-out against raw observations.
+func BenchmarkAblationInterpolation(b *testing.B) {
+	s := benchSetup(b)
+	b.Run("paper", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.RebuildPresence(interp.Options{})
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.RebuildPresence(interp.Options{NoInterpolation: true, FadeOut: -1})
+		}
+	})
+}
+
+// BenchmarkAblationSiteHeuristic compares the ≥⅓-captures site
+// heuristic against any-capture and majority rules.
+func BenchmarkAblationSiteHeuristic(b *testing.B) {
+	s := benchSetup(b)
+	domains := s.Observations.Domains()
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"any-capture", 0.0001}, {"one-third", detect.SiteHeuristicThreshold}, {"majority", 0.5},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				classifiedDays := 0
+				for _, d := range domains {
+					for _, o := range s.Observations.DayObservationsWithThreshold(d, tc.threshold) {
+						if o.CMP != cmps.None {
+							classifiedDays++
+						}
+					}
+				}
+				b.ReportMetric(float64(classifiedDays), "cmp-domain-days")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDetectorKind compares hostname-fingerprint
+// detection against DOM matching. The paper found DOM parsing "much
+// more unreliable": it fails whenever the site's configuration does
+// not render a dialog, so the gap is largest from the US vantage where
+// EU-configured sites suppress their dialogs but still load CMP
+// resources.
+func BenchmarkAblationDetectorKind(b *testing.B) {
+	benchSetup(b)
+	det := detect.Default()
+	stores := map[string][]*capture.Capture{
+		"eu-university": core.EUUniversityStore(benchCampaign).All(),
+		"us-cloud":      benchCampaign.Stores["us-cloud/default"].All(),
+	}
+	for vantage, caps := range stores {
+		b.Run("network/"+vantage, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				found := 0
+				for _, c := range caps {
+					if det.DetectOne(c) != cmps.None {
+						found++
+					}
+				}
+				b.ReportMetric(float64(found), "detected")
+			}
+		})
+		b.Run("dom/"+vantage, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				found := 0
+				for _, c := range caps {
+					if det.DetectDOM(c) != cmps.None {
+						found++
+					}
+				}
+				b.ReportMetric(float64(found), "detected")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSampling compares toplist-frontpage-only detection
+// against the social-feed subsite sample at the Table 1 snapshot.
+func BenchmarkAblationSampling(b *testing.B) {
+	s := benchSetup(b)
+	top := s.Toplist.Top(1_000)
+	det := detect.Default()
+	b.Run("toplist-frontpage", func(b *testing.B) {
+		store := core.EUUniversityStore(benchCampaign)
+		for i := 0; i < b.N; i++ {
+			found := map[string]bool{}
+			for _, c := range store.All() {
+				if det.DetectOne(c) != cmps.None {
+					found[c.FinalDomain] = true
+				}
+			}
+			b.ReportMetric(float64(len(found)), "cmp-domains")
+		}
+	})
+	b.Run("social-subsites", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			found := 0
+			for _, d := range top {
+				if s.Presence.CMPAt(d, simtime.Table1Snapshot) != cmps.None {
+					found++
+				}
+			}
+			b.ReportMetric(float64(found), "cmp-domains")
+		}
+	})
+}
+
+// BenchmarkCoverageSeries measures the monthly vantage-coverage series
+// (continuous Tables 1/A.3).
+func BenchmarkCoverageSeries(b *testing.B) {
+	s := benchSetup(b)
+	var rise float64
+	for i := 0; i < b.N; i++ {
+		pts := s.CoverageSeries(simtime.Date(2019, 10, 1), simtime.Date(2020, 5, 31), 300)
+		rise = pts[len(pts)-1].USCloud - pts[0].USCloud
+	}
+	b.ReportMetric(100*rise, "us-coverage-rise-pts")
+}
+
+// BenchmarkSubsiteCoverage measures the front-page vs subsite
+// detection comparison (Section 3.5).
+func BenchmarkSubsiteCoverage(b *testing.B) {
+	s := benchSetup(b)
+	domains := s.Toplist.Top(500)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cov := analysis.CompareSubsiteCoverage(s.World, domains, simtime.Table1Snapshot, 4)
+		gain = cov.Gain()
+	}
+	b.ReportMetric(100*gain, "subsite-gain-%")
+}
+
+// BenchmarkTracking measures the identifying-storage analysis.
+func BenchmarkTracking(b *testing.B) {
+	benchSetup(b)
+	store := core.EUUniversityStore(benchCampaign)
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = analysis.ComputeTracking(store).IdentifyingShare()
+	}
+	b.ReportMetric(100*share, "identifying-%")
+}
+
+// BenchmarkComplianceAudit measures the Matte-et-al violation survey
+// over the toplist.
+func BenchmarkComplianceAudit(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.ComplianceSurvey(simtime.Table1Snapshot, 1_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Share(compliance.ConsentBeforeChoice), "pre-choice-%")
+	}
+}
+
+// BenchmarkPromptChanges measures recovering the Figure 1 prompt-
+// change history from longitudinal dialog captures.
+func BenchmarkPromptChanges(b *testing.B) {
+	s := benchSetup(b)
+	var qc int
+	for i := 0; i < b.N; i++ {
+		qc = s.PromptChanges()[cmps.Quantcast]
+	}
+	b.ReportMetric(float64(qc), "quantcast-changes")
+}
+
+// BenchmarkCaptureDB measures capture persistence throughput.
+func BenchmarkCaptureDB(b *testing.B) {
+	s := benchSetup(b)
+	store := core.EUUniversityStore(benchCampaign)
+	caps := store.All()
+	b.Run("write", func(b *testing.B) {
+		var buf bytes.Buffer
+		w := capturedb.NewWriter(&buf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Record(caps[i%len(caps)])
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len() / max(1, b.N)))
+	})
+	b.Run("scan", func(b *testing.B) {
+		var buf bytes.Buffer
+		w := capturedb.NewWriter(&buf)
+		for _, c := range caps {
+			w.Record(c)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := capturedb.Count(bytes.NewReader(data), capturedb.Query{})
+			if err != nil || n == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = s
+}
+
+// BenchmarkHTTPCrawl measures the wire-level pipeline: serving a page
+// over real HTTP and reassembling the capture.
+func BenchmarkHTTPCrawl(b *testing.B) {
+	s := benchSetup(b)
+	history := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 5, InitialVendors: 50, PeakVendors: 100})
+	ts := httptest.NewServer(webserve.NewServer(s.World, history))
+	defer ts.Close()
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crawler := webserve.NewCrawler(u.Host)
+	day := simtime.Table1Snapshot
+	var target string
+	for _, d := range s.World.Domains() {
+		if d.CMPAt(day) != cmps.None && !d.Unreachable && d.RedirectTo == "" && !d.Geo451 &&
+			!s.World.TransientDown(d.Name, day) {
+			target = "http://www." + d.Name + "/"
+			break
+		}
+	}
+	if target == "" {
+		b.Skip("no target")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cap, err := crawler.Fetch(target, day, capture.EUUniversity)
+		if err != nil || cap.Failed {
+			b.Fatalf("%v %s", err, cap.Error)
+		}
+	}
+}
+
+// BenchmarkTCFv2Codec measures v2 consent-string encode+decode.
+func BenchmarkTCFv2Codec(b *testing.B) {
+	c := tcf.NewV2(simtime.Table1Snapshot.Time())
+	c.MaxVendorID = 700
+	for v := 1; v <= 700; v += 3 {
+		c.VendorConsent[v] = true
+	}
+	c.MaxVendorLIID = 650
+	for v := 5; v <= 650; v += 7 {
+		c.VendorLegInt[v] = true
+	}
+	for p := 1; p <= 10; p++ {
+		c.PurposesConsent[p] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := c.EncodeV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tcf.DecodeV2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTCFEncoding compares the bitfield and range vendor
+// encodings of the TCF consent string.
+func BenchmarkAblationTCFEncoding(b *testing.B) {
+	c := tcf.New(simtime.Table1Snapshot.Time())
+	c.SetAllPurposes(true)
+	c.SetAllVendors(650, true)
+	for v := 10; v < 650; v += 13 {
+		c.VendorConsent[v] = false // sparse exceptions favour ranges
+	}
+	for _, tc := range []struct {
+		name string
+		enc  tcf.VendorEncoding
+	}{
+		{"bitfield", tcf.EncodingBitField}, {"range", tcf.EncodingRange},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				s, err := c.EncodeWith(tc.enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(s)
+			}
+			b.ReportMetric(float64(size), "string-bytes")
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command capq queries a persisted capture database (the JSONL files
+// written by `crawl -out`), mirroring Netograph's custom query API.
+//
+// Usage:
+//
+//	capq -file captures.jsonl [-domain D] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
+//	     [-vantage us-cloud|eu-cloud|eu-university] [-host H] [-failed]
+//	     [-count] [-cmp] [-n N]
+//
+// Examples:
+//
+//	capq -file caps.jsonl -count -host cdn.cookielaw.org   # OneTrust captures
+//	capq -file caps.jsonl -domain example.com -cmp         # detection timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/detect"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "capture JSONL file (required)")
+		domain    = flag.String("domain", "", "filter by final registrable domain")
+		fromStr   = flag.String("from", "", "filter: captures on or after this date")
+		toStr     = flag.String("to", "", "filter: captures on or before this date")
+		vantage   = flag.String("vantage", "", "filter by vantage name")
+		host      = flag.String("host", "", "filter: captures that requested this host")
+		failed    = flag.Bool("failed", false, "include failed captures")
+		countOnly = flag.Bool("count", false, "print only the match count")
+		withCMP   = flag.Bool("cmp", false, "annotate each capture with the detected CMP")
+		limit     = flag.Int("n", 50, "maximum captures to print (0 = unlimited)")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	q := capturedb.Query{
+		Domain:        *domain,
+		Vantage:       *vantage,
+		RequestHost:   *host,
+		IncludeFailed: *failed,
+	}
+	if *fromStr != "" {
+		q.From = parseDay(*fromStr)
+	}
+	if *toStr != "" {
+		q.To = parseDay(*toStr)
+	}
+
+	det := detect.Default()
+	n := 0
+	err := capturedb.ScanFile(*file, q, func(c *capture.Capture) bool {
+		n++
+		if *countOnly {
+			return true
+		}
+		line := fmt.Sprintf("%s  %-28s %-13s status=%d requests=%d",
+			c.Day, c.FinalDomain, c.Vantage.Name, c.Status, len(c.Requests))
+		if c.Failed {
+			line += "  FAILED: " + c.Error
+		}
+		if *withCMP {
+			line += fmt.Sprintf("  cmp=%s", det.DetectOne(c))
+		}
+		fmt.Println(line)
+		return *limit == 0 || n < *limit
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capq:", err)
+		os.Exit(1)
+	}
+	if *countOnly {
+		fmt.Println(n)
+	} else if *limit > 0 && n >= *limit {
+		fmt.Printf("… (stopped after %d matches; raise -n)\n", *limit)
+	}
+}
+
+func parseDay(s string) simtime.Day {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capq: bad date %q: %v\n", s, err)
+		os.Exit(2)
+	}
+	return simtime.FromTime(t)
+}

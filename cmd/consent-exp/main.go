@@ -1,0 +1,62 @@
+// Command consent-exp runs the user-interface experiments of Section
+// 4.3: the randomized Quantcast dialog timing experiment (Figure 10)
+// and the TrustArc opt-out cost measurement (Figure 9).
+//
+// Usage:
+//
+//	consent-exp [-seed N] [-visitors N] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/consent"
+	"repro/internal/gvl"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "root seed")
+		visitors = flag.Int("visitors", 0, "override page-load count for the Quantcast experiment")
+		days     = flag.Int("days", consent.MeasurementWindowDays, "TrustArc measurement duration in days (hourly)")
+	)
+	flag.Parse()
+
+	// The dialog requests consent for the full current GVL, as
+	// Quantcast's default configuration does.
+	h := gvl.GenerateHistory(gvl.DefaultHistoryConfig())
+	list := &h.Versions[len(h.Versions)-1]
+	fmt.Printf("Requesting consent for all %d vendors of GVL v%d\n\n",
+		len(list.Vendors), list.VendorListVersion)
+
+	exp := consent.NewFieldExperiment(*seed, list)
+	if *visitors > 0 {
+		exp.Visitors = *visitors
+	}
+	res, err := consent.Analyze(exp.Run())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consent-exp:", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Quantcast(res))
+
+	flow := consent.NewTrustArcFlow(*seed)
+	fmt.Println(report.TrustArc(flow.HourlySeries(*days)))
+
+	// Habituation: re-run the direct-reject dialog at increasing
+	// exposure levels ("trained to accept", Section 5.2).
+	pts, err := consent.HabituationSeries(*seed, list, 6_000, []int{0, 5, 20, 100, 500})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consent-exp:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Habituation — the same dialog after N prior exposures:")
+	fmt.Println("  exposures  consent-rate  median-accept  median-reject")
+	for _, pt := range pts {
+		fmt.Printf("  %9d  %11.1f%%  %12.2fs  %12.2fs\n",
+			pt.Exposures, 100*pt.ConsentRate, pt.MedianAcceptSec, pt.MedianRejectSec)
+	}
+}

@@ -1,0 +1,61 @@
+// Command gvlgen generates the synthetic Global Vendor List history
+// and either writes the versioned vendor-list.json files (the format
+// served at vendorlist.consensu.org/vXXX/vendor-list.json) to a
+// directory, or prints the Figure 7/8 longitudinal series.
+//
+// Usage:
+//
+//	gvlgen [-versions N] [-seed N] [-out DIR]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gvl"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		versions = flag.Int("versions", 215, "number of GVL versions to publish")
+		seed     = flag.Uint64("seed", 1, "root seed")
+		outDir   = flag.String("out", "", "write vXXX/vendor-list.json files to this directory")
+	)
+	flag.Parse()
+
+	cfg := gvl.DefaultHistoryConfig()
+	cfg.Seed = *seed
+	cfg.Versions = *versions
+	h := gvl.GenerateHistory(cfg)
+
+	if *outDir != "" {
+		for i := range h.Versions {
+			l := &h.Versions[i]
+			dir := filepath.Join(*outDir, fmt.Sprintf("v%d", l.VendorListVersion))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+			data, err := json.MarshalIndent(l, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "vendor-list.json"), data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d vendor-list.json versions to %s\n", len(h.Versions), *outDir)
+		return
+	}
+
+	fmt.Println(report.GVLSeries(h.PurposeSeries()))
+	fmt.Println(report.LegalBasisFlows(h))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gvlgen:", err)
+	os.Exit(1)
+}

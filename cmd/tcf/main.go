@@ -1,0 +1,144 @@
+// Command tcf inspects and converts IAB TCF consent strings — the
+// practical tool for poking at the euconsent cookies this repository's
+// dialogs produce (and real-world v1 strings).
+//
+// Usage:
+//
+//	tcf -decode <consent-string>       # v1 or v2, auto-detected
+//	tcf -decode <v1-string> -upgrade   # also print the v2 equivalent
+//	tcf -demo                          # build, encode and decode an example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/tcf"
+)
+
+func main() {
+	var (
+		decode  = flag.String("decode", "", "consent string to decode")
+		upgrade = flag.Bool("upgrade", false, "with -decode of a v1 string: print the v2 upgrade")
+		demo    = flag.Bool("demo", false, "encode and decode an example string")
+	)
+	flag.Parse()
+
+	switch {
+	case *demo:
+		runDemo()
+	case *decode != "":
+		if c, err := tcf.Decode(*decode); err == nil {
+			printV1(c)
+			if *upgrade {
+				v2 := tcf.UpgradeToV2(c)
+				s, err := v2.EncodeV2()
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("\nv2 upgrade: %s\n", s)
+				printV2(v2)
+			}
+			return
+		}
+		c2, err := tcf.DecodeV2(*decode)
+		if err != nil {
+			fatal(fmt.Errorf("neither a v1 nor a v2 consent string: %w", err))
+		}
+		printV2(c2)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runDemo() {
+	c := tcf.New(time.Now().UTC())
+	c.CMPID = 10
+	c.ConsentLanguage = "EN"
+	c.VendorListVersion = 183
+	c.SetAllPurposes(true)
+	c.SetAllVendors(650, true)
+	c.VendorConsent[13] = false
+	s, err := c.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("example euconsent cookie: %s\n\n", s)
+	d, err := tcf.Decode(s)
+	if err != nil {
+		fatal(err)
+	}
+	printV1(d)
+}
+
+func printV1(c *tcf.ConsentString) {
+	fmt.Println("TCF v1.1 consent string")
+	fmt.Printf("  created/updated:   %s / %s\n",
+		c.Created.Format(time.RFC3339), c.LastUpdated.Format(time.RFC3339))
+	fmt.Printf("  CMP:               id %d, version %d, screen %d, language %s\n",
+		c.CMPID, c.CMPVersion, c.ConsentScreen, c.ConsentLanguage)
+	fmt.Printf("  vendor list:       v%d, max vendor id %d\n", c.VendorListVersion, c.MaxVendorID)
+	fmt.Printf("  purposes allowed:  %v\n", sortedKeys(c.PurposesAllowed))
+	granted := c.ConsentedVendors()
+	fmt.Printf("  vendors granted:   %d of %d", len(granted), c.MaxVendorID)
+	if n := c.MaxVendorID - len(granted); n > 0 && n <= 10 {
+		var denied []int
+		for v := 1; v <= c.MaxVendorID; v++ {
+			if !c.VendorConsent[v] {
+				denied = append(denied, v)
+			}
+		}
+		fmt.Printf(" (denied: %v)", denied)
+	}
+	fmt.Println()
+}
+
+func printV2(c *tcf.V2ConsentString) {
+	fmt.Println("TCF v2.0 TC string")
+	fmt.Printf("  created/updated:   %s / %s\n",
+		c.Created.Format(time.RFC3339), c.LastUpdated.Format(time.RFC3339))
+	fmt.Printf("  CMP:               id %d, version %d, language %s, publisher %s\n",
+		c.CMPID, c.CMPVersion, c.ConsentLanguage, c.PublisherCC)
+	fmt.Printf("  vendor list:       v%d (policy v%d)\n", c.VendorListVersion, c.TCFPolicyVersion)
+	fmt.Printf("  purposes consent:  %v\n", sortedKeys(c.PurposesConsent))
+	fmt.Printf("  purposes LI:       %v\n", sortedKeys(c.PurposesLITransparency))
+	fmt.Printf("  special features:  %v\n", sortedKeys(c.SpecialFeatureOptIns))
+	fmt.Printf("  vendors consent:   %d of %d\n", countTrue(c.VendorConsent), c.MaxVendorID)
+	fmt.Printf("  vendors LI:        %d of %d\n", countTrue(c.VendorLegInt), c.MaxVendorLIID)
+	if len(c.PubRestrictions) > 0 {
+		fmt.Printf("  publisher restrictions: %d\n", len(c.PubRestrictions))
+	}
+	if len(c.DisclosedVendors) > 0 {
+		fmt.Printf("  disclosed vendors: %d\n", countTrue(c.DisclosedVendors))
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	var out []int
+	for k, ok := range m {
+		if ok {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func countTrue(m map[int]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/tcf"
+)
+
+// ExampleDecodeConsentString decodes the TCF v1.1 cookie a consenting
+// user ends up storing.
+func ExampleDecodeConsentString() {
+	// Build the consent string an accept-all decision produces.
+	c := tcf.New(time.Date(2020, time.May, 15, 12, 0, 0, 0, time.UTC))
+	c.CMPID = 10
+	c.VendorListVersion = 183
+	c.SetAllPurposes(true)
+	c.SetAllVendors(600, true)
+	encoded, err := c.Encode()
+	if err != nil {
+		panic(err)
+	}
+
+	decoded, err := repro.DecodeConsentString(encoded)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("vendor list:", decoded.VendorListVersion)
+	fmt.Println("purposes:", len(decoded.PurposesAllowed))
+	fmt.Println("vendors granted:", len(decoded.ConsentedVendors()))
+	// Output:
+	// vendor list: 183
+	// purposes: 5
+	// vendors granted: 600
+}
+
+// ExampleMannWhitney reproduces the statistical test behind Figure 10.
+func ExampleMannWhitney() {
+	acceptTimes := []float64{2.8, 3.1, 3.2, 3.4, 3.9}
+	rejectTimes := []float64{5.9, 6.4, 6.7, 7.2, 8.8}
+	res, err := repro.MannWhitney(acceptTimes, rejectTimes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("U=%.0f significant=%v\n", res.U, res.P < 0.05)
+	// Output:
+	// U=0 significant=true
+}
+
+// ExamplePriorWork lists the snapshot studies the paper's longitudinal
+// design improves on (Figure 1).
+func ExamplePriorWork() {
+	for _, s := range repro.PriorWork() {
+		if !s.Snapshot {
+			fmt.Printf("%s: %d domains, longitudinal\n", s.Venue, s.Domains)
+		}
+	}
+	// Output:
+	// IMC '20: 4200000 domains, longitudinal
+}
+
+// ExampleNewTrustArcFlow measures the Figure 9 opt-out cost.
+func ExampleNewTrustArcFlow() {
+	flow := repro.NewTrustArcFlow(1)
+	run := flow.RunOptOut(0)
+	fmt.Println("clicks:", run.Clicks)
+	fmt.Println("partner domains:", run.ExtraDomains)
+	fmt.Println("opt-out slower than 30s:", run.TotalMS > 30_000)
+	// Output:
+	// clicks: 7
+	// partner domains: 25
+	// opt-out slower than 30s: true
+}

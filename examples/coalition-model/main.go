@@ -1,0 +1,59 @@
+// Coalition model: the paper's measurements speak to Woods & Böhme's
+// "Commodification of Consent" theory, which predicts that consent
+// sharing creates winner-takes-all dynamics ending in one global
+// coalition. The measured reality differs: jurisdictional boundaries
+// produced regional winners — Quantcast dominating the EU+UK and
+// OneTrust the US (Section 5.2). This example runs the market model in
+// both regimes and shows why the measurements and the theory disagree.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/coalition"
+)
+
+func run(title string, cfg coalition.Config, providers []coalition.Provider) {
+	m := coalition.NewMarket(cfg, providers)
+	out := m.Run()
+	fmt.Println(title)
+	for _, p := range out.SortedProviders() {
+		fmt.Printf("  %-16s EU share %5.1f%%   US share %5.1f%%\n",
+			m.Providers[p].Name, 100*out.Share[p][coalition.EU], 100*out.Share[p][coalition.US])
+	}
+	fmt.Printf("  adoption: EU %.0f%% / US %.0f%%   concentration (HHI): EU %.2f / US %.2f\n",
+		100*out.Adoption[coalition.EU], 100*out.Adoption[coalition.US],
+		out.HHI[coalition.EU], out.HHI[coalition.US])
+	if out.GlobalCoalition(0.5) {
+		fmt.Println("  → a single global coalition (the theory's prediction)")
+	} else {
+		fmt.Printf("  → distinct regional winners: %s in the EU, %s in the US (the measured regime)\n",
+			m.Providers[out.Winner[coalition.EU]].Name, m.Providers[out.Winner[coalition.US]].Name)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Consent-coalition market model (Woods & Böhme, WEIS 2020)")
+	fmt.Println()
+
+	// Regime 1: compliance requirements differ by jurisdiction, as the
+	// GDPR/CCPA split makes them.
+	run("Regime 1 — jurisdiction-specific compliance (GDPR vs CCPA):",
+		coalition.DefaultConfig(), coalition.DefaultProviders())
+
+	// Regime 2: no jurisdictional differentiation; the consent-sharing
+	// network effect dominates.
+	cfg := coalition.DefaultConfig()
+	cfg.ComplianceWeight = 0.25
+	cfg.NetworkWeight = 1.6
+	providers := coalition.DefaultProviders()
+	for i := range providers {
+		providers[i].Fit = [2]float64{0.7, 0.7}
+	}
+	run("Regime 2 — undifferentiated compliance, pure network effect:", cfg, providers)
+
+	fmt.Println("The paper's longitudinal data (Figures 4, A.4–A.6) matches regime 1:")
+	fmt.Println("Quantcast held 38% EU+UK TLD share vs OneTrust's 16%, and neither")
+	fmt.Println("displaced the other — jurisdictional boundaries partition the market.")
+}

@@ -1,0 +1,51 @@
+// Timing experiment: the user-interface measurements of Section 4.3.
+// Part 1 reproduces the randomized field experiment with Quantcast's
+// real dialog in two configurations (Figure 10), including the
+// Mann–Whitney U tests; part 2 reproduces the TrustArc opt-out cost
+// measurement on forbes.com (Figure 9). It also shows the TCF consent
+// string an accepting user ends up storing in the global consensu.org
+// cookie.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/consent"
+	"repro/internal/report"
+)
+
+func main() {
+	// The dialog requests consent for every vendor on the current GVL.
+	history := repro.GenerateGVLHistory(repro.DefaultGVLConfig())
+	list := &history.Versions[len(history.Versions)-1]
+
+	exp := repro.NewFieldExperiment(1, list)
+	fmt.Printf("Simulating %d page loads of mitmproxy.org with an embedded Quantcast dialog …\n\n", exp.Visitors)
+	sessions := exp.Run()
+	res, err := repro.AnalyzeSessions(sessions)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report.Quantcast(res))
+
+	// Inspect one accepting session's consent string through the
+	// public TCF codec.
+	for _, s := range sessions {
+		if s.Decision == consent.DecisionAccept {
+			c, err := repro.DecodeConsentString(s.ConsentString)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("Example consent cookie: GVL v%d, %d vendors granted, %d purposes, string %q\n\n",
+				c.VendorListVersion, len(c.ConsentedVendors()), len(c.PurposesAllowed),
+				s.ConsentString)
+			break
+		}
+	}
+
+	flow := repro.NewTrustArcFlow(1)
+	fmt.Println(report.TrustArc(flow.HourlySeries(consent.MeasurementWindowDays)))
+	fmt.Println("Training users to accept: accepting closes the dialog immediately;")
+	fmt.Println("opting out costs tens of seconds while requests fan out to 25 third parties.")
+}

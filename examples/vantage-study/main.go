@@ -1,0 +1,38 @@
+// Vantage study: "The notion that a web-page has a single set of
+// observer-independent privacy features is dead" (Section 5.1). This
+// example reproduces Tables 1 and A.3 — CMP occurrence measured from
+// six vantage configurations — and the monthly coverage series showing
+// CCPA adoption making CMPs visible from the US over time.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+func main() {
+	cfg := repro.TestConfig()
+	s := repro.NewStudy(cfg)
+	const topN = 1_000
+
+	fmt.Println("Crawling the toplist top 1000 from six vantage configurations …")
+	fmt.Println()
+	fmt.Println(report.VantageTable(
+		"Table 1 — CMP occurrence by vantage point (May 2020)",
+		s.VantageTable(repro.Table1Snapshot, topN)))
+	fmt.Println(report.VantageTable(
+		"Table A.3 — the same measurement in January 2020",
+		s.VantageTable(repro.TableA3Snapshot, topN)))
+
+	fmt.Println("Monthly coverage series (this takes a minute):")
+	pts := s.CoverageSeries(simtime.Date(2019, 7, 1), simtime.Date(2020, 8, 31), 500)
+	fmt.Println(report.CoverageSeries(pts))
+
+	fmt.Println("Takeaways (Section 3.5):")
+	fmt.Println(" - cloud address space loses ≈10% of CMP sites to anti-bot interstitials;")
+	fmt.Println(" - the US vantage misses EU-only embeds, shrinking as CCPA adoption spreads;")
+	fmt.Println(" - aggressive crawl timeouts cost ≈2%; browser language costs nothing.")
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// AdoptionPoint is one x-position of Figure 6: the number of websites
+// in a fixed domain set (the Tranco 10k) embedding each CMP on a day.
+type AdoptionPoint struct {
+	Day    simtime.Day
+	Counts map[cmps.ID]int
+	Total  int
+}
+
+// AdoptionOverTime samples CMP presence across the observation window
+// every stepDays for the given domain set.
+func AdoptionOverTime(p *PresenceDB, domains []string, stepDays int) []AdoptionPoint {
+	if stepDays <= 0 {
+		stepDays = 7
+	}
+	var points []AdoptionPoint
+	for day := simtime.Day(0); int(day) < simtime.NumDays; day += simtime.Day(stepDays) {
+		pt := AdoptionPoint{Day: day, Counts: make(map[cmps.ID]int, cmps.Count)}
+		for _, domain := range domains {
+			if id := p.CMPAt(domain, day); id != cmps.None {
+				pt.Counts[id]++
+				pt.Total++
+			}
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// At returns the adoption point nearest to the given day.
+func At(points []AdoptionPoint, day simtime.Day) AdoptionPoint {
+	if len(points) == 0 {
+		return AdoptionPoint{}
+	}
+	best := points[0]
+	for _, pt := range points[1:] {
+		if abs(int(pt.Day-day)) < abs(int(best.Day-day)) {
+			best = pt
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// GrowthFactor returns the adoption-count ratio between two days,
+// verifying the abstract's headline ("CMP adoption doubled from June
+// 2018 to June 2019 and then doubled again until June 2020").
+func GrowthFactor(points []AdoptionPoint, from, to simtime.Day) float64 {
+	a := At(points, from)
+	b := At(points, to)
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(b.Total) / float64(a.Total)
+}

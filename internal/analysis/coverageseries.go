@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"repro/internal/simtime"
+)
+
+// CoveragePoint is one snapshot of vantage-dependent visibility: the
+// share of CMP websites each cloud vantage sees relative to the best
+// (EU-university, extended-timeout) configuration. Tables 1 and A.3
+// are two such snapshots; the series shows the CCPA-driven rise of US
+// visibility continuously ("a growing share of websites adapt CMPs
+// outside the EU", Table A.3 caption).
+type CoveragePoint struct {
+	Day        simtime.Day
+	USCloud    float64
+	EUCloud    float64
+	UniDefault float64
+}
+
+// CampaignRunner abstracts the study's toplist campaign so the series
+// can be computed without importing the orchestration layer.
+type CampaignRunner func(day simtime.Day) *VantageTable
+
+// CoverageSeries computes coverage points at the given days.
+func CoverageSeries(run CampaignRunner, days []simtime.Day) []CoveragePoint {
+	out := make([]CoveragePoint, 0, len(days))
+	for _, day := range days {
+		t := run(day)
+		out = append(out, CoveragePoint{
+			Day:        day,
+			USCloud:    t.Coverage[USCloudKey()],
+			EUCloud:    t.Coverage[EUCloudKey()],
+			UniDefault: t.Coverage[EUUniversityDefaultKey()],
+		})
+	}
+	return out
+}
+
+// MonthlyDays returns the 15th of each month from `from` through `to`
+// (inclusive by month).
+func MonthlyDays(from, to simtime.Day) []simtime.Day {
+	var out []simtime.Day
+	for m := from.Month(); m <= to; {
+		mid := m + 14
+		if mid.Valid() && mid <= to {
+			out = append(out, mid)
+		}
+		t := m.Time().AddDate(0, 1, 0)
+		m = simtime.FromTime(t)
+	}
+	return out
+}

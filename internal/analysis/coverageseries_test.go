@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestMonthlyDays(t *testing.T) {
+	from := simtime.Date(2019, 11, 3)
+	to := simtime.Date(2020, 2, 20)
+	days := MonthlyDays(from, to)
+	want := []string{"2019-11-15", "2019-12-15", "2020-01-15", "2020-02-15"}
+	if len(days) != len(want) {
+		t.Fatalf("days = %v", days)
+	}
+	for i, d := range days {
+		if d.String() != want[i] {
+			t.Errorf("day[%d] = %s, want %s", i, d, want[i])
+		}
+	}
+}
+
+func TestCoverageSeries(t *testing.T) {
+	// A synthetic runner whose US coverage rises over time.
+	runner := func(day simtime.Day) *VantageTable {
+		us := 0.6 + 0.2*float64(day)/float64(simtime.NumDays)
+		return &VantageTable{
+			Coverage: map[string]float64{
+				USCloudKey():             us,
+				EUCloudKey():             0.85,
+				EUUniversityDefaultKey(): 0.97,
+			},
+		}
+	}
+	days := []simtime.Day{100, 500, 900}
+	pts := CoverageSeries(runner, days)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !(pts[0].USCloud < pts[1].USCloud && pts[1].USCloud < pts[2].USCloud) {
+		t.Error("series must preserve the runner's trend")
+	}
+	if pts[0].EUCloud != 0.85 || pts[0].UniDefault != 0.97 {
+		t.Errorf("point: %+v", pts[0])
+	}
+}

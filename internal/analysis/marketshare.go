@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"repro/internal/cmps"
+	"repro/internal/psl"
+	"repro/internal/simtime"
+	"repro/internal/toplist"
+)
+
+// MarketSharePoint is one x-position of Figure 5 (and A.4–A.6): the
+// cumulative share of websites embedding each CMP among the toplist's
+// first Size entries at the snapshot day.
+type MarketSharePoint struct {
+	Size int
+	// Count[cmp] is the number of top-Size websites using the CMP.
+	Count map[cmps.ID]int
+	// Share[cmp] = Count[cmp] / Size.
+	Share map[cmps.ID]float64
+	// TotalShare is the share using any studied CMP.
+	TotalShare float64
+}
+
+// DefaultSizes are the x-axis sample points of Figure 5 (log-spaced,
+// top 100 through top 1M, clipped to the list length by the caller).
+func DefaultSizes() []int {
+	return []int{100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000}
+}
+
+// MarketShareByRank computes cumulative market share as a function of
+// toplist size at the snapshot day.
+func MarketShareByRank(p *PresenceDB, list *toplist.List, day simtime.Day, sizes []int) []MarketSharePoint {
+	var points []MarketSharePoint
+	counts := make(map[cmps.ID]int)
+	total := 0
+	next := 0
+	for i, domain := range list.Domains {
+		if id := p.CMPAt(domain, day); id != cmps.None {
+			counts[id]++
+			total++
+		}
+		for next < len(sizes) && i+1 == sizes[next] {
+			points = append(points, snapshotPoint(sizes[next], counts, total))
+			next++
+		}
+	}
+	// Sizes beyond the list length are reported at the full list.
+	for next < len(sizes) {
+		if sizes[next] >= list.Len() {
+			points = append(points, snapshotPoint(list.Len(), counts, total))
+			break
+		}
+		next++
+	}
+	return points
+}
+
+func snapshotPoint(size int, counts map[cmps.ID]int, total int) MarketSharePoint {
+	pt := MarketSharePoint{
+		Size:  size,
+		Count: make(map[cmps.ID]int, len(counts)),
+		Share: make(map[cmps.ID]float64, len(counts)),
+	}
+	for c, n := range counts {
+		pt.Count[c] = n
+		pt.Share[c] = float64(n) / float64(size)
+	}
+	pt.TotalShare = float64(total) / float64(size)
+	return pt
+}
+
+// EUUKShare computes, per CMP, the share of its websites with an EU or
+// UK TLD at the snapshot day (Section 4.1: Quantcast 38.3%, OneTrust
+// 16.3%).
+func EUUKShare(p *PresenceDB, day simtime.Day) map[cmps.ID]float64 {
+	count := make(map[cmps.ID]int)
+	euuk := make(map[cmps.ID]int)
+	for domain, ivs := range p.intervals {
+		var id cmps.ID
+		for _, iv := range ivs {
+			if day >= iv.Start && day < iv.End {
+				id = iv.CMP
+				break
+			}
+		}
+		if id == cmps.None {
+			continue
+		}
+		count[id]++
+		if psl.IsEUUK(domain) {
+			euuk[id]++
+		}
+	}
+	out := make(map[cmps.ID]float64, len(count))
+	for id, n := range count {
+		if n > 0 {
+			out[id] = float64(euuk[id]) / float64(n)
+		}
+	}
+	return out
+}

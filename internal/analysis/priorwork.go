@@ -1,0 +1,38 @@
+package analysis
+
+import "time"
+
+// PriorStudy is one entry of Figure 1: previous post-GDPR consent
+// studies were point-in-time snapshots of comparatively small samples
+// in a rapidly changing environment.
+type PriorStudy struct {
+	Label string
+	Venue string
+	// Start/End bound the measurement window.
+	Start, End time.Time
+	// Domains is the sample size.
+	Domains int
+	// Snapshot marks point-in-time designs (everything but this work).
+	Snapshot bool
+}
+
+// PriorWork returns the Figure 1 dataset: the related studies' sample
+// sizes and windows alongside this study's longitudinal design. Values
+// follow the studies cited in the paper (Section 6).
+func PriorWork() []PriorStudy {
+	d := func(y int, m time.Month) time.Time { return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC) }
+	return []PriorStudy{
+		{"Degeling et al.", "NDSS '19", d(2018, 1), d(2018, 5), 6_357, true},
+		{"Sanchez-Rola et al.", "AsiaCCS '19", d(2018, 10), d(2018, 11), 2_000, true},
+		{"van Eijk et al.", "ConPro '19", d(2019, 1), d(2019, 2), 1_500, true},
+		{"Utz et al.", "CCS '19", d(2018, 6), d(2018, 8), 1_000, true},
+		{"Nouwens et al.", "CHI '20", d(2020, 1), d(2020, 1), 10_000, true},
+		{"Matte et al.", "S&P '20", d(2019, 4), d(2019, 9), 28_257, true},
+		{"Hils et al. (this work)", "IMC '20", d(2018, 3), d(2020, 9), 4_200_000, false},
+	}
+}
+
+// QuantcastPromptChanges is the number of times the consent prompt of
+// a single CMP (Quantcast) changed during the paper's observation
+// period, illustrating the rapidly changing environment (Figure 1).
+const QuantcastPromptChanges = 38

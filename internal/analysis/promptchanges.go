@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/detect"
+)
+
+// Prompt-change history (Figure 1): the paper recovered how often a
+// CMP's consent prompt changed by comparing archived screenshots and
+// dialog markup over time. This analysis recovers the same history
+// from stored capture DOMs.
+
+var promptRevAttr = regexp.MustCompile(`data-prompt-rev="(\d+)"`)
+
+// PromptRevisionsObserved returns the set of distinct prompt revisions
+// of the given CMP appearing in the captures.
+func PromptRevisionsObserved(captures []*capture.Capture, det *detect.Detector, cmp cmps.ID) map[int]bool {
+	revs := make(map[int]bool)
+	for _, c := range captures {
+		if c.Failed || det.DetectOne(c) != cmp {
+			continue
+		}
+		if m := promptRevAttr.FindStringSubmatch(c.DOM); m != nil {
+			if rev, err := strconv.Atoi(m[1]); err == nil {
+				revs[rev] = true
+			}
+		}
+	}
+	return revs
+}
+
+// PromptChangesObserved returns the number of prompt *changes*
+// witnessed by the captures: distinct revisions minus one. A full-
+// coverage longitudinal crawl of Quantcast recovers the paper's 38.
+func PromptChangesObserved(captures []*capture.Capture, det *detect.Detector, cmp cmps.ID) int {
+	n := len(PromptRevisionsObserved(captures, det, cmp))
+	if n == 0 {
+		return 0
+	}
+	return n - 1
+}

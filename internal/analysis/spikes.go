@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Adoption-spike detection: Figure 6's qualitative claim — "Laws like
+// GDPR and CCPA coming into effect were significant drivers in CMP
+// adoption ... However, events relevant to privacy law like fines or
+// regulatory guidance do not affect adoption" — made algorithmic: a
+// month is a spike when its absolute adoption growth exceeds a robust
+// multiple of the typical monthly growth.
+
+// Spike is one detected adoption surge.
+type Spike struct {
+	// Month is the first day of the spiking month.
+	Month simtime.Day
+	// Growth is the adoption-count increase during the month.
+	Growth int
+	// Ratio is Growth divided by the median monthly growth.
+	Ratio float64
+}
+
+// DetectAdoptionSpikes finds months whose adoption growth exceeds
+// ratio × the median positive monthly growth. Points should be an
+// AdoptionOverTime series (any step ≤ 31 days).
+func DetectAdoptionSpikes(points []AdoptionPoint, ratio float64) []Spike {
+	if len(points) == 0 {
+		return nil
+	}
+	if ratio <= 1 {
+		ratio = 3
+	}
+	// Aggregate to month ends: last point of each month.
+	type monthTotal struct {
+		month simtime.Day
+		total int
+	}
+	var months []monthTotal
+	for _, pt := range points {
+		m := pt.Day.Month()
+		if len(months) > 0 && months[len(months)-1].month == m {
+			months[len(months)-1].total = pt.Total
+		} else {
+			months = append(months, monthTotal{month: m, total: pt.Total})
+		}
+	}
+	if len(months) < 3 {
+		return nil
+	}
+	growths := make([]int, 0, len(months)-1)
+	for i := 1; i < len(months); i++ {
+		growths = append(growths, months[i].total-months[i-1].total)
+	}
+	// Median of positive growths: robust to the flat early window.
+	positive := make([]int, 0, len(growths))
+	for _, g := range growths {
+		if g > 0 {
+			positive = append(positive, g)
+		}
+	}
+	if len(positive) == 0 {
+		return nil
+	}
+	sort.Ints(positive)
+	median := float64(positive[len(positive)/2])
+	if median <= 0 {
+		return nil
+	}
+	var spikes []Spike
+	for i, g := range growths {
+		if r := float64(g) / median; r >= ratio {
+			spikes = append(spikes, Spike{
+				Month:  months[i+1].month,
+				Growth: g,
+				Ratio:  r,
+			})
+		}
+	}
+	return spikes
+}
+
+// SpikeNear reports whether any spike falls within windowDays of the
+// event day (e.g. a law coming into effect).
+func SpikeNear(spikes []Spike, event simtime.Day, windowDays int) bool {
+	for _, s := range spikes {
+		delta := int(s.Month - event.Month())
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta <= windowDays {
+			return true
+		}
+	}
+	return false
+}

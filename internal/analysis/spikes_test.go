@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+func syntheticAdoption(totals map[simtime.Day]int) []AdoptionPoint {
+	var pts []AdoptionPoint
+	total := 0
+	for day := simtime.Day(0); int(day) < simtime.NumDays; day += 7 {
+		if t, ok := totals[day.Month()]; ok {
+			total = t
+		}
+		pts = append(pts, AdoptionPoint{Day: day, Total: total, Counts: map[cmps.ID]int{}})
+	}
+	return pts
+}
+
+func TestDetectAdoptionSpikes(t *testing.T) {
+	gdprMonth := simtime.GDPREffective.Month()
+	nextMonth := simtime.Date(2018, 6, 1)
+	// Slow organic growth of ~2/month with a 40-site jump at GDPR.
+	totals := map[simtime.Day]int{simtime.Date(2018, 3, 1): 10}
+	base := 10
+	for m := simtime.Date(2018, 4, 1); int(m) < simtime.NumDays; {
+		base += 2
+		if m == gdprMonth || m == nextMonth {
+			base += 20
+		}
+		totals[m] = base
+		m = simtime.FromTime(m.Time().AddDate(0, 1, 0))
+	}
+	pts := syntheticAdoption(totals)
+	spikes := DetectAdoptionSpikes(pts, 3)
+	if len(spikes) == 0 {
+		t.Fatal("no spikes found")
+	}
+	if !SpikeNear(spikes, simtime.GDPREffective, 45) {
+		t.Errorf("GDPR spike not detected: %+v", spikes)
+	}
+	if SpikeNear(spikes, simtime.Date(2019, 7, 8), 15) {
+		t.Error("quiet months must not spike")
+	}
+	for _, s := range spikes {
+		if s.Ratio < 3 || s.Growth < 20 {
+			t.Errorf("weak spike reported: %+v", s)
+		}
+	}
+}
+
+func TestDetectAdoptionSpikesDegenerate(t *testing.T) {
+	if got := DetectAdoptionSpikes(nil, 3); got != nil {
+		t.Error("empty series")
+	}
+	flat := syntheticAdoption(map[simtime.Day]int{simtime.Date(2018, 4, 1): 5})
+	if got := DetectAdoptionSpikes(flat, 3); got != nil {
+		t.Errorf("flat series must have no spikes: %+v", got)
+	}
+}

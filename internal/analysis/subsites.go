@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"repro/internal/browser"
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/detect"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+// Subsite-coverage comparison (Section 3.5, "Subsites", building on
+// Urban et al., WWW 2020): crawling arbitrary subsites instead of only
+// landing pages detects CMPs that are absent from the front page. This
+// analysis quantifies the difference on a domain set by crawling both
+// ways with the same browser and vantage.
+
+// SubsiteCoverage compares front-page-only and subsite-inclusive CMP
+// detection.
+type SubsiteCoverage struct {
+	// Domains is the number of crawlable domains compared.
+	Domains int
+	// FrontPageCMP counts domains whose landing page reveals a CMP.
+	FrontPageCMP int
+	// SubsiteCMP counts domains where any sampled page reveals a CMP.
+	SubsiteCMP int
+	// OnlyOnSubsites counts domains whose CMP is invisible on the
+	// landing page but present on subsites.
+	OnlyOnSubsites int
+}
+
+// Gain returns the relative detection gain of subsite sampling.
+func (s *SubsiteCoverage) Gain() float64 {
+	if s.FrontPageCMP == 0 {
+		return 0
+	}
+	return float64(s.SubsiteCMP)/float64(s.FrontPageCMP) - 1
+}
+
+// CompareSubsiteCoverage crawls each domain's landing page and up to
+// samplePages subsites from the EU-university vantage and tallies the
+// coverage difference.
+func CompareSubsiteCoverage(w *webworld.World, domains []string, day simtime.Day, samplePages int) *SubsiteCoverage {
+	b := browser.New(w, browser.Options{})
+	det := detect.Default()
+	out := &SubsiteCoverage{}
+	for _, name := range domains {
+		d := w.Domain(name)
+		if d == nil || d.Unreachable || d.RedirectTo != "" {
+			continue
+		}
+		load := func(path string) cmps.ID {
+			cap := b.Load("https://www."+name+path, day, capture.EUUniversity)
+			if cap.Failed {
+				return cmps.None
+			}
+			return det.DetectOne(cap)
+		}
+		front := load("/")
+		sub := front
+		for i := 1; i <= samplePages && i < d.Subsites && sub == cmps.None; i++ {
+			sub = load(d.SubsitePath(i))
+		}
+		out.Domains++
+		if front != cmps.None {
+			out.FrontPageCMP++
+		}
+		if sub != cmps.None {
+			out.SubsiteCMP++
+			if front == cmps.None {
+				out.OnlyOnSubsites++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func TestSubsiteCoverageGain(t *testing.T) {
+	w := webworld.New(webworld.Config{Seed: 1, Domains: 8_000})
+	var domains []string
+	for _, d := range w.Domains()[:2_000] {
+		domains = append(domains, d.Name)
+	}
+	cov := CompareSubsiteCoverage(w, domains, simtime.Table1Snapshot, 4)
+	if cov.Domains < 1_500 {
+		t.Fatalf("compared only %d domains", cov.Domains)
+	}
+	if cov.SubsiteCMP <= cov.FrontPageCMP {
+		t.Errorf("subsite sampling must find more CMPs: front=%d subsite=%d",
+			cov.FrontPageCMP, cov.SubsiteCMP)
+	}
+	if cov.OnlyOnSubsites == 0 {
+		t.Error("some CMPs exist only on subsites (Section 3.5)")
+	}
+	// ~6% of CMP sites are subsite-only; the gain should be in that
+	// ballpark (slow-load misses on the front page add a little).
+	if g := cov.Gain(); g < 0.02 || g > 0.20 {
+		t.Errorf("subsite gain = %.3f, want ≈0.06", g)
+	}
+}
+
+func TestSubsiteOnlySiteBehaviour(t *testing.T) {
+	w := webworld.New(webworld.Config{Seed: 1, Domains: 8_000})
+	var target *webworld.Domain
+	for _, d := range w.Domains() {
+		if d.CMPSubsitesOnly && len(d.Episodes) > 0 && !d.Unreachable && d.RedirectTo == "" &&
+			!d.AntiBot && !d.Geo451 && !d.SlowLoad && !d.EUOnlyEmbed {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no subsite-only domain in sample")
+	}
+	day := target.Episodes[0].Start
+	cmp := target.Episodes[0].CMP
+	front, err := w.Visit(target.Name, "/", webworld.VisitContext{Day: day, Geo: webworld.GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := w.Visit(target.Name, target.SubsitePath(1), webworld.VisitContext{Day: day, Geo: webworld.GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(p *webworld.Page) bool {
+		for _, r := range p.Resources {
+			if r.Host == cmp.Hostname() {
+				return true
+			}
+		}
+		return false
+	}
+	if has(front) {
+		t.Error("landing page must not load the CMP")
+	}
+	if !has(sub) {
+		t.Error("subsite must load the CMP")
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// Customer-retention analysis behind the Figure 4 narrative: Cookiebot
+// functions as a "gateway CMP" that many websites adopt before
+// migrating onto other CMPs (Section 5.2), which should show up as a
+// shorter customer lifetime. Episode durations are right-censored —
+// an episode still running at the window end only lower-bounds the
+// true lifetime — so the estimator is a Kaplan–Meier product-limit
+// survival function.
+
+// SurvivalPoint is one step of a survival curve.
+type SurvivalPoint struct {
+	// Days is the episode age.
+	Days int
+	// Survival is the estimated probability a customer relationship
+	// lasts at least this long.
+	Survival float64
+}
+
+// Retention summarizes one CMP's customer lifetimes.
+type Retention struct {
+	CMP cmps.ID
+	// Episodes is the number of customer relationships observed.
+	Episodes int
+	// Censored is how many were still running at the window end.
+	Censored int
+	// Curve is the Kaplan–Meier survival function.
+	Curve []SurvivalPoint
+	// MedianDays is the median customer lifetime; 0 when the curve
+	// never falls below 0.5 (more than half the customers are
+	// retained through the whole window).
+	MedianDays int
+}
+
+// SurvivalAt evaluates the curve at an age, using the step function's
+// left-continuous convention.
+func (r *Retention) SurvivalAt(days int) float64 {
+	s := 1.0
+	for _, pt := range r.Curve {
+		if pt.Days > days {
+			break
+		}
+		s = pt.Survival
+	}
+	return s
+}
+
+// ComputeRetention estimates per-CMP survival from the presence
+// database's episodes.
+func ComputeRetention(p *PresenceDB) map[cmps.ID]*Retention {
+	type obs struct {
+		duration int
+		censored bool
+	}
+	byCMP := make(map[cmps.ID][]obs, cmps.Count)
+	for _, ivs := range p.intervals {
+		// An episode ends when the site stops using that CMP. Interval
+		// ends caused by fade-out or the window boundary are
+		// right-censoring (we stopped observing), not churn events —
+		// only witnessed removals and switches count as deaths.
+		for _, iv := range ivs {
+			censored := iv.Censored || int(iv.End) >= simtime.NumDays
+			byCMP[iv.CMP] = append(byCMP[iv.CMP], obs{
+				duration: int(iv.End - iv.Start),
+				censored: censored,
+			})
+		}
+	}
+	out := make(map[cmps.ID]*Retention, cmps.Count)
+	for _, c := range cmps.All() {
+		observations := byCMP[c]
+		r := &Retention{CMP: c, Episodes: len(observations)}
+		if len(observations) == 0 {
+			out[c] = r
+			continue
+		}
+		sort.Slice(observations, func(i, j int) bool {
+			return observations[i].duration < observations[j].duration
+		})
+		// Kaplan–Meier: at each distinct event (non-censored) time t,
+		// S *= (1 - d_t / n_t) with n_t the at-risk count.
+		atRisk := len(observations)
+		s := 1.0
+		i := 0
+		for i < len(observations) {
+			t := observations[i].duration
+			deaths, leaving := 0, 0
+			for i < len(observations) && observations[i].duration == t {
+				if observations[i].censored {
+					r.Censored++
+				} else {
+					deaths++
+				}
+				leaving++
+				i++
+			}
+			if deaths > 0 {
+				s *= 1 - float64(deaths)/float64(atRisk)
+				r.Curve = append(r.Curve, SurvivalPoint{Days: t, Survival: s})
+				if r.MedianDays == 0 && s <= 0.5 {
+					r.MedianDays = t
+				}
+			}
+			atRisk -= leaving
+		}
+		out[c] = r
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmps"
+	"repro/internal/interp"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func newTestWorld(t *testing.T) *webworld.World {
+	t.Helper()
+	return webworld.New(webworld.Config{Seed: 1, Domains: 20_000})
+}
+
+func TestKaplanMeierKnownValues(t *testing.T) {
+	// Classic worked example: events at 10, 20 (censored), 30, 40
+	// (censored), 50.
+	// S(10) = 4/5 = 0.8; S(30) = 0.8·(1−1/3) ≈ 0.533; S(50) = 0.
+	endDay := simtime.Day(simtime.NumDays)
+	db := fakePresence(map[string][]interp.Interval{
+		"a.com": {{CMP: cmps.Cookiebot, Start: 0, End: 10}},
+		"b.com": {{CMP: cmps.Cookiebot, Start: endDay - 20, End: endDay}}, // censored at 20
+		"c.com": {{CMP: cmps.Cookiebot, Start: 0, End: 30}},
+		"d.com": {{CMP: cmps.Cookiebot, Start: endDay - 40, End: endDay}}, // censored at 40
+		"e.com": {{CMP: cmps.Cookiebot, Start: 0, End: 50}},
+	})
+	ret := ComputeRetention(db)[cmps.Cookiebot]
+	if ret.Episodes != 5 || ret.Censored != 2 {
+		t.Fatalf("episodes=%d censored=%d", ret.Episodes, ret.Censored)
+	}
+	if got := ret.SurvivalAt(10); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("S(10) = %v, want 0.8", got)
+	}
+	if got := ret.SurvivalAt(30); math.Abs(got-0.8*2.0/3) > 1e-9 {
+		t.Errorf("S(30) = %v, want %v", got, 0.8*2.0/3)
+	}
+	if got := ret.SurvivalAt(50); got != 0 {
+		t.Errorf("S(50) = %v, want 0", got)
+	}
+	if ret.MedianDays != 50 {
+		t.Errorf("median = %d, want 50 (first time S ≤ 0.5)", ret.MedianDays)
+	}
+	// Ages before the first event survive fully.
+	if ret.SurvivalAt(5) != 1 {
+		t.Error("S(5) must be 1")
+	}
+}
+
+func TestRetentionEmptyCMP(t *testing.T) {
+	db := fakePresence(map[string][]interp.Interval{})
+	ret := ComputeRetention(db)
+	for _, c := range cmps.All() {
+		if ret[c] == nil || ret[c].Episodes != 0 {
+			t.Errorf("%s: %+v", c, ret[c])
+		}
+	}
+}
+
+// TestGatewayCMPHasShorterLifetime: on the synthetic web's measured
+// presence, Cookiebot customers churn faster than OneTrust customers.
+func TestGatewayCMPHasShorterLifetime(t *testing.T) {
+	// Build a small measured presence DB via the ground-truth episode
+	// model (cheaper than a crawl and sufficient: survival consumes
+	// intervals, however obtained).
+	w := newTestWorld(t)
+	intervals := make(map[string][]interp.Interval)
+	for _, d := range w.Domains() {
+		for _, e := range d.Episodes {
+			intervals[d.Name] = append(intervals[d.Name], interp.Interval{
+				CMP: e.CMP, Start: e.Start, End: e.End,
+			})
+		}
+	}
+	ret := ComputeRetention(fakePresence(intervals))
+	cb, ot := ret[cmps.Cookiebot], ret[cmps.OneTrust]
+	if cb.Episodes < 30 || ot.Episodes < 30 {
+		t.Skipf("too few episodes: cb=%d ot=%d", cb.Episodes, ot.Episodes)
+	}
+	// Compare two-year survival: the gateway CMP retains fewer.
+	const twoYears = 730
+	if cb.SurvivalAt(twoYears) >= ot.SurvivalAt(twoYears) {
+		t.Errorf("Cookiebot 2y survival (%.2f) should be below OneTrust's (%.2f)",
+			cb.SurvivalAt(twoYears), ot.SurvivalAt(twoYears))
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"repro/internal/cmps"
+	"repro/internal/interp"
+)
+
+// FlowMatrix is the Figure 4 structure: how many websites moved from
+// one CMP to another (or adopted from / abandoned to nothing) over the
+// observation window. Index 0 is cmps.None.
+type FlowMatrix struct {
+	// Counts[from][to] is the number of observed transitions.
+	Counts [cmps.Count + 1][cmps.Count + 1]int
+}
+
+// SwitchingFlows derives the flow matrix from the presence database.
+func SwitchingFlows(p *PresenceDB) *FlowMatrix {
+	m := &FlowMatrix{}
+	for _, ivs := range p.intervals {
+		for _, sw := range interp.Switches(ivs) {
+			m.Counts[sw.From][sw.To]++
+		}
+	}
+	return m
+}
+
+// Between returns the transition count from one CMP to another.
+func (m *FlowMatrix) Between(from, to cmps.ID) int { return m.Counts[from][to] }
+
+// GainsFromCompetitors sums inflows from other CMPs (excluding fresh
+// adoptions).
+func (m *FlowMatrix) GainsFromCompetitors(c cmps.ID) int {
+	total := 0
+	for _, from := range cmps.All() {
+		if from != c {
+			total += m.Counts[from][c]
+		}
+	}
+	return total
+}
+
+// LossesToCompetitors sums outflows to other CMPs (excluding drops to
+// no CMP).
+func (m *FlowMatrix) LossesToCompetitors(c cmps.ID) int {
+	total := 0
+	for _, to := range cmps.All() {
+		if to != c {
+			total += m.Counts[c][to]
+		}
+	}
+	return total
+}
+
+// Adoptions returns fresh adoptions (from no CMP).
+func (m *FlowMatrix) Adoptions(c cmps.ID) int { return m.Counts[cmps.None][c] }
+
+// Abandons returns drops to no CMP.
+func (m *FlowMatrix) Abandons(c cmps.ID) int { return m.Counts[c][cmps.None] }
+
+// NetCompetitive returns gains minus losses against competitors; the
+// paper's Figure 4 shows Cookiebot losing an order of magnitude more
+// than it gains while Quantcast and OneTrust trade in both directions.
+func (m *FlowMatrix) NetCompetitive(c cmps.ID) int {
+	return m.GainsFromCompetitors(c) - m.LossesToCompetitors(c)
+}

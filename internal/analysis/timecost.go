@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"repro/internal/cmps"
+)
+
+// Time-cost synthesis: the paper's user-interface findings (Figures 9
+// and 10) show that privacy-aware users pay with their time — rejecting
+// takes longer than accepting, doubly so without a first-page reject
+// button, and TrustArc's partner-connecting opt-outs take tens of
+// seconds. Combining those timings with the measured CMP adoption and
+// customization shares yields the expected extra interaction time an
+// always-reject user spends browsing, versus an accept-everything user.
+
+// TimeCostInputs collects the measured quantities.
+type TimeCostInputs struct {
+	// AdoptionShare[c] is the fraction of websites embedding CMP c at
+	// the snapshot (from the presence analysis over a toplist).
+	AdoptionShare map[cmps.ID]float64
+	// DirectRejectShare[c] is the fraction of c's dialogs offering a
+	// first-page reject (from the I3 customization analysis).
+	DirectRejectShare map[cmps.ID]float64
+	// AcceptSec / RejectDirectSec / RejectIndirectSec are the median
+	// dialog interaction times (Figure 10): accepting, rejecting with
+	// a direct button, rejecting through a second page.
+	AcceptSec         float64
+	RejectDirectSec   float64
+	RejectIndirectSec float64
+	// PartnerOptOutSec is the extra waiting time when the opt-out must
+	// connect to third parties (Figure 9: ≥34 s), and
+	// PartnerConnectShare[c] the share of c's dialogs doing that.
+	PartnerOptOutSec    float64
+	PartnerConnectShare map[cmps.ID]float64
+}
+
+// TimeCostResult is the synthesis.
+type TimeCostResult struct {
+	// DialogChance is the probability a visited site shows a dialog.
+	DialogChance float64
+	// ExtraSecPerVisit is the expected extra time per site visit for
+	// an always-reject user (first visits; repeat visits show no
+	// dialog).
+	ExtraSecPerVisit float64
+	// ExtraSecPer100Sites is the cost of rejecting everywhere across
+	// 100 distinct sites.
+	ExtraSecPer100Sites float64
+	// PerCMP breaks the expected extra seconds per visit down by CMP.
+	PerCMP map[cmps.ID]float64
+}
+
+// EstimateTimeCost computes the expected rejection time cost.
+func EstimateTimeCost(in TimeCostInputs) TimeCostResult {
+	res := TimeCostResult{PerCMP: make(map[cmps.ID]float64, cmps.Count)}
+	for _, c := range cmps.All() {
+		share := in.AdoptionShare[c]
+		if share <= 0 {
+			continue
+		}
+		res.DialogChance += share
+		direct := in.DirectRejectShare[c]
+		extra := direct*(in.RejectDirectSec-in.AcceptSec) +
+			(1-direct)*(in.RejectIndirectSec-in.AcceptSec)
+		extra += in.PartnerConnectShare[c] * in.PartnerOptOutSec
+		res.PerCMP[c] = share * extra
+		res.ExtraSecPerVisit += share * extra
+	}
+	res.ExtraSecPer100Sites = 100 * res.ExtraSecPerVisit
+	return res
+}
+
+// TimeCostFromMeasurements assembles the inputs from the study's own
+// measured artifacts: presence at the snapshot day for adoption,
+// customization stats for the reject-button shares, and the two
+// experiments' timings.
+func TimeCostFromMeasurements(
+	adoption MarketSharePoint,
+	custom map[cmps.ID]*CustomizationStats,
+	acceptSec, rejectDirectSec, rejectIndirectSec, partnerOptOutSec float64,
+) TimeCostResult {
+	in := TimeCostInputs{
+		AdoptionShare:       make(map[cmps.ID]float64, cmps.Count),
+		DirectRejectShare:   make(map[cmps.ID]float64, cmps.Count),
+		PartnerConnectShare: make(map[cmps.ID]float64, cmps.Count),
+		AcceptSec:           acceptSec,
+		RejectDirectSec:     rejectDirectSec,
+		RejectIndirectSec:   rejectIndirectSec,
+		PartnerOptOutSec:    partnerOptOutSec,
+	}
+	for _, c := range cmps.All() {
+		in.AdoptionShare[c] = adoption.Share[c]
+		if s := custom[c]; s != nil && s.Websites > 0 {
+			in.DirectRejectShare[c] = s.VariantShare("direct-reject")
+			in.PartnerConnectShare[c] = s.VariantShare("optout-connects-partners")
+		}
+	}
+	return EstimateTimeCost(in)
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmps"
+)
+
+func TestEstimateTimeCost(t *testing.T) {
+	in := TimeCostInputs{
+		AdoptionShare: map[cmps.ID]float64{
+			cmps.Quantcast: 0.05, // 5% of sites
+			cmps.TrustArc:  0.02,
+		},
+		DirectRejectShare: map[cmps.ID]float64{
+			cmps.Quantcast: 0.55,
+			cmps.TrustArc:  0.07,
+		},
+		AcceptSec:         3.2,
+		RejectDirectSec:   3.6,
+		RejectIndirectSec: 6.7,
+		PartnerOptOutSec:  34,
+		PartnerConnectShare: map[cmps.ID]float64{
+			cmps.TrustArc: 0.12,
+		},
+	}
+	res := EstimateTimeCost(in)
+	// Quantcast: 0.05 × (0.55·0.4 + 0.45·3.5) = 0.05 × 1.795 = 0.08975
+	wantQC := 0.05 * (0.55*0.4 + 0.45*3.5)
+	if math.Abs(res.PerCMP[cmps.Quantcast]-wantQC) > 1e-9 {
+		t.Errorf("Quantcast cost = %v, want %v", res.PerCMP[cmps.Quantcast], wantQC)
+	}
+	// TrustArc: 0.02 × (0.07·0.4 + 0.93·3.5 + 0.12·34) = 0.02 × 7.363
+	wantTA := 0.02 * (0.07*0.4 + 0.93*3.5 + 0.12*34)
+	if math.Abs(res.PerCMP[cmps.TrustArc]-wantTA) > 1e-9 {
+		t.Errorf("TrustArc cost = %v, want %v", res.PerCMP[cmps.TrustArc], wantTA)
+	}
+	if math.Abs(res.ExtraSecPerVisit-(wantQC+wantTA)) > 1e-9 {
+		t.Errorf("total = %v", res.ExtraSecPerVisit)
+	}
+	if res.ExtraSecPer100Sites != 100*res.ExtraSecPerVisit {
+		t.Error("per-100 scaling")
+	}
+	if math.Abs(res.DialogChance-0.07) > 1e-9 {
+		t.Errorf("dialog chance = %v", res.DialogChance)
+	}
+	// The TrustArc partner wait dominates despite lower adoption:
+	// the per-site cost ratio must exceed the adoption ratio.
+	if res.PerCMP[cmps.TrustArc] < res.PerCMP[cmps.Quantcast] {
+		t.Error("partner opt-outs should dominate the cost despite lower adoption")
+	}
+}
+
+func TestTimeCostFromMeasurements(t *testing.T) {
+	adoption := MarketSharePoint{
+		Size:  1_000,
+		Share: map[cmps.ID]float64{cmps.Quantcast: 0.03, cmps.OneTrust: 0.05},
+	}
+	custom := map[cmps.ID]*CustomizationStats{
+		cmps.Quantcast: {
+			CMP: cmps.Quantcast, Websites: 100,
+			Variants: map[string]int{"direct-reject": 55, "more-options": 45},
+		},
+		cmps.OneTrust: {
+			CMP: cmps.OneTrust, Websites: 100,
+			Variants: map[string]int{"conventional-banner": 97, "direct-reject": 3},
+		},
+	}
+	res := TimeCostFromMeasurements(adoption, custom, 3.2, 3.6, 6.7, 34)
+	if res.ExtraSecPerVisit <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// OneTrust sites (mostly no direct reject) must cost more per
+	// adopted site than Quantcast sites (55% direct reject), after
+	// normalizing by adoption.
+	otPerSite := res.PerCMP[cmps.OneTrust] / 0.05
+	qcPerSite := res.PerCMP[cmps.Quantcast] / 0.03
+	if otPerSite <= qcPerSite {
+		t.Errorf("per-site cost: OneTrust %.2f vs Quantcast %.2f", otPerSite, qcPerSite)
+	}
+}

@@ -1,0 +1,93 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func calmDay(w *webworld.World, d *webworld.Domain, anchor simtime.Day) simtime.Day {
+	for off := simtime.Day(0); off < 30; off++ {
+		if !w.TransientDown(d.Name, anchor+off) {
+			return anchor + off
+		}
+	}
+	return anchor
+}
+
+func TestLoadNoValidResponse(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool { return d.NoValidResponse })
+	if d == nil {
+		t.Skip("no such domain")
+	}
+	c := New(w, Options{}).Load("https://www."+d.Name+"/", calmDay(w, d, 100), capture.USCloud)
+	if !c.Failed {
+		t.Errorf("capture: %+v", c)
+	}
+}
+
+func TestLoadHTTPError(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool { return d.HTTPError && d.RedirectTo == "" })
+	if d == nil {
+		t.Skip("no such domain")
+	}
+	c := New(w, Options{}).Load("https://www."+d.Name+"/", calmDay(w, d, 100), capture.USCloud)
+	if c.Failed {
+		t.Fatal("HTTP errors are captures, not failures")
+	}
+	if c.Status != 503 {
+		t.Errorf("status = %d", c.Status)
+	}
+	if len(c.Requests) != 0 {
+		t.Errorf("error pages log no subresources: %+v", c.Requests)
+	}
+}
+
+func TestLoadGeo451(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool { return d.Geo451 && d.RedirectTo == "" })
+	if d == nil {
+		t.Skip("no 451 domain")
+	}
+	day := calmDay(w, d, 200)
+	eu := New(w, Options{}).Load("https://www."+d.Name+"/", day, capture.EUCloud)
+	if eu.Status != 451 {
+		t.Errorf("EU status = %d", eu.Status)
+	}
+	us := New(w, Options{}).Load("https://www."+d.Name+"/", day, capture.USCloud)
+	if us.Status == 451 {
+		t.Error("US visitors must not see 451")
+	}
+}
+
+func TestLoadRecordsStorage(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool {
+		return !d.Unreachable && !d.NoValidResponse && !d.HTTPError && d.RedirectTo == "" &&
+			!d.Geo451 && !d.AntiBot && !d.PrivacyFriendly
+	})
+	if d == nil {
+		t.Skip("no plain domain")
+	}
+	c := New(w, Options{}).Load("https://www."+d.Name+"/", calmDay(w, d, 300), capture.EUUniversity)
+	if c.Failed {
+		t.Fatalf("load failed: %s", c.Error)
+	}
+	if len(c.Cookies) == 0 {
+		t.Error("ordinary pages set cookies")
+	}
+	// Storage records are probabilistic per page but overwhelmingly
+	// present across a handful of pages.
+	hasStorage := len(c.Storage) > 0
+	for i := 1; i < 6 && !hasStorage; i++ {
+		c := New(w, Options{}).Load("https://www."+d.Name+d.SubsitePath(i), calmDay(w, d, 300), capture.EUUniversity)
+		hasStorage = len(c.Storage) > 0
+	}
+	if !hasStorage {
+		t.Error("no storage records across six pages")
+	}
+}

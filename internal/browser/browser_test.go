@@ -1,0 +1,173 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func world(t *testing.T) *webworld.World {
+	t.Helper()
+	return webworld.New(webworld.Config{Seed: 1, Domains: 5_000})
+}
+
+func find(w *webworld.World, pred func(*webworld.Domain) bool) *webworld.Domain {
+	for _, d := range w.Domains() {
+		if pred(d) {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestConfigLabels(t *testing.T) {
+	tests := []struct {
+		opts Options
+		want string
+	}{
+		{Options{}, "default"},
+		{Options{ExtendedTimeout: true}, "extended-timeout"},
+		{Options{Language: "de", ExtendedTimeout: true}, "lang-de"},
+		{Options{Language: "en-GB", ExtendedTimeout: true}, "lang-en-gb"},
+	}
+	for _, tt := range tests {
+		if got := tt.opts.ConfigLabel(); got != tt.want {
+			t.Errorf("ConfigLabel(%+v) = %q, want %q", tt.opts, got, tt.want)
+		}
+	}
+}
+
+func TestSplitSeed(t *testing.T) {
+	tests := []struct {
+		seed, host, path string
+	}{
+		{"https://www.example.com/", "example.com", "/"},
+		{"https://www.example.com/page/3?utm=x", "example.com", "/page/3"},
+		{"http://example.co.uk", "example.co.uk", "/"},
+		{"https://Foo.Example.COM/a", "foo.example.com", "/a"},
+	}
+	for _, tt := range tests {
+		host, path, err := splitSeed(tt.seed)
+		if err != nil || host != tt.host || path != tt.path {
+			t.Errorf("splitSeed(%q) = %q,%q,%v; want %q,%q", tt.seed, host, path, err, tt.host, tt.path)
+		}
+	}
+	if _, _, err := splitSeed("not a url"); err == nil {
+		t.Error("invalid seed must fail")
+	}
+	if _, _, err := splitSeed("/relative"); err == nil {
+		t.Error("host-less seed must fail")
+	}
+}
+
+func TestLoadSuccess(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool {
+		return len(d.Episodes) > 0 && !d.Unreachable && d.RedirectTo == "" && !d.AntiBot && !d.SlowLoad && !d.EUOnlyEmbed && !d.Geo451
+	})
+	if d == nil {
+		t.Skip("no suitable domain")
+	}
+	b := New(w, Options{})
+	c := b.Load("https://www."+d.Name+"/", d.Episodes[0].Start, capture.EUCloud)
+	if c.Failed {
+		t.Fatalf("load failed: %s", c.Error)
+	}
+	if c.FinalDomain != d.Name {
+		t.Errorf("FinalDomain = %q", c.FinalDomain)
+	}
+	if c.Config != "default" || c.Vantage.Name != capture.EUCloud.Name {
+		t.Errorf("capture metadata: %+v", c)
+	}
+	found := false
+	for _, r := range c.Requests {
+		if r.Host == d.Episodes[0].CMP.Hostname() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CMP request missing from capture")
+	}
+	if c.DOM != "" {
+		t.Error("DOM must not be stored without StoreDOM")
+	}
+	cd := New(w, Options{StoreDOM: true}).Load("https://www."+d.Name+"/", d.Episodes[0].Start, capture.EUUniversity)
+	if cd.DOM == "" {
+		t.Error("StoreDOM must record the DOM tree")
+	}
+}
+
+func TestLoadUnreachable(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool { return d.Unreachable })
+	if d == nil {
+		t.Skip("no unreachable domain")
+	}
+	c := New(w, Options{}).Load("https://www."+d.Name+"/", 100, capture.USCloud)
+	if !c.Failed || !strings.Contains(c.Error, "connection refused") {
+		t.Errorf("capture: %+v", c)
+	}
+}
+
+func TestLoadBadSeed(t *testing.T) {
+	w := world(t)
+	c := New(w, Options{}).Load("::::", 0, capture.USCloud)
+	if !c.Failed {
+		t.Error("bad seed must fail")
+	}
+}
+
+// TestTimeoutPolicy: slow-loading CMP resources are cut by the default
+// idle timeout but captured with the extended one (Section 3.5,
+// "Crawler Timeouts").
+func TestTimeoutPolicy(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool {
+		return d.SlowLoad && !d.AntiBot && d.RedirectTo == "" && !d.EUOnlyEmbed && !d.Geo451
+	})
+	if d == nil {
+		t.Skip("no slow-loading domain")
+	}
+	day := d.Episodes[0].Start
+	cmpHost := d.Episodes[0].CMP.Hostname()
+	url := "https://www." + d.Name + "/"
+
+	fast := New(w, Options{}).Load(url, day, capture.EUUniversity)
+	slow := New(w, Options{ExtendedTimeout: true}).Load(url, day, capture.EUUniversity)
+
+	has := func(c *capture.Capture) bool {
+		for _, r := range c.Requests {
+			if r.Host == cmpHost {
+				return true
+			}
+		}
+		return false
+	}
+	if has(fast) {
+		t.Error("default timeouts should miss the slow CMP resources")
+	}
+	if !fast.TimedOut {
+		t.Error("cut captures must be flagged TimedOut")
+	}
+	if !has(slow) {
+		t.Error("extended timeout should capture the slow CMP resources")
+	}
+}
+
+func TestRedirectCountsAsTarget(t *testing.T) {
+	w := world(t)
+	d := find(w, func(d *webworld.Domain) bool { return d.RedirectTo != "" })
+	if d == nil {
+		t.Skip("no redirecting domain")
+	}
+	c := New(w, Options{}).Load("https://www."+d.Name+"/", simtime.Day(100), capture.EUCloud)
+	if c.Failed {
+		t.Skip("redirect target failed")
+	}
+	if c.FinalDomain == d.Name {
+		t.Error("capture must be attributed to the redirect target")
+	}
+}

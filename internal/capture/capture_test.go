@@ -1,0 +1,72 @@
+package capture
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.Record(&Capture{FinalDomain: "a.com"})
+	s.Record(&Capture{FinalDomain: "a.com"})
+	s.Record(&Capture{FinalDomain: "b.com"})
+	s.Record(&Capture{Failed: true}) // no final domain: kept, unindexed
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := len(s.ByDomain("a.com")); got != 2 {
+		t.Errorf("ByDomain(a.com) = %d", got)
+	}
+	if got := len(s.Domains()); got != 2 {
+		t.Errorf("Domains = %d", got)
+	}
+	if got := len(s.All()); got != 4 {
+		t.Errorf("All = %d", got)
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				s.Record(&Capture{FinalDomain: fmt.Sprintf("d%d.com", i%10)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", s.Len())
+	}
+	total := 0
+	for _, d := range s.Domains() {
+		total += len(s.ByDomain(d))
+	}
+	if total != 1000 {
+		t.Errorf("indexed total = %d", total)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewMemStore(), NewMemStore()
+	MultiSink{a, b}.Record(&Capture{FinalDomain: "x.com"})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("MultiSink must fan out")
+	}
+}
+
+func TestVantages(t *testing.T) {
+	if USCloud.Name == EUCloud.Name || EUCloud.Name == EUUniversity.Name {
+		t.Error("vantage names must be distinct")
+	}
+	if !USCloud.Cloud || !EUCloud.Cloud || EUUniversity.Cloud {
+		t.Error("cloud flags wrong")
+	}
+}

@@ -1,0 +1,281 @@
+// Package capturedb persists crawl captures as line-delimited JSON and
+// supports filtered scans — the reproduction's stand-in for Netograph's
+// central capture database with its custom query API ("All crawl data
+// is stored in a central database, which can be queried using a custom
+// API", Section 3.2).
+//
+// The on-disk schema uses short field names: the paper's platform
+// stores 161 M captures, so encoding size matters more than
+// readability.
+package capturedb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+// rec is the wire schema.
+type rec struct {
+	Seed    string   `json:"s"`
+	Final   string   `json:"f"`
+	Domain  string   `json:"d"`
+	Day     int      `json:"t"`
+	Vantage string   `json:"v"`
+	Geo     int      `json:"g"`
+	Cloud   bool     `json:"c,omitempty"`
+	Config  string   `json:"cfg,omitempty"`
+	Status  int      `json:"st"`
+	Reqs    [][4]any `json:"r,omitempty"`   // [host, path, status, bytesRaw]
+	Cookies []string `json:"ck,omitempty"`  // "domain|name|value"
+	Storage [][4]any `json:"sto,omitempty"` // [kind, origin, key, identifying]
+	Shot    string   `json:"sh,omitempty"`
+	Timeout bool     `json:"to,omitempty"`
+	Failed  bool     `json:"x,omitempty"`
+	Err     string   `json:"e,omitempty"`
+}
+
+func toRec(c *capture.Capture) rec {
+	r := rec{
+		Seed: c.SeedURL, Final: c.FinalURL, Domain: c.FinalDomain,
+		Day: int(c.Day), Vantage: c.Vantage.Name, Geo: int(c.Vantage.Geo),
+		Cloud: c.Vantage.Cloud, Config: c.Config, Status: c.Status,
+		Shot: c.ScreenshotText, Timeout: c.TimedOut, Failed: c.Failed, Err: c.Error,
+	}
+	for _, q := range c.Requests {
+		r.Reqs = append(r.Reqs, [4]any{q.Host, q.Path, q.Status, q.BytesRaw})
+	}
+	for _, ck := range c.Cookies {
+		r.Cookies = append(r.Cookies, ck.Domain+"|"+ck.Name+"|"+ck.Value)
+	}
+	for _, sr := range c.Storage {
+		r.Storage = append(r.Storage, [4]any{int(sr.Kind), sr.Origin, sr.Key, sr.Identifying})
+	}
+	return r
+}
+
+func (r *rec) capture() (*capture.Capture, error) {
+	c := &capture.Capture{
+		SeedURL: r.Seed, FinalURL: r.Final, FinalDomain: r.Domain,
+		Day: simtime.Day(r.Day),
+		Vantage: capture.Vantage{
+			Name: r.Vantage, Geo: webworld.Geo(r.Geo), Cloud: r.Cloud,
+		},
+		Config: r.Config, Status: r.Status, ScreenshotText: r.Shot,
+		TimedOut: r.Timeout, Failed: r.Failed, Error: r.Err,
+	}
+	for _, q := range r.Reqs {
+		host, ok1 := q[0].(string)
+		path, ok2 := q[1].(string)
+		status, ok3 := q[2].(float64)
+		size, ok4 := q[3].(float64)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, errors.New("capturedb: malformed request tuple")
+		}
+		c.Requests = append(c.Requests, capture.Request{
+			Host: host, Path: path, Status: int(status),
+			BytesRaw: int(size), BytesCompressed: int(size),
+		})
+	}
+	for _, s := range r.Cookies {
+		var ck webworld.Cookie
+		n := 0
+		for i := 0; i < len(s) && n < 2; i++ {
+			if s[i] == '|' {
+				if n == 0 {
+					ck.Domain = s[:i]
+					s = s[i+1:]
+					i = -1
+				} else {
+					ck.Name = s[:i]
+					ck.Value = s[i+1:]
+				}
+				n++
+			}
+		}
+		if n < 2 {
+			return nil, errors.New("capturedb: malformed cookie")
+		}
+		c.Cookies = append(c.Cookies, ck)
+	}
+	for _, s := range r.Storage {
+		kind, ok1 := s[0].(float64)
+		origin, ok2 := s[1].(string)
+		key, ok3 := s[2].(string)
+		identifying, ok4 := s[3].(bool)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, errors.New("capturedb: malformed storage tuple")
+		}
+		c.Storage = append(c.Storage, webworld.StorageRecord{
+			Kind: webworld.StorageKind(kind), Origin: origin, Key: key, Identifying: identifying,
+		})
+	}
+	return c, nil
+}
+
+// Writer appends captures to a JSONL stream. It implements
+// capture.Sink and is safe for concurrent use; the first write error
+// is retained and returned by Close.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	n   int64
+	err error
+}
+
+// NewWriter wraps an io.Writer (Closer optional).
+func NewWriter(w io.Writer) *Writer {
+	wr := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		wr.c = c
+	}
+	return wr
+}
+
+// Create opens path for writing, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewWriter(f), nil
+}
+
+// Record implements capture.Sink.
+func (w *Writer) Record(c *capture.Capture) {
+	data, err := json.Marshal(toRec(c))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(append(data, '\n')); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Len returns the number of records written.
+func (w *Writer) Len() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Close flushes and closes the stream, returning the first error
+// encountered during writing.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if w.c != nil {
+		if err := w.c.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// Query filters a scan. Zero values match everything.
+type Query struct {
+	// Domain restricts to one final registrable domain.
+	Domain string
+	// From/To bound the capture day, inclusive. To == 0 means no
+	// upper bound.
+	From, To simtime.Day
+	// Vantage restricts to one vantage name.
+	Vantage string
+	// RequestHost restricts to captures that logged a request to the
+	// host (e.g. a CMP indicator hostname).
+	RequestHost string
+	// IncludeFailed also yields failed captures.
+	IncludeFailed bool
+}
+
+func (q *Query) match(c *capture.Capture) bool {
+	if c.Failed && !q.IncludeFailed {
+		return false
+	}
+	if q.Domain != "" && c.FinalDomain != q.Domain {
+		return false
+	}
+	if c.Day < q.From || (q.To > 0 && c.Day > q.To) {
+		return false
+	}
+	if q.Vantage != "" && c.Vantage.Name != q.Vantage {
+		return false
+	}
+	if q.RequestHost != "" {
+		found := false
+		for _, r := range c.Requests {
+			if r.Host == q.RequestHost {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan streams matching captures to fn; returning false from fn stops
+// the scan early. Malformed lines abort with an error that names the
+// line number.
+func Scan(r io.Reader, q Query, fn func(*capture.Capture) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var rec rec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("capturedb: line %d: %w", line, err)
+		}
+		c, err := rec.capture()
+		if err != nil {
+			return fmt.Errorf("capturedb: line %d: %w", line, err)
+		}
+		if !q.match(c) {
+			continue
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// ScanFile opens path and scans it.
+func ScanFile(path string, q Query, fn func(*capture.Capture) bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Scan(f, q, fn)
+}
+
+// Count returns the number of matches.
+func Count(r io.Reader, q Query) (int, error) {
+	n := 0
+	err := Scan(r, q, func(*capture.Capture) bool { n++; return true })
+	return n, err
+}

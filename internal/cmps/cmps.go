@@ -1,0 +1,103 @@
+// Package cmps is the registry of the six Consent Management Providers
+// the paper studies: "the five major players already identified by
+// Nouwens et al. and LiveRamp, a new entrant that launched in December
+// 2019" (Section 3.2). It holds each provider's identity, the unique
+// indicator hostname of Table A.2, and market-entry metadata shared by
+// the simulator, the detector, and the analyses.
+package cmps
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// ID identifies a CMP. The zero value None means "no CMP".
+type ID int
+
+const (
+	None ID = iota
+	OneTrust
+	Quantcast
+	TrustArc
+	Cookiebot
+	LiveRamp
+	Crownpeak
+	numIDs int = iota
+)
+
+// All returns the six studied CMPs in the paper's reporting order
+// (Table 1 rows).
+func All() []ID {
+	return []ID{OneTrust, Quantcast, TrustArc, Cookiebot, LiveRamp, Crownpeak}
+}
+
+// Count is the number of studied CMPs.
+const Count = 6
+
+var names = [numIDs]string{"none", "OneTrust", "Quantcast", "TrustArc", "Cookiebot", "LiveRamp", "Crownpeak"}
+
+func (id ID) String() string {
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return "invalid"
+}
+
+// Valid reports whether id names one of the six studied CMPs.
+func (id ID) Valid() bool { return id > None && int(id) < numIDs }
+
+// indicator hostnames, verbatim from Table A.2. Each consent dialog
+// framework performs HTTP requests to a unique hostname on page load,
+// which is the paper's robust detection indicator.
+var hostnames = [numIDs]string{
+	"",
+	"cdn.cookielaw.org",
+	"quantcast.mgr.consensu.org",
+	"consent.trustarc.com",
+	"consent.cookiebot.com",
+	"cmp.choice.faktor.io",
+	"iabmap.evidon.com",
+}
+
+// Hostname returns the CMP's unique indicator hostname (Table A.2).
+func (id ID) Hostname() string {
+	if int(id) < len(hostnames) {
+		return hostnames[id]
+	}
+	return ""
+}
+
+// ByHostname resolves an indicator hostname back to its CMP, returning
+// None if the hostname belongs to no studied CMP.
+func ByHostname(host string) ID {
+	for i := 1; i < numIDs; i++ {
+		if hostnames[i] == host {
+			return ID(i)
+		}
+	}
+	return None
+}
+
+// Launch returns the day the CMP product became available. Before this
+// day the simulator assigns it to no website. All but LiveRamp predate
+// the observation window.
+func (id ID) Launch() simtime.Day {
+	if id == LiveRamp {
+		return simtime.Date(2019, time.December, 1)
+	}
+	return 0
+}
+
+// ImplementsTCF reports whether the CMP implements the IAB TCF (stores
+// the global consensu.org consent cookie). TrustArc's product is
+// tailored to the CCPA and, like several US-market CMPs, does not
+// consistently implement the TCF (Section 2.2).
+func (id ID) ImplementsTCF() bool {
+	switch id {
+	case Quantcast, Cookiebot, LiveRamp, OneTrust:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,58 @@
+package cmps
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != Count {
+		t.Fatalf("All() = %d, want %d", len(all), Count)
+	}
+	seenHost := map[string]bool{}
+	for _, c := range all {
+		if !c.Valid() {
+			t.Errorf("%v invalid", c)
+		}
+		if c.String() == "" || c.String() == "none" {
+			t.Errorf("%v has no name", c)
+		}
+		h := c.Hostname()
+		if h == "" || seenHost[h] {
+			t.Errorf("%v hostname %q missing or duplicated", c, h)
+		}
+		seenHost[h] = true
+		if ByHostname(h) != c {
+			t.Errorf("reverse lookup broken for %v", c)
+		}
+	}
+	if None.Valid() || ID(99).Valid() {
+		t.Error("None and out-of-range IDs must be invalid")
+	}
+	if None.Hostname() != "" || ID(99).Hostname() != "" {
+		t.Error("invalid IDs must have no hostname")
+	}
+	if ID(99).String() != "invalid" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestLiveRampLaunch(t *testing.T) {
+	// LiveRamp is "a new entrant that launched in December 2019".
+	if LiveRamp.Launch().String() != "2019-12-01" {
+		t.Errorf("LiveRamp launch = %s", LiveRamp.Launch())
+	}
+	for _, c := range []ID{OneTrust, Quantcast, TrustArc, Cookiebot, Crownpeak} {
+		if c.Launch() != simtime.Day(0) {
+			t.Errorf("%v must predate the window", c)
+		}
+	}
+}
+
+func TestImplementsTCF(t *testing.T) {
+	if !Quantcast.ImplementsTCF() || TrustArc.ImplementsTCF() {
+		t.Error("TCF flags wrong (TrustArc's product targets the CCPA)")
+	}
+}

@@ -1,0 +1,293 @@
+// Package coalition implements the consent-coalition market model of
+// Woods and Böhme ("The Commodification of Consent", WEIS 2020), the
+// theory the paper's measurements speak to: CMPs share consent across
+// their customer websites, so a CMP's value to a new customer grows
+// with its installed base — a network effect the theory predicts ends
+// in a single global coalition ("winner takes all").
+//
+// The paper's longitudinal data contradicts the pure prediction:
+// jurisdictional boundaries split the market, with Quantcast
+// establishing dominance in the EU+UK and OneTrust in the US
+// (Section 5.2). This model reproduces both regimes: with one
+// jurisdiction it converges to a near-monopoly; with jurisdiction-
+// specific compliance fit it converges to distinct regional winners —
+// the configuration the measurements support.
+package coalition
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Jurisdiction is a regulatory region websites belong to.
+type Jurisdiction int
+
+const (
+	EU Jurisdiction = iota
+	US
+	numJurisdictions int = iota
+)
+
+func (j Jurisdiction) String() string {
+	if j == US {
+		return "US"
+	}
+	return "EU"
+}
+
+// Provider is one CMP competing for websites.
+type Provider struct {
+	Name string
+	// Fee is the per-period price a website pays.
+	Fee float64
+	// Fit[j] is how well the provider's product matches jurisdiction
+	// j's compliance requirements, in [0,1]. A GDPR-targeted product
+	// has high EU fit; a CCPA-targeted one high US fit.
+	Fit [numJurisdictions]float64
+}
+
+// Website is one publisher choosing (or not) a provider.
+type Website struct {
+	ID           int
+	Jurisdiction Jurisdiction
+	// Traffic scales the value the website derives from consented
+	// users.
+	Traffic float64
+	// Provider is the current choice; -1 means none.
+	Provider int
+}
+
+// Config parameterizes the market simulation.
+type Config struct {
+	Seed     uint64
+	Websites int
+	// EUShare is the fraction of websites in the EU jurisdiction.
+	EUShare float64
+	// NetworkWeight scales the consent-sharing network effect: the
+	// extra value of joining a coalition that already holds consent
+	// from many users of your jurisdiction.
+	NetworkWeight float64
+	// ComplianceWeight scales the jurisdiction-fit term. Zero removes
+	// jurisdictional differentiation, yielding the theory's global-
+	// coalition regime.
+	ComplianceWeight float64
+	// SwitchCost is the utility a website loses by changing provider;
+	// it damps oscillation, as real migration costs do.
+	SwitchCost float64
+	// TasteWeight scales idiosyncratic per-website provider
+	// preferences (integration effort, sales relationships, design
+	// taste); keeps equilibria interior rather than 100/0.
+	TasteWeight float64
+	// Rounds is the number of best-response iterations.
+	Rounds int
+}
+
+// DefaultConfig returns a market calibrated to the paper's observed
+// regime: jurisdictional fit matters, so regional winners emerge.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Websites:         4_000,
+		EUShare:          0.45,
+		NetworkWeight:    1.0,
+		ComplianceWeight: 0.8,
+		SwitchCost:       0.15,
+		TasteWeight:      0.60,
+		Rounds:           40,
+	}
+}
+
+// Market is the evolving state.
+type Market struct {
+	cfg       Config
+	src       *rng.Source
+	Providers []Provider
+	Websites  []Website
+}
+
+// DefaultProviders returns stylized competitors: a GDPR-targeted
+// provider (Quantcast-like), a CCPA-flexible one (OneTrust-like), and
+// a cheap gateway product (Cookiebot-like).
+func DefaultProviders() []Provider {
+	return []Provider{
+		{Name: "gdpr-specialist", Fee: 0.30, Fit: [numJurisdictions]float64{EU: 0.95, US: 0.45}},
+		{Name: "ccpa-flexible", Fee: 0.32, Fit: [numJurisdictions]float64{EU: 0.55, US: 0.95}},
+		{Name: "gateway", Fee: 0.12, Fit: [numJurisdictions]float64{EU: 0.60, US: 0.50}},
+	}
+}
+
+// NewMarket initializes websites with no provider.
+func NewMarket(cfg Config, providers []Provider) *Market {
+	if cfg.Websites <= 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Market{cfg: cfg, src: rng.New(cfg.Seed).Derive("coalition"), Providers: providers}
+	m.Websites = make([]Website, cfg.Websites)
+	for i := range m.Websites {
+		j := US
+		if m.src.Bool(cfg.EUShare, "jurisdiction", rng.Key(i)) {
+			j = EU
+		}
+		r := m.src.Stream("traffic", rng.Key(i))
+		m.Websites[i] = Website{
+			ID:           i,
+			Jurisdiction: j,
+			Traffic:      math.Exp(r.NormFloat64() * 0.8),
+			Provider:     -1,
+		}
+	}
+	return m
+}
+
+// shares returns, per provider, the total traffic of member websites
+// in each jurisdiction, plus jurisdiction traffic totals.
+func (m *Market) shares() (byProv [][numJurisdictions]float64, total [numJurisdictions]float64) {
+	byProv = make([][numJurisdictions]float64, len(m.Providers))
+	for i := range m.Websites {
+		w := &m.Websites[i]
+		total[w.Jurisdiction] += w.Traffic
+		if w.Provider >= 0 {
+			byProv[w.Provider][w.Jurisdiction] += w.Traffic
+		}
+	}
+	return byProv, total
+}
+
+// utility computes website w's per-period utility from provider p
+// given the current coalition shares.
+func (m *Market) utility(w *Website, p int, byProv [][numJurisdictions]float64, total [numJurisdictions]float64) float64 {
+	prov := &m.Providers[p]
+	j := w.Jurisdiction
+	// Network effect: consent already collected from your audience by
+	// coalition members transfers to you. Concave (diminishing
+	// returns), as additional shared consent overlaps.
+	pool := 0.0
+	if total[j] > 0 {
+		pool = byProv[p][j] / total[j]
+	}
+	network := m.cfg.NetworkWeight * math.Sqrt(pool)
+	compliance := m.cfg.ComplianceWeight * prov.Fit[j]
+	taste := m.cfg.TasteWeight * (m.src.Float64("taste", rng.Key(w.ID), prov.Name)*2 - 1)
+	return w.Traffic*(network+compliance+taste) - prov.Fee
+}
+
+// Step runs one best-response round: each website (in a deterministic
+// shuffled order) picks the provider maximizing utility, or none if
+// all utilities are negative. Returns the number of changes.
+func (m *Market) Step(round int) int {
+	byProv, total := m.shares()
+	order := m.src.Stream("order", rng.Key(round)).Perm(len(m.Websites))
+	changes := 0
+	for _, idx := range order {
+		w := &m.Websites[idx]
+		best, bestU := -1, 0.0
+		for p := range m.Providers {
+			u := m.utility(w, p, byProv, total)
+			if p != w.Provider {
+				u -= m.cfg.SwitchCost * w.Traffic
+			}
+			if u > bestU {
+				best, bestU = p, u
+			}
+		}
+		if best != w.Provider {
+			// Update the shares incrementally so later movers in the
+			// same round see the new state.
+			if w.Provider >= 0 {
+				byProv[w.Provider][w.Jurisdiction] -= w.Traffic
+			}
+			if best >= 0 {
+				byProv[best][w.Jurisdiction] += w.Traffic
+			}
+			w.Provider = best
+			changes++
+		}
+	}
+	return changes
+}
+
+// Run iterates to (approximate) equilibrium and returns the outcome.
+func (m *Market) Run() *Outcome {
+	for round := 0; round < m.cfg.Rounds; round++ {
+		if m.Step(round) == 0 {
+			break
+		}
+	}
+	return m.Outcome()
+}
+
+// Outcome summarizes the equilibrium.
+type Outcome struct {
+	// Share[p][j] is provider p's share of jurisdiction j's traffic
+	// among CMP-using websites.
+	Share [][numJurisdictions]float64
+	// Adoption[j] is the fraction of jurisdiction-j traffic using any
+	// provider.
+	Adoption [numJurisdictions]float64
+	// HHI[j] is the Herfindahl–Hirschman concentration index of
+	// jurisdiction j's provider market (1 = monopoly).
+	HHI [numJurisdictions]float64
+	// Winner[j] is the providers' index with the largest share in j.
+	Winner [numJurisdictions]int
+}
+
+// Outcome computes the summary for the current state.
+func (m *Market) Outcome() *Outcome {
+	byProv, total := m.shares()
+	out := &Outcome{Share: make([][numJurisdictions]float64, len(m.Providers))}
+	var adopted [numJurisdictions]float64
+	for p := range m.Providers {
+		for j := 0; j < numJurisdictions; j++ {
+			adopted[j] += byProv[p][j]
+		}
+	}
+	for j := 0; j < numJurisdictions; j++ {
+		if total[j] > 0 {
+			out.Adoption[j] = adopted[j] / total[j]
+		}
+		bestShare := 0.0
+		for p := range m.Providers {
+			share := 0.0
+			if adopted[j] > 0 {
+				share = byProv[p][j] / adopted[j]
+			}
+			out.Share[p][j] = share
+			out.HHI[j] += share * share
+			if share > bestShare {
+				bestShare = share
+				out.Winner[j] = p
+			}
+		}
+	}
+	return out
+}
+
+// GlobalCoalition reports whether one provider dominates every
+// jurisdiction (share > threshold everywhere) — the Woods-Böhme
+// prediction the paper's measurements contradict.
+func (o *Outcome) GlobalCoalition(threshold float64) bool {
+	winner := o.Winner[0]
+	for j := 0; j < numJurisdictions; j++ {
+		if o.Winner[j] != winner || o.Share[winner][j] <= threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedProviders returns provider indices by total share, largest
+// first, for reporting.
+func (o *Outcome) SortedProviders() []int {
+	idx := make([]int, len(o.Share))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta := o.Share[idx[a]][EU] + o.Share[idx[a]][US]
+		tb := o.Share[idx[b]][EU] + o.Share[idx[b]][US]
+		return ta > tb
+	})
+	return idx
+}

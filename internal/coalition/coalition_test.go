@@ -1,0 +1,113 @@
+package coalition
+
+import "testing"
+
+func TestJurisdictionalRegime(t *testing.T) {
+	// With compliance fit mattering, distinct regional winners emerge:
+	// the GDPR specialist wins the EU, the CCPA-flexible provider the
+	// US — the paper's observed regime.
+	m := NewMarket(DefaultConfig(), DefaultProviders())
+	out := m.Run()
+	if out.GlobalCoalition(0.5) {
+		t.Error("jurisdictional regime must not produce a global coalition")
+	}
+	if m.Providers[out.Winner[EU]].Name != "gdpr-specialist" {
+		t.Errorf("EU winner = %s, want gdpr-specialist (share %v)",
+			m.Providers[out.Winner[EU]].Name, out.Share[out.Winner[EU]][EU])
+	}
+	if m.Providers[out.Winner[US]].Name != "ccpa-flexible" {
+		t.Errorf("US winner = %s, want ccpa-flexible", m.Providers[out.Winner[US]].Name)
+	}
+	// Winners dominate their home jurisdiction.
+	if out.Share[out.Winner[EU]][EU] < 0.6 || out.Share[out.Winner[US]][US] < 0.6 {
+		t.Errorf("regional dominance weak: EU=%.2f US=%.2f",
+			out.Share[out.Winner[EU]][EU], out.Share[out.Winner[US]][US])
+	}
+}
+
+func TestGlobalCoalitionRegime(t *testing.T) {
+	// Remove jurisdictional differentiation (every provider fits every
+	// jurisdiction equally): the network effect dominates and drives
+	// the market toward one coalition (Woods & Böhme's theoretical
+	// prediction). A small undifferentiated compliance value remains
+	// so adoption bootstraps at all.
+	cfg := DefaultConfig()
+	cfg.ComplianceWeight = 0.25
+	cfg.NetworkWeight = 1.6
+	providers := DefaultProviders()
+	for i := range providers {
+		providers[i].Fit = [numJurisdictions]float64{EU: 0.7, US: 0.7}
+	}
+	m := NewMarket(cfg, providers)
+	out := m.Run()
+	if !out.GlobalCoalition(0.5) {
+		t.Errorf("pure network-effect regime should converge to one coalition: EU winner %d (%.2f), US winner %d (%.2f)",
+			out.Winner[EU], out.Share[out.Winner[EU]][EU],
+			out.Winner[US], out.Share[out.Winner[US]][US])
+	}
+	// Concentration is near-monopoly.
+	if out.HHI[EU] < 0.7 || out.HHI[US] < 0.7 {
+		t.Errorf("HHI = %.2f/%.2f, want near-monopoly", out.HHI[EU], out.HHI[US])
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	m := NewMarket(DefaultConfig(), DefaultProviders())
+	m.Run()
+	// After convergence a further round changes nothing (or almost
+	// nothing: ties can flap, so allow a tiny residual).
+	if changes := m.Step(999); changes > len(m.Websites)/100 {
+		t.Errorf("market not converged: %d changes after Run", changes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewMarket(DefaultConfig(), DefaultProviders()).Run()
+	b := NewMarket(DefaultConfig(), DefaultProviders()).Run()
+	for p := range a.Share {
+		if a.Share[p] != b.Share[p] {
+			t.Fatal("identical seeds must give identical equilibria")
+		}
+	}
+}
+
+func TestFeesMatter(t *testing.T) {
+	// Price the specialist out of the market entirely: it must not
+	// retain the EU.
+	cfg := DefaultConfig()
+	providers := DefaultProviders()
+	providers[0].Fee = 1e6
+	m := NewMarket(cfg, providers)
+	out := m.Run()
+	if out.Winner[EU] == 0 && out.Share[0][EU] > 0 {
+		t.Error("an infinitely expensive provider cannot win")
+	}
+}
+
+func TestAdoptionPartial(t *testing.T) {
+	// Not every website adopts: low-traffic sites cannot cover the
+	// fee (the long tail of Figure 5 has low adoption).
+	m := NewMarket(DefaultConfig(), DefaultProviders())
+	out := m.Run()
+	for j := 0; j < numJurisdictions; j++ {
+		if out.Adoption[j] <= 0 || out.Adoption[j] >= 1 {
+			t.Errorf("jurisdiction %d adoption = %.2f, want partial", j, out.Adoption[j])
+		}
+	}
+	none := 0
+	for _, w := range m.Websites {
+		if w.Provider == -1 {
+			none++
+		}
+	}
+	if none == 0 {
+		t.Error("some websites should remain without a CMP")
+	}
+}
+
+func TestSortedProviders(t *testing.T) {
+	out := &Outcome{Share: [][numJurisdictions]float64{{0.1, 0.1}, {0.8, 0.8}, {0.1, 0.1}}}
+	if got := out.SortedProviders(); got[0] != 1 {
+		t.Errorf("sorted = %v", got)
+	}
+}

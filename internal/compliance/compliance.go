@@ -1,0 +1,229 @@
+// Package compliance audits consent banners for the legal-compliance
+// defects the consent ecosystem makes measurable at scale (Section 5.2:
+// "the consistent web interfaces provided by CMPs help researchers
+// discover possible privacy violations at scale"). The audit taxonomy
+// follows Matte, Bielova and Santos (S&P 2020), whom the paper builds
+// on: consent signals sent before the user makes a choice, positive
+// consent registered after an explicit opt-out, and accept wording that
+// may not qualify as an affirmative consent signal.
+package compliance
+
+import (
+	"fmt"
+
+	"repro/internal/cmps"
+	"repro/internal/consensu"
+	"repro/internal/simtime"
+	"repro/internal/tcf"
+	"repro/internal/webworld"
+)
+
+// Violation identifies one defect class.
+type Violation int
+
+const (
+	// ConsentBeforeChoice: a positive consent signal is stored before
+	// the user interacts with the dialog (12% of TCF sites in Matte
+	// et al.).
+	ConsentBeforeChoice Violation = iota
+	// ConsentAfterOptOut: the site registers positive consent even
+	// though the user explicitly opted out.
+	ConsentAfterOptOut
+	// NonAffirmativeWording: the accept button's wording ("Whatever",
+	// "Sounds good") may not qualify as a freely given, specific,
+	// informed and unambiguous indication of the user's wishes.
+	NonAffirmativeWording
+	// NoDirectReject: rejecting requires navigating beyond the first
+	// page, against the CNIL guidance of a real choice at the same
+	// level.
+	NoDirectReject
+	numViolations int = iota
+)
+
+var violationNames = [...]string{
+	"consent-before-choice", "consent-after-optout",
+	"non-affirmative-wording", "no-direct-reject",
+}
+
+func (v Violation) String() string {
+	if int(v) < len(violationNames) {
+		return violationNames[v]
+	}
+	return "unknown"
+}
+
+// Violations enumerates all audit checks.
+func Violations() []Violation {
+	out := make([]Violation, numViolations)
+	for i := range out {
+		out[i] = Violation(i)
+	}
+	return out
+}
+
+// Report is the audit result for one website.
+type Report struct {
+	Domain string
+	CMP    cmps.ID
+	// Found lists the detected violations.
+	Found []Violation
+	// StoredAfterOptOut is the consent string the site stored after
+	// the simulated opt-out (empty when none was stored).
+	StoredAfterOptOut string
+}
+
+// Has reports whether the audit found the violation.
+func (r *Report) Has(v Violation) bool {
+	for _, f := range r.Found {
+		if f == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Auditor drives simulated dialog interactions against the synthetic
+// web and inspects the stored consent signals.
+type Auditor struct {
+	world *webworld.World
+	store *consensu.Store
+}
+
+// New returns an auditor over the world with a fresh consent store.
+func New(w *webworld.World) *Auditor {
+	return &Auditor{world: w, store: consensu.NewStore()}
+}
+
+// Store exposes the underlying consent store for inspection.
+func (a *Auditor) Store() *consensu.Store { return a.store }
+
+// AuditSite audits one website at a day, simulating a fresh EU user
+// who opts out. Sites without a TCF-implementing CMP at the day return
+// a nil report: their consent signals are not externally inspectable.
+func (a *Auditor) AuditSite(domain string, day simtime.Day) (*Report, error) {
+	d := a.world.Domain(domain)
+	if d == nil {
+		return nil, fmt.Errorf("compliance: unknown domain %q", domain)
+	}
+	cmp := d.CMPAt(day)
+	if cmp == cmps.None || !cmp.ImplementsTCF() {
+		return nil, nil
+	}
+	page, err := a.world.Visit(domain, "/", webworld.VisitContext{Day: day, Geo: webworld.GeoEU})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Domain: d.Name, CMP: cmp}
+
+	// Check 1: a consent signal present before any interaction.
+	for _, c := range page.Cookies {
+		if c.Name == consensu.CookieName && c.Value != "" {
+			if decoded, err := tcf.Decode(c.Value); err == nil && grantsAnything(decoded) {
+				r.Found = append(r.Found, ConsentBeforeChoice)
+			}
+		}
+	}
+
+	// Check 2: simulate an explicit opt-out and inspect what the site
+	// stores in the shared cookie.
+	userID := "auditor:" + d.Name
+	stored := a.simulateOptOut(d, day, userID)
+	if stored != "" {
+		r.StoredAfterOptOut = stored
+		if decoded, err := tcf.Decode(stored); err == nil && grantsAnything(decoded) {
+			r.Found = append(r.Found, ConsentAfterOptOut)
+		}
+	}
+
+	// Check 3: accept wording.
+	if !d.Custom.AcceptAffirmative && !d.APIOnly {
+		r.Found = append(r.Found, NonAffirmativeWording)
+	}
+
+	// Check 4: no first-page reject option. The conventional banner —
+	// 1-click accept plus a link to a settings page — counts: around
+	// 50% of sites in Nouwens et al. offered no 1-click opt-out.
+	switch d.Custom.Variant {
+	case webworld.VariantConventional, webworld.VariantMoreOptions,
+		webworld.VariantNoControlLink, webworld.VariantAutonomyButton,
+		webworld.VariantFooterLink:
+		r.Found = append(r.Found, NoDirectReject)
+	}
+	return r, nil
+}
+
+// simulateOptOut performs the opt-out interaction and returns the
+// consent string the site stored, or "".
+func (a *Auditor) simulateOptOut(d *webworld.Domain, day simtime.Day, userID string) string {
+	c := tcf.New(day.Time())
+	c.MaxVendorID = 500
+	if d.IgnoresOptOut {
+		// The defective implementation records a full grant anyway.
+		c.SetAllPurposes(true)
+		c.SetAllVendors(500, true)
+	}
+	s, err := c.Encode()
+	if err != nil {
+		return ""
+	}
+	if err := a.store.Set(userID, s); err != nil {
+		return ""
+	}
+	stored, err := a.store.CookieAccess(userID)
+	if err != nil {
+		return ""
+	}
+	return stored
+}
+
+// grantsAnything reports whether the string grants any purpose to any
+// vendor.
+func grantsAnything(c *tcf.ConsentString) bool {
+	anyPurpose := false
+	for _, ok := range c.PurposesAllowed {
+		if ok {
+			anyPurpose = true
+			break
+		}
+	}
+	return anyPurpose && len(c.ConsentedVendors()) > 0
+}
+
+// SurveyResult aggregates an audit sweep.
+type SurveyResult struct {
+	// Audited is the number of TCF sites audited.
+	Audited int
+	// Counts per violation.
+	Counts [numViolations]int
+}
+
+// Share returns the fraction of audited sites with the violation.
+func (s *SurveyResult) Share(v Violation) float64 {
+	if s.Audited == 0 {
+		return 0
+	}
+	return float64(s.Counts[v]) / float64(s.Audited)
+}
+
+// Survey audits every domain in the list that runs a TCF CMP at the
+// day and aggregates violation shares.
+func (a *Auditor) Survey(domains []string, day simtime.Day) (*SurveyResult, error) {
+	res := &SurveyResult{}
+	for _, domain := range domains {
+		r, err := a.AuditSite(domain, day)
+		if err != nil {
+			if _, unknown := err.(*webworld.ErrUnknownDomain); unknown {
+				return nil, err
+			}
+			continue // unreachable site: skip, as a real audit would
+		}
+		if r == nil {
+			continue
+		}
+		res.Audited++
+		for _, v := range r.Found {
+			res.Counts[v]++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package compliance
+
+import (
+	"testing"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+	"repro/internal/tcf"
+	"repro/internal/webworld"
+)
+
+func auditWorld(t *testing.T) *webworld.World {
+	t.Helper()
+	return webworld.New(webworld.Config{Seed: 1, Domains: 20_000})
+}
+
+func findTCFSite(w *webworld.World, day simtime.Day, pred func(*webworld.Domain) bool) *webworld.Domain {
+	for _, d := range w.Domains() {
+		cmp := d.CMPAt(day)
+		if cmp != cmps.None && cmp.ImplementsTCF() && !d.Unreachable && d.RedirectTo == "" &&
+			!d.Geo451 && pred(d) {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestAuditNonTCFSiteIsNil(t *testing.T) {
+	w := auditWorld(t)
+	a := New(w)
+	day := simtime.Table1Snapshot
+	// A domain with no CMP must yield no report.
+	for _, d := range w.Domains() {
+		if d.CMPAt(day) == cmps.None && !d.Unreachable && d.RedirectTo == "" {
+			r, err := a.AuditSite(d.Name, day)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != nil {
+				t.Fatal("non-CMP sites are not auditable")
+			}
+			return
+		}
+	}
+}
+
+func TestAuditUnknownDomain(t *testing.T) {
+	a := New(auditWorld(t))
+	if _, err := a.AuditSite("missing.example", 0); err == nil {
+		t.Error("unknown domains must error")
+	}
+}
+
+func TestConsentBeforeChoice(t *testing.T) {
+	w := auditWorld(t)
+	a := New(w)
+	day := simtime.Table1Snapshot
+	violating := findTCFSite(w, day, func(d *webworld.Domain) bool { return d.PreChoiceConsent && !d.AntiBot })
+	clean := findTCFSite(w, day, func(d *webworld.Domain) bool { return !d.PreChoiceConsent && !d.AntiBot })
+	if violating == nil || clean == nil {
+		t.Skip("sample lacks required sites")
+	}
+	rv, err := a.AuditSite(violating.Name, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Has(ConsentBeforeChoice) {
+		t.Error("pre-choice consent not detected")
+	}
+	rc, err := a.AuditSite(clean.Name, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Has(ConsentBeforeChoice) {
+		t.Error("false positive on clean site")
+	}
+}
+
+func TestConsentAfterOptOut(t *testing.T) {
+	w := auditWorld(t)
+	a := New(w)
+	day := simtime.Table1Snapshot
+	violating := findTCFSite(w, day, func(d *webworld.Domain) bool { return d.IgnoresOptOut })
+	honest := findTCFSite(w, day, func(d *webworld.Domain) bool { return !d.IgnoresOptOut })
+	if violating == nil || honest == nil {
+		t.Skip("sample lacks required sites")
+	}
+	rv, err := a.AuditSite(violating.Name, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Has(ConsentAfterOptOut) {
+		t.Error("ignored opt-out not detected")
+	}
+	if rv.StoredAfterOptOut == "" {
+		t.Fatal("stored string missing")
+	}
+	c, err := tcf.Decode(rv.StoredAfterOptOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ConsentedVendors()) == 0 {
+		t.Error("violating site must have granted vendors")
+	}
+	rh, err := a.AuditSite(honest.Name, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Has(ConsentAfterOptOut) {
+		t.Error("false positive on honest site")
+	}
+	// Honest sites still store a (negative) decision.
+	ch, err := tcf.Decode(rh.StoredAfterOptOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.ConsentedVendors()) != 0 {
+		t.Error("honest opt-out must grant nothing")
+	}
+}
+
+func TestSurveyShares(t *testing.T) {
+	w := auditWorld(t)
+	a := New(w)
+	day := simtime.Table1Snapshot
+	var domains []string
+	for _, d := range w.Domains() {
+		domains = append(domains, d.Name)
+	}
+	res, err := a.Survey(domains, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audited < 100 {
+		t.Fatalf("audited only %d sites", res.Audited)
+	}
+	// Matte et al.: 12% send the signal before the choice. Anti-bot
+	// sites are still auditable (the auditor is not cloud-based).
+	if share := res.Share(ConsentBeforeChoice); share < 0.07 || share > 0.18 {
+		t.Errorf("consent-before-choice share = %.3f, want ≈0.12", share)
+	}
+	if share := res.Share(ConsentAfterOptOut); share < 0.02 || share > 0.10 {
+		t.Errorf("consent-after-optout share = %.3f, want ≈0.05", share)
+	}
+	// Roughly half of sites lack a first-page reject (Nouwens et al.,
+	// confirmed by the paper's Quantcast sample).
+	if share := res.Share(NoDirectReject); share < 0.2 || share > 0.75 {
+		t.Errorf("no-direct-reject share = %.3f", share)
+	}
+	if res.Share(NonAffirmativeWording) == 0 {
+		t.Error("some sites use non-affirmative wording")
+	}
+}
+
+func TestViolationNames(t *testing.T) {
+	if len(Violations()) != numViolations {
+		t.Fatal("Violations() incomplete")
+	}
+	for _, v := range Violations() {
+		if v.String() == "unknown" || v.String() == "" {
+			t.Errorf("violation %d unnamed", v)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package consensu models the TCF's global consent storage: CMPs
+// operating under *.mgr.consensu.org store the user's consent string
+// in a cookie on the shared consensu.org domain, so one decision is
+// visible to every TCF website the user visits ("CMPs ... share it
+// globally across websites", Figure 2; Woods & Böhme call this the
+// commodification of consent).
+//
+// The package implements the shared cookie jar, the CookieAccess
+// endpoint the paper queried to identify repeat visitors ("manually
+// fetching https://api.quantcast.mgr.consensu.org/CookieAccess, which
+// returns the user's existing Quantcast TCF cookie"), and the
+// re-prompt rule: when the Global Vendor List gains vendors or
+// purposes, users must be prompted again to obtain additional consent
+// (Section 2.2).
+package consensu
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/tcf"
+)
+
+// CookieName is the TCF v1 global cookie name.
+const CookieName = "euconsent"
+
+// Store is the shared consent-cookie store, keyed by user. It is safe
+// for concurrent use (many simulated page loads write concurrently).
+type Store struct {
+	mu      sync.RWMutex
+	cookies map[string]*record
+}
+
+type record struct {
+	encoded string
+	decoded *tcf.ConsentString
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{cookies: make(map[string]*record)}
+}
+
+// ErrNoCookie is returned by CookieAccess for users without a stored
+// consent decision.
+var ErrNoCookie = errors.New("consensu: no consent cookie stored")
+
+// Set stores a user's consent string, as a CMP does when the dialog
+// closes. The string is validated by decoding it.
+func (s *Store) Set(userID, consentString string) error {
+	decoded, err := tcf.Decode(consentString)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cookies[userID] = &record{encoded: consentString, decoded: decoded}
+	return nil
+}
+
+// CookieAccess returns the user's stored consent string — the endpoint
+// the paper's measurement script queried to skip repeat visitors.
+func (s *Store) CookieAccess(userID string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.cookies[userID]
+	if !ok {
+		return "", ErrNoCookie
+	}
+	return r.encoded, nil
+}
+
+// Consent returns the decoded consent string, or nil.
+func (s *Store) Consent(userID string) *tcf.ConsentString {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, ok := s.cookies[userID]; ok {
+		return r.decoded
+	}
+	return nil
+}
+
+// Len returns the number of users with stored consent.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cookies)
+}
+
+// Delete removes a user's cookie (browser cookie clearing).
+func (s *Store) Delete(userID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cookies, userID)
+}
+
+// RepromptReason explains why a user must see a new consent dialog.
+type RepromptReason int
+
+const (
+	// NoReprompt: the stored consent still covers the current list.
+	NoReprompt RepromptReason = iota
+	// RepromptNoConsent: no decision stored yet.
+	RepromptNoConsent
+	// RepromptNewVendors: the GVL gained vendors beyond the stored
+	// string's MaxVendorID ("If the list is updated with new vendors,
+	// users are prompted with a new dialogue").
+	RepromptNewVendors
+	// RepromptNewPurposes: the dialog requests purposes the stored
+	// string does not mention.
+	RepromptNewPurposes
+)
+
+func (r RepromptReason) String() string {
+	switch r {
+	case NoReprompt:
+		return "no-reprompt"
+	case RepromptNoConsent:
+		return "no-consent-stored"
+	case RepromptNewVendors:
+		return "new-vendors"
+	case RepromptNewPurposes:
+		return "new-purposes"
+	default:
+		return "unknown"
+	}
+}
+
+// NeedsReprompt decides whether a user with the stored consent must be
+// shown a dialog again for a site requesting the given vendor-list
+// state.
+func (s *Store) NeedsReprompt(userID string, currentMaxVendorID int, requestedPurposes []int) RepromptReason {
+	c := s.Consent(userID)
+	if c == nil {
+		return RepromptNoConsent
+	}
+	if currentMaxVendorID > c.MaxVendorID {
+		return RepromptNewVendors
+	}
+	for _, p := range requestedPurposes {
+		if _, mentioned := c.PurposesAllowed[p]; !mentioned && p <= tcf.NumPurposes {
+			// A purpose absent from the map was never presented; the
+			// zero value false means "denied" only if it was shown.
+			// Stored strings produced by our dialogs always mention
+			// every presented purpose, so absence means a new purpose.
+			if !c.PurposesAllowed[p] {
+				return RepromptNewPurposes
+			}
+		}
+	}
+	return NoReprompt
+}
+
+// Sharing statistics for the coalition analysis.
+
+// CoalitionStats summarizes how consent collected on one site is
+// reused across the CMP's customer base.
+type CoalitionStats struct {
+	// Users is the number of users with a stored decision.
+	Users int
+	// ConsentingUsers granted at least one purpose.
+	ConsentingUsers int
+	// MeanVendorsGranted is the average number of vendors granted by
+	// consenting users.
+	MeanVendorsGranted float64
+}
+
+// Stats computes coalition statistics over the store.
+func (s *Store) Stats() CoalitionStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := CoalitionStats{Users: len(s.cookies)}
+	totalVendors := 0
+	for _, r := range s.cookies {
+		granted := false
+		for _, ok := range r.decoded.PurposesAllowed {
+			if ok {
+				granted = true
+				break
+			}
+		}
+		if granted {
+			st.ConsentingUsers++
+			totalVendors += len(r.decoded.ConsentedVendors())
+		}
+	}
+	if st.ConsentingUsers > 0 {
+		st.MeanVendorsGranted = float64(totalVendors) / float64(st.ConsentingUsers)
+	}
+	return st
+}
+
+// TouchUpdated refreshes a stored string's LastUpdated stamp, as CMPs
+// do when re-confirming existing consent.
+func (s *Store) TouchUpdated(userID string, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.cookies[userID]
+	if !ok {
+		return ErrNoCookie
+	}
+	r.decoded.LastUpdated = now
+	enc, err := r.decoded.Encode()
+	if err != nil {
+		return err
+	}
+	r.encoded = enc
+	return nil
+}

@@ -1,0 +1,154 @@
+package consensu
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tcf"
+)
+
+func encoded(t *testing.T, maxVendor int, purposes ...int) string {
+	t.Helper()
+	c := tcf.New(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC))
+	c.MaxVendorID = maxVendor
+	for _, p := range purposes {
+		c.PurposesAllowed[p] = true
+	}
+	c.SetAllVendors(maxVendor, len(purposes) > 0)
+	s, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CookieAccess("u1"); err != ErrNoCookie {
+		t.Error("empty store must return ErrNoCookie")
+	}
+	cookie := encoded(t, 100, 1, 2, 3, 4, 5)
+	if err := s.Set("u1", cookie); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.CookieAccess("u1")
+	if err != nil || got != cookie {
+		t.Errorf("CookieAccess = %q, %v", got, err)
+	}
+	if c := s.Consent("u1"); c == nil || c.MaxVendorID != 100 {
+		t.Error("decoded consent broken")
+	}
+	if s.Len() != 1 {
+		t.Error("Len")
+	}
+	s.Delete("u1")
+	if s.Len() != 0 || s.Consent("u1") != nil {
+		t.Error("Delete broken")
+	}
+}
+
+func TestSetRejectsGarbage(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("u1", "!!!"); err == nil {
+		t.Error("invalid consent strings must be rejected")
+	}
+}
+
+func TestNeedsReprompt(t *testing.T) {
+	s := NewStore()
+	if got := s.NeedsReprompt("u1", 100, []int{1}); got != RepromptNoConsent {
+		t.Errorf("fresh user: %v", got)
+	}
+	// Stored consent covering vendors 1..100 and all five purposes.
+	if err := s.Set("u1", encoded(t, 100, 1, 2, 3, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NeedsReprompt("u1", 100, []int{1, 2}); got != NoReprompt {
+		t.Errorf("covered request: %v", got)
+	}
+	// The GVL grew: additional consent needed.
+	if got := s.NeedsReprompt("u1", 150, []int{1}); got != RepromptNewVendors {
+		t.Errorf("grown GVL: %v", got)
+	}
+	// A user whose stored string lacks a purpose must be re-prompted.
+	if err := s.Set("u2", encoded(t, 100, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NeedsReprompt("u2", 100, []int{1, 2, 4}); got != RepromptNewPurposes {
+		t.Errorf("new purpose: %v", got)
+	}
+	for _, r := range []RepromptReason{NoReprompt, RepromptNoConsent, RepromptNewVendors, RepromptNewPurposes} {
+		if r.String() == "unknown" || r.String() == "" {
+			t.Error("reason names")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("accepter", encoded(t, 50, 1, 2, 3, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Rejecting user: no purposes, no vendors.
+	if err := s.Set("rejecter", encoded(t, 50)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Users != 2 || st.ConsentingUsers != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MeanVendorsGranted != 50 {
+		t.Errorf("mean vendors = %v", st.MeanVendorsGranted)
+	}
+}
+
+func TestTouchUpdated(t *testing.T) {
+	s := NewStore()
+	if err := s.TouchUpdated("missing", time.Now()); err != ErrNoCookie {
+		t.Error("touching a missing cookie must fail")
+	}
+	if err := s.Set("u1", encoded(t, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2020, 9, 1, 12, 0, 0, 0, time.UTC)
+	if err := s.TouchUpdated("u1", now); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Consent("u1")
+	if !c.LastUpdated.Equal(now) {
+		t.Errorf("LastUpdated = %v", c.LastUpdated)
+	}
+	// The re-encoded cookie must still parse.
+	enc, err := s.CookieAccess("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tcf.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	cookie := encoded(t, 20, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("user-%d", i%8)
+			for j := 0; j < 50; j++ {
+				_ = s.Set(id, cookie)
+				_, _ = s.CookieAccess(id)
+				_ = s.Consent(id)
+				s.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

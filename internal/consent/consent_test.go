@@ -1,0 +1,279 @@
+package consent
+
+import (
+	"testing"
+
+	"repro/internal/gvl"
+	"repro/internal/tcf"
+	"repro/internal/users"
+)
+
+func smallGVL() *gvl.List {
+	h := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 3, InitialVendors: 40, PeakVendors: 60})
+	return &h.Versions[len(h.Versions)-1]
+}
+
+func TestDialogNotShownOutsideEU(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	pop := users.NewPopulation(users.DefaultConfig())
+	v := pop.Visitor(0)
+	v.EU = false
+	s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+	if s.DialogShownMS != 0 || s.Decision != DecisionNone {
+		t.Errorf("dialog shown to non-EU visitor: %+v", s)
+	}
+	if s.DOMContentLoadedMS <= 0 {
+		t.Error("page load must still be logged")
+	}
+}
+
+func TestDialogSuppressedForRepeatVisitors(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	pop := users.NewPopulation(users.DefaultConfig())
+	v := pop.Visitor(1)
+	v.EU = true
+	v.HasConsentCookie = true
+	s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+	if s.DialogShownMS != 0 {
+		t.Error("repeat visitors must not see the dialog again")
+	}
+}
+
+func TestSessionTimeline(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	pop := users.NewPopulation(users.DefaultConfig())
+	for i := 0; i < 200; i++ {
+		v := pop.Visitor(i)
+		v.EU = true
+		v.HasConsentCookie = false
+		s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+		if s.DialogShownMS <= s.DOMContentLoadedMS {
+			t.Fatal("dialog must appear after DOMContentLoaded")
+		}
+		if s.Decision != DecisionNone && s.ClosedMS <= s.DialogShownMS {
+			t.Fatal("decisions must close the dialog after it appeared")
+		}
+		if s.Decision == DecisionNone && s.ClosedMS != 0 {
+			t.Fatal("undecided sessions must not have a close time")
+		}
+	}
+}
+
+func TestAcceptRecordsConsentString(t *testing.T) {
+	list := smallGVL()
+	d := NewQuantcastDialog(list)
+	pop := users.NewPopulation(users.DefaultConfig())
+	var accept, reject *Session
+	for i := 0; accept == nil || reject == nil; i++ {
+		if i > 5_000 {
+			t.Fatal("no accept/reject sessions found")
+		}
+		v := pop.Visitor(i)
+		v.EU = true
+		v.HasConsentCookie = false
+		s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+		switch s.Decision {
+		case DecisionAccept:
+			if accept == nil {
+				accept = s
+			}
+		case DecisionReject:
+			if reject == nil {
+				reject = s
+			}
+		}
+	}
+	for _, s := range []*Session{accept, reject} {
+		if s.ConsentString == "" {
+			t.Fatal("decisions must record a TCF consent string")
+		}
+		c, err := tcf.Decode(s.ConsentString)
+		if err != nil {
+			t.Fatalf("consent string must decode: %v", err)
+		}
+		if c.VendorListVersion != list.VendorListVersion {
+			t.Errorf("vendor list version = %d", c.VendorListVersion)
+		}
+		if c.MaxVendorID != list.MaxVendorID() {
+			t.Errorf("MaxVendorID = %d, want %d", c.MaxVendorID, list.MaxVendorID())
+		}
+	}
+	ca, _ := tcf.Decode(accept.ConsentString)
+	cr, _ := tcf.Decode(reject.ConsentString)
+	if len(ca.ConsentedVendors()) != list.MaxVendorID() {
+		t.Error("accepting must grant all vendors on the GVL")
+	}
+	if len(cr.ConsentedVendors()) != 0 {
+		t.Error("rejecting must grant no vendors")
+	}
+	if !ca.PurposesAllowed[1] || cr.PurposesAllowed[1] {
+		t.Error("purpose grants wrong")
+	}
+	if accept.Clicks != 1 {
+		t.Errorf("accepting takes 1 click, got %d", accept.Clicks)
+	}
+	if reject.Clicks != 1 {
+		t.Errorf("config A rejection takes 1 click, got %d", reject.Clicks)
+	}
+}
+
+func TestMoreOptionsRejectNeedsMoreClicks(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	pop := users.NewPopulation(users.DefaultConfig())
+	for i := 0; i < 5_000; i++ {
+		v := pop.Visitor(i)
+		v.EU = true
+		v.HasConsentCookie = false
+		s := d.Show(v, ConfigMoreOptions, pop.Stream(v))
+		if s.Decision == DecisionReject {
+			if s.Clicks != 3 {
+				t.Errorf("config B rejection clicks = %d, want 3", s.Clicks)
+			}
+			return
+		}
+	}
+	t.Fatal("no rejection under config B found")
+}
+
+func TestFieldExperimentFigure10(t *testing.T) {
+	exp := NewFieldExperiment(1, smallGVL())
+	res, err := Analyze(exp.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.DirectReject, res.MoreOptions
+
+	// Sample sizes in the paper's ballpark (2,910 dialogs shown).
+	if res.TotalShown < 2_000 || res.TotalShown > 4_500 {
+		t.Errorf("TotalShown = %d", res.TotalShown)
+	}
+	if res.Timestamps < 4*res.TotalShown {
+		t.Errorf("timestamps = %d, want several per session", res.Timestamps)
+	}
+
+	// Figure 10 medians: accept ≈3.2s, reject ≈3.6s (A), ≈6.7s (B).
+	if a.MedianAcceptSec < 2.7 || a.MedianAcceptSec > 3.8 {
+		t.Errorf("A median accept = %.2f", a.MedianAcceptSec)
+	}
+	if a.MedianRejectSec <= a.MedianAcceptSec {
+		t.Error("rejecting must be slower than accepting even with a direct button")
+	}
+	if a.MedianRejectSec > 4.4 {
+		t.Errorf("A median reject = %.2f", a.MedianRejectSec)
+	}
+	if b.MedianRejectSec < 5.5 || b.MedianRejectSec > 8.2 {
+		t.Errorf("B median reject = %.2f, want ≈6.7 (doubling)", b.MedianRejectSec)
+	}
+	if b.MedianRejectSec < 1.6*a.MedianRejectSec {
+		t.Error("removing the reject button must roughly double the rejection time")
+	}
+
+	// Both tests significant; B's far more so (paper: p<0.01, p<0.001).
+	if a.Test.P >= 0.01 {
+		t.Errorf("A: p = %v, want < 0.01", a.Test.P)
+	}
+	if b.Test.P >= 0.001 {
+		t.Errorf("B: p = %v, want < 0.001", b.Test.P)
+	}
+	if a.Test.Z >= 0 || b.Test.Z >= 0 {
+		t.Error("z-scores must be negative (accepts faster)")
+	}
+
+	// Consent rate rises from ≈83% to ≈90%.
+	if a.ConsentRate < 0.79 || a.ConsentRate > 0.87 {
+		t.Errorf("A consent rate = %.2f, want ≈0.83", a.ConsentRate)
+	}
+	if b.ConsentRate < a.ConsentRate+0.04 {
+		t.Errorf("B consent rate (%.2f) must clearly exceed A (%.2f)", b.ConsentRate, a.ConsentRate)
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	list := smallGVL()
+	r1, err := Analyze(NewFieldExperiment(3, list).Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(NewFieldExperiment(3, list).Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalShown != r2.TotalShown || r1.DirectReject.MedianAcceptSec != r2.DirectReject.MedianAcceptSec {
+		t.Error("experiments must be reproducible for a seed")
+	}
+}
+
+func TestTrustArcOptOutFigure9(t *testing.T) {
+	flow := NewTrustArcFlow(1)
+	runs := flow.HourlySeries(MeasurementWindowDays)
+	if len(runs) != MeasurementWindowDays*24 {
+		t.Fatalf("runs = %d, want hourly for two weeks", len(runs))
+	}
+	med := MedianTotalMS(runs) / 1000
+	if med < 30 || med > 45 {
+		t.Errorf("median opt-out = %.1fs, want ≥34s ballpark", med)
+	}
+	for _, run := range runs[:10] {
+		if run.Clicks != 7 {
+			t.Errorf("clicks = %d, want 7", run.Clicks)
+		}
+		if run.TotalMS < 25_000 {
+			t.Errorf("opt-out in %.1fs, implausibly fast", run.TotalMS/1000)
+		}
+		if run.ExtraDomains != 25 {
+			t.Errorf("extra domains = %d, want 25", run.ExtraDomains)
+		}
+		if run.ExtraRequests < 230 || run.ExtraRequests > 330 {
+			t.Errorf("extra requests = %d, want ≈279", run.ExtraRequests)
+		}
+		mbC := float64(run.ExtraBytesCompressed) / 1e6
+		mbR := float64(run.ExtraBytesRaw) / 1e6
+		if mbC < 0.9 || mbC > 1.6 {
+			t.Errorf("compressed overhead = %.2f MB, want ≈1.2", mbC)
+		}
+		if mbR < 4.5 || mbR > 7.0 {
+			t.Errorf("raw overhead = %.2f MB, want ≈5.8", mbR)
+		}
+		// Steps are contiguous and ordered.
+		prevEnd := 0.0
+		for _, s := range run.Steps {
+			if s.StartMS != prevEnd {
+				t.Fatalf("step %q starts at %.0f, want %.0f", s.Name, s.StartMS, prevEnd)
+			}
+			if s.EndMS < s.StartMS {
+				t.Fatalf("step %q ends before it starts", s.Name)
+			}
+			prevEnd = s.EndMS
+		}
+		if prevEnd != run.TotalMS {
+			t.Error("TotalMS must equal the last step's end")
+		}
+	}
+}
+
+func TestTrustArcAcceptIsInstant(t *testing.T) {
+	flow := NewTrustArcFlow(1)
+	optout := flow.RunOptOut(0)
+	accept := flow.RunAccept(0)
+	if accept.TotalMS > 1_000 {
+		t.Errorf("accepting took %.0fms, must be near-instant", accept.TotalMS)
+	}
+	if optout.TotalMS < 20*accept.TotalMS {
+		t.Error("opting out must be vastly slower than accepting")
+	}
+}
+
+func TestMedianTotalMSEmpty(t *testing.T) {
+	if MedianTotalMS(nil) != 0 {
+		t.Error("empty series median must be 0")
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	if DecisionAccept.String() != "accept" || DecisionReject.String() != "reject" || DecisionNone.String() != "none" {
+		t.Error("decision names")
+	}
+	if ConfigDirectReject.String() != "direct-reject" || ConfigMoreOptions.String() != "more-options" {
+		t.Error("config names")
+	}
+}

@@ -1,0 +1,135 @@
+package consent
+
+import (
+	"repro/internal/consensu"
+	"repro/internal/gvl"
+	"repro/internal/stats"
+	"repro/internal/users"
+)
+
+// FieldExperiment is the randomized Quantcast dialog experiment the
+// paper ran on mitmproxy.org in May 2020 (Sections 3.2, 4.3): each
+// page load is randomly assigned one of the two dialog configurations;
+// the collection script logs ~120,000 timestamps; consent dialogs are
+// shown to visitors from the EU only (Quantcast's default).
+type FieldExperiment struct {
+	Population *users.Population
+	Dialog     *QuantcastDialog
+	// Visitors is the number of page loads to simulate.
+	Visitors int
+}
+
+// NewFieldExperiment wires the experiment at the paper's scale: enough
+// page loads that ~2,910 EU visitors see a dialog.
+func NewFieldExperiment(seed uint64, list *gvl.List) *FieldExperiment {
+	cfg := users.DefaultConfig()
+	cfg.Seed = seed
+	dialog := NewQuantcastDialog(list)
+	// Decisions persist to the shared consensu.org store, so repeat
+	// page loads by the same visitor show no dialog.
+	dialog.Store = consensu.NewStore()
+	return &FieldExperiment{
+		Population: users.NewPopulation(cfg),
+		Dialog:     dialog,
+		Visitors:   9_000,
+	}
+}
+
+// Run simulates all page loads and returns the session log.
+func (e *FieldExperiment) Run() []*Session {
+	sessions := make([]*Session, 0, e.Visitors)
+	for i := 0; i < e.Visitors; i++ {
+		v := e.Population.Visitor(i)
+		r := e.Population.Stream(v)
+		cfg := ConfigDirectReject
+		if r.Float64() < 0.5 { // randomized assignment per page load
+			cfg = ConfigMoreOptions
+		}
+		sessions = append(sessions, e.Dialog.Show(v, cfg, r))
+	}
+	return sessions
+}
+
+// ConfigResult summarizes one dialog configuration (one Figure 10
+// panel).
+type ConfigResult struct {
+	Config QuantcastConfig
+	// Shown is the number of EU visitors who saw the dialog.
+	Shown int
+	// AcceptTimes / RejectTimes are interaction times in seconds of
+	// visitors who decided within three minutes.
+	AcceptTimes []float64
+	RejectTimes []float64
+	// MedianAcceptSec / MedianRejectSec are the Figure 10 medians.
+	MedianAcceptSec float64
+	MedianRejectSec float64
+	// ConsentRate = accepts / (accepts + rejects).
+	ConsentRate float64
+	// Test is the Mann–Whitney U comparison of accept vs. reject
+	// interaction times.
+	Test stats.MannWhitneyResult
+}
+
+// ExperimentResult aggregates both configurations.
+type ExperimentResult struct {
+	DirectReject ConfigResult
+	MoreOptions  ConfigResult
+	// TotalShown is the number of dialogs displayed across configs
+	// (2,910 in the paper).
+	TotalShown int
+	// Timestamps is the total number of logged timestamps (the paper
+	// logged about 120,000 across all page loads).
+	Timestamps int
+}
+
+// Analyze computes the Figure 10 statistics from a session log.
+func Analyze(sessions []*Session) (*ExperimentResult, error) {
+	res := &ExperimentResult{
+		DirectReject: ConfigResult{Config: ConfigDirectReject},
+		MoreOptions:  ConfigResult{Config: ConfigMoreOptions},
+	}
+	for _, s := range sessions {
+		// Every session logs DOMContentLoaded; shown dialogs add the
+		// ping timestamp; decisions add close + consent data.
+		res.Timestamps++
+		if s.DialogShownMS == 0 {
+			continue
+		}
+		res.Timestamps++
+		cr := &res.DirectReject
+		if s.Config == ConfigMoreOptions {
+			cr = &res.MoreOptions
+		}
+		cr.Shown++
+		if s.Decision == DecisionNone {
+			continue
+		}
+		res.Timestamps += 2
+		sec := s.InteractionMS() / 1000
+		if s.Decision == DecisionAccept {
+			cr.AcceptTimes = append(cr.AcceptTimes, sec)
+		} else {
+			cr.RejectTimes = append(cr.RejectTimes, sec)
+		}
+	}
+	res.TotalShown = res.DirectReject.Shown + res.MoreOptions.Shown
+	for _, cr := range []*ConfigResult{&res.DirectReject, &res.MoreOptions} {
+		if len(cr.AcceptTimes) > 0 {
+			cr.MedianAcceptSec, _ = stats.Median(cr.AcceptTimes)
+		}
+		if len(cr.RejectTimes) > 0 {
+			cr.MedianRejectSec, _ = stats.Median(cr.RejectTimes)
+		}
+		if n := len(cr.AcceptTimes) + len(cr.RejectTimes); n > 0 {
+			cr.ConsentRate = float64(len(cr.AcceptTimes)) / float64(n)
+		}
+		if len(cr.AcceptTimes) > 0 && len(cr.RejectTimes) > 0 {
+			t, err := stats.MannWhitney(cr.AcceptTimes, cr.RejectTimes)
+			if err != nil {
+				return nil, err
+			}
+			cr.Test = t
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package consent
+
+import (
+	"repro/internal/gvl"
+	"repro/internal/stats"
+	"repro/internal/users"
+)
+
+// Habituation experiment: CMP standardization shows users the same
+// dialog everywhere, strengthening the habituation effect the paper
+// discusses in Section 5.2. This harness re-runs the Figure 10
+// experiment at increasing exposure levels and traces how the consent
+// rate creeps up and interaction times shrink as users are "trained to
+// accept".
+
+// HabituationPoint is one exposure level's outcome.
+type HabituationPoint struct {
+	// Exposures is the number of dialogs the population has already
+	// dismissed elsewhere.
+	Exposures int
+	// ConsentRate is the accept share among deciders.
+	ConsentRate float64
+	// MedianAcceptSec / MedianRejectSec are interaction medians under
+	// the direct-reject configuration.
+	MedianAcceptSec float64
+	MedianRejectSec float64
+	// Deciders is the sample size.
+	Deciders int
+}
+
+// HabituationSeries runs the direct-reject dialog on the same visitor
+// population at each exposure level. Visitors are habituated before
+// interacting; everything else matches the Figure 10 experiment.
+func HabituationSeries(seed uint64, list *gvl.List, visitors int, levels []int) ([]HabituationPoint, error) {
+	cfg := users.DefaultConfig()
+	cfg.Seed = seed
+	pop := users.NewPopulation(cfg)
+	dialog := NewQuantcastDialog(list)
+
+	out := make([]HabituationPoint, 0, len(levels))
+	for _, level := range levels {
+		h := users.DefaultHabituation(level)
+		var accepts, rejects []float64
+		for i := 0; i < visitors; i++ {
+			v := pop.Visitor(i)
+			if !v.EU || v.HasConsentCookie {
+				continue
+			}
+			v = h.Apply(v)
+			s := dialog.Show(v, ConfigDirectReject, pop.Stream(v))
+			sec := s.InteractionMS() / 1000
+			switch s.Decision {
+			case DecisionAccept:
+				accepts = append(accepts, sec)
+			case DecisionReject:
+				rejects = append(rejects, sec)
+			}
+		}
+		pt := HabituationPoint{Exposures: level, Deciders: len(accepts) + len(rejects)}
+		if pt.Deciders > 0 {
+			pt.ConsentRate = float64(len(accepts)) / float64(pt.Deciders)
+		}
+		var err error
+		if len(accepts) > 0 {
+			if pt.MedianAcceptSec, err = stats.Median(accepts); err != nil {
+				return nil, err
+			}
+		}
+		if len(rejects) > 0 {
+			if pt.MedianRejectSec, err = stats.Median(rejects); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

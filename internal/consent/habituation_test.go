@@ -1,0 +1,38 @@
+package consent
+
+import "testing"
+
+func TestHabituationSeries(t *testing.T) {
+	pts, err := HabituationSeries(1, smallGVL(), 6_000, []int{0, 10, 50, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Deciders < 500 {
+			t.Fatalf("level %d: only %d deciders", pt.Exposures, pt.Deciders)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// Trained to accept: the consent rate creeps up…
+	if last.ConsentRate <= first.ConsentRate {
+		t.Errorf("consent rate must rise with exposure: %.3f → %.3f",
+			first.ConsentRate, last.ConsentRate)
+	}
+	// …and habituated users interact faster.
+	if last.MedianAcceptSec >= first.MedianAcceptSec {
+		t.Errorf("accept median must shrink: %.2f → %.2f",
+			first.MedianAcceptSec, last.MedianAcceptSec)
+	}
+	// The effect saturates rather than exploding: bounded shift.
+	if last.ConsentRate-first.ConsentRate > 0.15 {
+		t.Errorf("consent-rate shift %.3f implausibly large",
+			last.ConsentRate-first.ConsentRate)
+	}
+	// The fresh-population point matches the Figure 10 baseline.
+	if first.ConsentRate < 0.78 || first.ConsentRate > 0.88 {
+		t.Errorf("baseline consent rate = %.3f, want ≈0.83", first.ConsentRate)
+	}
+}

@@ -1,0 +1,74 @@
+package consent
+
+import (
+	"testing"
+
+	"repro/internal/consensu"
+	"repro/internal/users"
+)
+
+// TestRepeatVisitorSuppression: once a decision is stored in the
+// global consensu.org cookie, subsequent page loads show no dialog
+// ("Repeated visitors will not be counted as the CMP stores the first
+// consent decision and no additional dialogs will be shown").
+func TestRepeatVisitorSuppression(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	d.Store = consensu.NewStore()
+	pop := users.NewPopulation(users.DefaultConfig())
+
+	var first *Session
+	var visitor users.Visitor
+	for i := 0; first == nil; i++ {
+		if i > 5_000 {
+			t.Fatal("no deciding visitor found")
+		}
+		v := pop.Visitor(i)
+		v.EU = true
+		v.HasConsentCookie = false
+		s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+		if s.Decision != DecisionNone {
+			first = s
+			visitor = v
+		}
+	}
+	// The decision landed in the global store.
+	stored, err := d.Store.CookieAccess(visitor.ID)
+	if err != nil {
+		t.Fatalf("CookieAccess after decision: %v", err)
+	}
+	if stored != first.ConsentString {
+		t.Error("stored cookie must match the session's consent string")
+	}
+	// A second page load by the same visitor shows no dialog.
+	again := d.Show(visitor, ConfigDirectReject, pop.Stream(visitor))
+	if again.DialogShownMS != 0 || again.Decision != DecisionNone {
+		t.Errorf("repeat visit showed a dialog: %+v", again)
+	}
+}
+
+// TestAbandonedSessionsNotStored: visitors who make no decision leave
+// no cookie behind and are prompted again next time.
+func TestAbandonedSessionsNotStored(t *testing.T) {
+	d := NewQuantcastDialog(smallGVL())
+	d.Store = consensu.NewStore()
+	pop := users.NewPopulation(users.DefaultConfig())
+	for i := 0; i < 5_000; i++ {
+		v := pop.Visitor(i)
+		v.EU = true
+		v.HasConsentCookie = false
+		v.Pref = users.PrefAbandon
+		s := d.Show(v, ConfigDirectReject, pop.Stream(v))
+		if s.Decision != DecisionNone {
+			continue
+		}
+		if _, err := d.Store.CookieAccess(v.ID); err == nil {
+			t.Fatal("abandoned session must not store a cookie")
+		}
+		again := d.Show(v, ConfigDirectReject, pop.Stream(v))
+		if again.DialogShownMS == 0 {
+			t.Fatal("undecided visitors must be prompted again")
+		}
+		return
+	}
+	t.Fatal("no abandoning visitor exercised")
+}

@@ -1,0 +1,208 @@
+package consent
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func lnf(x float64) float64 { return math.Log(x) }
+
+// TrustArc opt-out flow (item I6, Figures 9): "TrustArc consent
+// prompts disappear immediately if one accepts cookies, but otherwise
+// make the user wait for prolonged periods while opt-out requests are
+// being sent to a hodgepodge of third parties." Opting out on
+// forbes.com took at least 7 clicks and 34 s, caused an additional 279
+// HTTP(S) requests to 25 domains, and transferred an extra 1.2 MB /
+// 5.8 MB (compressed / uncompressed). The paper automated the flow
+// with a Chrome extension and measured hourly for two weeks.
+
+// Step is one stage of the opt-out pipeline.
+type Step struct {
+	Name     string
+	Click    bool // the step requires a user click
+	StartMS  float64
+	EndMS    float64
+	Requests int
+	// BytesCompressed / BytesRaw transferred during the step.
+	BytesCompressed int
+	BytesRaw        int
+}
+
+// OptOutRun is one automated measurement of the full opt-out.
+type OptOutRun struct {
+	Steps []Step
+	// TotalMS is the raw waiting time, not including user interaction
+	// (the extension clicks instantly).
+	TotalMS float64
+	// Clicks is the number of clicks the flow requires.
+	Clicks int
+	// ExtraRequests / ExtraDomains / ExtraBytes* are the network
+	// overhead relative to accepting.
+	ExtraRequests        int
+	ExtraDomains         int
+	ExtraBytesCompressed int
+	ExtraBytesRaw        int
+}
+
+// AcceptRun measures the accept path for comparison: the dialog closes
+// immediately.
+type AcceptRun struct {
+	TotalMS  float64
+	Requests int
+}
+
+// TrustArcFlow simulates the forbes.com deployment.
+type TrustArcFlow struct {
+	// Partners is the number of third-party opt-out endpoints (25).
+	Partners int
+	// Concurrency is how many partner opt-outs proceed in parallel.
+	Concurrency int
+	src         *rng.Source
+}
+
+// NewTrustArcFlow returns the flow with the forbes.com parameters.
+func NewTrustArcFlow(seed uint64) *TrustArcFlow {
+	return &TrustArcFlow{Partners: 25, Concurrency: 4, src: rng.New(seed).Derive("trustarc")}
+}
+
+// fixed JavaScript timeouts in the dialog's opt-out pipeline, observed
+// as constant floors independent of network speed.
+const (
+	overlayRenderMS    = 1_200
+	preferencesLoadMS  = 5_200  // preference-center iframe
+	categoryToggleMS   = 700    // per category toggle re-render
+	jsSettleTimeoutMS  = 10_000 // hard-coded wait before confirmation
+	confirmationPollMS = 3_000
+)
+
+// RunOptOut executes one automated opt-out measurement at the given
+// hour index (for hourly series).
+func (f *TrustArcFlow) RunOptOut(hour int) *OptOutRun {
+	r := f.src.Stream("optout", rng.Key(hour))
+	run := &OptOutRun{}
+	now := 0.0
+	addStep := func(name string, click bool, dur float64, reqs, bc, br int) {
+		run.Steps = append(run.Steps, Step{
+			Name: name, Click: click, StartMS: now, EndMS: now + dur,
+			Requests: reqs, BytesCompressed: bc, BytesRaw: br,
+		})
+		now += dur
+		if click {
+			run.Clicks++
+		}
+	}
+
+	// Click 1: open the consent banner's "Manage Preferences".
+	addStep("open-preference-center", true, overlayRenderMS+jitter(r, 300), 6, 45_000, 180_000)
+	// The preference center iframe loads its partner inventory.
+	addStep("load-preference-center", false, preferencesLoadMS+jitter(r, 1_200), 12, 150_000, 700_000)
+	// Clicks 2–4: switch to the opt-out tab and toggle the three
+	// non-essential categories (no opt-out exists for "essential").
+	addStep("select-optout-tab", true, categoryToggleMS+jitter(r, 200), 2, 6_000, 20_000)
+	addStep("toggle-functional", true, categoryToggleMS+jitter(r, 200), 2, 6_000, 20_000)
+	addStep("toggle-advertising", true, categoryToggleMS+jitter(r, 200), 2, 6_000, 20_000)
+	// Click 5: submit preferences.
+	addStep("submit-preferences", true, 900+jitter(r, 300), 4, 15_000, 60_000)
+
+	// Per-partner opt-out fan-out: each of the 25 partner domains
+	// receives a burst of cookie-rewrite requests, processed with
+	// limited concurrency inside the dialog's iframe.
+	partnerMS, reqs, bc, br := f.partnerFanOut(r)
+	addStep("send-partner-optouts", false, partnerMS, reqs, bc, br)
+
+	// Hard-coded JS settle timeout plus confirmation polling.
+	addStep("js-settle-timeout", false, jsSettleTimeoutMS, 0, 0, 0)
+	addStep("confirmation-poll", false, confirmationPollMS+jitter(r, 800), 5, 12_000, 45_000)
+	// Clicks 6–7: acknowledge the confirmation and close the dialog.
+	addStep("acknowledge", true, 600+jitter(r, 200), 1, 2_000, 8_000)
+	addStep("close-dialog", true, 400+jitter(r, 150), 0, 0, 0)
+
+	run.TotalMS = now
+	accept := f.RunAccept(hour)
+	for _, s := range run.Steps {
+		run.ExtraRequests += s.Requests
+		run.ExtraBytesCompressed += s.BytesCompressed
+		run.ExtraBytesRaw += s.BytesRaw
+	}
+	run.ExtraRequests -= accept.Requests
+	run.ExtraDomains = f.Partners
+	return run
+}
+
+// partnerFanOut models the third-party opt-out bursts: ~11 requests
+// per partner domain, 4-way concurrent, each round trip log-normal.
+func (f *TrustArcFlow) partnerFanOut(r *rand.Rand) (durMS float64, reqs, bytesCompressed, bytesRaw int) {
+	perPartner := 10
+	lanes := make([]float64, f.Concurrency)
+	for p := 0; p < f.Partners; p++ {
+		// Assign the partner to the earliest-finishing lane.
+		lane := 0
+		for i := range lanes {
+			if lanes[i] < lanes[lane] {
+				lane = i
+			}
+		}
+		t := 0.0
+		for q := 0; q < perPartner; q++ {
+			t += rng.LogNormal(r, lnf(120), 0.6) // ms per round trip
+			reqs++
+			bytesCompressed += 2_800 + r.Intn(2_000)
+			bytesRaw += 15_000 + r.Intn(8_000)
+		}
+		lanes[lane] += t
+	}
+	max := 0.0
+	for _, t := range lanes {
+		if t > max {
+			max = t
+		}
+	}
+	return max, reqs, bytesCompressed, bytesRaw
+}
+
+// RunAccept measures the accept path: the dialog closes immediately
+// after one click; only the consent beacon fires.
+func (f *TrustArcFlow) RunAccept(hour int) *AcceptRun {
+	r := f.src.Stream("accept", rng.Key(hour))
+	return &AcceptRun{
+		TotalMS:  350 + jitter(r, 150),
+		Requests: 2,
+	}
+}
+
+// HourlySeries runs the measurement hourly for the given number of
+// days (the paper: two weeks) and returns all runs.
+func (f *TrustArcFlow) HourlySeries(days int) []*OptOutRun {
+	runs := make([]*OptOutRun, 0, days*24)
+	for h := 0; h < days*24; h++ {
+		runs = append(runs, f.RunOptOut(h))
+	}
+	return runs
+}
+
+// MedianTotalMS returns the median opt-out waiting time of a series.
+func MedianTotalMS(runs []*OptOutRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	ts := make([]float64, len(runs))
+	for i, r := range runs {
+		ts[i] = r.TotalMS
+	}
+	sort.Float64s(ts)
+	return ts[len(ts)/2]
+}
+
+// jitter draws uniform noise in [0, maxMS).
+func jitter(r *rand.Rand, maxMS float64) float64 { return r.Float64() * maxMS }
+
+// MeasurementWindowDays is the paper's measurement duration (hourly
+// for two weeks in May 2020).
+const MeasurementWindowDays = 14
+
+// MeasurementDay anchors the series in simulated time.
+var MeasurementDay = simtime.Table1Snapshot

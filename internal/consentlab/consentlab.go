@@ -1,0 +1,200 @@
+// Package consentlab implements the measurement collection service of
+// the paper's field experiment (Sections 3.2–3.3): a script embedded
+// next to Quantcast's dialog on mitmproxy.org logged the page load
+// time, the time the dialog appeared (__cmp('ping')), the time it was
+// closed, and the decision (__cmp('getConsentData')), posting them to
+// a collection endpoint.
+//
+// The ethics design is enforced in code: beacons carry only a random
+// non-persistent session id generated on page load, the dialog
+// configuration, event names and timestamps — no cookies, no user
+// agent, no address. Beacons with unexpected fields are rejected
+// (data minimization by construction).
+package consentlab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/consent"
+)
+
+func jsonReader(data []byte) io.Reader { return bytes.NewReader(data) }
+
+// Event names the instrumented lifecycle points.
+type Event string
+
+const (
+	// EventDOMContentLoaded is the page load timestamp.
+	EventDOMContentLoaded Event = "dcl"
+	// EventDialogShown is the __cmp('ping') success timestamp.
+	EventDialogShown Event = "shown"
+	// EventClosed is the dialog close timestamp; its beacon carries
+	// the decision.
+	EventClosed Event = "closed"
+)
+
+// Beacon is one POSTed measurement. The field set is exhaustive.
+type Beacon struct {
+	// ID is the random non-persistent id generated on page load.
+	ID string `json:"id"`
+	// Config is the dialog configuration ("direct-reject" or
+	// "more-options").
+	Config string `json:"config"`
+	Event  Event  `json:"event"`
+	// TimeMS is the event time relative to navigation start.
+	TimeMS float64 `json:"t"`
+	// Decision accompanies EventClosed ("accept" or "reject").
+	Decision string `json:"decision,omitempty"`
+}
+
+// Collector is the HTTP collection service.
+type Collector struct {
+	mu       sync.Mutex
+	sessions map[string]*consent.Session
+	beacons  int64
+	rejected int64
+}
+
+// NewCollector returns an empty collection service.
+func NewCollector() *Collector {
+	return &Collector{sessions: make(map[string]*consent.Session)}
+}
+
+// ServeHTTP implements the collection endpoint: POST /beacon ingests
+// one measurement; GET /stats reports counters.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/beacon":
+		c.handleBeacon(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/stats":
+		c.handleStats(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (c *Collector) handleBeacon(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<10))
+	// Data minimization: unknown fields are a protocol violation, not
+	// data to keep.
+	dec.DisallowUnknownFields()
+	var b Beacon
+	if err := dec.Decode(&b); err != nil {
+		c.reject(w, "malformed beacon: "+err.Error())
+		return
+	}
+	if b.ID == "" || b.Event == "" {
+		c.reject(w, "missing id or event")
+		return
+	}
+	switch b.Event {
+	case EventDOMContentLoaded, EventDialogShown, EventClosed:
+	default:
+		c.reject(w, "unknown event")
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beacons++
+	s := c.sessions[b.ID]
+	if s == nil {
+		s = &consent.Session{VisitorID: b.ID}
+		if b.Config == consent.ConfigMoreOptions.String() {
+			s.Config = consent.ConfigMoreOptions
+		}
+		c.sessions[b.ID] = s
+	}
+	switch b.Event {
+	case EventDOMContentLoaded:
+		s.DOMContentLoadedMS = b.TimeMS
+	case EventDialogShown:
+		s.DialogShownMS = b.TimeMS
+	case EventClosed:
+		s.ClosedMS = b.TimeMS
+		switch b.Decision {
+		case "accept":
+			s.Decision = consent.DecisionAccept
+		case "reject":
+			s.Decision = consent.DecisionReject
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Collector) reject(w http.ResponseWriter, msg string) {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+func (c *Collector) handleStats(w http.ResponseWriter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"sessions":%d,"beacons":%d,"rejected":%d}`,
+		len(c.sessions), c.beacons, c.rejected)
+}
+
+// Sessions returns the assembled sessions for analysis.
+func (c *Collector) Sessions() []*consent.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*consent.Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Beacons returns the total accepted beacon count ("We logged about
+// 120,000 timestamps").
+func (c *Collector) Beacons() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.beacons
+}
+
+// PostSession emits a session's lifecycle as individual beacons to the
+// collection endpoint, as the embedded script does.
+func PostSession(client *http.Client, baseURL string, s *consent.Session) error {
+	post := func(b Beacon) error {
+		data, err := json.Marshal(b)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(baseURL+"/beacon", "application/json", jsonReader(data))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("consentlab: beacon rejected with status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	cfg := s.Config.String()
+	if err := post(Beacon{ID: s.VisitorID, Config: cfg, Event: EventDOMContentLoaded, TimeMS: s.DOMContentLoadedMS}); err != nil {
+		return err
+	}
+	if s.DialogShownMS > 0 {
+		if err := post(Beacon{ID: s.VisitorID, Config: cfg, Event: EventDialogShown, TimeMS: s.DialogShownMS}); err != nil {
+			return err
+		}
+	}
+	if s.Decision != consent.DecisionNone {
+		if err := post(Beacon{
+			ID: s.VisitorID, Config: cfg, Event: EventClosed,
+			TimeMS: s.ClosedMS, Decision: s.Decision.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

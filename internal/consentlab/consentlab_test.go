@@ -1,0 +1,140 @@
+package consentlab
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/consent"
+	"repro/internal/gvl"
+)
+
+func smallGVL() *gvl.List {
+	h := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 3, InitialVendors: 40, PeakVendors: 60})
+	return &h.Versions[len(h.Versions)-1]
+}
+
+// TestEndToEndCollection runs the field experiment, ships every
+// session over HTTP as beacons (concurrently, as real visitors would),
+// reassembles them server-side, and checks the analysis matches the
+// direct path.
+func TestEndToEndCollection(t *testing.T) {
+	exp := consent.NewFieldExperiment(1, smallGVL())
+	exp.Visitors = 2_500
+	sessions := exp.Run()
+	direct, err := consent.Analyze(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collector := NewCollector()
+	ts := httptest.NewServer(collector)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	errs := make(chan error, len(sessions))
+	for _, s := range sessions {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s *consent.Session) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := PostSession(http.DefaultClient, ts.URL, s); err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	collected, err := consent.Analyze(collector.Sessions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collected.TotalShown != direct.TotalShown {
+		t.Errorf("shown: collected %d vs direct %d", collected.TotalShown, direct.TotalShown)
+	}
+	if math.Abs(collected.DirectReject.MedianAcceptSec-direct.DirectReject.MedianAcceptSec) > 1e-9 {
+		t.Errorf("medians diverge: %v vs %v",
+			collected.DirectReject.MedianAcceptSec, direct.DirectReject.MedianAcceptSec)
+	}
+	if collected.DirectReject.ConsentRate != direct.DirectReject.ConsentRate {
+		t.Error("consent rates diverge")
+	}
+	if collector.Beacons() < int64(len(sessions)) {
+		t.Errorf("beacons = %d, want ≥ one per session", collector.Beacons())
+	}
+}
+
+func TestDataMinimizationEnforced(t *testing.T) {
+	collector := NewCollector()
+	ts := httptest.NewServer(collector)
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/beacon", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Well-formed beacon.
+	if got := post(`{"id":"v-1","config":"direct-reject","event":"dcl","t":812}`); got != http.StatusNoContent {
+		t.Errorf("valid beacon: status %d", got)
+	}
+	// A beacon smuggling extra data (a user agent) must be rejected:
+	// the collection endpoint enforces the paper's ethics design.
+	if got := post(`{"id":"v-2","config":"direct-reject","event":"dcl","t":10,"userAgent":"Mozilla"}`); got != http.StatusBadRequest {
+		t.Errorf("over-collecting beacon: status %d, want 400", got)
+	}
+	// Missing id, unknown event, malformed JSON.
+	for _, bad := range []string{
+		`{"config":"direct-reject","event":"dcl","t":1}`,
+		`{"id":"v-3","event":"keylog","t":1}`,
+		`not json`,
+	} {
+		if got := post(bad); got != http.StatusBadRequest {
+			t.Errorf("beacon %q: status %d, want 400", bad, got)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	collector := NewCollector()
+	ts := httptest.NewServer(collector)
+	defer ts.Close()
+	if err := PostSession(http.DefaultClient, ts.URL, &consent.Session{
+		VisitorID: "v-9", DOMContentLoadedMS: 700, DialogShownMS: 1300,
+		ClosedMS: 4600, Decision: consent.DecisionAccept,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [256]byte
+	n, _ := resp.Body.Read(buf[:])
+	body := string(buf[:n])
+	if !strings.Contains(body, `"sessions":1`) || !strings.Contains(body, `"beacons":3`) {
+		t.Errorf("stats = %s", body)
+	}
+	// Unknown paths 404.
+	r2, err := http.Get(ts.URL + "/secrets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Error("unknown path must 404")
+	}
+}

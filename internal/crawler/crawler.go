@@ -1,0 +1,96 @@
+// Package crawler implements the Netograph-style measurement platform
+// (Figure 3): a capture queue seeded from the social-media feed, worker
+// pools of instrumented browsers in US and EU data centers (each URL
+// assigned randomly, 50% crawled from within the EU), and the
+// toplist-based campaign infrastructure used for Tables 1 and A.3.
+package crawler
+
+import (
+	"sync"
+
+	"repro/internal/browser"
+	"repro/internal/capture"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// Config parameterizes the platform.
+type Config struct {
+	Seed uint64
+	// Workers is the per-day crawl concurrency. Defaults to 8.
+	Workers int
+}
+
+// Platform is the social-feed crawling pipeline.
+type Platform struct {
+	cfg   Config
+	world *webworld.World
+	src   *rng.Source
+	us    *browser.Browser
+	eu    *browser.Browser
+
+	// Captures counts all captures performed.
+	Captures int64
+}
+
+// NewPlatform wires a platform over a world.
+func NewPlatform(w *webworld.World, cfg Config) *Platform {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	opts := browser.Options{} // cloud crawls use the default config
+	return &Platform{
+		cfg:   cfg,
+		world: w,
+		src:   rng.New(cfg.Seed).Derive("crawler"),
+		us:    browser.New(w, opts),
+		eu:    browser.New(w, opts),
+	}
+}
+
+// CrawlDay captures every share of one feed day, assigning each URL
+// randomly to the US or EU cloud, and records results to the sink.
+// Captures are recorded in share order regardless of worker scheduling
+// so runs are reproducible.
+func (p *Platform) CrawlDay(day simtime.Day, shares []socialfeed.Share, sink capture.Sink) {
+	results := make([]*capture.Capture, len(shares))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.cfg.Workers)
+	for i, s := range shares {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, s socialfeed.Share) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			vantage := capture.USCloud
+			if p.src.Bool(0.5, "vantage", s.URL, day.String()) {
+				vantage = capture.EUCloud
+			}
+			b := p.us
+			if vantage.Name == capture.EUCloud.Name {
+				b = p.eu
+			}
+			results[i] = b.Load(s.URL, day, vantage)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, c := range results {
+		if c != nil {
+			sink.Record(c)
+			p.Captures++
+		}
+	}
+}
+
+// CrawlWindow runs the feed from day `from` through `to` inclusive.
+// progress, if non-nil, is called after each day.
+func (p *Platform) CrawlWindow(feed *socialfeed.Feed, from, to simtime.Day, sink capture.Sink, progress func(day simtime.Day, captures int64)) {
+	for day := from; day <= to; day++ {
+		p.CrawlDay(day, feed.Day(day), sink)
+		if progress != nil {
+			progress(day, p.Captures)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package crawler
+
+import (
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/simtime"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+func crawlWorld(t *testing.T) *webworld.World {
+	t.Helper()
+	return webworld.New(webworld.Config{Seed: 1, Domains: 3_000})
+}
+
+func TestCrawlDayVantageSplit(t *testing.T) {
+	w := crawlWorld(t)
+	feed := socialfeed.New(w, socialfeed.Config{Seed: 1, SharesPerDay: 2_000})
+	p := NewPlatform(w, Config{Seed: 1, Workers: 8})
+	store := capture.NewMemStore()
+	for day := simtime.Day(0); day < 3; day++ {
+		p.CrawlDay(day, feed.Day(day), store)
+	}
+	us, eu := 0, 0
+	for _, c := range store.All() {
+		switch c.Vantage.Name {
+		case capture.USCloud.Name:
+			us++
+		case capture.EUCloud.Name:
+			eu++
+		default:
+			t.Fatalf("unexpected vantage %q", c.Vantage.Name)
+		}
+		if !c.Vantage.Cloud {
+			t.Fatal("social crawls must come from cloud address space")
+		}
+	}
+	total := us + eu
+	if total == 0 {
+		t.Fatal("no captures")
+	}
+	usShare := float64(us) / float64(total)
+	if usShare < 0.45 || usShare > 0.55 {
+		t.Errorf("US share = %.2f, want ≈0.50 (paper: 50%% of crawls from the EU)", usShare)
+	}
+	if p.Captures != int64(total) {
+		t.Errorf("Captures counter = %d, stored %d", p.Captures, total)
+	}
+}
+
+func TestCrawlDayDeterministicOrder(t *testing.T) {
+	w := crawlWorld(t)
+	run := func() []string {
+		feed := socialfeed.New(w, socialfeed.Config{Seed: 2, SharesPerDay: 300})
+		p := NewPlatform(w, Config{Seed: 2, Workers: 4})
+		store := capture.NewMemStore()
+		p.CrawlDay(0, feed.Day(0), store)
+		var out []string
+		for _, c := range store.All() {
+			out = append(out, c.SeedURL+"|"+c.Vantage.Name)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("capture %d differs despite identical seeds", i)
+		}
+	}
+}
+
+func TestCrawlWindowProgress(t *testing.T) {
+	w := crawlWorld(t)
+	feed := socialfeed.New(w, socialfeed.Config{Seed: 3, SharesPerDay: 50})
+	p := NewPlatform(w, Config{Seed: 3})
+	store := capture.NewMemStore()
+	days := 0
+	p.CrawlWindow(feed, 0, 4, store, func(day simtime.Day, captures int64) { days++ })
+	if days != 5 {
+		t.Errorf("progress callbacks = %d, want 5", days)
+	}
+}
+
+func TestSeedProbe(t *testing.T) {
+	w := crawlWorld(t)
+	var sawHTTPS, sawApex, sawUnreachable bool
+	for _, d := range w.Domains()[:1000] {
+		probe := SeedProbe(w, d.Name)
+		switch probe.Outcome {
+		case ProbeHTTPSWWW:
+			sawHTTPS = true
+			if probe.SeedURL != "https://www."+d.Name+"/" {
+				t.Errorf("seed URL %q", probe.SeedURL)
+			}
+		case ProbeHTTPApex:
+			sawApex = true
+			if probe.SeedURL != "http://"+d.Name+"/" {
+				t.Errorf("seed URL %q", probe.SeedURL)
+			}
+		case ProbeUnreachable:
+			sawUnreachable = true
+			if probe.SeedURL != "" {
+				t.Error("unreachable probes must not yield a seed URL")
+			}
+		}
+	}
+	if !sawHTTPS || !sawApex || !sawUnreachable {
+		t.Errorf("probe outcome coverage: https=%v apex=%v unreachable=%v",
+			sawHTTPS, sawApex, sawUnreachable)
+	}
+	if SeedProbe(w, "missing.example").Outcome != ProbeUnreachable {
+		t.Error("unknown domains must probe unreachable")
+	}
+}
+
+func TestToplistCampaign(t *testing.T) {
+	w := crawlWorld(t)
+	var domains []string
+	for _, d := range w.Domains()[:300] {
+		domains = append(domains, d.Name)
+	}
+	c := &Campaign{World: w, Domains: domains, Day: simtime.Table1Snapshot}
+	res := c.Run()
+	if len(res.Probes) != 300 {
+		t.Fatalf("probes = %d", len(res.Probes))
+	}
+	configs := ToplistConfigs()
+	if len(configs) != 6 {
+		t.Fatalf("want the six Table 1 configurations, got %d", len(configs))
+	}
+	keys := map[string]bool{}
+	for _, tc := range configs {
+		key := ConfigKey(tc)
+		if keys[key] {
+			t.Fatalf("duplicate config key %q", key)
+		}
+		keys[key] = true
+		store := res.Stores[key]
+		if store == nil {
+			t.Fatalf("missing store for %q", key)
+		}
+		if store.Len() == 0 {
+			t.Errorf("store %q empty", key)
+		}
+		// Toplist crawls store the DOM for non-failed captures.
+		for _, cap := range store.All() {
+			if !cap.Failed && cap.Status == 200 && cap.DOM == "" {
+				t.Errorf("%s: toplist capture without DOM", key)
+				break
+			}
+		}
+	}
+	// Unreachable domains are probed but produce no captures.
+	unreachable := 0
+	for _, p := range res.Probes {
+		if p.Outcome == ProbeUnreachable {
+			unreachable++
+		}
+	}
+	want := (300 - unreachable) // per config
+	for key, store := range res.Stores {
+		if store.Len() != want {
+			t.Errorf("%s: %d captures, want %d", key, store.Len(), want)
+		}
+	}
+}
+
+func TestProbeOutcomeString(t *testing.T) {
+	for _, o := range []ProbeOutcome{ProbeHTTPSWWW, ProbeHTTPWWW, ProbeHTTPApex, ProbeUnreachable} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/capture"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// StreamPlatform is the continuously-running variant of the pipeline
+// in Figure 3: URLs flow from the social-media ingestor through a
+// bounded capture queue into browser worker pools, with per-domain
+// politeness limits and graceful cancellation. CrawlDay/CrawlWindow
+// batch per day for reproducible analysis runs; StreamPlatform is the
+// deployment architecture — "URLs are visited once within a couple of
+// minutes after submission".
+type StreamPlatform struct {
+	cfg   StreamConfig
+	world *webworld.World
+	src   *rng.Source
+
+	// queue is the bounded capture queue; ingestion blocks when the
+	// crawlers fall behind (backpressure instead of unbounded memory).
+	queue chan queued
+
+	mu       sync.Mutex
+	lastHit  map[string]time.Time
+	captures int64
+}
+
+type queued struct {
+	share socialfeed.Share
+	day   simtime.Day
+}
+
+// StreamConfig parameterizes the streaming pipeline.
+type StreamConfig struct {
+	Seed uint64
+	// Workers is the number of concurrent browser workers.
+	Workers int
+	// QueueDepth bounds the capture queue (default 1024).
+	QueueDepth int
+	// PerDomainDelay is the politeness interval between captures of
+	// the same registrable domain (default 10ms of real time at
+	// simulation speed; the paper's platform enforces its one-hour
+	// rule at the feed level, this guards the crawler itself).
+	PerDomainDelay time.Duration
+}
+
+// NewStreamPlatform wires the streaming pipeline.
+func NewStreamPlatform(w *webworld.World, cfg StreamConfig) *StreamPlatform {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.PerDomainDelay <= 0 {
+		cfg.PerDomainDelay = 10 * time.Millisecond
+	}
+	return &StreamPlatform{
+		cfg:     cfg,
+		world:   w,
+		src:     rng.New(cfg.Seed).Derive("stream-crawler"),
+		queue:   make(chan queued, cfg.QueueDepth),
+		lastHit: make(map[string]time.Time),
+	}
+}
+
+// Submit enqueues one share for capture, blocking when the queue is
+// full (backpressure) and failing fast when ctx is cancelled.
+func (p *StreamPlatform) Submit(ctx context.Context, day simtime.Day, s socialfeed.Share) error {
+	select {
+	case p.queue <- queued{share: s, day: day}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Captures returns the number of captures performed so far.
+func (p *StreamPlatform) Captures() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures
+}
+
+// politenessWait blocks until the domain may be hit again, respecting
+// cancellation. It reserves the next slot before waiting so concurrent
+// workers honouring the same domain serialize correctly.
+func (p *StreamPlatform) politenessWait(ctx context.Context, domain string) error {
+	p.mu.Lock()
+	now := time.Now()
+	next := p.lastHit[domain].Add(p.cfg.PerDomainDelay)
+	if next.Before(now) {
+		next = now
+	}
+	p.lastHit[domain] = next
+	p.mu.Unlock()
+
+	d := time.Until(next)
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run starts the worker pool and processes the queue until ctx is
+// cancelled AND the queue has been drained of everything submitted
+// before cancellation, or until Close is called after the final
+// Submit. It blocks until all workers exit.
+func (p *StreamPlatform) Run(ctx context.Context, sink capture.Sink) {
+	var wg sync.WaitGroup
+	for i := 0; i < p.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := browser.New(p.world, browser.Options{})
+			for {
+				var q queued
+				var ok bool
+				select {
+				case q, ok = <-p.queue:
+					if !ok {
+						return
+					}
+				case <-ctx.Done():
+					// Drain what is already queued, then stop.
+					select {
+					case q, ok = <-p.queue:
+						if !ok {
+							return
+						}
+					default:
+						return
+					}
+				}
+				if err := p.politenessWait(ctx, q.share.Domain); err != nil {
+					// Cancelled mid-wait: drop the capture.
+					continue
+				}
+				vantage := capture.USCloud
+				if p.src.Bool(0.5, "vantage", q.share.URL, q.day.String()) {
+					vantage = capture.EUCloud
+				}
+				c := b.Load(q.share.URL, q.day, vantage)
+				sink.Record(c)
+				p.mu.Lock()
+				p.captures++
+				p.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Close signals that no further Submit calls will happen; Run returns
+// once the remaining queue drains.
+func (p *StreamPlatform) Close() { close(p.queue) }

@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+func capWithHosts(domain string, day simtime.Day, hosts ...string) *capture.Capture {
+	c := &capture.Capture{FinalDomain: domain, Day: day, Status: 200}
+	for _, h := range hosts {
+		c.Requests = append(c.Requests, capture.Request{Host: h, Status: 200})
+	}
+	return c
+}
+
+func TestFingerprintsCoverAllCMPs(t *testing.T) {
+	fps := Fingerprints()
+	if len(fps) != cmps.Count {
+		t.Fatalf("fingerprints = %d, want %d", len(fps), cmps.Count)
+	}
+	seen := map[cmps.ID]bool{}
+	for _, fp := range fps {
+		if fp.Hostname == "" {
+			t.Errorf("%s: missing hostname indicator (Table A.2)", fp.CMP)
+		}
+		if fp.CSSSelector == "" {
+			t.Errorf("%s: missing CSS fingerprint", fp.CMP)
+		}
+		seen[fp.CMP] = true
+	}
+	for _, c := range cmps.All() {
+		if !seen[c] {
+			t.Errorf("no fingerprint for %s", c)
+		}
+	}
+}
+
+func TestTableA2Hostnames(t *testing.T) {
+	// The indicator hostnames are normative (Table A.2).
+	want := map[cmps.ID]string{
+		cmps.OneTrust:  "cdn.cookielaw.org",
+		cmps.Quantcast: "quantcast.mgr.consensu.org",
+		cmps.TrustArc:  "consent.trustarc.com",
+		cmps.Cookiebot: "consent.cookiebot.com",
+		cmps.LiveRamp:  "cmp.choice.faktor.io",
+		cmps.Crownpeak: "iabmap.evidon.com",
+	}
+	for c, host := range want {
+		if c.Hostname() != host {
+			t.Errorf("%s hostname = %q, want %q", c, c.Hostname(), host)
+		}
+		if cmps.ByHostname(host) != c {
+			t.Errorf("reverse lookup of %q broken", host)
+		}
+	}
+	if cmps.ByHostname("example.com") != cmps.None {
+		t.Error("unknown hostnames must map to None")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	det := Default()
+	c := capWithHosts("example.com", 0,
+		"www.example.com", "www.google-analytics.com", "cdn.cookielaw.org")
+	got := det.Detect(c)
+	if len(got) != 1 || got[0] != cmps.OneTrust {
+		t.Errorf("Detect = %v", got)
+	}
+	if det.DetectOne(c) != cmps.OneTrust {
+		t.Error("DetectOne mismatch")
+	}
+	none := capWithHosts("example.com", 0, "www.example.com", "cdn.jsdelivr.net")
+	if len(det.Detect(none)) != 0 || det.DetectOne(none) != cmps.None {
+		t.Error("trackers must not be detected as CMPs")
+	}
+	multi := capWithHosts("example.com", 0, "cdn.cookielaw.org", "consent.cookiebot.com")
+	if len(det.Detect(multi)) != 2 {
+		t.Error("multi-CMP pages must report both")
+	}
+}
+
+func TestDetectDOM(t *testing.T) {
+	det := Default()
+	c := &capture.Capture{DOM: `<div class="qc-cmp-ui">…</div>`}
+	if det.DetectDOM(c) != cmps.Quantcast {
+		t.Error("DOM fingerprint missed")
+	}
+	if det.DetectDOM(&capture.Capture{}) != cmps.None {
+		t.Error("empty DOM must yield None")
+	}
+}
+
+func TestHasConsentLanguage(t *testing.T) {
+	yes := &capture.Capture{ScreenshotText: "We value your privacy. We and our partners…"}
+	no := &capture.Capture{ScreenshotText: "Breaking news: weather tomorrow."}
+	if !HasConsentLanguage(yes) || HasConsentLanguage(no) {
+		t.Error("GDPR phrase matching broken")
+	}
+}
+
+func TestObservationsAggregation(t *testing.T) {
+	det := Default()
+	obs := NewObservations(det)
+	// Day 5: two captures with the CMP, one without → classified
+	// OneTrust (share 2/3 ≥ 1/3).
+	obs.Record(capWithHosts("a.com", 5, "cdn.cookielaw.org"))
+	obs.Record(capWithHosts("a.com", 5, "cdn.cookielaw.org"))
+	obs.Record(capWithHosts("a.com", 5, "www.a.com"))
+	// Day 9: one of four captures has it → below the ⅓ heuristic.
+	obs.Record(capWithHosts("a.com", 9, "cdn.cookielaw.org"))
+	obs.Record(capWithHosts("a.com", 9, "www.a.com"))
+	obs.Record(capWithHosts("a.com", 9, "www.a.com"))
+	obs.Record(capWithHosts("a.com", 9, "www.a.com"))
+	// Failed captures are ignored.
+	obs.Record(&capture.Capture{FinalDomain: "a.com", Failed: true})
+
+	if obs.Total != 7 {
+		t.Errorf("Total = %d", obs.Total)
+	}
+	if obs.NumDomains() != 1 {
+		t.Errorf("NumDomains = %d", obs.NumDomains())
+	}
+	days := obs.DayObservations("a.com")
+	if len(days) != 2 {
+		t.Fatalf("days = %+v", days)
+	}
+	if days[0].Day != 5 || days[0].CMP != cmps.OneTrust || days[0].Captures != 3 {
+		t.Errorf("day 5: %+v", days[0])
+	}
+	if days[1].Day != 9 || days[1].CMP != cmps.None || days[1].Captures != 4 {
+		t.Errorf("day 9: %+v", days[1])
+	}
+	// With a lower threshold the day-9 observation flips.
+	loose := obs.DayObservationsWithThreshold("a.com", 0.2)
+	if loose[1].CMP != cmps.OneTrust {
+		t.Error("threshold override not applied")
+	}
+	if obs.DayObservations("unknown.com") != nil {
+		t.Error("unknown domains must return nil")
+	}
+}
+
+func TestObservationsMultiCMP(t *testing.T) {
+	obs := NewObservations(Default())
+	obs.Record(capWithHosts("a.com", 1, "cdn.cookielaw.org", "consent.trustarc.com"))
+	if obs.MultiCMP != 1 {
+		t.Errorf("MultiCMP = %d", obs.MultiCMP)
+	}
+}
+
+func TestDailyShareDistribution(t *testing.T) {
+	obs := NewObservations(Default())
+	// Domain with 10/10 CMP captures on one day.
+	for i := 0; i < 10; i++ {
+		obs.Record(capWithHosts("high.com", 3, "consent.cookiebot.com"))
+	}
+	// Domain with 0/10.
+	for i := 0; i < 10; i++ {
+		obs.Record(capWithHosts("low.com", 3, "www.low.com"))
+	}
+	// Domain with 5/10 — the anomalous middle.
+	for i := 0; i < 10; i++ {
+		hosts := []string{"www.mid.com"}
+		if i%2 == 0 {
+			hosts = []string{"consent.cookiebot.com"}
+		}
+		obs.Record(capWithHosts("mid.com", 3, hosts...))
+	}
+	below, between, above := obs.DailyShareDistribution(5, 0.05, 0.95)
+	if below != 1 || between != 1 || above != 1 {
+		t.Errorf("distribution = %d/%d/%d, want 1/1/1", below, between, above)
+	}
+}

@@ -1,0 +1,208 @@
+package detect
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// Observations is a streaming capture sink that aggregates detection
+// results into compact per-domain records. The social-media pipeline
+// records millions of captures; only an 8-byte record per capture is
+// retained, mirroring how the paper's analyses consume the capture
+// database rather than raw page data.
+type Observations struct {
+	det *Detector
+
+	mu      sync.Mutex
+	domains map[string]*domainObs
+	// MultiCMP counts captures matching more than one CMP (overcount
+	// quantification, Section 3.5: 0.01% of captures).
+	MultiCMP int64
+	// Total counts all recorded (non-failed) captures.
+	Total int64
+}
+
+// obsRec is one capture's compact detection record.
+type obsRec struct {
+	day int32
+	cmp int8 // cmps.ID of the first detected CMP; 0 = none
+}
+
+type domainObs struct {
+	recs   []obsRec
+	sorted bool
+}
+
+// NewObservations returns an empty aggregate fed by the detector.
+func NewObservations(det *Detector) *Observations {
+	return &Observations{det: det, domains: make(map[string]*domainObs)}
+}
+
+// Record implements capture.Sink.
+func (o *Observations) Record(c *capture.Capture) {
+	if c.Failed || c.FinalDomain == "" {
+		return
+	}
+	detected := o.det.Detect(c)
+	var id cmps.ID
+	if len(detected) > 0 {
+		id = detected[0]
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.Total++
+	if len(detected) > 1 {
+		o.MultiCMP++
+	}
+	dom := o.domains[c.FinalDomain]
+	if dom == nil {
+		dom = &domainObs{}
+		o.domains[c.FinalDomain] = dom
+	}
+	dom.recs = append(dom.recs, obsRec{day: int32(c.Day), cmp: int8(id)})
+	dom.sorted = false
+}
+
+// Observed reports whether the domain ever appeared as a final domain
+// in the capture stream.
+func (o *Observations) Observed(domain string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, ok := o.domains[domain]
+	return ok
+}
+
+// NumDomains returns how many distinct final domains were observed.
+func (o *Observations) NumDomains() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.domains)
+}
+
+// Domains returns the observed domain names, sorted.
+func (o *Observations) Domains() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.domains))
+	for d := range o.domains {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DayObservation is a domain's classification on one observed day.
+type DayObservation struct {
+	Day simtime.Day
+	// CMP is the classified provider for the day, or cmps.None. A day
+	// is classified as CMP-using if one CMP appears in at least every
+	// third capture of that day (SiteHeuristicThreshold).
+	CMP cmps.ID
+	// Share is the fraction of the day's captures containing the
+	// classified CMP (0 for None).
+	Share float64
+	// Captures is the day's capture count.
+	Captures int
+}
+
+// DayObservations returns a domain's classified days in ascending
+// order, applying the ≥⅓-captures heuristic per day. Returns nil for
+// unobserved domains.
+func (o *Observations) DayObservations(domain string) []DayObservation {
+	return o.DayObservationsWithThreshold(domain, SiteHeuristicThreshold)
+}
+
+// DayObservationsWithThreshold applies a custom per-day share
+// threshold; used by the site-heuristic ablation.
+func (o *Observations) DayObservationsWithThreshold(domain string, threshold float64) []DayObservation {
+	recs := o.sortedRecs(domain)
+	if recs == nil {
+		return nil
+	}
+	var out []DayObservation
+	for i := 0; i < len(recs); {
+		j := i
+		var counts [cmps.Count + 1]int
+		for j < len(recs) && recs[j].day == recs[i].day {
+			counts[recs[j].cmp]++
+			j++
+		}
+		total := j - i
+		obs := DayObservation{Day: simtime.Day(recs[i].day), Captures: total}
+		best, bestCount := cmps.None, 0
+		for _, id := range cmps.All() {
+			if counts[id] > bestCount {
+				best, bestCount = id, counts[id]
+			}
+		}
+		if bestCount > 0 && float64(bestCount) >= threshold*float64(total) {
+			obs.CMP = best
+			obs.Share = float64(bestCount) / float64(total)
+		}
+		out = append(out, obs)
+		i = j
+	}
+	return out
+}
+
+// sortedRecs returns the domain's records sorted by day, sorting
+// lazily under the lock.
+func (o *Observations) sortedRecs(domain string) []obsRec {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dom := o.domains[domain]
+	if dom == nil {
+		return nil
+	}
+	if !dom.sorted {
+		sort.Slice(dom.recs, func(i, j int) bool { return dom.recs[i].day < dom.recs[j].day })
+		dom.sorted = true
+	}
+	return dom.recs
+}
+
+// DailyShareDistribution reports, over all domain-days with at least
+// minCaptures, how many had a CMP-capture share below lo, above hi, or
+// in between. The paper reports that for 99.8% of all domains the
+// daily share is consistently below 5% or above 95%.
+func (o *Observations) DailyShareDistribution(minCaptures int, lo, hi float64) (below, between, above int) {
+	var domains []string
+	o.mu.Lock()
+	for d := range o.domains {
+		domains = append(domains, d)
+	}
+	o.mu.Unlock()
+	for _, d := range domains {
+		recs := o.sortedRecs(d)
+		for i := 0; i < len(recs); {
+			j := i
+			withCMP := 0
+			for j < len(recs) && recs[j].day == recs[i].day {
+				if recs[j].cmp != 0 {
+					withCMP++
+				}
+				j++
+			}
+			total := j - i
+			i = j
+			if total < minCaptures {
+				continue
+			}
+			share := float64(withCMP) / float64(total)
+			switch {
+			case share < lo:
+				below++
+			case share > hi:
+				above++
+			default:
+				between++
+			}
+		}
+	}
+	return below, between, above
+}

@@ -1,0 +1,205 @@
+package gvl
+
+import (
+	"time"
+
+	"repro/internal/tcf"
+)
+
+// The paper measures "every instance when an Ad-tech vendor joins or
+// leaves the GVL, claims a new purpose falls under legitimate interest,
+// begins requesting consent for a new purpose, stops claiming either,
+// or changes from collecting consent to claiming legitimate interest or
+// the other way round" (Section 3.2). Diff implements exactly that
+// taxonomy between two consecutive list versions.
+
+// ChangeKind classifies one vendor-level change between versions.
+type ChangeKind int
+
+const (
+	VendorJoined ChangeKind = iota
+	VendorLeft
+	StartConsent        // begins requesting consent for a new purpose
+	StopConsent         // stops requesting consent for a purpose
+	StartLegInt         // claims a new purpose under legitimate interest
+	StopLegInt          // stops claiming legitimate interest
+	ConsentToLegInt     // switches from collecting consent to claiming LI
+	LegIntToConsent     // switches from claiming LI to collecting consent
+	numChangeKinds  int = iota
+)
+
+var changeKindNames = [...]string{
+	"vendor-joined", "vendor-left", "start-consent", "stop-consent",
+	"start-legint", "stop-legint", "consent-to-legint", "legint-to-consent",
+}
+
+func (k ChangeKind) String() string {
+	if int(k) < len(changeKindNames) {
+		return changeKindNames[k]
+	}
+	return "unknown"
+}
+
+// Change is one observed change, attributed to the version (and its
+// publication date) in which it first appears.
+type Change struct {
+	Kind     ChangeKind
+	VendorID int
+	Purpose  int // 0 for join/leave
+	Version  int
+	Date     time.Time
+}
+
+// Diff computes the change set from an older to a newer list version.
+func Diff(old, new *List) []Change {
+	var changes []Change
+	add := func(kind ChangeKind, vendor, purpose int) {
+		changes = append(changes, Change{
+			Kind: kind, VendorID: vendor, Purpose: purpose,
+			Version: new.VendorListVersion, Date: new.LastUpdated,
+		})
+	}
+
+	oldByID := make(map[int]*Vendor, len(old.Vendors))
+	for i := range old.Vendors {
+		oldByID[old.Vendors[i].ID] = &old.Vendors[i]
+	}
+	newByID := make(map[int]*Vendor, len(new.Vendors))
+	for i := range new.Vendors {
+		newByID[new.Vendors[i].ID] = &new.Vendors[i]
+	}
+
+	for i := range new.Vendors {
+		nv := &new.Vendors[i]
+		ov, ok := oldByID[nv.ID]
+		if !ok {
+			add(VendorJoined, nv.ID, 0)
+			continue
+		}
+		for p := 1; p <= tcf.NumPurposes; p++ {
+			oc, ol := ov.RequestsConsent(p), ov.ClaimsLegitimateInterest(p)
+			nc, nl := nv.RequestsConsent(p), nv.ClaimsLegitimateInterest(p)
+			switch {
+			case oc && !nc && !ol && nl:
+				add(ConsentToLegInt, nv.ID, p)
+			case !oc && nc && ol && !nl:
+				add(LegIntToConsent, nv.ID, p)
+			default:
+				if !oc && nc {
+					add(StartConsent, nv.ID, p)
+				}
+				if oc && !nc {
+					add(StopConsent, nv.ID, p)
+				}
+				if !ol && nl {
+					add(StartLegInt, nv.ID, p)
+				}
+				if ol && !nl {
+					add(StopLegInt, nv.ID, p)
+				}
+			}
+		}
+	}
+	for i := range old.Vendors {
+		if _, ok := newByID[old.Vendors[i].ID]; !ok {
+			add(VendorLeft, old.Vendors[i].ID, 0)
+		}
+	}
+	return changes
+}
+
+// DiffAll computes the change sets across the full history.
+func (h *History) DiffAll() []Change {
+	var all []Change
+	for i := 1; i < len(h.Versions); i++ {
+		all = append(all, Diff(&h.Versions[i-1], &h.Versions[i])...)
+	}
+	return all
+}
+
+// PurposePoint is one Figure 7 datum: a version's vendor count and
+// per-purpose declaration counts.
+type PurposePoint struct {
+	Version     int
+	Date        time.Time
+	VendorCount int
+	// Consent[p] is the number of vendors requesting consent for
+	// purpose p; LegInt[p] the number claiming legitimate interest.
+	Consent map[int]int
+	LegInt  map[int]int
+}
+
+// PurposeSeries computes the Figure 7 time series over the history.
+func (h *History) PurposeSeries() []PurposePoint {
+	points := make([]PurposePoint, 0, len(h.Versions))
+	for i := range h.Versions {
+		l := &h.Versions[i]
+		c, li := l.PurposeCounts()
+		points = append(points, PurposePoint{
+			Version:     l.VendorListVersion,
+			Date:        l.LastUpdated,
+			VendorCount: len(l.Vendors),
+			Consent:     c,
+			LegInt:      li,
+		})
+	}
+	return points
+}
+
+// FlowPoint is one Figure 8 datum: counts of each change kind in a
+// calendar month.
+type FlowPoint struct {
+	Month  time.Time // first day of the month
+	Counts [numChangeKinds]int
+}
+
+// Count returns the tally for one change kind.
+func (p *FlowPoint) Count(k ChangeKind) int { return p.Counts[k] }
+
+// LegalBasisFlows aggregates the history's changes into monthly flow
+// counts (Figure 8). Months with no changes are included as zero points
+// so the series has no gaps.
+func (h *History) LegalBasisFlows() []FlowPoint {
+	if len(h.Versions) == 0 {
+		return nil
+	}
+	changes := h.DiffAll()
+	first := monthOf(h.Versions[0].LastUpdated)
+	last := monthOf(h.Versions[len(h.Versions)-1].LastUpdated)
+	var months []time.Time
+	for m := first; !m.After(last); m = m.AddDate(0, 1, 0) {
+		months = append(months, m)
+	}
+	idx := make(map[time.Time]int, len(months))
+	points := make([]FlowPoint, len(months))
+	for i, m := range months {
+		points[i].Month = m
+		idx[m] = i
+	}
+	for _, c := range changes {
+		if i, ok := idx[monthOf(c.Date)]; ok {
+			points[i].Counts[c.Kind]++
+		}
+	}
+	return points
+}
+
+// NetLegIntToConsent returns the net number of LI→consent switches over
+// the whole history (positive means the paper's "surprising result"
+// holds: vendors moved toward obtaining consent).
+func (h *History) NetLegIntToConsent() int {
+	net := 0
+	for _, c := range h.DiffAll() {
+		switch c.Kind {
+		case LegIntToConsent:
+			net++
+		case ConsentToLegInt:
+			net--
+		}
+	}
+	return net
+}
+
+func monthOf(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}

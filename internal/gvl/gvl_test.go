@@ -1,0 +1,230 @@
+package gvl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tcf"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := &List{
+		VendorListVersion: 42,
+		LastUpdated:       time.Date(2019, 6, 5, 0, 0, 0, 0, time.UTC),
+		Vendors: []Vendor{
+			{ID: 1, Name: "AdVendor 1 Ltd", PolicyURL: "https://vendor1.example/privacy",
+				PurposeIDs: []int{1, 3}, LegIntPurposeIDs: []int{5}, FeatureIDs: []int{2}},
+			{ID: 7, Name: "AdVendor 7 Ltd", PolicyURL: "https://vendor7.example/privacy",
+				PurposeIDs: []int{1}},
+		},
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	// The wire format embeds the standardized definitions.
+	for _, frag := range []string{`"vendorListVersion":42`, `"purposes":[`, `"features":[`,
+		`"Information storage and access"`, `"legIntPurposeIds":[5]`, `"policyUrl"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("wire JSON missing %q", frag)
+		}
+	}
+	var back List
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.VendorListVersion != 42 || !back.LastUpdated.Equal(l.LastUpdated) || len(back.Vendors) != 2 {
+		t.Errorf("round trip: %+v", back)
+	}
+	if v := back.Vendor(1); v == nil || !v.RequestsConsent(3) || !v.ClaimsLegitimateInterest(5) {
+		t.Errorf("vendor 1 round trip: %+v", v)
+	}
+	if back.Vendor(999) != nil {
+		t.Error("unknown vendor must be nil")
+	}
+	if back.MaxVendorID() != 7 {
+		t.Errorf("MaxVendorID = %d", back.MaxVendorID())
+	}
+}
+
+func TestUnmarshalBadDate(t *testing.T) {
+	var l List
+	if err := json.Unmarshal([]byte(`{"vendorListVersion":1,"lastUpdated":"noon"}`), &l); err == nil {
+		t.Error("bad lastUpdated must fail")
+	}
+}
+
+func TestPurposeCounts(t *testing.T) {
+	l := &List{Vendors: []Vendor{
+		{ID: 1, PurposeIDs: []int{1, 2}, LegIntPurposeIDs: []int{3}},
+		{ID: 2, PurposeIDs: []int{1}, LegIntPurposeIDs: []int{3, 4}},
+	}}
+	c, li := l.PurposeCounts()
+	if c[1] != 2 || c[2] != 1 || li[3] != 2 || li[4] != 1 {
+		t.Errorf("counts: consent=%v legint=%v", c, li)
+	}
+}
+
+func TestDiffTaxonomy(t *testing.T) {
+	old := &List{VendorListVersion: 1, Vendors: []Vendor{
+		{ID: 1, PurposeIDs: []int{1}},                       // will switch 1: consent -> LI
+		{ID: 2, LegIntPurposeIDs: []int{2}},                 // will switch 2: LI -> consent
+		{ID: 3, PurposeIDs: []int{1}},                       // will add purpose 4 consent
+		{ID: 4, PurposeIDs: []int{1, 5}},                    // will stop purpose 5 consent
+		{ID: 5, LegIntPurposeIDs: []int{3}},                 // will stop LI 3
+		{ID: 6},                                             // will claim new LI 2
+		{ID: 7, PurposeIDs: []int{1}},                       // will leave
+		{ID: 9, PurposeIDs: []int{2}, FeatureIDs: []int{1}}, // unchanged
+	}}
+	new := &List{VendorListVersion: 2, LastUpdated: time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC), Vendors: []Vendor{
+		{ID: 1, LegIntPurposeIDs: []int{1}},
+		{ID: 2, PurposeIDs: []int{2}},
+		{ID: 3, PurposeIDs: []int{1, 4}},
+		{ID: 4, PurposeIDs: []int{1}},
+		{ID: 5},
+		{ID: 6, LegIntPurposeIDs: []int{2}},
+		{ID: 8, PurposeIDs: []int{1}}, // joined
+		{ID: 9, PurposeIDs: []int{2}, FeatureIDs: []int{1}},
+	}}
+	changes := Diff(old, new)
+	got := map[string]int{}
+	for _, c := range changes {
+		got[c.Kind.String()]++
+		if c.Version != 2 {
+			t.Errorf("change version = %d", c.Version)
+		}
+	}
+	want := map[string]int{
+		"consent-to-legint": 1, "legint-to-consent": 1, "start-consent": 1,
+		"stop-consent": 1, "stop-legint": 1, "start-legint": 1,
+		"vendor-joined": 1, "vendor-left": 1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: got %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+	if len(changes) != 8 {
+		t.Errorf("total changes = %d, want 8", len(changes))
+	}
+}
+
+func TestGenerateHistoryShape(t *testing.T) {
+	h := GenerateHistory(DefaultHistoryConfig())
+	if len(h.Versions) != 215 {
+		t.Fatalf("want 215 versions (as downloaded by the paper), got %d", len(h.Versions))
+	}
+	for i := 1; i < len(h.Versions); i++ {
+		if h.Versions[i].VendorListVersion != h.Versions[i-1].VendorListVersion+1 {
+			t.Fatal("version numbers must be consecutive")
+		}
+		if !h.Versions[i].LastUpdated.After(h.Versions[i-1].LastUpdated) {
+			t.Fatal("publication dates must increase")
+		}
+	}
+	first, last := &h.Versions[0], &h.Versions[len(h.Versions)-1]
+	if len(first.Vendors) < 100 || len(first.Vendors) > 250 {
+		t.Errorf("initial vendor count = %d", len(first.Vendors))
+	}
+	if len(last.Vendors) < 550 {
+		t.Errorf("final vendor count = %d, want growth to ≈650", len(last.Vendors))
+	}
+
+	// Figure 7 shape: purpose 1 is always the most requested purpose.
+	for _, pt := range h.PurposeSeries() {
+		for p := 2; p <= tcf.NumPurposes; p++ {
+			if pt.Consent[p] > pt.Consent[1] {
+				t.Fatalf("v%d: purpose %d (%d) exceeds purpose 1 (%d)",
+					pt.Version, p, pt.Consent[p], pt.Consent[1])
+			}
+		}
+	}
+
+	// Section 5.2: for every purpose, at least a fifth of vendors
+	// claim legitimate interest.
+	c, li := last.PurposeCounts()
+	_ = c
+	for p := 1; p <= tcf.NumPurposes; p++ {
+		share := float64(li[p]) / float64(len(last.Vendors))
+		if share < 0.20 {
+			t.Errorf("purpose %d LI share = %.2f, want ≥ 0.20", p, share)
+		}
+	}
+}
+
+func TestHistoryDeterminism(t *testing.T) {
+	cfg := HistoryConfig{Seed: 5, Versions: 30, InitialVendors: 40, PeakVendors: 120}
+	a := GenerateHistory(cfg)
+	b := GenerateHistory(cfg)
+	ja, _ := json.Marshal(a.Versions[len(a.Versions)-1])
+	jb, _ := json.Marshal(b.Versions[len(b.Versions)-1])
+	if string(ja) != string(jb) {
+		t.Error("identical seeds must produce identical histories")
+	}
+}
+
+func TestNetLegIntToConsentPositive(t *testing.T) {
+	h := GenerateHistory(DefaultHistoryConfig())
+	if net := h.NetLegIntToConsent(); net <= 0 {
+		t.Errorf("net LI→consent = %d, want positive (Figure 8's headline)", net)
+	}
+}
+
+func TestLegalBasisFlows(t *testing.T) {
+	h := GenerateHistory(DefaultHistoryConfig())
+	flows := h.LegalBasisFlows()
+	if len(flows) < 20 {
+		t.Fatalf("want a monthly series spanning ≈26 months, got %d", len(flows))
+	}
+	for i := 1; i < len(flows); i++ {
+		if !flows[i].Month.After(flows[i-1].Month) {
+			t.Fatal("months must increase")
+		}
+	}
+	// Totals across months must equal the full diff counts.
+	all := h.DiffAll()
+	var fromFlows, fromDiff int
+	for _, f := range flows {
+		for k := 0; k < len(f.Counts); k++ {
+			fromFlows += f.Counts[k]
+		}
+	}
+	fromDiff = len(all)
+	if fromFlows != fromDiff {
+		t.Errorf("flow total %d != diff total %d", fromFlows, fromDiff)
+	}
+	// Change activity peaks around GDPR: May/June 2018 must exceed a
+	// quiet month like March 2019.
+	act := func(y int, m time.Month) int {
+		for _, f := range flows {
+			if f.Month.Year() == y && f.Month.Month() == m {
+				total := 0
+				for k := StartConsent; k <= LegIntToConsent; k++ {
+					total += f.Count(k)
+				}
+				return total
+			}
+		}
+		return -1
+	}
+	if act(2018, time.June) <= act(2019, time.March) {
+		t.Errorf("GDPR-period activity (%d) should exceed quiet 2019 (%d)",
+			act(2018, time.June), act(2019, time.March))
+	}
+}
+
+// TestDiffInverse: diffing a list against itself yields no changes.
+func TestDiffInverse(t *testing.T) {
+	h := GenerateHistory(HistoryConfig{Seed: 2, Versions: 5, InitialVendors: 30, PeakVendors: 60})
+	f := func(i uint8) bool {
+		l := &h.Versions[int(i)%len(h.Versions)]
+		return len(Diff(l, l)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package gvl
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/tcf"
+)
+
+// GVL v2: the vendor-list format of TCF v2, which the ecosystem
+// migrated to at the very end of the paper's observation window. The
+// v2 schema is richer than v1: ten purposes, special purposes that
+// never require consent, special features requiring explicit opt-in,
+// and per-vendor "flexible purposes" that may run under either legal
+// basis depending on publisher restrictions.
+
+// VendorV2 is one advertiser on a v2 Global Vendor List.
+type VendorV2 struct {
+	ID        int    `json:"id"`
+	Name      string `json:"name"`
+	PolicyURL string `json:"policyUrl"`
+	// Purposes are consent-based purposes (1–10).
+	Purposes []int `json:"purposes"`
+	// LegIntPurposes are legitimate-interest purposes.
+	LegIntPurposes []int `json:"legIntPurposes"`
+	// FlexiblePurposes may use either legal basis, switchable by
+	// publisher restriction.
+	FlexiblePurposes []int `json:"flexiblePurposes"`
+	// SpecialPurposes (security, delivery) need no consent and cannot
+	// be objected to.
+	SpecialPurposes []int `json:"specialPurposes"`
+	Features        []int `json:"features"`
+	// SpecialFeatures require explicit opt-in (precise geolocation,
+	// device scanning).
+	SpecialFeatures []int `json:"specialFeatures"`
+}
+
+// ListV2 is one published v2 vendor list.
+type ListV2 struct {
+	GVLSpecificationVersion int        `json:"gvlSpecificationVersion"`
+	VendorListVersion       int        `json:"vendorListVersion"`
+	TCFPolicyVersion        int        `json:"tcfPolicyVersion"`
+	LastUpdated             time.Time  `json:"lastUpdated"`
+	Vendors                 []VendorV2 `json:"-"`
+}
+
+// listV2JSON is the wire schema: vendors keyed by ID string, as the
+// real v2 vendor-list.json is.
+type listV2JSON struct {
+	GVLSpecificationVersion int                    `json:"gvlSpecificationVersion"`
+	VendorListVersion       int                    `json:"vendorListVersion"`
+	TCFPolicyVersion        int                    `json:"tcfPolicyVersion"`
+	LastUpdated             string                 `json:"lastUpdated"`
+	Purposes                map[string]purposeJSON `json:"purposes"`
+	SpecialFeatures         map[string]purposeJSON `json:"specialFeatures"`
+	Vendors                 map[string]VendorV2    `json:"vendors"`
+}
+
+// MarshalJSON emits the v2 wire format.
+func (l *ListV2) MarshalJSON() ([]byte, error) {
+	out := listV2JSON{
+		GVLSpecificationVersion: l.GVLSpecificationVersion,
+		VendorListVersion:       l.VendorListVersion,
+		TCFPolicyVersion:        l.TCFPolicyVersion,
+		LastUpdated:             l.LastUpdated.UTC().Format(time.RFC3339),
+		Purposes:                map[string]purposeJSON{},
+		SpecialFeatures:         map[string]purposeJSON{},
+		Vendors:                 map[string]VendorV2{},
+	}
+	for _, p := range tcf.PurposesV2() {
+		out.Purposes[fmt.Sprint(p.ID)] = purposeJSON{p.ID, p.Name, p.Definition}
+	}
+	for _, f := range tcf.SpecialFeaturesV2() {
+		out.SpecialFeatures[fmt.Sprint(f.ID)] = purposeJSON{f.ID, f.Name, f.Definition}
+	}
+	for _, v := range l.Vendors {
+		out.Vendors[fmt.Sprint(v.ID)] = v
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the v2 wire format.
+func (l *ListV2) UnmarshalJSON(data []byte) error {
+	var in listV2JSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t, err := time.Parse(time.RFC3339, in.LastUpdated)
+	if err != nil {
+		return fmt.Errorf("gvl: v2 lastUpdated: %w", err)
+	}
+	l.GVLSpecificationVersion = in.GVLSpecificationVersion
+	l.VendorListVersion = in.VendorListVersion
+	l.TCFPolicyVersion = in.TCFPolicyVersion
+	l.LastUpdated = t
+	l.Vendors = l.Vendors[:0]
+	for _, v := range in.Vendors {
+		l.Vendors = append(l.Vendors, v)
+	}
+	sort.Slice(l.Vendors, func(i, j int) bool { return l.Vendors[i].ID < l.Vendors[j].ID })
+	return nil
+}
+
+// v1→v2 purpose mapping (the IAB's published migration guidance):
+// storage/access → 1; personalisation → profiles (3, 5);
+// ad selection → basic + personalised ads (2, 4); content selection →
+// 6; measurement → 7, 8.
+var purposeV1toV2 = map[int][]int{
+	1: {1}, 2: {3, 5}, 3: {2, 4}, 4: {6}, 5: {7, 8},
+}
+
+// featureV1toSpecialFeatureV2 maps v1 features to v2 special features:
+// precise geolocation (v1 feature 3 → v2 special feature 1); device
+// linking becomes v2 purpose-adjacent device scanning only when
+// declared alongside fingerprinting, which v1 cannot express — so only
+// geolocation maps.
+var featureV1toSpecialFeatureV2 = map[int]int{3: 1}
+
+// UpgradeList converts a v1 list to its v2 equivalent, as the IAB did
+// when seeding the v2 GVL from v1 registrations.
+func UpgradeList(v1 *List) *ListV2 {
+	out := &ListV2{
+		GVLSpecificationVersion: 2,
+		VendorListVersion:       v1.VendorListVersion,
+		TCFPolicyVersion:        2,
+		LastUpdated:             v1.LastUpdated,
+	}
+	for i := range v1.Vendors {
+		ov := &v1.Vendors[i]
+		nv := VendorV2{ID: ov.ID, Name: ov.Name, PolicyURL: ov.PolicyURL}
+		seenC := map[int]bool{}
+		for _, p1 := range ov.PurposeIDs {
+			for _, p2 := range purposeV1toV2[p1] {
+				if !seenC[p2] {
+					seenC[p2] = true
+					nv.Purposes = append(nv.Purposes, p2)
+				}
+			}
+		}
+		seenLI := map[int]bool{}
+		for _, p1 := range ov.LegIntPurposeIDs {
+			for _, p2 := range purposeV1toV2[p1] {
+				// Purpose 1 cannot run under legitimate interest in
+				// TCF v2; such declarations migrate to consent.
+				if p2 == 1 {
+					if !seenC[1] {
+						seenC[1] = true
+						nv.Purposes = append(nv.Purposes, 1)
+					}
+					continue
+				}
+				if !seenLI[p2] && !seenC[p2] {
+					seenLI[p2] = true
+					nv.LegIntPurposes = append(nv.LegIntPurposes, p2)
+				}
+			}
+		}
+		for _, f := range ov.FeatureIDs {
+			if sf, ok := featureV1toSpecialFeatureV2[f]; ok {
+				nv.SpecialFeatures = append(nv.SpecialFeatures, sf)
+			} else {
+				nv.Features = append(nv.Features, f)
+			}
+		}
+		sort.Ints(nv.Purposes)
+		sort.Ints(nv.LegIntPurposes)
+		out.Vendors = append(out.Vendors, nv)
+	}
+	return out
+}
+
+// PurposeCountsV2 tallies per-purpose consent and LI declarations.
+func (l *ListV2) PurposeCountsV2() (consent, legInt map[int]int) {
+	consent = make(map[int]int, tcf.NumPurposesV2)
+	legInt = make(map[int]int, tcf.NumPurposesV2)
+	for i := range l.Vendors {
+		for _, p := range l.Vendors[i].Purposes {
+			consent[p]++
+		}
+		for _, p := range l.Vendors[i].LegIntPurposes {
+			legInt[p]++
+		}
+	}
+	return consent, legInt
+}

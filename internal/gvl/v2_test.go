@@ -1,0 +1,105 @@
+package gvl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUpgradeList(t *testing.T) {
+	v1 := &List{
+		VendorListVersion: 183,
+		LastUpdated:       time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC),
+		Vendors: []Vendor{
+			// Consents to all v1 purposes, relies on geolocation.
+			{ID: 1, Name: "A", PurposeIDs: []int{1, 2, 3, 4, 5}, FeatureIDs: []int{1, 3}},
+			// Claims purposes 1 and 3 under legitimate interest.
+			{ID: 2, Name: "B", LegIntPurposeIDs: []int{1, 3}},
+			// Overlapping mapping targets must deduplicate.
+			{ID: 3, Name: "C", PurposeIDs: []int{2}, LegIntPurposeIDs: []int{2}},
+		},
+	}
+	v2 := UpgradeList(v1)
+	if v2.VendorListVersion != 183 || v2.TCFPolicyVersion != 2 || v2.GVLSpecificationVersion != 2 {
+		t.Fatalf("header: %+v", v2)
+	}
+	a := v2.Vendors[0]
+	if got, want := len(a.Purposes), 8; got != want { // 1,2,3,4,5,6,7,8
+		t.Errorf("vendor A purposes = %v", a.Purposes)
+	}
+	// v1 feature 3 (geolocation) becomes v2 special feature 1; v1
+	// feature 1 stays a plain feature.
+	if len(a.SpecialFeatures) != 1 || a.SpecialFeatures[0] != 1 || len(a.Features) != 1 {
+		t.Errorf("vendor A features: %v / %v", a.Features, a.SpecialFeatures)
+	}
+	b := v2.Vendors[1]
+	// v1 LI on purpose 1 must migrate to consent (LI on storage is
+	// forbidden in v2); LI on v1 purpose 3 maps to v2 LI on 2 and 4.
+	if !containsInt(b.Purposes, 1) {
+		t.Errorf("vendor B purposes = %v, want storage under consent", b.Purposes)
+	}
+	if !containsInt(b.LegIntPurposes, 2) || !containsInt(b.LegIntPurposes, 4) {
+		t.Errorf("vendor B LI = %v", b.LegIntPurposes)
+	}
+	if containsInt(b.LegIntPurposes, 1) {
+		t.Error("LI on purpose 1 is forbidden in v2")
+	}
+	cv := v2.Vendors[2]
+	// Consent takes precedence over LI for the same mapped purpose.
+	for _, p := range cv.LegIntPurposes {
+		if containsInt(cv.Purposes, p) {
+			t.Errorf("vendor C declares %d under both bases", p)
+		}
+	}
+}
+
+func TestListV2JSONRoundTrip(t *testing.T) {
+	v1 := GenerateHistory(HistoryConfig{Seed: 1, Versions: 3, InitialVendors: 25, PeakVendors: 40})
+	v2 := UpgradeList(&v1.Versions[2])
+	data, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, frag := range []string{`"gvlSpecificationVersion":2`, `"purposes":{`, `"specialFeatures":{`,
+		`"Store and/or access information on a device"`, `"vendors":{`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("v2 wire JSON missing %q", frag)
+		}
+	}
+	var back ListV2
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.VendorListVersion != v2.VendorListVersion || len(back.Vendors) != len(v2.Vendors) {
+		t.Fatalf("round trip: %d vendors vs %d", len(back.Vendors), len(v2.Vendors))
+	}
+	for i := range back.Vendors {
+		if back.Vendors[i].ID != v2.Vendors[i].ID {
+			t.Fatal("vendor ordering lost")
+		}
+	}
+}
+
+func TestPurposeCountsV2(t *testing.T) {
+	l := &ListV2{Vendors: []VendorV2{
+		{ID: 1, Purposes: []int{1, 3}, LegIntPurposes: []int{7}},
+		{ID: 2, Purposes: []int{1}, LegIntPurposes: []int{7, 9}},
+	}}
+	c, li := l.PurposeCountsV2()
+	if c[1] != 2 || c[3] != 1 || li[7] != 2 || li[9] != 1 {
+		t.Errorf("counts: %v / %v", c, li)
+	}
+}
+
+func TestUpgradePreservesPurposeOneDominance(t *testing.T) {
+	h := GenerateHistory(DefaultHistoryConfig())
+	v2 := UpgradeList(&h.Versions[len(h.Versions)-1])
+	c, _ := v2.PurposeCountsV2()
+	for p := 2; p <= 10; p++ {
+		if c[p] > c[1] {
+			t.Errorf("v2 purpose %d (%d) exceeds purpose 1 (%d)", p, c[p], c[1])
+		}
+	}
+}

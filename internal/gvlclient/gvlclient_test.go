@@ -1,0 +1,103 @@
+package gvlclient
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/gvl"
+	"repro/internal/webserve"
+	"repro/internal/webworld"
+)
+
+func startServer(t *testing.T, versions int) (*gvl.History, *Client) {
+	t.Helper()
+	world := webworld.New(webworld.Config{Seed: 1, Domains: 200})
+	history := gvl.GenerateHistory(gvl.HistoryConfig{
+		Seed: 1, Versions: versions, InitialVendors: 40, PeakVendors: 90,
+	})
+	ts := httptest.NewServer(webserve.NewServer(world, history))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return history, New("http://vendorlist.consensu.org", u.Host)
+}
+
+func TestFetchVersion(t *testing.T) {
+	history, client := startServer(t, 12)
+	list, raw, err := client.FetchVersion(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.VendorListVersion != 7 || len(raw) == 0 {
+		t.Fatalf("list: %+v", list)
+	}
+	want := &history.Versions[6]
+	if len(list.Vendors) != len(want.Vendors) {
+		t.Errorf("vendors = %d, want %d", len(list.Vendors), len(want.Vendors))
+	}
+	if _, _, err := client.FetchVersion(context.Background(), 99); err == nil {
+		t.Error("unpublished version must fail")
+	} else if _, ok := err.(ErrNotPublished); !ok {
+		t.Errorf("want ErrNotPublished, got %v", err)
+	}
+}
+
+func TestFetchAll(t *testing.T) {
+	history, client := startServer(t, 15)
+	got, err := client.FetchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.History.Versions) != 15 {
+		t.Fatalf("fetched %d versions, want 15", len(got.History.Versions))
+	}
+	if len(got.Manifest) != 15 {
+		t.Fatalf("manifest has %d entries", len(got.Manifest))
+	}
+	for i, m := range got.Manifest {
+		if m.Version != i+1 || m.SHA256 == "" || m.Vendors == 0 {
+			t.Errorf("manifest[%d] = %+v", i, m)
+		}
+	}
+	// The downloaded history supports the same analyses as the
+	// generated one.
+	series := got.History.PurposeSeries()
+	if len(series) != 15 {
+		t.Fatal("downloaded history unusable")
+	}
+	if series[14].VendorCount != len(history.Versions[14].Vendors) {
+		t.Error("downloaded vendor counts diverge from the source")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	_, client := startServer(t, 8)
+	got, err := client.FetchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.Verify(context.Background(), got.Manifest)
+	if err != nil || n != 8 {
+		t.Fatalf("verify: n=%d err=%v", n, err)
+	}
+	// Tamper with a hash: verification must fail.
+	got.Manifest[3].SHA256 = "deadbeef"
+	if _, err := client.Verify(context.Background(), got.Manifest); err == nil {
+		t.Error("tampered manifest must fail verification")
+	}
+}
+
+func TestFetchAllEmptyServer(t *testing.T) {
+	world := webworld.New(webworld.Config{Seed: 1, Domains: 100})
+	ts := httptest.NewServer(webserve.NewServer(world, nil))
+	t.Cleanup(ts.Close)
+	u, _ := url.Parse(ts.URL)
+	client := New("http://vendorlist.consensu.org", u.Host)
+	if _, err := client.FetchAll(context.Background()); err == nil {
+		t.Error("server without a GVL must fail")
+	}
+}

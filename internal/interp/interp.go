@@ -1,0 +1,178 @@
+// Package interp reconstructs continuous CMP presence from irregular
+// social-media samples (Section 3.2, "Prevalence and Customization of
+// CMPs"). Two rules apply:
+//
+//  1. Boundary interpolation: a missing observation period is filled
+//     in only if both boundary measurements are classified equally
+//     ("if we observed Quantcast on example.com a month ago and
+//     observe it again today, we assume that example.com kept using
+//     Quantcast throughout").
+//  2. Right-censor fade-out: presence fades 30 days after the last
+//     measurement ("if the last measurement was made on February 1st,
+//     we assume no CMP presence as of March 1st").
+//
+// Toplist-based measurements have a fixed sampling frequency and need
+// no interpolation.
+package interp
+
+import (
+	"repro/internal/cmps"
+	"repro/internal/detect"
+	"repro/internal/simtime"
+)
+
+// FadeOutDays is the right-censoring horizon.
+const FadeOutDays = 30
+
+// Interval is a continuous period of CMP presence on a domain.
+// End is exclusive.
+type Interval struct {
+	CMP   cmps.ID
+	Start simtime.Day
+	End   simtime.Day
+	// Censored marks intervals whose end is an observation artifact —
+	// the fade-out after the last sample or the window boundary —
+	// rather than witnessed removal evidence (a disagreeing or
+	// CMP-less observation). Duration analyses must treat censored
+	// ends as lower bounds.
+	Censored bool
+}
+
+// Options tune interval construction; zero value reproduces the paper.
+type Options struct {
+	// NoInterpolation disables rule 1 (ablation): each observation
+	// then only supports presence on its own day plus fade-out.
+	NoInterpolation bool
+	// FadeOut overrides FadeOutDays; 0 means the default. Negative
+	// disables fade-out entirely, counting presence only on observed
+	// or interpolated days (ablation).
+	FadeOut int
+	// NoneMinCaptures is the minimum number of captures a CMP-less day
+	// needs to count as evidence that the site removed its CMP; days
+	// below the threshold (e.g. a single capture that happened to hit
+	// a script-less privacy-policy page) are ignored. 0 means the
+	// default of 2; negative means 1 (every None day is evidence —
+	// ablation).
+	NoneMinCaptures int
+}
+
+// DefaultNoneMinCaptures is the evidence threshold for CMP-removal
+// observations.
+const DefaultNoneMinCaptures = 2
+
+// Build reconstructs presence intervals from a domain's classified
+// day observations (ascending by day).
+func Build(obs []detect.DayObservation, opts Options) []Interval {
+	fade := simtime.Day(FadeOutDays)
+	switch {
+	case opts.FadeOut > 0:
+		fade = simtime.Day(opts.FadeOut)
+	case opts.FadeOut < 0:
+		fade = 1 // presence only on the observation day itself
+	}
+	var out []Interval
+	var cur *Interval
+	endOf := func(day simtime.Day) simtime.Day {
+		end := day + fade
+		if int(end) > simtime.NumDays {
+			end = simtime.Day(simtime.NumDays)
+		}
+		return end
+	}
+	noneMin := opts.NoneMinCaptures
+	switch {
+	case noneMin == 0:
+		noneMin = DefaultNoneMinCaptures
+	case noneMin < 0:
+		noneMin = 1
+	}
+	for _, o := range obs {
+		if o.CMP == cmps.None {
+			if o.Captures < noneMin {
+				// Too weak to witness a CMP removal (single capture of
+				// a bare subsite); ignore.
+				continue
+			}
+			// An explicit None observation terminates any running
+			// interval at this day (disagreeing boundary) — witnessed
+			// removal, not censoring.
+			if cur != nil && cur.End > o.Day {
+				cur.End = o.Day
+				cur.Censored = false
+			}
+			cur = nil
+			continue
+		}
+		if cur != nil && cur.CMP == o.CMP && !opts.NoInterpolation {
+			// Equal boundaries: extend through the gap.
+			cur.End = endOf(o.Day)
+			cur.Censored = true
+			continue
+		}
+		if cur != nil && cur.End > o.Day {
+			// Disagreeing boundary: do not assume presence in the gap;
+			// the earlier CMP's fade-out must not overlap the new one.
+			// The switch was witnessed.
+			cur.End = o.Day
+			cur.Censored = false
+		}
+		out = append(out, Interval{CMP: o.CMP, Start: o.Day, End: endOf(o.Day), Censored: true})
+		cur = &out[len(out)-1]
+	}
+	return out
+}
+
+// At returns the CMP present at the given day according to the
+// intervals, or cmps.None.
+func At(intervals []Interval, day simtime.Day) cmps.ID {
+	for _, iv := range intervals {
+		if day >= iv.Start && day < iv.End {
+			return iv.CMP
+		}
+	}
+	return cmps.None
+}
+
+// Switches extracts CMP transitions: consecutive intervals with
+// different CMPs where the gap between them is at most maxGap days
+// count as a switch; larger gaps count as an abandon followed by a
+// fresh adoption. Adoptions from nothing and abandons to nothing are
+// reported with cmps.None on the respective side.
+type Switch struct {
+	From cmps.ID
+	To   cmps.ID
+	Day  simtime.Day
+}
+
+// SwitchMaxGapDays is the largest gap still counted as a direct switch.
+const SwitchMaxGapDays = 60
+
+// Switches derives the transition list from a domain's intervals.
+func Switches(intervals []Interval) []Switch {
+	var out []Switch
+	for i, iv := range intervals {
+		if i == 0 {
+			out = append(out, Switch{From: cmps.None, To: iv.CMP, Day: iv.Start})
+			continue
+		}
+		prev := intervals[i-1]
+		if iv.Start-prev.End <= SwitchMaxGapDays {
+			if iv.CMP == prev.CMP {
+				// Same CMP re-observed after a short evidence gap:
+				// a continuation, not a switch.
+				continue
+			}
+			out = append(out, Switch{From: prev.CMP, To: iv.CMP, Day: iv.Start})
+		} else {
+			out = append(out, Switch{From: prev.CMP, To: cmps.None, Day: prev.End})
+			out = append(out, Switch{From: cmps.None, To: iv.CMP, Day: iv.Start})
+		}
+	}
+	if n := len(intervals); n > 0 {
+		last := intervals[n-1]
+		if int(last.End) < simtime.NumDays {
+			out = append(out, Switch{From: last.CMP, To: cmps.None, Day: last.End})
+		}
+	}
+	return out
+}

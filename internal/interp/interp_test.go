@@ -1,0 +1,228 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cmps"
+	"repro/internal/detect"
+	"repro/internal/simtime"
+)
+
+func obs(day simtime.Day, c cmps.ID, captures int) detect.DayObservation {
+	share := 0.0
+	if c != cmps.None {
+		share = 1
+	}
+	return detect.DayObservation{Day: day, CMP: c, Share: share, Captures: captures}
+}
+
+func TestInterpolationEqualBoundaries(t *testing.T) {
+	// Quantcast observed a month apart: presence assumed throughout
+	// (Section 3.2's example).
+	ivs := Build([]detect.DayObservation{
+		obs(100, cmps.Quantcast, 1),
+		obs(130, cmps.Quantcast, 1),
+	}, Options{})
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[0].Start != 100 || ivs[0].End != 160 {
+		t.Errorf("interval = %+v, want [100,160) (second obs + 30d fade)", ivs[0])
+	}
+	if At(ivs, 115) != cmps.Quantcast {
+		t.Error("gap must be interpolated")
+	}
+}
+
+func TestDisagreeingBoundaries(t *testing.T) {
+	// CMP changes between observations: no presence assumed in the gap
+	// beyond the fade-out of the first.
+	ivs := Build([]detect.DayObservation{
+		obs(100, cmps.Cookiebot, 1),
+		obs(300, cmps.OneTrust, 1),
+	}, Options{})
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[0].End != 130 {
+		t.Errorf("first interval must fade at 130, got %+v", ivs[0])
+	}
+	if At(ivs, 200) != cmps.None {
+		t.Error("gap between disagreeing boundaries must be empty")
+	}
+	if At(ivs, 300) != cmps.OneTrust {
+		t.Error("second observation must open a new interval")
+	}
+}
+
+func TestDisagreeingBoundariesClose(t *testing.T) {
+	// A different CMP observed within the first one's fade-out window
+	// must truncate the first interval at the new observation.
+	ivs := Build([]detect.DayObservation{
+		obs(100, cmps.Cookiebot, 1),
+		obs(110, cmps.OneTrust, 1),
+	}, Options{})
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[0].End != 110 {
+		t.Errorf("first interval must end at the disagreeing observation: %+v", ivs[0])
+	}
+	if At(ivs, 109) != cmps.Cookiebot || At(ivs, 110) != cmps.OneTrust {
+		t.Error("handover day wrong")
+	}
+}
+
+func TestFadeOut(t *testing.T) {
+	// Right-censoring: presence fades 30 days after the last
+	// measurement ("last measured February 1st → no CMP as of March
+	// 1st").
+	ivs := Build([]detect.DayObservation{obs(500, cmps.TrustArc, 2)}, Options{})
+	if At(ivs, 529) != cmps.TrustArc {
+		t.Error("presence must persist inside the fade window")
+	}
+	if At(ivs, 530) != cmps.None {
+		t.Error("presence must fade after 30 days")
+	}
+}
+
+func TestFadeOutClampsToWindow(t *testing.T) {
+	last := simtime.Day(simtime.NumDays - 5)
+	ivs := Build([]detect.DayObservation{obs(last, cmps.LiveRamp, 1)}, Options{})
+	if int(ivs[0].End) > simtime.NumDays {
+		t.Errorf("interval end %d beyond window", ivs[0].End)
+	}
+}
+
+func TestNoneEvidenceThreshold(t *testing.T) {
+	// A single CMP-less capture (e.g. a bare privacy-policy page) must
+	// not count as removal evidence; two captures must.
+	weak := Build([]detect.DayObservation{
+		obs(100, cmps.Quantcast, 1),
+		obs(110, cmps.None, 1),
+		obs(120, cmps.Quantcast, 1),
+	}, Options{})
+	if len(weak) != 1 {
+		t.Fatalf("weak None must be ignored: %+v", weak)
+	}
+	strong := Build([]detect.DayObservation{
+		obs(100, cmps.Quantcast, 1),
+		obs(110, cmps.None, 2),
+		obs(120, cmps.Quantcast, 1),
+	}, Options{})
+	if len(strong) != 2 {
+		t.Fatalf("strong None must split the interval: %+v", strong)
+	}
+	if strong[0].End != 110 {
+		t.Errorf("first interval must end at the None observation: %+v", strong[0])
+	}
+	// Ablation: NoneMinCaptures < 0 treats every None as evidence.
+	ablation := Build([]detect.DayObservation{
+		obs(100, cmps.Quantcast, 1),
+		obs(110, cmps.None, 1),
+		obs(120, cmps.Quantcast, 1),
+	}, Options{NoneMinCaptures: -1})
+	if len(ablation) != 2 {
+		t.Fatalf("ablation must split: %+v", ablation)
+	}
+}
+
+func TestNoInterpolationAblation(t *testing.T) {
+	ivs := Build([]detect.DayObservation{
+		obs(100, cmps.Quantcast, 1),
+		obs(200, cmps.Quantcast, 1),
+	}, Options{NoInterpolation: true})
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if At(ivs, 150) != cmps.None {
+		t.Error("no-interpolation must leave the gap empty")
+	}
+}
+
+func TestFadeOutOverride(t *testing.T) {
+	ivs := Build([]detect.DayObservation{obs(100, cmps.Quantcast, 1)}, Options{FadeOut: 10})
+	if ivs[0].End != 110 {
+		t.Errorf("custom fade = %+v", ivs[0])
+	}
+	ivs = Build([]detect.DayObservation{obs(100, cmps.Quantcast, 1)}, Options{FadeOut: -1})
+	if ivs[0].End != 101 {
+		t.Errorf("disabled fade = %+v", ivs[0])
+	}
+}
+
+func TestSwitches(t *testing.T) {
+	ivs := []Interval{
+		{CMP: cmps.Cookiebot, Start: 100, End: 200},
+		{CMP: cmps.OneTrust, Start: 210, End: simtime.Day(simtime.NumDays)},
+	}
+	sw := Switches(ivs)
+	if len(sw) != 2 {
+		t.Fatalf("switches = %+v", sw)
+	}
+	if sw[0].From != cmps.None || sw[0].To != cmps.Cookiebot || sw[0].Day != 100 {
+		t.Errorf("adoption switch = %+v", sw[0])
+	}
+	if sw[1].From != cmps.Cookiebot || sw[1].To != cmps.OneTrust || sw[1].Day != 210 {
+		t.Errorf("CMP switch = %+v", sw[1])
+	}
+}
+
+func TestSwitchesLargeGapIsAbandon(t *testing.T) {
+	ivs := []Interval{
+		{CMP: cmps.Cookiebot, Start: 100, End: 200},
+		{CMP: cmps.OneTrust, Start: 400, End: simtime.Day(simtime.NumDays)},
+	}
+	sw := Switches(ivs)
+	if len(sw) != 3 {
+		t.Fatalf("switches = %+v", sw)
+	}
+	if sw[1].From != cmps.Cookiebot || sw[1].To != cmps.None {
+		t.Errorf("want abandon, got %+v", sw[1])
+	}
+	if sw[2].From != cmps.None || sw[2].To != cmps.OneTrust {
+		t.Errorf("want fresh adoption, got %+v", sw[2])
+	}
+}
+
+func TestSwitchesFinalAbandon(t *testing.T) {
+	ivs := []Interval{{CMP: cmps.TrustArc, Start: 100, End: 300}}
+	sw := Switches(ivs)
+	if len(sw) != 2 || sw[1].To != cmps.None || sw[1].Day != 300 {
+		t.Errorf("switches = %+v", sw)
+	}
+}
+
+// TestIntervalsWellFormed: for any observation sequence, intervals are
+// sorted, non-empty, non-overlapping, and inside the window.
+func TestIntervalsWellFormed(t *testing.T) {
+	providers := []cmps.ID{cmps.None, cmps.OneTrust, cmps.Quantcast, cmps.Cookiebot}
+	f := func(seed uint32, n uint8) bool {
+		count := int(n%12) + 1
+		var seq []detect.DayObservation
+		day := simtime.Day(seed % 200)
+		x := seed
+		for i := 0; i < count; i++ {
+			x = x*1664525 + 1013904223
+			day += simtime.Day(x%80) + 1
+			if int(day) >= simtime.NumDays {
+				break
+			}
+			c := providers[x%4]
+			seq = append(seq, obs(day, c, int(x%3)+1))
+		}
+		ivs := Build(seq, Options{})
+		prevEnd := simtime.Day(-1)
+		for _, iv := range ivs {
+			if iv.Start >= iv.End || iv.Start < prevEnd || int(iv.End) > simtime.NumDays || !iv.CMP.Valid() {
+				return false
+			}
+			prevEnd = iv.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

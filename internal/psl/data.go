@@ -1,0 +1,121 @@
+package psl
+
+// snapshot is an embedded excerpt of the Public Suffix List sufficient
+// for the reproduction: generic TLDs, the country-code TLDs used by the
+// synthetic web (including multi-label registries like co.uk), the
+// canonical wildcard/exception examples from the PSL spec, and the
+// private-section entries the paper's example relies on (github.io).
+//
+// The full PSL is ~15k rules; the algorithm is rule-count agnostic, so
+// an excerpt preserves behaviour for every domain the simulation emits.
+const snapshot = `
+// ===BEGIN ICANN DOMAINS===
+com
+org
+net
+edu
+gov
+int
+mil
+info
+biz
+io
+co
+me
+tv
+xyz
+app
+dev
+online
+site
+news
+blog
+shop
+
+// Country-code TLDs (simple)
+at
+be
+bg
+ca
+ch
+cn
+cy
+cz
+de
+dk
+ee
+es
+eu
+fi
+fr
+gr
+hr
+hu
+ie
+in
+it
+lt
+lu
+lv
+mt
+nl
+no
+pl
+pt
+ro
+ru
+se
+si
+sk
+us
+
+// Multi-label registries
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+net.uk
+jp
+co.jp
+ne.jp
+or.jp
+ac.jp
+au
+com.au
+net.au
+org.au
+edu.au
+br
+com.br
+net.br
+org.br
+nz
+co.nz
+org.nz
+net.nz
+
+// Wildcard and exception rules (canonical spec examples)
+ck
+*.ck
+!www.ck
+bd
+*.bd
+kawasaki.jp
+*.kawasaki.jp
+!city.kawasaki.jp
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+githubusercontent.com
+blogspot.com
+cloudfront.net
+herokuapp.com
+netlify.app
+web.app
+firebaseapp.com
+azurewebsites.net
+s3.amazonaws.com
+// ===END PRIVATE DOMAINS===
+`

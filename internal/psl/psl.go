@@ -1,0 +1,221 @@
+// Package psl implements the Public Suffix List algorithm
+// (https://publicsuffix.org/list/) used by the paper to normalize a
+// capture's final website address to its effective second-level domain:
+// "We normalize this domain to the effective second-level domain using
+// the Public Suffix List, which contains all suffixes under which
+// internet users can directly register names."
+//
+// The package ships an embedded snapshot (see data.go) covering the
+// ICANN section rules and the private-section entries relevant to the
+// reproduction (e.g. github.io, so that foo.example.github.io normalizes
+// to example.github.io exactly as in the paper's example). Custom lists
+// can be parsed with Parse for tests and tooling.
+package psl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Rule is a single public-suffix rule. Labels are stored in reverse
+// order (TLD first) for trie-free suffix matching.
+type rule struct {
+	labels    []string // reversed: ["uk","co"] for "co.uk"
+	exception bool     // rule began with '!'
+	private   bool     // rule came from the private section
+}
+
+// List is a parsed public suffix list.
+type List struct {
+	// rules indexed by their first (rightmost) label for fast lookup.
+	rules map[string][]rule
+}
+
+// Parse reads rules in the canonical PSL text format: one rule per
+// line, '//' comments, blank lines ignored, '*' wildcards and '!'
+// exceptions supported. Section markers ("===BEGIN PRIVATE DOMAINS===")
+// toggle the private flag.
+func Parse(text string) (*List, error) {
+	l := &List{rules: make(map[string][]rule)}
+	private := false
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "//") {
+			if strings.Contains(line, "BEGIN PRIVATE DOMAINS") {
+				private = true
+			}
+			if strings.Contains(line, "END PRIVATE DOMAINS") {
+				private = false
+			}
+			continue
+		}
+		// Rules are terminated by whitespace per the spec.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		r := rule{private: private}
+		if strings.HasPrefix(line, "!") {
+			r.exception = true
+			line = line[1:]
+		}
+		if line == "" || strings.HasPrefix(line, ".") || strings.HasSuffix(line, ".") {
+			return nil, fmt.Errorf("psl: malformed rule on line %d", ln+1)
+		}
+		labels := strings.Split(strings.ToLower(line), ".")
+		for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+			labels[i], labels[j] = labels[j], labels[i]
+		}
+		r.labels = labels
+		key := labels[0]
+		l.rules[key] = append(l.rules[key], r)
+	}
+	return l, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultList *List
+)
+
+// Default returns the embedded snapshot list. Parsing happens once.
+func Default() *List {
+	defaultOnce.Do(func() {
+		l, err := Parse(snapshot)
+		if err != nil {
+			panic("psl: embedded snapshot invalid: " + err.Error())
+		}
+		defaultList = l
+	})
+	return defaultList
+}
+
+// ErrNotDomain is returned for inputs that cannot carry a registrable
+// domain (empty, single label equal to a public suffix, IPs are not
+// handled specially and simply fail the suffix rules).
+var ErrNotDomain = errors.New("psl: no registrable domain")
+
+// match reports how many labels of the reversed domain labels a rule
+// matches, or -1 if it does not match.
+func (r rule) match(rev []string) int {
+	if len(r.labels) > len(rev) {
+		return -1
+	}
+	for i, l := range r.labels {
+		if l != "*" && l != rev[i] {
+			return -1
+		}
+	}
+	return len(r.labels)
+}
+
+// PublicSuffix returns the public suffix of domain according to the
+// list, using the canonical algorithm: the prevailing rule is the
+// matching exception rule if any, else the matching rule with the most
+// labels, else the implicit "*" rule.
+func (l *List) PublicSuffix(domain string) string {
+	domain = canonical(domain)
+	if domain == "" {
+		return ""
+	}
+	labels := strings.Split(domain, ".")
+	rev := make([]string, len(labels))
+	for i, lab := range labels {
+		rev[len(labels)-1-i] = lab
+	}
+	best := 1 // implicit "*" rule: the TLD itself
+	var bestException bool
+	for _, r := range l.rules[rev[0]] {
+		n := r.match(rev)
+		if n < 0 {
+			continue
+		}
+		if r.exception {
+			// Exception rule prevails; its public suffix is the rule
+			// minus its leftmost label.
+			best = n - 1
+			bestException = true
+			break
+		}
+		if !bestException && n > best {
+			best = n
+		}
+	}
+	if best <= 0 {
+		best = 1
+	}
+	if best > len(labels) {
+		best = len(labels)
+	}
+	return strings.Join(labels[len(labels)-best:], ".")
+}
+
+// EffectiveTLDPlusOne returns the registrable domain: the public suffix
+// plus one label. This is the unit by which the paper counts websites.
+func (l *List) EffectiveTLDPlusOne(domain string) (string, error) {
+	domain = canonical(domain)
+	if domain == "" {
+		return "", ErrNotDomain
+	}
+	suffix := l.PublicSuffix(domain)
+	if len(suffix) == len(domain) {
+		return "", fmt.Errorf("%w: %q is a public suffix", ErrNotDomain, domain)
+	}
+	if !strings.HasSuffix(domain, "."+suffix) {
+		return "", fmt.Errorf("%w: suffix mismatch for %q", ErrNotDomain, domain)
+	}
+	rest := domain[:len(domain)-len(suffix)-1]
+	if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if rest == "" {
+		return "", fmt.Errorf("%w: %q", ErrNotDomain, domain)
+	}
+	return rest + "." + suffix, nil
+}
+
+// EffectiveTLDPlusOne applies the embedded default list.
+func EffectiveTLDPlusOne(domain string) (string, error) {
+	return Default().EffectiveTLDPlusOne(domain)
+}
+
+// PublicSuffix applies the embedded default list.
+func PublicSuffix(domain string) string {
+	return Default().PublicSuffix(domain)
+}
+
+// canonical lowercases and strips a single trailing dot.
+func canonical(domain string) string {
+	domain = strings.ToLower(strings.TrimSpace(domain))
+	domain = strings.TrimSuffix(domain, ".")
+	if domain == "" || strings.HasPrefix(domain, ".") || strings.Contains(domain, "..") {
+		return ""
+	}
+	return domain
+}
+
+// IsEUUK reports whether the registrable domain's suffix indicates an
+// EU or UK country-code TLD. The paper uses the share of EU+UK TLDs to
+// contrast Quantcast (38.3%) with OneTrust (16.3%).
+func IsEUUK(domain string) bool {
+	suffix := PublicSuffix(domain)
+	// Compare against the final label of the suffix (e.g. "co.uk"→"uk").
+	tld := suffix
+	if i := strings.LastIndexByte(suffix, '.'); i >= 0 {
+		tld = suffix[i+1:]
+	}
+	_, ok := euUKTLDs[tld]
+	return ok
+}
+
+var euUKTLDs = map[string]struct{}{
+	"at": {}, "be": {}, "bg": {}, "cy": {}, "cz": {}, "de": {}, "dk": {},
+	"ee": {}, "es": {}, "fi": {}, "fr": {}, "gr": {}, "hr": {}, "hu": {},
+	"ie": {}, "it": {}, "lt": {}, "lu": {}, "lv": {}, "mt": {}, "nl": {},
+	"pl": {}, "pt": {}, "ro": {}, "se": {}, "si": {}, "sk": {}, "uk": {},
+	"eu": {},
+}

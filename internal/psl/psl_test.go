@@ -1,0 +1,139 @@
+package psl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	tests := []struct {
+		domain, want string
+	}{
+		{"example.com", "com"},
+		{"www.example.com", "com"},
+		{"example.co.uk", "co.uk"},
+		{"a.b.example.co.uk", "co.uk"},
+		{"example.github.io", "github.io"},
+		{"foo.example.github.io", "github.io"},
+		{"EXAMPLE.COM", "com"},
+		{"example.com.", "com"},
+		// Wildcard rule *.ck: every label under ck is a suffix.
+		{"foo.ck", "foo.ck"},
+		{"www.foo.ck", "foo.ck"},
+		// Exception rule !www.ck.
+		{"www.ck", "ck"},
+		{"sub.www.ck", "ck"},
+		// Unknown TLD falls back to the implicit * rule.
+		{"example.zz", "zz"},
+		{"a.b.example.zz", "zz"},
+		// Multi-label Japanese registry with wildcard + exception.
+		{"foo.kawasaki.jp", "foo.kawasaki.jp"},
+		{"city.kawasaki.jp", "kawasaki.jp"},
+	}
+	for _, tt := range tests {
+		if got := PublicSuffix(tt.domain); got != tt.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestEffectiveTLDPlusOne(t *testing.T) {
+	tests := []struct {
+		domain, want string
+	}{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.co.uk", "example.co.uk"},
+		{"foo.example.github.io", "example.github.io"},
+		{"WWW.Example.COM.", "example.com"},
+		{"www.foo.ck", "www.foo.ck"},
+		{"city.kawasaki.jp", "city.kawasaki.jp"},
+	}
+	for _, tt := range tests {
+		got, err := EffectiveTLDPlusOne(tt.domain)
+		if err != nil {
+			t.Errorf("EffectiveTLDPlusOne(%q): %v", tt.domain, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("EffectiveTLDPlusOne(%q) = %q, want %q", tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestEffectiveTLDPlusOneErrors(t *testing.T) {
+	for _, domain := range []string{"", "com", "co.uk", "github.io", ".", "..", ".com", "a..b.com"} {
+		if _, err := EffectiveTLDPlusOne(domain); !errors.Is(err, ErrNotDomain) {
+			t.Errorf("EffectiveTLDPlusOne(%q): want ErrNotDomain, got %v", domain, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{".bad", "bad.", "!"} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): want error", text)
+		}
+	}
+}
+
+func TestParseSections(t *testing.T) {
+	l, err := Parse(`
+// comment
+com
+// ===BEGIN PRIVATE DOMAINS===
+example.com
+// ===END PRIVATE DOMAINS===
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.PublicSuffix("foo.example.com"); got != "example.com" {
+		t.Errorf("private rule not applied: got %q", got)
+	}
+}
+
+func TestIsEUUK(t *testing.T) {
+	tests := []struct {
+		domain string
+		want   bool
+	}{
+		{"example.co.uk", true},
+		{"example.de", true},
+		{"example.eu", true},
+		{"example.fr", true},
+		{"example.com", false},
+		{"example.ch", false}, // Switzerland is not EU/UK
+		{"example.jp", false},
+	}
+	for _, tt := range tests {
+		if got := IsEUUK(tt.domain); got != tt.want {
+			t.Errorf("IsEUUK(%q) = %v, want %v", tt.domain, got, tt.want)
+		}
+	}
+}
+
+// TestETLDPlusOneIdempotent checks the property that normalization is
+// idempotent: the eTLD+1 of an eTLD+1 is itself.
+func TestETLDPlusOneIdempotent(t *testing.T) {
+	labels := []string{"a", "bb", "news", "shop", "x1"}
+	suffixes := []string{"com", "co.uk", "github.io", "de", "zz"}
+	f := func(li, si uint, depth uint) bool {
+		domain := labels[li%uint(len(labels))]
+		for d := uint(0); d < depth%3; d++ {
+			domain = labels[(li+d)%uint(len(labels))] + "." + domain
+		}
+		domain += "." + suffixes[si%uint(len(suffixes))]
+		first, err := EffectiveTLDPlusOne(domain)
+		if err != nil {
+			return false
+		}
+		second, err := EffectiveTLDPlusOne(first)
+		return err == nil && first == second && strings.HasSuffix(domain, first)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

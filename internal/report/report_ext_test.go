@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cmps"
+	"repro/internal/compliance"
+	"repro/internal/simtime"
+)
+
+func TestComplianceRendering(t *testing.T) {
+	res := &compliance.SurveyResult{Audited: 100}
+	res.Counts[compliance.ConsentBeforeChoice] = 12
+	res.Counts[compliance.NoDirectReject] = 50
+	out := Compliance(res)
+	for _, want := range []string{"100 TCF websites", "consent-before-choice", "12.0%", "Matte et al."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromptChangesRendering(t *testing.T) {
+	out := PromptChanges(map[cmps.ID]int{cmps.Quantcast: 38, cmps.OneTrust: 21})
+	if !strings.Contains(out, "Quantcast\t38") && !strings.Contains(out, "Quantcast  38") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+func TestCoverageSeriesRendering(t *testing.T) {
+	out := CoverageSeries([]analysis.CoveragePoint{
+		{Day: simtime.Date(2020, 1, 15), USCloud: 0.70, EUCloud: 0.84, UniDefault: 0.97},
+	})
+	for _, want := range []string{"2020-01", "70%", "84%", "97%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrackingRendering(t *testing.T) {
+	out := Tracking(&analysis.TrackingStats{
+		Websites: 500, WithIdentifyingCookie: 450, WithThirdPartyTracker: 440,
+		MeanThirdParties: 2.4,
+	})
+	if !strings.Contains(out, "90%") || !strings.Contains(out, "2.4") {
+		t.Errorf("rendering: %s", out)
+	}
+}
+
+func TestSubsitesRendering(t *testing.T) {
+	out := Subsites(&analysis.SubsiteCoverage{
+		Domains: 1000, FrontPageCMP: 100, SubsiteCMP: 106, OnlyOnSubsites: 6,
+	})
+	if !strings.Contains(out, "+6.0%") || !strings.Contains(out, "only on subsites") {
+		t.Errorf("rendering: %s", out)
+	}
+}
+
+func TestRetentionRendering(t *testing.T) {
+	ret := map[cmps.ID]*analysis.Retention{
+		cmps.Cookiebot: {
+			CMP: cmps.Cookiebot, Episodes: 200, Censored: 80,
+			Curve:      []analysis.SurvivalPoint{{Days: 300, Survival: 0.45}},
+			MedianDays: 300,
+		},
+	}
+	out := Retention(ret)
+	for _, want := range []string{"Cookiebot", "200", "300 d", "Kaplan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// CMPs without episodes are omitted, not rendered as zero rows.
+	if strings.Contains(out, "LiveRamp") {
+		t.Error("empty CMPs must be omitted")
+	}
+}
+
+func TestTimeCostRendering(t *testing.T) {
+	out := TimeCost(analysis.TimeCostResult{
+		DialogChance:        0.09,
+		ExtraSecPerVisit:    0.25,
+		ExtraSecPer100Sites: 25,
+		PerCMP:              map[cmps.ID]float64{cmps.TrustArc: 0.08},
+	})
+	for _, want := range []string{"9.0%", "0.25 s per site", "25 s per 100 sites", "TrustArc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	if a.Float64("x") != b.Float64("x") {
+		t.Error("same seed and key must give the same draw")
+	}
+	if a.Uint64("k1", "k2") != b.Uint64("k1", "k2") {
+		t.Error("multi-part keys must be deterministic")
+	}
+	s1 := a.Stream("s")
+	s2 := b.Stream("s")
+	for i := 0; i < 10; i++ {
+		if s1.Float64() != s2.Float64() {
+			t.Fatal("streams with identical keys must be identical")
+		}
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	s := New(1)
+	// ("ab","c") and ("a","bc") must not collide.
+	if s.Uint64("ab", "c") == s.Uint64("a", "bc") {
+		t.Error("key parts must be separated")
+	}
+	if s.Float64("x") == s.Float64("y") {
+		t.Error("different keys should give different draws")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	child := root.Derive("child")
+	if root.Float64("k") == child.Float64("k") {
+		t.Error("derived source must have independent streams")
+	}
+	if child.Seed() == root.Seed() {
+		t.Error("derived source must have a different seed")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	f := func(key string) bool {
+		v := s.Float64(key)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(5)
+	f := func(key string, n uint8) bool {
+		m := int(n%100) + 1
+		v := s.Intn(m, key)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	s.Intn(0, "x")
+}
+
+func TestBool(t *testing.T) {
+	s := New(9)
+	hits := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3, "b", Key(i)) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("Bool(0.3) frequency = %.3f, want ≈0.3", got)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(11).Stream("ln")
+	const n = 20_000
+	below := 0
+	mu := math.Log(3.2)
+	for i := 0; i < n; i++ {
+		if LogNormal(r, mu, 0.5) < 3.2 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("log-normal median fraction = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	if z.N() != 1000 {
+		t.Fatalf("N = %d", z.N())
+	}
+	r := New(13).Stream("zipf")
+	counts := make([]int, 1001)
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		rank := z.Rank(r)
+		if rank < 1 || rank > 1000 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		counts[rank]++
+	}
+	// Rank 1 must be drawn far more often than rank 100.
+	if counts[1] < 5*counts[100] {
+		t.Errorf("Zipf skew too weak: rank1=%d rank100=%d", counts[1], counts[100])
+	}
+	// The head must not absorb everything: the tail half still occurs.
+	tail := 0
+	for r := 501; r <= 1000; r++ {
+		tail += counts[r]
+	}
+	if tail == 0 {
+		t.Error("tail ranks never drawn")
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	for i := 1; i < len(z.cdf); i++ {
+		if z.cdf[i] < z.cdf[i-1] {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if math.Abs(z.cdf[len(z.cdf)-1]-1) > 1e-12 {
+		t.Errorf("CDF must end at 1, got %v", z.cdf[len(z.cdf)-1])
+	}
+}

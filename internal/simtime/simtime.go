@@ -1,0 +1,131 @@
+// Package simtime provides the simulated observation window used across
+// the reproduction: March 2018 through September 2020, matching the
+// paper's crawl records ("Our records span March 2018–September 2020").
+//
+// All simulation components index time as whole days since the window
+// start. Day indexing keeps the hazard models, interpolation logic, and
+// analyses independent from wall-clock time and trivially deterministic.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Day is a whole number of days since the start of the observation
+// window (2018-03-01). Day 0 is the first day of the window.
+type Day int
+
+// Observation window boundaries. The window deliberately starts before
+// the GDPR came into effect and covers the introduction of the CCPA,
+// exactly as in the paper (Section 3.4).
+var (
+	WindowStart = time.Date(2018, time.March, 1, 0, 0, 0, 0, time.UTC)
+	WindowEnd   = time.Date(2020, time.September, 30, 0, 0, 0, 0, time.UTC)
+)
+
+// NumDays is the number of days in the observation window, inclusive of
+// both boundary days.
+var NumDays = int(WindowEnd.Sub(WindowStart).Hours()/24) + 1
+
+// FromTime converts a wall-clock instant to its Day index. Instants
+// before the window map to negative days; callers that require an
+// in-window day should check Valid.
+func FromTime(t time.Time) Day {
+	return Day(int(t.Sub(WindowStart).Hours() / 24))
+}
+
+// Date constructs the Day index for a calendar date.
+func Date(year int, month time.Month, day int) Day {
+	return FromTime(time.Date(year, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Time returns the instant at midnight UTC of the day.
+func (d Day) Time() time.Time {
+	return WindowStart.AddDate(0, 0, int(d))
+}
+
+// Valid reports whether the day lies inside the observation window.
+func (d Day) Valid() bool {
+	return d >= 0 && int(d) < NumDays
+}
+
+// String formats the day as an ISO date for logs and reports.
+func (d Day) String() string {
+	return d.Time().Format("2006-01-02")
+}
+
+// Month returns the first day of the month containing d, useful for
+// monthly aggregation in longitudinal plots.
+func (d Day) Month() Day {
+	t := d.Time()
+	return FromTime(time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC))
+}
+
+// Well-known days referenced throughout the paper's analyses.
+var (
+	// GDPREffective is 25 May 2018, when the GDPR came into effect.
+	GDPREffective = Date(2018, time.May, 25)
+	// CCPAEffective is 1 January 2020, when the CCPA came into effect.
+	CCPAEffective = Date(2020, time.January, 1)
+	// CCPAEnforced is 1 July 2020, when CCPA enforcement began.
+	CCPAEnforced = Date(2020, time.July, 1)
+	// Table1Snapshot is the May 2020 snapshot used for Table 1.
+	Table1Snapshot = Date(2020, time.May, 15)
+	// TableA3Snapshot is the January 2020 snapshot used for Table A.3.
+	TableA3Snapshot = Date(2020, time.January, 15)
+	// TrancoListDate is 30 January 2020, the creation date of the
+	// Tranco list used by the paper (list K8JW).
+	TrancoListDate = Date(2020, time.January, 30)
+)
+
+// EventKind distinguishes events that drive adoption (laws coming into
+// effect) from events the paper found to have no observable effect
+// (fines, guidance).
+type EventKind int
+
+const (
+	// LawEffective marks a privacy law coming into effect; these caused
+	// adoption spikes (Figure 6).
+	LawEffective EventKind = iota
+	// Enforcement marks fines or enforcement actions; no observable
+	// effect on adoption in the paper.
+	Enforcement
+	// Guidance marks regulatory guidance; no observable effect.
+	Guidance
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case LawEffective:
+		return "law-effective"
+	case Enforcement:
+		return "enforcement"
+	case Guidance:
+		return "guidance"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is an entry of the non-exhaustive timeline of events with
+// relevance to the GDPR and the CCPA shown alongside Figure 6.
+type Event struct {
+	Day  Day
+	Kind EventKind
+	Name string
+}
+
+// Events returns the paper's Figure 6 timeline. The slice is freshly
+// allocated; callers may reorder or filter it.
+func Events() []Event {
+	return []Event{
+		{Date(2018, time.May, 25), LawEffective, "GDPR comes into effect"},
+		{Date(2019, time.January, 21), Enforcement, "CNIL fines Google €50M"},
+		{Date(2019, time.July, 4), Guidance, "CNIL cookie guidelines"},
+		{Date(2019, time.July, 8), Enforcement, "ICO intends to fine British Airways"},
+		{Date(2020, time.January, 1), LawEffective, "CCPA comes into effect"},
+		{Date(2020, time.May, 4), Guidance, "EDPB consent guidelines update"},
+		{Date(2020, time.July, 1), Enforcement, "CCPA enforcement begins"},
+	}
+}

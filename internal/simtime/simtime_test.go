@@ -1,0 +1,90 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindow(t *testing.T) {
+	if got := FromTime(WindowStart); got != 0 {
+		t.Errorf("window start = day %d, want 0", got)
+	}
+	if !Day(0).Valid() || !Day(NumDays-1).Valid() {
+		t.Error("window boundary days must be valid")
+	}
+	if Day(-1).Valid() || Day(NumDays).Valid() {
+		t.Error("days outside the window must be invalid")
+	}
+	// The window spans March 2018 – September 2020 (~2.5 years).
+	if NumDays < 900 || NumDays > 950 {
+		t.Errorf("NumDays = %d, want ≈915", NumDays)
+	}
+}
+
+func TestDayRoundTrip(t *testing.T) {
+	for _, d := range []Day{0, 1, 100, 500, Day(NumDays - 1)} {
+		if got := FromTime(d.Time()); got != d {
+			t.Errorf("round trip %d -> %v -> %d", d, d.Time(), got)
+		}
+	}
+}
+
+func TestDate(t *testing.T) {
+	if got := Date(2018, time.March, 1); got != 0 {
+		t.Errorf("Date(2018-03-01) = %d, want 0", got)
+	}
+	if got := Date(2018, time.March, 2); got != 1 {
+		t.Errorf("Date(2018-03-02) = %d, want 1", got)
+	}
+}
+
+func TestKnownDays(t *testing.T) {
+	if GDPREffective.String() != "2018-05-25" {
+		t.Errorf("GDPR day = %s", GDPREffective)
+	}
+	if CCPAEffective.String() != "2020-01-01" {
+		t.Errorf("CCPA day = %s", CCPAEffective)
+	}
+	if !GDPREffective.Valid() || !CCPAEffective.Valid() || !Table1Snapshot.Valid() {
+		t.Error("well-known days must fall inside the window")
+	}
+	if GDPREffective >= CCPAEffective {
+		t.Error("GDPR must precede CCPA")
+	}
+}
+
+func TestMonth(t *testing.T) {
+	d := Date(2019, time.July, 17)
+	m := d.Month()
+	if m.String() != "2019-07-01" {
+		t.Errorf("Month() = %s", m)
+	}
+	if m.Month() != m {
+		t.Error("Month must be idempotent")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	events := Events()
+	if len(events) < 5 {
+		t.Fatalf("want a non-trivial timeline, got %d events", len(events))
+	}
+	laws := 0
+	for i, e := range events {
+		if !e.Day.Valid() {
+			t.Errorf("event %q outside window", e.Name)
+		}
+		if i > 0 && events[i].Day < events[i-1].Day {
+			t.Error("events must be in chronological order")
+		}
+		if e.Kind == LawEffective {
+			laws++
+		}
+		if e.Kind.String() == "" {
+			t.Error("event kind must have a name")
+		}
+	}
+	if laws != 2 {
+		t.Errorf("want exactly GDPR and CCPA as law events, got %d", laws)
+	}
+}

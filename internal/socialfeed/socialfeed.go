@@ -1,0 +1,167 @@
+// Package socialfeed simulates the URL stream that seeds Netograph's
+// crawlers: all URLs shared on Reddit plus 1% of public tweets via
+// Twitter's sample feed (Section 3.4). Popular URLs are re-shared and
+// retweeted, so the sample skews heavily towards popular domains —
+// modelled as a Zipf distribution over the shareable domain universe.
+//
+// The feed applies the platform's dedup rules: a URL is skipped if the
+// same domain was captured in the last hour or the precise URL in the
+// last 48 hours (this drops about 40% of submissions).
+package socialfeed
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+// Platform is the social network a share came from.
+type Platform int
+
+const (
+	Twitter Platform = iota
+	Reddit
+)
+
+func (p Platform) String() string {
+	if p == Reddit {
+		return "reddit"
+	}
+	return "twitter"
+}
+
+// twitterShare is the fraction of URLs from Twitter ("Twitter accounts
+// for 80% of all URLs").
+const twitterShare = 0.80
+
+// Share is one URL submission that passed dedup.
+type Share struct {
+	URL      string
+	Domain   string // registrable domain of the shared URL
+	Platform Platform
+	// Hour is the hour-of-day the share was observed.
+	Hour int
+}
+
+// Config parameterizes the feed.
+type Config struct {
+	Seed uint64
+	// SharesPerDay is the raw number of share events ingested per day,
+	// before dedup. The paper's platform ingested ~175k/day; the
+	// default reproduction scale is 2,000/day.
+	SharesPerDay int
+	// ZipfExponent controls popularity skew (default 0.92).
+	ZipfExponent float64
+}
+
+// DefaultConfig returns the default reproduction scale.
+func DefaultConfig() Config {
+	return Config{Seed: 1, SharesPerDay: 2_500, ZipfExponent: 1.0}
+}
+
+// Feed generates the daily share stream. Days must be consumed in
+// increasing order for the cross-day dedup state to be meaningful.
+type Feed struct {
+	cfg       Config
+	src       *rng.Source
+	shareable []*webworld.Domain // in true-rank order
+	zipf      *rng.Zipf
+
+	// Dedup state. Keys are pruned as days advance.
+	lastURLDay     map[string]simtime.Day
+	lastDomainHour map[string]int64
+
+	// Skipped counts submissions dropped by dedup.
+	Skipped int64
+	// Submitted counts raw submissions.
+	Submitted int64
+}
+
+// New builds a feed over the world's shareable domains.
+func New(w *webworld.World, cfg Config) *Feed {
+	if cfg.SharesPerDay <= 0 {
+		cfg.SharesPerDay = DefaultConfig().SharesPerDay
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = DefaultConfig().ZipfExponent
+	}
+	var shareable []*webworld.Domain
+	for _, d := range w.Domains() {
+		if !d.NeverShared {
+			shareable = append(shareable, d)
+		}
+	}
+	return &Feed{
+		cfg:            cfg,
+		src:            rng.New(cfg.Seed).Derive("socialfeed"),
+		shareable:      shareable,
+		zipf:           rng.NewZipf(len(shareable), cfg.ZipfExponent),
+		lastURLDay:     make(map[string]simtime.Day),
+		lastDomainHour: make(map[string]int64),
+	}
+}
+
+// NumShareable returns how many domains can ever appear in the feed.
+func (f *Feed) NumShareable() int { return len(f.shareable) }
+
+// Day produces the deduplicated shares for one day.
+func (f *Feed) Day(day simtime.Day) []Share {
+	r := f.src.Stream("day", day.String())
+	shares := make([]Share, 0, f.cfg.SharesPerDay)
+	for i := 0; i < f.cfg.SharesPerDay; i++ {
+		f.Submitted++
+		d := f.shareable[f.zipf.Rank(r)-1]
+		hour := r.Intn(24)
+		subsite := r.Intn(d.Subsites)
+		u := fmt.Sprintf("https://www.%s%s", d.Name, d.SubsitePath(subsite))
+		if r.Float64() < 0.12 {
+			// Some shares carry tracking query parameters; the URL
+			// dedup key is the precise URL, so these pass.
+			u += fmt.Sprintf("?utm_source=%s&ref=%d", Platform(btoi(r.Float64() >= twitterShare)), r.Intn(1_000))
+		}
+
+		absHour := int64(day)*24 + int64(hour)
+		if h, ok := f.lastDomainHour[d.Name]; ok && absHour-h < 1 {
+			f.Skipped++
+			continue
+		}
+		if dd, ok := f.lastURLDay[u]; ok && day-dd < 2 {
+			f.Skipped++
+			continue
+		}
+		f.lastDomainHour[d.Name] = absHour
+		f.lastURLDay[u] = day
+
+		p := Twitter
+		if r.Float64() >= twitterShare {
+			p = Reddit
+		}
+		shares = append(shares, Share{URL: u, Domain: d.Name, Platform: p, Hour: hour})
+	}
+	f.prune(day)
+	return shares
+}
+
+// prune drops dedup entries too old to matter.
+func (f *Feed) prune(day simtime.Day) {
+	for u, d := range f.lastURLDay {
+		if day-d >= 2 {
+			delete(f.lastURLDay, u)
+		}
+	}
+	cutoff := (int64(day) - 1) * 24
+	for dom, h := range f.lastDomainHour {
+		if h < cutoff {
+			delete(f.lastDomainHour, dom)
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package socialfeed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func feedWorld(t *testing.T) *webworld.World {
+	t.Helper()
+	return webworld.New(webworld.Config{Seed: 1, Domains: 3_000})
+}
+
+func TestFeedBasics(t *testing.T) {
+	w := feedWorld(t)
+	f := New(w, Config{Seed: 1, SharesPerDay: 500})
+	if f.NumShareable() == 0 || f.NumShareable() >= w.NumDomains() {
+		t.Fatalf("shareable = %d of %d", f.NumShareable(), w.NumDomains())
+	}
+	shares := f.Day(0)
+	if len(shares) == 0 || len(shares) > 500 {
+		t.Fatalf("day 0 shares = %d", len(shares))
+	}
+	for _, s := range shares {
+		if !strings.HasPrefix(s.URL, "https://www.") {
+			t.Fatalf("malformed URL %q", s.URL)
+		}
+		if w.Domain(s.Domain) == nil {
+			t.Fatalf("unknown domain %q", s.Domain)
+		}
+		if s.Hour < 0 || s.Hour > 23 {
+			t.Fatalf("hour %d", s.Hour)
+		}
+	}
+}
+
+func TestNeverSharedExcluded(t *testing.T) {
+	w := feedWorld(t)
+	f := New(w, Config{Seed: 2, SharesPerDay: 2_000})
+	for day := simtime.Day(0); day < 20; day++ {
+		for _, s := range f.Day(day) {
+			if w.Domain(s.Domain).NeverShared {
+				t.Fatalf("never-shared domain %q appeared in feed", s.Domain)
+			}
+		}
+	}
+}
+
+func TestDedupRules(t *testing.T) {
+	w := feedWorld(t)
+	f := New(w, Config{Seed: 3, SharesPerDay: 3_000})
+	// With heavy volume over few domains, dedup must kick in.
+	seenURL := map[string]simtime.Day{}
+	for day := simtime.Day(0); day < 5; day++ {
+		perDomainHour := map[string]map[int]int{}
+		for _, s := range f.Day(day) {
+			if d, ok := seenURL[s.URL]; ok && day-d < 2 {
+				t.Fatalf("URL %q re-captured within 48h", s.URL)
+			}
+			seenURL[s.URL] = day
+			if perDomainHour[s.Domain] == nil {
+				perDomainHour[s.Domain] = map[int]int{}
+			}
+			perDomainHour[s.Domain][s.Hour]++
+			if perDomainHour[s.Domain][s.Hour] > 1 {
+				t.Fatalf("domain %q captured twice in hour %d", s.Domain, s.Hour)
+			}
+		}
+	}
+	if f.Skipped == 0 {
+		t.Error("dedup should skip some submissions at this volume")
+	}
+	skipRate := float64(f.Skipped) / float64(f.Submitted)
+	if skipRate < 0.05 || skipRate > 0.9 {
+		t.Errorf("skip rate = %.2f, implausible", skipRate)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	w := feedWorld(t)
+	f := New(w, Config{Seed: 4, SharesPerDay: 2_000, ZipfExponent: 1.0})
+	counts := map[string]int{}
+	for day := simtime.Day(0); day < 30; day++ {
+		for _, s := range f.Day(day) {
+			counts[s.Domain]++
+		}
+	}
+	headShares, tailShares := 0, 0
+	for _, d := range w.Domains() {
+		if d.NeverShared {
+			continue
+		}
+		if d.Rank <= 300 {
+			headShares += counts[d.Name]
+		} else if d.Rank > 1500 {
+			tailShares += counts[d.Name]
+		}
+	}
+	if headShares <= tailShares {
+		t.Errorf("head shares (%d) must exceed tail shares (%d)", headShares, tailShares)
+	}
+	if tailShares == 0 {
+		t.Error("tail must still be sampled occasionally")
+	}
+}
+
+func TestPlatformMix(t *testing.T) {
+	w := feedWorld(t)
+	f := New(w, Config{Seed: 5, SharesPerDay: 4_000})
+	tw, rd := 0, 0
+	for day := simtime.Day(0); day < 10; day++ {
+		for _, s := range f.Day(day) {
+			if s.Platform == Twitter {
+				tw++
+			} else {
+				rd++
+			}
+		}
+	}
+	share := float64(tw) / float64(tw+rd)
+	if share < 0.75 || share > 0.85 {
+		t.Errorf("Twitter share = %.2f, want ≈0.80", share)
+	}
+}
+
+func TestFeedDeterminism(t *testing.T) {
+	w := feedWorld(t)
+	a := New(w, Config{Seed: 6, SharesPerDay: 300})
+	b := New(w, Config{Seed: 6, SharesPerDay: 300})
+	for day := simtime.Day(0); day < 3; day++ {
+		sa, sb := a.Day(day), b.Day(day)
+		if len(sa) != len(sb) {
+			t.Fatalf("day %d: %d vs %d shares", day, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("day %d share %d differs", day, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Exact Mann–Whitney U test for small samples. The normal
+// approximation used for the paper's sample sizes (hundreds of
+// visitors) is unreliable below roughly n = 8 per group; the exact
+// test enumerates the null distribution of U by dynamic programming
+// instead. It requires tie-free data (the recurrence assumes distinct
+// ranks).
+
+// exactMaxN bounds the per-group size for the exact computation; the
+// DP table grows with n1·n2 and the approximation is fine above this.
+const exactMaxN = 30
+
+// ErrTies is returned when the exact test encounters tied values.
+var ErrTies = errors.New("stats: exact test requires tie-free samples")
+
+// ErrTooLarge is returned when the samples exceed the exact test's
+// size limit; use MannWhitney (normal approximation) instead.
+var ErrTooLarge = errors.New("stats: samples too large for the exact test")
+
+// MannWhitneyExact performs the two-sided exact Mann–Whitney U test.
+func MannWhitneyExact(a, b []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, ErrEmpty
+	}
+	if n1 > exactMaxN || n2 > exactMaxN {
+		return MannWhitneyResult{}, ErrTooLarge
+	}
+	// U1 by direct pair counting; detect ties on the way.
+	u1 := 0
+	for _, x := range a {
+		for _, y := range b {
+			switch {
+			case x == y:
+				return MannWhitneyResult{}, ErrTies
+			case x > y:
+				u1++
+			}
+		}
+	}
+	// Check within-sample ties too: they do not affect U but signal
+	// data the exact null distribution does not cover.
+	if hasDuplicates(a) || hasDuplicates(b) {
+		return MannWhitneyResult{}, ErrTies
+	}
+
+	res := MannWhitneyResult{
+		U: float64(u1), U1: float64(u1), U2: float64(n1*n2 - u1),
+		N1: n1, N2: n2,
+	}
+	// Null distribution of U via the standard recurrence:
+	// f(n1, n2, u) = f(n1-1, n2, u-n2) + f(n1, n2-1, u).
+	counts := uDistribution(n1, n2)
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	// Two-sided p: twice the smaller tail, capped at 1.
+	uMin := u1
+	if n1*n2-u1 < uMin {
+		uMin = n1*n2 - u1
+	}
+	tail := 0.0
+	for u := 0; u <= uMin; u++ {
+		tail += counts[u]
+	}
+	res.P = math.Min(1, 2*tail/total)
+	// Report the equivalent z for interface parity.
+	mu := float64(n1*n2) / 2
+	sigma := math.Sqrt(float64(n1*n2*(n1+n2+1)) / 12)
+	if sigma > 0 {
+		res.Z = (float64(u1) - mu) / sigma
+	}
+	return res, nil
+}
+
+// uDistribution returns counts[u] = number of rank arrangements with
+// U statistic u, for u in [0, n1·n2], via the classic Mann–Whitney
+// recurrence N(u; n1, n2) = N(u−n2; n1−1, n2) + N(u; n1, n2−1).
+// The counts over all u sum to C(n1+n2, n1).
+func uDistribution(n1, n2 int) []float64 {
+	maxU := n1 * n2
+	// dp[i][j][u] rolled over j: for fixed j, build i = 0..n1.
+	// Iterate j outer so N(·; i, j−1) is available.
+	cur := make([][]float64, n1+1)
+	for i := range cur {
+		cur[i] = make([]float64, maxU+1)
+	}
+	// j = 0: U must be 0 regardless of i.
+	for i := 0; i <= n1; i++ {
+		cur[i][0] = 1
+	}
+	for j := 1; j <= n2; j++ {
+		next := make([][]float64, n1+1)
+		next[0] = make([]float64, maxU+1)
+		next[0][0] = 1 // i = 0: only U = 0
+		for i := 1; i <= n1; i++ {
+			next[i] = make([]float64, maxU+1)
+			for u := 0; u <= i*j; u++ {
+				v := cur[i][u] // N(u; i, j-1)
+				if u >= j {
+					v += next[i-1][u-j] // N(u-j; i-1, j)
+				}
+				next[i][u] = v
+			}
+		}
+		cur = next
+	}
+	return cur[n1]
+}
+
+func hasDuplicates(xs []float64) bool {
+	seen := make(map[float64]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}

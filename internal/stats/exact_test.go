@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUDistributionSanity(t *testing.T) {
+	// The null distribution's total mass is C(n1+n2, n1), and it is
+	// symmetric around n1·n2/2.
+	cases := []struct{ n1, n2 int }{{3, 4}, {5, 5}, {2, 8}, {10, 7}}
+	for _, c := range cases {
+		counts := uDistribution(c.n1, c.n2)
+		total := 0.0
+		for _, v := range counts {
+			total += v
+		}
+		if want := binom(c.n1+c.n2, c.n1); math.Abs(total-want) > 1e-6 {
+			t.Errorf("(%d,%d): total %v, want %v", c.n1, c.n2, total, want)
+		}
+		maxU := c.n1 * c.n2
+		for u := 0; u <= maxU/2; u++ {
+			if math.Abs(counts[u]-counts[maxU-u]) > 1e-9 {
+				t.Errorf("(%d,%d): asymmetric at u=%d: %v vs %v",
+					c.n1, c.n2, u, counts[u], counts[maxU-u])
+			}
+		}
+	}
+}
+
+func binom(n, k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v = v * float64(n-i) / float64(i+1)
+	}
+	return v
+}
+
+func TestMannWhitneyExactKnownValue(t *testing.T) {
+	// n1 = n2 = 5, complete separation shifted: a = {1,2,3,4,6},
+	// b = {5,7,8,9,10} gives U1 = #(a>b) = 1 (only 6>5).
+	// P(U ≤ 1) = 2/252, two-sided p = 4/252 ≈ 0.01587.
+	a := []float64{1, 2, 3, 4, 6}
+	b := []float64{5, 7, 8, 9, 10}
+	res, err := MannWhitneyExact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 1 {
+		t.Fatalf("U = %v, want 1", res.U)
+	}
+	if !almost(res.P, 4.0/252, 1e-9) {
+		t.Errorf("p = %v, want %v", res.P, 4.0/252)
+	}
+}
+
+func TestMannWhitneyExactCompleteSeparation(t *testing.T) {
+	// U = 0 with n1 = n2 = 5: two-sided p = 2·(1/252).
+	res, err := MannWhitneyExact([]float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 || !almost(res.P, 2.0/252, 1e-9) {
+		t.Errorf("U=%v p=%v", res.U, res.P)
+	}
+	if res.Z >= 0 {
+		t.Error("z must be negative")
+	}
+}
+
+func TestMannWhitneyExactBalanced(t *testing.T) {
+	// A balanced interleaving has p near 1 (capped).
+	res, err := MannWhitneyExact([]float64{1, 4, 5, 8, 9}, []float64{2, 3, 6, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.8 {
+		t.Errorf("p = %v, want ≈1", res.P)
+	}
+}
+
+func TestMannWhitneyExactRejectsTies(t *testing.T) {
+	if _, err := MannWhitneyExact([]float64{1, 2}, []float64{2, 3}); err != ErrTies {
+		t.Errorf("cross-sample tie: %v", err)
+	}
+	if _, err := MannWhitneyExact([]float64{1, 1}, []float64{2, 3}); err != ErrTies {
+		t.Errorf("within-sample tie: %v", err)
+	}
+}
+
+func TestMannWhitneyExactLimits(t *testing.T) {
+	big := make([]float64, exactMaxN+1)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if _, err := MannWhitneyExact(big, []float64{0.5}); err != ErrTooLarge {
+		t.Errorf("oversized sample: %v", err)
+	}
+	if _, err := MannWhitneyExact(nil, []float64{1}); err != ErrEmpty {
+		t.Errorf("empty sample: %v", err)
+	}
+}
+
+// TestExactMatchesApproximation: for moderate sizes the exact p and
+// the normal approximation agree closely.
+func TestExactMatchesApproximation(t *testing.T) {
+	a := []float64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 2.5}
+	b := []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 29.5}
+	exact, err := MannWhitneyExact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.U != approx.U {
+		t.Fatalf("U differs: exact %v vs approx %v", exact.U, approx.U)
+	}
+	if math.Abs(exact.P-approx.P) > 0.05 {
+		t.Errorf("p differs: exact %v vs approx %v", exact.P, approx.P)
+	}
+}

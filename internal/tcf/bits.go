@@ -1,0 +1,94 @@
+package tcf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bitWriter appends big-endian bit fields to a byte buffer, as required
+// by the TCF consent-string wire format.
+type bitWriter struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// writeBits appends the low n bits of v, most significant bit first.
+func (w *bitWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v>>uint(i)) & 1
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[w.nbit/8] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// writeBool appends a single bit.
+func (w *bitWriter) writeBool(b bool) {
+	if b {
+		w.writeBits(1, 1)
+	} else {
+		w.writeBits(0, 1)
+	}
+}
+
+// bytes returns the buffer, zero-padded to a whole byte.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes big-endian bit fields from a byte buffer.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+var errShortBuffer = errors.New("tcf: consent string truncated")
+
+// readBits reads n bits as an unsigned integer.
+func (r *bitReader) readBits(n int) (uint64, error) {
+	if r.pos+n > len(r.buf)*8 {
+		return 0, errShortBuffer
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// readBool reads a single bit.
+func (r *bitReader) readBool() (bool, error) {
+	v, err := r.readBits(1)
+	return v == 1, err
+}
+
+// readLetter reads a 6-bit letter (0='A' ... 25='Z').
+func (r *bitReader) readLetter() (byte, error) {
+	v, err := r.readBits(6)
+	if err != nil {
+		return 0, err
+	}
+	if v > 25 {
+		return 0, fmt.Errorf("tcf: invalid 6-bit letter %d", v)
+	}
+	return byte('A' + v), nil
+}
+
+// writeLetter writes a 6-bit letter; only ASCII A-Z (case-insensitive)
+// are representable.
+func (w *bitWriter) writeLetter(c byte) error {
+	switch {
+	case c >= 'A' && c <= 'Z':
+		w.writeBits(uint64(c-'A'), 6)
+	case c >= 'a' && c <= 'z':
+		w.writeBits(uint64(c-'a'), 6)
+	default:
+		return fmt.Errorf("tcf: letter %q not encodable", c)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package tcf
+
+import "errors"
+
+// The __cmp() function is standardized as part of the IAB's
+// Transparency & Consent Framework. The paper instruments two of its
+// commands to timestamp the consent dialog lifecycle:
+//
+//	__cmp('ping', ...)            — the dialog framework has loaded
+//	__cmp('getConsentData', ...)  — the user's decision is available
+//
+// CMPAPI models that surface for the simulated dialogs.
+
+// PingResult mirrors the TCF v1.1 ping response.
+type PingResult struct {
+	GDPRAppliesGlobally bool
+	CMPLoaded           bool
+}
+
+// ConsentData mirrors the TCF v1.1 getConsentData response.
+type ConsentData struct {
+	// ConsentData is the websafe-base64 consent string.
+	ConsentData    string
+	GDPRApplies    bool
+	HasGlobalScope bool
+}
+
+// ErrNoConsent is returned by GetConsentData before the user decided.
+var ErrNoConsent = errors.New("tcf: no consent decision recorded")
+
+// CMPAPI is the scriptable state of an embedded CMP on one page view.
+type CMPAPI struct {
+	loaded      bool
+	gdprApplies bool
+	globalScope bool
+	consent     *ConsentString
+}
+
+// NewCMPAPI returns an API facade for a page where GDPR applies as
+// indicated. globalScope marks CMPs that store consent in the shared
+// consensu.org cookie rather than per-site.
+func NewCMPAPI(gdprApplies, globalScope bool) *CMPAPI {
+	return &CMPAPI{gdprApplies: gdprApplies, globalScope: globalScope}
+}
+
+// Load marks the CMP script as loaded (dialog framework available).
+func (a *CMPAPI) Load() { a.loaded = true }
+
+// Ping implements __cmp('ping').
+func (a *CMPAPI) Ping() PingResult {
+	return PingResult{GDPRAppliesGlobally: a.globalScope, CMPLoaded: a.loaded}
+}
+
+// RecordConsent stores the user's decision, as the dialog does when it
+// closes.
+func (a *CMPAPI) RecordConsent(c *ConsentString) { a.consent = c }
+
+// GetConsentData implements __cmp('getConsentData').
+func (a *CMPAPI) GetConsentData() (ConsentData, error) {
+	if a.consent == nil {
+		return ConsentData{}, ErrNoConsent
+	}
+	s, err := a.consent.Encode()
+	if err != nil {
+		return ConsentData{}, err
+	}
+	return ConsentData{
+		ConsentData:    s,
+		GDPRApplies:    a.gdprApplies,
+		HasGlobalScope: a.globalScope,
+	}, nil
+}
+
+// Consent returns the stored decision, or nil if none.
+func (a *CMPAPI) Consent() *ConsentString { return a.consent }

@@ -1,0 +1,346 @@
+// Package tcf implements version 1.1 of the IAB Europe Transparency and
+// Consent Framework as used by the paper: the purposes and features of
+// Table A.1, the binary consent-string wire format stored in the global
+// consensu.org cookie, and the __cmp() JavaScript API surface that the
+// paper instruments in its timing experiment (Section 3.2).
+package tcf
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Version is the consent-string version implemented here. TCF 1.0/1.1
+// strings carry version 1; the paper's measurements predate TCF v2
+// adoption.
+const Version = 1
+
+// NumPurposes is the number of standardized purposes in TCF v1
+// (Table A.1).
+const NumPurposes = 5
+
+// maxVendorLimit bounds MaxVendorID when decoding untrusted strings.
+const maxVendorLimit = 1 << 15
+
+// ConsentString is the decoded form of a TCF v1.1 consent string.
+type ConsentString struct {
+	Created           time.Time
+	LastUpdated       time.Time
+	CMPID             int
+	CMPVersion        int
+	ConsentScreen     int
+	ConsentLanguage   string // two-letter code, e.g. "EN"
+	VendorListVersion int
+	// PurposesAllowed holds consent per purpose ID (1-based key).
+	PurposesAllowed map[int]bool
+	// MaxVendorID is the highest vendor ID the string covers.
+	MaxVendorID int
+	// VendorConsent holds per-vendor consent for IDs 1..MaxVendorID.
+	// Vendors not present are treated as no-consent.
+	VendorConsent map[int]bool
+}
+
+// New returns a ConsentString with initialized maps, stamped with the
+// given creation time.
+func New(created time.Time) *ConsentString {
+	return &ConsentString{
+		Created:         created,
+		LastUpdated:     created,
+		ConsentLanguage: "EN",
+		PurposesAllowed: make(map[int]bool),
+		VendorConsent:   make(map[int]bool),
+	}
+}
+
+// SetAllPurposes grants or revokes all five standardized purposes.
+func (c *ConsentString) SetAllPurposes(allowed bool) {
+	for p := 1; p <= NumPurposes; p++ {
+		c.PurposesAllowed[p] = allowed
+	}
+}
+
+// SetAllVendors grants or revokes consent for vendor IDs 1..max.
+func (c *ConsentString) SetAllVendors(max int, allowed bool) {
+	c.MaxVendorID = max
+	for v := 1; v <= max; v++ {
+		c.VendorConsent[v] = allowed
+	}
+}
+
+// ConsentedVendors returns the sorted IDs of vendors with consent.
+func (c *ConsentString) ConsentedVendors() []int {
+	ids := make([]int, 0, len(c.VendorConsent))
+	for id, ok := range c.VendorConsent {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// deciseconds converts a time to the TCF epoch representation
+// (deciseconds since Unix epoch, 36 bits).
+func deciseconds(t time.Time) uint64 {
+	return uint64(t.UnixNano() / int64(100*time.Millisecond))
+}
+
+func fromDeciseconds(ds uint64) time.Time {
+	return time.Unix(0, int64(ds)*int64(100*time.Millisecond)).UTC()
+}
+
+// Encode serializes the consent string to its websafe-base64 form. The
+// vendor section is encoded with whichever of the bitfield or range
+// encodings is smaller, as real CMP SDKs do; EncodeWith forces one.
+func (c *ConsentString) Encode() (string, error) {
+	bf, err := c.EncodeWith(EncodingBitField)
+	if err != nil {
+		return "", err
+	}
+	rg, err := c.EncodeWith(EncodingRange)
+	if err != nil {
+		return "", err
+	}
+	if len(rg) < len(bf) {
+		return rg, nil
+	}
+	return bf, nil
+}
+
+// VendorEncoding selects the vendor-section representation.
+type VendorEncoding int
+
+const (
+	// EncodingBitField stores one bit per vendor ID up to MaxVendorID.
+	EncodingBitField VendorEncoding = 0
+	// EncodingRange stores ranges of consecutive IDs that differ from a
+	// default consent value.
+	EncodingRange VendorEncoding = 1
+)
+
+// EncodeWith serializes using the requested vendor encoding.
+func (c *ConsentString) EncodeWith(enc VendorEncoding) (string, error) {
+	if c.MaxVendorID < 0 || c.MaxVendorID >= maxVendorLimit {
+		return "", fmt.Errorf("tcf: MaxVendorID %d out of range", c.MaxVendorID)
+	}
+	if len(c.ConsentLanguage) != 2 {
+		return "", fmt.Errorf("tcf: consent language %q must be two letters", c.ConsentLanguage)
+	}
+	w := &bitWriter{}
+	w.writeBits(Version, 6)
+	w.writeBits(deciseconds(c.Created), 36)
+	w.writeBits(deciseconds(c.LastUpdated), 36)
+	w.writeBits(uint64(c.CMPID), 12)
+	w.writeBits(uint64(c.CMPVersion), 12)
+	w.writeBits(uint64(c.ConsentScreen), 6)
+	if err := w.writeLetter(c.ConsentLanguage[0]); err != nil {
+		return "", err
+	}
+	if err := w.writeLetter(c.ConsentLanguage[1]); err != nil {
+		return "", err
+	}
+	w.writeBits(uint64(c.VendorListVersion), 12)
+	// 24 purpose bits; purpose 1 is the most significant.
+	var purposes uint64
+	for p := 1; p <= 24; p++ {
+		purposes <<= 1
+		if c.PurposesAllowed[p] {
+			purposes |= 1
+		}
+	}
+	w.writeBits(purposes, 24)
+	w.writeBits(uint64(c.MaxVendorID), 16)
+
+	switch enc {
+	case EncodingBitField:
+		w.writeBool(false)
+		for v := 1; v <= c.MaxVendorID; v++ {
+			w.writeBool(c.VendorConsent[v])
+		}
+	case EncodingRange:
+		w.writeBool(true)
+		// Choose the default that minimizes entries.
+		consented := 0
+		for v := 1; v <= c.MaxVendorID; v++ {
+			if c.VendorConsent[v] {
+				consented++
+			}
+		}
+		defaultConsent := consented*2 > c.MaxVendorID
+		w.writeBool(defaultConsent)
+		ranges := c.exceptionRanges(defaultConsent)
+		if len(ranges) >= 1<<12 {
+			return "", errors.New("tcf: too many range entries")
+		}
+		w.writeBits(uint64(len(ranges)), 12)
+		for _, r := range ranges {
+			if r[0] == r[1] {
+				w.writeBool(false)
+				w.writeBits(uint64(r[0]), 16)
+			} else {
+				w.writeBool(true)
+				w.writeBits(uint64(r[0]), 16)
+				w.writeBits(uint64(r[1]), 16)
+			}
+		}
+	default:
+		return "", fmt.Errorf("tcf: unknown vendor encoding %d", enc)
+	}
+	return base64.RawURLEncoding.EncodeToString(w.bytes()), nil
+}
+
+// exceptionRanges returns [start,end] vendor-ID ranges whose consent
+// differs from defaultConsent.
+func (c *ConsentString) exceptionRanges(defaultConsent bool) [][2]int {
+	var ranges [][2]int
+	start := 0
+	for v := 1; v <= c.MaxVendorID+1; v++ {
+		exception := v <= c.MaxVendorID && c.VendorConsent[v] != defaultConsent
+		if exception && start == 0 {
+			start = v
+		}
+		if !exception && start != 0 {
+			ranges = append(ranges, [2]int{start, v - 1})
+			start = 0
+		}
+	}
+	return ranges
+}
+
+// Decode parses a websafe-base64 TCF v1.1 consent string.
+func Decode(s string) (*ConsentString, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		// Tolerate padded input, which some CMPs emit.
+		raw, err = base64.URLEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("tcf: base64: %w", err)
+		}
+	}
+	r := &bitReader{buf: raw}
+	version, err := r.readBits(6)
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("tcf: unsupported consent string version %d", version)
+	}
+	c := &ConsentString{
+		PurposesAllowed: make(map[int]bool),
+		VendorConsent:   make(map[int]bool),
+	}
+	created, err := r.readBits(36)
+	if err != nil {
+		return nil, err
+	}
+	updated, err := r.readBits(36)
+	if err != nil {
+		return nil, err
+	}
+	c.Created = fromDeciseconds(created)
+	c.LastUpdated = fromDeciseconds(updated)
+	fields := []struct {
+		dst  *int
+		bits int
+	}{
+		{&c.CMPID, 12}, {&c.CMPVersion, 12}, {&c.ConsentScreen, 6},
+	}
+	for _, f := range fields {
+		v, err := r.readBits(f.bits)
+		if err != nil {
+			return nil, err
+		}
+		*f.dst = int(v)
+	}
+	l1, err := r.readLetter()
+	if err != nil {
+		return nil, err
+	}
+	l2, err := r.readLetter()
+	if err != nil {
+		return nil, err
+	}
+	c.ConsentLanguage = string([]byte{l1, l2})
+	vlv, err := r.readBits(12)
+	if err != nil {
+		return nil, err
+	}
+	c.VendorListVersion = int(vlv)
+	purposes, err := r.readBits(24)
+	if err != nil {
+		return nil, err
+	}
+	for p := 1; p <= 24; p++ {
+		if purposes&(1<<uint(24-p)) != 0 {
+			c.PurposesAllowed[p] = true
+		}
+	}
+	maxVendor, err := r.readBits(16)
+	if err != nil {
+		return nil, err
+	}
+	if maxVendor >= maxVendorLimit {
+		return nil, fmt.Errorf("tcf: MaxVendorID %d out of range", maxVendor)
+	}
+	c.MaxVendorID = int(maxVendor)
+	isRange, err := r.readBool()
+	if err != nil {
+		return nil, err
+	}
+	if !isRange {
+		for v := 1; v <= c.MaxVendorID; v++ {
+			ok, err := r.readBool()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				c.VendorConsent[v] = true
+			}
+		}
+		return c, nil
+	}
+	defaultConsent, err := r.readBool()
+	if err != nil {
+		return nil, err
+	}
+	numEntries, err := r.readBits(12)
+	if err != nil {
+		return nil, err
+	}
+	if defaultConsent {
+		for v := 1; v <= c.MaxVendorID; v++ {
+			c.VendorConsent[v] = true
+		}
+	}
+	for i := 0; i < int(numEntries); i++ {
+		isRangeEntry, err := r.readBool()
+		if err != nil {
+			return nil, err
+		}
+		start, err := r.readBits(16)
+		if err != nil {
+			return nil, err
+		}
+		end := start
+		if isRangeEntry {
+			end, err = r.readBits(16)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if start == 0 || end < start || int(end) > c.MaxVendorID {
+			return nil, fmt.Errorf("tcf: invalid range entry [%d,%d]", start, end)
+		}
+		for v := start; v <= end; v++ {
+			if defaultConsent {
+				delete(c.VendorConsent, int(v))
+			} else {
+				c.VendorConsent[int(v)] = true
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,78 @@
+package tcf
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecode hardens the v1 consent-string parser against arbitrary
+// input: it must never panic, and anything it accepts must re-encode
+// to a string that decodes to the same vendor set.
+func FuzzDecode(f *testing.F) {
+	c := sampleConsent()
+	for _, enc := range []VendorEncoding{EncodingBitField, EncodingRange} {
+		if s, err := c.EncodeWith(enc); err == nil {
+			f.Add(s)
+		}
+	}
+	f.Add("")
+	f.Add("BOzapMAOzapMAAAAAAENAA-AAAAfTAAA")
+	f.Add("!!!!")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Decode(s)
+		if err != nil {
+			return
+		}
+		re, err := d.Encode()
+		if err != nil {
+			t.Fatalf("accepted string failed to re-encode: %v", err)
+		}
+		d2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded string failed to decode: %v", err)
+		}
+		if d2.MaxVendorID != d.MaxVendorID {
+			t.Fatalf("MaxVendorID drifted: %d → %d", d.MaxVendorID, d2.MaxVendorID)
+		}
+		for v := 1; v <= d.MaxVendorID; v++ {
+			if d.VendorConsent[v] != d2.VendorConsent[v] {
+				t.Fatalf("vendor %d consent drifted", v)
+			}
+		}
+	})
+}
+
+// FuzzDecodeV2 does the same for the v2 parser, including optional
+// segments.
+func FuzzDecodeV2(f *testing.F) {
+	c := NewV2(time.Unix(1_596_000_000, 0).UTC())
+	c.MaxVendorID = 20
+	c.VendorConsent[3] = true
+	c.DisclosedVendors[5] = true
+	c.HasPublisherTC = true
+	c.PubPurposesConsent[1] = true
+	if s, err := c.EncodeV2(); err == nil {
+		f.Add(s)
+	}
+	f.Add("COw.seg.seg")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := DecodeV2(s)
+		if err != nil {
+			return
+		}
+		re, err := d.EncodeV2()
+		if err != nil {
+			t.Fatalf("accepted v2 string failed to re-encode: %v", err)
+		}
+		d2, err := DecodeV2(re)
+		if err != nil {
+			t.Fatalf("re-encoded v2 string failed to decode: %v", err)
+		}
+		for v := 1; v <= d.MaxVendorID; v++ {
+			if d.VendorConsent[v] != d2.VendorConsent[v] {
+				t.Fatalf("v2 vendor %d consent drifted", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package tcf
+
+// Purpose is a standardized TCF v1 data-processing purpose (Table A.1).
+type Purpose struct {
+	ID   int
+	Name string
+	// Definition is the standardized text shown to users.
+	Definition string
+}
+
+// Feature is a standardized TCF v1 feature: a method of data use that
+// overlaps multiple purposes (Table A.1).
+type Feature struct {
+	ID         int
+	Name       string
+	Definition string
+}
+
+// Purposes returns the five purposes defined in version 1 of the TCF,
+// verbatim from Table A.1. The slice is freshly allocated.
+func Purposes() []Purpose {
+	return []Purpose{
+		{1, "Information storage and access",
+			"The storage of information, or access to information that is already stored, on your device such as advertising identifiers, device identifiers, cookies, and similar technologies."},
+		{2, "Personalisation",
+			"The collection and processing of information about your use of this service to subsequently personalise advertising and/or content for you in other contexts, such as on other websites or apps, over time."},
+		{3, "Ad selection, delivery, reporting",
+			"The collection of information, and combination with previously collected information, to select and deliver advertisements for you, and to measure the delivery and effectiveness of such advertisements."},
+		{4, "Content selection, delivery, reporting",
+			"The collection of information, and combination with previously collected information, to select and deliver content for you, and to measure the delivery and effectiveness of such content."},
+		{5, "Measurement",
+			"The collection of information about your use of the content, and combination with previously collected information, used to measure, understand, and report on your usage of the service."},
+	}
+}
+
+// Features returns the three features defined in version 1 of the TCF
+// (Table A.1).
+func Features() []Feature {
+	return []Feature{
+		{1, "Offline data matching",
+			"Combining data from offline sources that were initially collected in other contexts with data collected online in support of one or more purposes."},
+		{2, "Device linking",
+			"Processing data to link multiple devices that belong to the same user in support of one or more purposes."},
+		{3, "Precise geographic location data",
+			"Collecting and supporting precise geographic location data in support of one or more purposes."},
+	}
+}
+
+// PurposeName returns the name for a purpose ID, or "" if unknown.
+func PurposeName(id int) string {
+	for _, p := range Purposes() {
+		if p.ID == id {
+			return p.Name
+		}
+	}
+	return ""
+}

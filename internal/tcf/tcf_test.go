@@ -1,0 +1,284 @@
+package tcf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleConsent() *ConsentString {
+	c := New(time.Date(2020, time.May, 10, 14, 30, 0, 0, time.UTC))
+	c.CMPID = 10
+	c.CMPVersion = 3
+	c.ConsentScreen = 2
+	c.ConsentLanguage = "DE"
+	c.VendorListVersion = 183
+	c.PurposesAllowed[1] = true
+	c.PurposesAllowed[3] = true
+	c.MaxVendorID = 600
+	c.VendorConsent[1] = true
+	c.VendorConsent[17] = true
+	c.VendorConsent[599] = true
+	return c
+}
+
+func TestRoundTripBitField(t *testing.T) {
+	c := sampleConsent()
+	s, err := c.EncodeWith(EncodingBitField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, c, s)
+}
+
+func TestRoundTripRange(t *testing.T) {
+	c := sampleConsent()
+	s, err := c.EncodeWith(EncodingRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, c, s)
+}
+
+func checkRoundTrip(t *testing.T, c *ConsentString, s string) {
+	t.Helper()
+	if strings.ContainsAny(s, "+/=") {
+		t.Error("consent strings must be websafe base64 without padding")
+	}
+	d, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Created.Equal(c.Created) || !d.LastUpdated.Equal(c.LastUpdated) {
+		t.Errorf("timestamps: got %v/%v want %v/%v", d.Created, d.LastUpdated, c.Created, c.LastUpdated)
+	}
+	if d.CMPID != c.CMPID || d.CMPVersion != c.CMPVersion || d.ConsentScreen != c.ConsentScreen {
+		t.Errorf("CMP fields: %+v", d)
+	}
+	if d.ConsentLanguage != c.ConsentLanguage {
+		t.Errorf("language = %q, want %q", d.ConsentLanguage, c.ConsentLanguage)
+	}
+	if d.VendorListVersion != c.VendorListVersion || d.MaxVendorID != c.MaxVendorID {
+		t.Errorf("versions: %+v", d)
+	}
+	for p := 1; p <= 24; p++ {
+		if d.PurposesAllowed[p] != c.PurposesAllowed[p] {
+			t.Errorf("purpose %d mismatch", p)
+		}
+	}
+	for v := 1; v <= c.MaxVendorID; v++ {
+		if d.VendorConsent[v] != c.VendorConsent[v] {
+			t.Errorf("vendor %d consent mismatch", v)
+		}
+	}
+}
+
+// TestRoundTripProperty: arbitrary vendor sets survive both encodings.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint16, maxVendor uint16, dense bool) bool {
+		max := int(maxVendor%800) + 1
+		c := New(time.Unix(1_589_000_000, 0).UTC())
+		c.MaxVendorID = max
+		// Pseudo-random vendor subset from the seed.
+		x := uint32(seed) + 1
+		for v := 1; v <= max; v++ {
+			x = x*1664525 + 1013904223
+			threshold := uint32(1 << 30)
+			if dense {
+				threshold = 3 << 30
+			}
+			if x < threshold {
+				c.VendorConsent[v] = true
+			}
+		}
+		c.PurposesAllowed[int(seed%5)+1] = true
+		for _, enc := range []VendorEncoding{EncodingBitField, EncodingRange} {
+			s, err := c.EncodeWith(enc)
+			if err != nil {
+				return false
+			}
+			d, err := Decode(s)
+			if err != nil {
+				return false
+			}
+			if d.MaxVendorID != max {
+				return false
+			}
+			for v := 1; v <= max; v++ {
+				if d.VendorConsent[v] != c.VendorConsent[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePicksSmaller(t *testing.T) {
+	// All vendors consent: range encoding (default=1, zero entries)
+	// is far smaller than a 4000-bit field.
+	c := New(time.Unix(1_589_000_000, 0).UTC())
+	c.SetAllPurposes(true)
+	c.SetAllVendors(4000, true)
+	auto, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := c.EncodeWith(EncodingBitField)
+	rg, _ := c.EncodeWith(EncodingRange)
+	if len(rg) >= len(bf) {
+		t.Fatalf("range (%d) should beat bitfield (%d) here", len(rg), len(bf))
+	}
+	if auto != rg {
+		t.Error("Encode must pick the smaller encoding")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"!!!not-b64!!!", // invalid base64
+		"AAAA",          // truncated
+	}
+	for _, s := range cases {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q): want error", s)
+		}
+	}
+	// Wrong version: craft a string with version 2 in the first 6 bits.
+	c := sampleConsent()
+	s, _ := c.Encode()
+	raw := []byte(s)
+	raw[0] = 'C' // flips version bits
+	if _, err := Decode(string(raw)); err == nil {
+		t.Error("version mismatch must fail")
+	}
+}
+
+func TestDecodePaddedBase64(t *testing.T) {
+	c := sampleConsent()
+	s, err := c.EncodeWith(EncodingBitField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := s
+	for len(padded)%4 != 0 {
+		padded += "="
+	}
+	if padded == s {
+		padded = s // nothing to pad; still exercises the path
+	}
+	if _, err := Decode(padded); err != nil {
+		t.Errorf("padded consent strings must decode: %v", err)
+	}
+}
+
+func TestConsentedVendors(t *testing.T) {
+	c := sampleConsent()
+	got := c.ConsentedVendors()
+	want := []int{1, 17, 599}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := New(time.Unix(0, 0))
+	c.ConsentLanguage = "E" // too short
+	if _, err := c.Encode(); err == nil {
+		t.Error("bad language must fail")
+	}
+	c = New(time.Unix(0, 0))
+	c.ConsentLanguage = "E1"
+	if _, err := c.Encode(); err == nil {
+		t.Error("non-letter language must fail")
+	}
+	c = New(time.Unix(0, 0))
+	c.MaxVendorID = 1 << 16
+	if _, err := c.Encode(); err == nil {
+		t.Error("oversized MaxVendorID must fail")
+	}
+}
+
+func TestPurposesAndFeatures(t *testing.T) {
+	ps := Purposes()
+	if len(ps) != 5 {
+		t.Fatalf("want 5 purposes (Table A.1), got %d", len(ps))
+	}
+	if ps[0].Name != "Information storage and access" {
+		t.Errorf("purpose 1 = %q", ps[0].Name)
+	}
+	for i, p := range ps {
+		if p.ID != i+1 || p.Definition == "" {
+			t.Errorf("purpose %d malformed", i+1)
+		}
+	}
+	fs := Features()
+	if len(fs) != 3 {
+		t.Fatalf("want 3 features (Table A.1), got %d", len(fs))
+	}
+	if fs[2].Name != "Precise geographic location data" {
+		t.Errorf("feature 3 = %q", fs[2].Name)
+	}
+	if PurposeName(2) != "Personalisation" || PurposeName(99) != "" {
+		t.Error("PurposeName lookup broken")
+	}
+}
+
+func TestCMPAPI(t *testing.T) {
+	api := NewCMPAPI(true, true)
+	if api.Ping().CMPLoaded {
+		t.Error("CMP must not report loaded before Load")
+	}
+	api.Load()
+	ping := api.Ping()
+	if !ping.CMPLoaded || !ping.GDPRAppliesGlobally {
+		t.Errorf("ping = %+v", ping)
+	}
+	if _, err := api.GetConsentData(); err != ErrNoConsent {
+		t.Error("GetConsentData before decision must fail")
+	}
+	c := sampleConsent()
+	api.RecordConsent(c)
+	data, err := api.GetConsentData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.GDPRApplies || !data.HasGlobalScope || data.ConsentData == "" {
+		t.Errorf("consent data = %+v", data)
+	}
+	if _, err := Decode(data.ConsentData); err != nil {
+		t.Errorf("API consent string must decode: %v", err)
+	}
+	if api.Consent() != c {
+		t.Error("Consent accessor broken")
+	}
+}
+
+func TestTimestampGranularity(t *testing.T) {
+	// The wire format stores deciseconds; sub-decisecond precision is
+	// truncated, not rounded.
+	c := New(time.Date(2020, 1, 2, 3, 4, 5, 678_000_000, time.UTC))
+	c.MaxVendorID = 1
+	s, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2020, 1, 2, 3, 4, 5, 600_000_000, time.UTC)
+	if !d.Created.Equal(want) {
+		t.Errorf("created = %v, want %v", d.Created, want)
+	}
+}

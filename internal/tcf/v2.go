@@ -1,0 +1,630 @@
+package tcf
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TCF v2.0 support. IAB Europe finalized TCF v2 in 2019 and CMPs
+// migrated to it during the tail of the paper's observation window
+// (the switchover deadline was August 2020, right at the end of the
+// study). The v2 consent string is substantially richer than v1: ten
+// purposes with separate consent and legitimate-interest signals,
+// special feature opt-ins, publisher restrictions, and optional
+// segments appended with '.' separators.
+//
+// This implementation covers the core segment, the disclosed-vendors
+// segment and the publisher-TC segment — everything a CMP needs to
+// store a complete user decision.
+
+// V2Version is the consent-string version number of TCF v2 strings.
+const V2Version = 2
+
+// NumPurposesV2 is the number of standardized purposes in TCF v2.
+const NumPurposesV2 = 10
+
+// NumSpecialFeatures is the number of standardized special features
+// that require explicit opt-in under TCF v2.
+const NumSpecialFeatures = 2
+
+// RestrictionType classifies a publisher restriction on a purpose.
+type RestrictionType int
+
+const (
+	// RestrictionNotAllowed: the purpose is flatly disallowed for the
+	// listed vendors on this publisher's sites.
+	RestrictionNotAllowed RestrictionType = 0
+	// RestrictionRequireConsent: vendors must use consent as the legal
+	// basis even if they registered legitimate interest.
+	RestrictionRequireConsent RestrictionType = 1
+	// RestrictionRequireLegInt: vendors must use legitimate interest.
+	RestrictionRequireLegInt RestrictionType = 2
+)
+
+// PubRestriction is one publisher restriction entry.
+type PubRestriction struct {
+	Purpose int
+	Type    RestrictionType
+	// VendorIDs the restriction applies to.
+	VendorIDs []int
+}
+
+// V2ConsentString is a decoded TCF v2.0 TC string.
+type V2ConsentString struct {
+	Created              time.Time
+	LastUpdated          time.Time
+	CMPID                int
+	CMPVersion           int
+	ConsentScreen        int
+	ConsentLanguage      string // two letters
+	VendorListVersion    int
+	TCFPolicyVersion     int
+	IsServiceSpecific    bool
+	UseNonStandardStacks bool
+	// SpecialFeatureOptIns holds opt-ins per special feature (1-based).
+	SpecialFeatureOptIns map[int]bool
+	// PurposesConsent / PurposesLITransparency per purpose (1-based,
+	// up to 24 wire bits; 10 standardized).
+	PurposesConsent        map[int]bool
+	PurposesLITransparency map[int]bool
+	// PurposeOneTreatment: purpose 1 is handled by local law instead
+	// of consent (e.g. German publishers).
+	PurposeOneTreatment bool
+	// PublisherCC is the publisher's country code.
+	PublisherCC string
+	// Vendor signals.
+	MaxVendorID     int
+	VendorConsent   map[int]bool
+	MaxVendorLIID   int
+	VendorLegInt    map[int]bool
+	PubRestrictions []PubRestriction
+	// DisclosedVendors is the optional segment listing vendors whose
+	// information was disclosed to the user (global scope only).
+	DisclosedVendors map[int]bool
+	// Publisher TC segment.
+	HasPublisherTC               bool
+	PubPurposesConsent           map[int]bool
+	PubPurposesLITransparency    map[int]bool
+	NumCustomPurposes            int
+	CustomPurposesConsent        map[int]bool
+	CustomPurposesLITransparency map[int]bool
+}
+
+// NewV2 returns a v2 string with initialized maps.
+func NewV2(created time.Time) *V2ConsentString {
+	return &V2ConsentString{
+		Created:                      created,
+		LastUpdated:                  created,
+		ConsentLanguage:              "EN",
+		PublisherCC:                  "DE",
+		TCFPolicyVersion:             2,
+		SpecialFeatureOptIns:         make(map[int]bool),
+		PurposesConsent:              make(map[int]bool),
+		PurposesLITransparency:       make(map[int]bool),
+		VendorConsent:                make(map[int]bool),
+		VendorLegInt:                 make(map[int]bool),
+		DisclosedVendors:             make(map[int]bool),
+		PubPurposesConsent:           make(map[int]bool),
+		PubPurposesLITransparency:    make(map[int]bool),
+		CustomPurposesConsent:        make(map[int]bool),
+		CustomPurposesLITransparency: make(map[int]bool),
+	}
+}
+
+// segment type identifiers for optional segments.
+const (
+	segmentCore             = 0
+	segmentDisclosedVendors = 1
+	segmentAllowedVendors   = 2
+	segmentPublisherTC      = 3
+)
+
+// EncodeV2 serializes the TC string: core segment plus any optional
+// segments, '.'-separated, each websafe-base64 without padding.
+func (c *V2ConsentString) EncodeV2() (string, error) {
+	core, err := c.encodeCore()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{core}
+	if len(c.DisclosedVendors) > 0 {
+		parts = append(parts, c.encodeVendorSegment(segmentDisclosedVendors, c.DisclosedVendors))
+	}
+	if c.HasPublisherTC {
+		parts = append(parts, c.encodePublisherTC())
+	}
+	return strings.Join(parts, "."), nil
+}
+
+func (c *V2ConsentString) encodeCore() (string, error) {
+	if len(c.ConsentLanguage) != 2 || len(c.PublisherCC) != 2 {
+		return "", errors.New("tcf: v2 language and publisher CC must be two letters")
+	}
+	if c.MaxVendorID >= maxVendorLimit || c.MaxVendorLIID >= maxVendorLimit {
+		return "", fmt.Errorf("tcf: v2 vendor id out of range")
+	}
+	w := &bitWriter{}
+	w.writeBits(V2Version, 6)
+	w.writeBits(deciseconds(c.Created), 36)
+	w.writeBits(deciseconds(c.LastUpdated), 36)
+	w.writeBits(uint64(c.CMPID), 12)
+	w.writeBits(uint64(c.CMPVersion), 12)
+	w.writeBits(uint64(c.ConsentScreen), 6)
+	for i := 0; i < 2; i++ {
+		if err := w.writeLetter(c.ConsentLanguage[i]); err != nil {
+			return "", err
+		}
+	}
+	w.writeBits(uint64(c.VendorListVersion), 12)
+	w.writeBits(uint64(c.TCFPolicyVersion), 6)
+	w.writeBool(c.IsServiceSpecific)
+	w.writeBool(c.UseNonStandardStacks)
+	writeBitmap(w, c.SpecialFeatureOptIns, 12)
+	writeBitmap(w, c.PurposesConsent, 24)
+	writeBitmap(w, c.PurposesLITransparency, 24)
+	w.writeBool(c.PurposeOneTreatment)
+	for i := 0; i < 2; i++ {
+		if err := w.writeLetter(c.PublisherCC[i]); err != nil {
+			return "", err
+		}
+	}
+	writeVendorField(w, c.MaxVendorID, c.VendorConsent)
+	writeVendorField(w, c.MaxVendorLIID, c.VendorLegInt)
+
+	// Publisher restrictions.
+	if len(c.PubRestrictions) >= 1<<12 {
+		return "", errors.New("tcf: too many publisher restrictions")
+	}
+	w.writeBits(uint64(len(c.PubRestrictions)), 12)
+	for _, pr := range c.PubRestrictions {
+		w.writeBits(uint64(pr.Purpose), 6)
+		w.writeBits(uint64(pr.Type), 2)
+		ranges := idsToRanges(pr.VendorIDs)
+		w.writeBits(uint64(len(ranges)), 12)
+		for _, r := range ranges {
+			writeRangeEntry(w, r)
+		}
+	}
+	return base64.RawURLEncoding.EncodeToString(w.bytes()), nil
+}
+
+// writeBitmap writes a 1-based boolean map as an n-bit field, bit 1 at
+// the most significant position.
+func writeBitmap(w *bitWriter, m map[int]bool, n int) {
+	var v uint64
+	for i := 1; i <= n; i++ {
+		v <<= 1
+		if m[i] {
+			v |= 1
+		}
+	}
+	w.writeBits(v, n)
+}
+
+func readBitmap(r *bitReader, n int) (map[int]bool, error) {
+	v, err := r.readBits(n)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int]bool)
+	for i := 1; i <= n; i++ {
+		if v&(1<<uint(n-i)) != 0 {
+			m[i] = true
+		}
+	}
+	return m, nil
+}
+
+// writeVendorField writes a v2 vendor section (no default-consent bit,
+// unlike v1): MaxVendorId, IsRangeEncoding, then bitfield or ranges.
+func writeVendorField(w *bitWriter, maxID int, consent map[int]bool) {
+	w.writeBits(uint64(maxID), 16)
+	var ids []int
+	for v := 1; v <= maxID; v++ {
+		if consent[v] {
+			ids = append(ids, v)
+		}
+	}
+	ranges := idsToRanges(ids)
+	rangeBits := 12 + 33*len(ranges) // upper bound
+	if rangeBits < maxID {
+		w.writeBool(true)
+		w.writeBits(uint64(len(ranges)), 12)
+		for _, r := range ranges {
+			writeRangeEntry(w, r)
+		}
+	} else {
+		w.writeBool(false)
+		for v := 1; v <= maxID; v++ {
+			w.writeBool(consent[v])
+		}
+	}
+}
+
+func writeRangeEntry(w *bitWriter, r [2]int) {
+	if r[0] == r[1] {
+		w.writeBool(false)
+		w.writeBits(uint64(r[0]), 16)
+	} else {
+		w.writeBool(true)
+		w.writeBits(uint64(r[0]), 16)
+		w.writeBits(uint64(r[1]), 16)
+	}
+}
+
+// idsToRanges compresses a sorted id list into [start,end] ranges. The
+// input need not be sorted; consecutive runs are detected after an
+// insertion sort of the (typically short) slice.
+func idsToRanges(ids []int) [][2]int {
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ids...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var ranges [][2]int
+	start, prev := sorted[0], sorted[0]
+	for _, id := range sorted[1:] {
+		if id == prev || id == prev+1 {
+			prev = id
+			continue
+		}
+		ranges = append(ranges, [2]int{start, prev})
+		start, prev = id, id
+	}
+	return append(ranges, [2]int{start, prev})
+}
+
+// encodeVendorSegment writes an optional vendor segment (disclosed or
+// allowed vendors).
+func (c *V2ConsentString) encodeVendorSegment(segType int, vendors map[int]bool) string {
+	w := &bitWriter{}
+	w.writeBits(uint64(segType), 3)
+	max := 0
+	for id := range vendors {
+		if vendors[id] && id > max {
+			max = id
+		}
+	}
+	writeVendorField(w, max, vendors)
+	return base64.RawURLEncoding.EncodeToString(w.bytes())
+}
+
+// encodePublisherTC writes the publisher-TC segment.
+func (c *V2ConsentString) encodePublisherTC() string {
+	w := &bitWriter{}
+	w.writeBits(segmentPublisherTC, 3)
+	writeBitmap(w, c.PubPurposesConsent, 24)
+	writeBitmap(w, c.PubPurposesLITransparency, 24)
+	w.writeBits(uint64(c.NumCustomPurposes), 6)
+	for i := 1; i <= c.NumCustomPurposes; i++ {
+		w.writeBool(c.CustomPurposesConsent[i])
+	}
+	for i := 1; i <= c.NumCustomPurposes; i++ {
+		w.writeBool(c.CustomPurposesLITransparency[i])
+	}
+	return base64.RawURLEncoding.EncodeToString(w.bytes())
+}
+
+// DecodeV2 parses a full TC string including optional segments.
+func DecodeV2(s string) (*V2ConsentString, error) {
+	parts := strings.Split(s, ".")
+	c, err := decodeV2Core(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range parts[1:] {
+		if err := c.decodeSegment(seg); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func decodeV2Core(s string) (*V2ConsentString, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("tcf: v2 base64: %w", err)
+	}
+	r := &bitReader{buf: raw}
+	version, err := r.readBits(6)
+	if err != nil {
+		return nil, err
+	}
+	if version != V2Version {
+		return nil, fmt.Errorf("tcf: not a v2 consent string (version %d)", version)
+	}
+	c := NewV2(time.Time{})
+	created, err := r.readBits(36)
+	if err != nil {
+		return nil, err
+	}
+	updated, err := r.readBits(36)
+	if err != nil {
+		return nil, err
+	}
+	c.Created = fromDeciseconds(created)
+	c.LastUpdated = fromDeciseconds(updated)
+	for _, f := range []struct {
+		dst  *int
+		bits int
+	}{{&c.CMPID, 12}, {&c.CMPVersion, 12}, {&c.ConsentScreen, 6}} {
+		v, err := r.readBits(f.bits)
+		if err != nil {
+			return nil, err
+		}
+		*f.dst = int(v)
+	}
+	lang, err := readLetters(r, 2)
+	if err != nil {
+		return nil, err
+	}
+	c.ConsentLanguage = lang
+	vlv, err := r.readBits(12)
+	if err != nil {
+		return nil, err
+	}
+	c.VendorListVersion = int(vlv)
+	pol, err := r.readBits(6)
+	if err != nil {
+		return nil, err
+	}
+	c.TCFPolicyVersion = int(pol)
+	if c.IsServiceSpecific, err = r.readBool(); err != nil {
+		return nil, err
+	}
+	if c.UseNonStandardStacks, err = r.readBool(); err != nil {
+		return nil, err
+	}
+	if c.SpecialFeatureOptIns, err = readBitmap(r, 12); err != nil {
+		return nil, err
+	}
+	if c.PurposesConsent, err = readBitmap(r, 24); err != nil {
+		return nil, err
+	}
+	if c.PurposesLITransparency, err = readBitmap(r, 24); err != nil {
+		return nil, err
+	}
+	if c.PurposeOneTreatment, err = r.readBool(); err != nil {
+		return nil, err
+	}
+	if c.PublisherCC, err = readLetters(r, 2); err != nil {
+		return nil, err
+	}
+	if c.MaxVendorID, c.VendorConsent, err = readVendorField(r); err != nil {
+		return nil, err
+	}
+	if c.MaxVendorLIID, c.VendorLegInt, err = readVendorField(r); err != nil {
+		return nil, err
+	}
+	numRestrictions, err := r.readBits(12)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(numRestrictions); i++ {
+		purpose, err := r.readBits(6)
+		if err != nil {
+			return nil, err
+		}
+		rtype, err := r.readBits(2)
+		if err != nil {
+			return nil, err
+		}
+		pr := PubRestriction{Purpose: int(purpose), Type: RestrictionType(rtype)}
+		numEntries, err := r.readBits(12)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(numEntries); j++ {
+			start, end, err := readRangeEntry(r)
+			if err != nil {
+				return nil, err
+			}
+			for v := start; v <= end; v++ {
+				pr.VendorIDs = append(pr.VendorIDs, v)
+			}
+		}
+		c.PubRestrictions = append(c.PubRestrictions, pr)
+	}
+	return c, nil
+}
+
+func readLetters(r *bitReader, n int) (string, error) {
+	b := make([]byte, n)
+	for i := range b {
+		l, err := r.readLetter()
+		if err != nil {
+			return "", err
+		}
+		b[i] = l
+	}
+	return string(b), nil
+}
+
+func readVendorField(r *bitReader) (int, map[int]bool, error) {
+	maxID, err := r.readBits(16)
+	if err != nil {
+		return 0, nil, err
+	}
+	if maxID >= maxVendorLimit {
+		return 0, nil, fmt.Errorf("tcf: v2 MaxVendorID %d out of range", maxID)
+	}
+	isRange, err := r.readBool()
+	if err != nil {
+		return 0, nil, err
+	}
+	consent := make(map[int]bool)
+	if !isRange {
+		for v := 1; v <= int(maxID); v++ {
+			ok, err := r.readBool()
+			if err != nil {
+				return 0, nil, err
+			}
+			if ok {
+				consent[v] = true
+			}
+		}
+		return int(maxID), consent, nil
+	}
+	numEntries, err := r.readBits(12)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < int(numEntries); i++ {
+		start, end, err := readRangeEntry(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if start == 0 || end < start || end > int(maxID) {
+			return 0, nil, fmt.Errorf("tcf: v2 invalid range [%d,%d]", start, end)
+		}
+		for v := start; v <= end; v++ {
+			consent[v] = true
+		}
+	}
+	return int(maxID), consent, nil
+}
+
+func readRangeEntry(r *bitReader) (start, end int, err error) {
+	isRange, err := r.readBool()
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := r.readBits(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	e := s
+	if isRange {
+		if e, err = r.readBits(16); err != nil {
+			return 0, 0, err
+		}
+	}
+	return int(s), int(e), nil
+}
+
+// decodeSegment parses one optional '.'-separated segment.
+func (c *V2ConsentString) decodeSegment(s string) error {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("tcf: v2 segment base64: %w", err)
+	}
+	r := &bitReader{buf: raw}
+	segType, err := r.readBits(3)
+	if err != nil {
+		return err
+	}
+	switch segType {
+	case segmentDisclosedVendors:
+		_, vendors, err := readVendorField(r)
+		if err != nil {
+			return err
+		}
+		c.DisclosedVendors = vendors
+	case segmentAllowedVendors:
+		// Parsed for completeness; allowed-vendors is only used by
+		// publisher-specific strings, which we do not model further.
+		if _, _, err := readVendorField(r); err != nil {
+			return err
+		}
+	case segmentPublisherTC:
+		c.HasPublisherTC = true
+		if c.PubPurposesConsent, err = readBitmap(r, 24); err != nil {
+			return err
+		}
+		if c.PubPurposesLITransparency, err = readBitmap(r, 24); err != nil {
+			return err
+		}
+		n, err := r.readBits(6)
+		if err != nil {
+			return err
+		}
+		c.NumCustomPurposes = int(n)
+		for i := 1; i <= c.NumCustomPurposes; i++ {
+			ok, err := r.readBool()
+			if err != nil {
+				return err
+			}
+			if ok {
+				c.CustomPurposesConsent[i] = true
+			}
+		}
+		for i := 1; i <= c.NumCustomPurposes; i++ {
+			ok, err := r.readBool()
+			if err != nil {
+				return err
+			}
+			if ok {
+				c.CustomPurposesLITransparency[i] = true
+			}
+		}
+	default:
+		return fmt.Errorf("tcf: unknown v2 segment type %d", segType)
+	}
+	return nil
+}
+
+// UpgradeToV2 converts a v1 consent string to its closest v2
+// equivalent, as CMP SDKs did during the 2020 migration: v1 purposes
+// 1–5 map onto their v2 successors and vendor consent carries over.
+// Legitimate-interest transparency cannot be derived from a v1 string
+// and is left empty.
+func UpgradeToV2(v1 *ConsentString) *V2ConsentString {
+	c := NewV2(v1.Created)
+	c.LastUpdated = v1.LastUpdated
+	c.CMPID = v1.CMPID
+	c.CMPVersion = v1.CMPVersion
+	c.ConsentScreen = v1.ConsentScreen
+	c.ConsentLanguage = v1.ConsentLanguage
+	c.VendorListVersion = v1.VendorListVersion
+	c.MaxVendorID = v1.MaxVendorID
+	for v, ok := range v1.VendorConsent {
+		if ok {
+			c.VendorConsent[v] = true
+		}
+	}
+	// v1→v2 purpose mapping: storage/access → 1; personalisation →
+	// profile-based selection (3, 5); ad selection → 2, 4; content
+	// selection → 6; measurement → 7, 8.
+	mapping := map[int][]int{1: {1}, 2: {3, 5}, 3: {2, 4}, 4: {6}, 5: {7, 8}}
+	for p1, ok := range v1.PurposesAllowed {
+		if !ok {
+			continue
+		}
+		for _, p2 := range mapping[p1] {
+			c.PurposesConsent[p2] = true
+		}
+	}
+	return c
+}
+
+// PurposesV2 returns the ten standardized TCF v2 purposes.
+func PurposesV2() []Purpose {
+	return []Purpose{
+		{1, "Store and/or access information on a device", "Cookies, device identifiers, or other information can be stored or accessed on your device."},
+		{2, "Select basic ads", "Ads can be shown to you based on the content you're viewing, the app you're using, your approximate location, or your device type."},
+		{3, "Create a personalised ads profile", "A profile can be built about you and your interests to show you personalised ads that are relevant to you."},
+		{4, "Select personalised ads", "Personalised ads can be shown to you based on a profile about you."},
+		{5, "Create a personalised content profile", "A profile can be built about you and your interests to show you personalised content that is relevant to you."},
+		{6, "Select personalised content", "Personalised content can be shown to you based on a profile about you."},
+		{7, "Measure ad performance", "The performance and effectiveness of ads that you see or interact with can be measured."},
+		{8, "Measure content performance", "The performance and effectiveness of content that you see or interact with can be measured."},
+		{9, "Apply market research to generate audience insights", "Market research can be used to learn more about the audiences who visit sites/apps and view ads."},
+		{10, "Develop and improve products", "Your data can be used to improve existing systems and software, and to develop new products."},
+	}
+}
+
+// SpecialFeaturesV2 returns the two v2 special features requiring
+// explicit opt-in.
+func SpecialFeaturesV2() []Feature {
+	return []Feature{
+		{1, "Use precise geolocation data", "Your precise geolocation data can be used in support of one or more purposes."},
+		{2, "Actively scan device characteristics for identification", "Your device can be identified based on a scan of your device's unique combination of characteristics."},
+	}
+}

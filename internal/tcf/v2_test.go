@@ -1,0 +1,291 @@
+package tcf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleV2() *V2ConsentString {
+	c := NewV2(time.Date(2020, time.August, 10, 9, 0, 0, 0, time.UTC))
+	c.CMPID = 10
+	c.CMPVersion = 2
+	c.ConsentScreen = 1
+	c.ConsentLanguage = "FR"
+	c.VendorListVersion = 48
+	c.TCFPolicyVersion = 2
+	c.IsServiceSpecific = false
+	c.SpecialFeatureOptIns[1] = true
+	for p := 1; p <= 7; p++ {
+		c.PurposesConsent[p] = true
+	}
+	c.PurposesLITransparency[2] = true
+	c.PurposesLITransparency[9] = true
+	c.PurposeOneTreatment = false
+	c.PublisherCC = "DE"
+	c.MaxVendorID = 700
+	for _, v := range []int{1, 2, 3, 50, 51, 52, 699} {
+		c.VendorConsent[v] = true
+	}
+	c.MaxVendorLIID = 650
+	c.VendorLegInt[10] = true
+	c.VendorLegInt[11] = true
+	c.PubRestrictions = []PubRestriction{
+		{Purpose: 2, Type: RestrictionRequireConsent, VendorIDs: []int{5, 6, 7, 20}},
+	}
+	return c
+}
+
+func TestV2RoundTripCore(t *testing.T) {
+	c := sampleV2()
+	s, err := c.EncodeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(s, "+/=") {
+		t.Error("v2 strings must be websafe base64 without padding")
+	}
+	d, err := DecodeV2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Created.Equal(c.Created) || d.CMPID != c.CMPID || d.ConsentLanguage != "FR" ||
+		d.VendorListVersion != 48 || d.TCFPolicyVersion != 2 || d.PublisherCC != "DE" {
+		t.Errorf("header fields: %+v", d)
+	}
+	for p := 1; p <= 24; p++ {
+		if d.PurposesConsent[p] != c.PurposesConsent[p] {
+			t.Errorf("purpose consent %d mismatch", p)
+		}
+		if d.PurposesLITransparency[p] != c.PurposesLITransparency[p] {
+			t.Errorf("purpose LI %d mismatch", p)
+		}
+	}
+	if !d.SpecialFeatureOptIns[1] || d.SpecialFeatureOptIns[2] {
+		t.Error("special feature opt-ins mismatch")
+	}
+	if d.MaxVendorID != 700 || d.MaxVendorLIID != 650 {
+		t.Errorf("max vendor ids: %d/%d", d.MaxVendorID, d.MaxVendorLIID)
+	}
+	for v := 1; v <= 700; v++ {
+		if d.VendorConsent[v] != c.VendorConsent[v] {
+			t.Fatalf("vendor consent %d mismatch", v)
+		}
+	}
+	for v := 1; v <= 650; v++ {
+		if d.VendorLegInt[v] != c.VendorLegInt[v] {
+			t.Fatalf("vendor LI %d mismatch", v)
+		}
+	}
+	if len(d.PubRestrictions) != 1 {
+		t.Fatalf("restrictions: %+v", d.PubRestrictions)
+	}
+	pr := d.PubRestrictions[0]
+	if pr.Purpose != 2 || pr.Type != RestrictionRequireConsent || len(pr.VendorIDs) != 4 {
+		t.Errorf("restriction: %+v", pr)
+	}
+}
+
+func TestV2Segments(t *testing.T) {
+	c := sampleV2()
+	c.DisclosedVendors[3] = true
+	c.DisclosedVendors[4] = true
+	c.DisclosedVendors[100] = true
+	c.HasPublisherTC = true
+	c.PubPurposesConsent[1] = true
+	c.PubPurposesLITransparency[7] = true
+	c.NumCustomPurposes = 2
+	c.CustomPurposesConsent[1] = true
+	c.CustomPurposesLITransparency[2] = true
+
+	s, err := c.EncodeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(s, "."); got != 2 {
+		t.Fatalf("want 2 optional segments, got %d in %q", got, s)
+	}
+	d, err := DecodeV2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.DisclosedVendors[3] || !d.DisclosedVendors[4] || !d.DisclosedVendors[100] || d.DisclosedVendors[5] {
+		t.Errorf("disclosed vendors: %v", d.DisclosedVendors)
+	}
+	if !d.HasPublisherTC || !d.PubPurposesConsent[1] || !d.PubPurposesLITransparency[7] {
+		t.Errorf("publisher TC: %+v", d)
+	}
+	if d.NumCustomPurposes != 2 || !d.CustomPurposesConsent[1] || !d.CustomPurposesLITransparency[2] {
+		t.Errorf("custom purposes: %+v", d)
+	}
+}
+
+func TestV2RejectsV1(t *testing.T) {
+	v1 := sampleConsent()
+	s, err := v1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeV2(s); err == nil {
+		t.Error("v1 strings must be rejected by the v2 decoder")
+	}
+	v2 := sampleV2()
+	s2, err := v2.EncodeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(strings.Split(s2, ".")[0]); err == nil {
+		t.Error("v2 strings must be rejected by the v1 decoder")
+	}
+}
+
+func TestV2DecodeErrors(t *testing.T) {
+	for _, s := range []string{"", "!!bad!!", "AAAA", "COw.!!bad!!"} {
+		if _, err := DecodeV2(s); err == nil {
+			t.Errorf("DecodeV2(%q): want error", s)
+		}
+	}
+}
+
+func TestV2EncodeValidation(t *testing.T) {
+	c := NewV2(time.Unix(0, 0))
+	c.PublisherCC = "DEU"
+	if _, err := c.EncodeV2(); err == nil {
+		t.Error("bad publisher CC must fail")
+	}
+	c = NewV2(time.Unix(0, 0))
+	c.MaxVendorID = 1 << 16
+	if _, err := c.EncodeV2(); err == nil {
+		t.Error("oversized vendor id must fail")
+	}
+}
+
+func TestIDsToRanges(t *testing.T) {
+	tests := []struct {
+		ids  []int
+		want [][2]int
+	}{
+		{nil, nil},
+		{[]int{5}, [][2]int{{5, 5}}},
+		{[]int{1, 2, 3}, [][2]int{{1, 3}}},
+		{[]int{3, 1, 2}, [][2]int{{1, 3}}}, // unsorted input
+		{[]int{1, 3, 4, 9}, [][2]int{{1, 1}, {3, 4}, {9, 9}}},
+		{[]int{2, 2, 3}, [][2]int{{2, 3}}}, // duplicates collapse
+	}
+	for _, tt := range tests {
+		got := idsToRanges(tt.ids)
+		if len(got) != len(tt.want) {
+			t.Errorf("idsToRanges(%v) = %v, want %v", tt.ids, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("idsToRanges(%v) = %v, want %v", tt.ids, got, tt.want)
+			}
+		}
+	}
+}
+
+// TestV2RoundTripProperty: arbitrary vendor/purpose subsets survive a
+// round trip, for both dense (bitfield) and sparse (range) encodings.
+func TestV2RoundTripProperty(t *testing.T) {
+	f := func(seed uint32, maxVendor uint16, dense bool) bool {
+		max := int(maxVendor%900) + 1
+		c := NewV2(time.Unix(1_596_000_000, 0).UTC())
+		c.MaxVendorID = max
+		c.MaxVendorLIID = max / 2
+		x := seed + 1
+		for v := 1; v <= max; v++ {
+			x = x*1664525 + 1013904223
+			threshold := uint32(1 << 28)
+			if dense {
+				threshold = 3 << 30
+			}
+			if x < threshold {
+				c.VendorConsent[v] = true
+			}
+			if v <= max/2 && x%7 == 0 {
+				c.VendorLegInt[v] = true
+			}
+		}
+		for p := 1; p <= 10; p++ {
+			if (seed>>uint(p))&1 == 1 {
+				c.PurposesConsent[p] = true
+			}
+		}
+		s, err := c.EncodeV2()
+		if err != nil {
+			return false
+		}
+		d, err := DecodeV2(s)
+		if err != nil {
+			return false
+		}
+		if d.MaxVendorID != max || d.MaxVendorLIID != max/2 {
+			return false
+		}
+		for v := 1; v <= max; v++ {
+			if d.VendorConsent[v] != c.VendorConsent[v] {
+				return false
+			}
+		}
+		for v := 1; v <= max/2; v++ {
+			if d.VendorLegInt[v] != c.VendorLegInt[v] {
+				return false
+			}
+		}
+		for p := 1; p <= 10; p++ {
+			if d.PurposesConsent[p] != c.PurposesConsent[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpgradeToV2(t *testing.T) {
+	v1 := sampleConsent()
+	v1.SetAllPurposes(true)
+	v2 := UpgradeToV2(v1)
+	if v2.CMPID != v1.CMPID || v2.VendorListVersion != v1.VendorListVersion {
+		t.Error("header fields must carry over")
+	}
+	// All five v1 purposes granted → v2 purposes 1–8 granted.
+	for p := 1; p <= 8; p++ {
+		if !v2.PurposesConsent[p] {
+			t.Errorf("v2 purpose %d missing after upgrade", p)
+		}
+	}
+	if v2.PurposesConsent[9] || v2.PurposesConsent[10] {
+		t.Error("v2 purposes 9/10 have no v1 equivalent")
+	}
+	for v, ok := range v1.VendorConsent {
+		if ok && !v2.VendorConsent[v] {
+			t.Errorf("vendor %d consent lost in upgrade", v)
+		}
+	}
+	// The upgraded string must encode and decode.
+	s, err := v2.EncodeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeV2(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2StandardTables(t *testing.T) {
+	if len(PurposesV2()) != NumPurposesV2 {
+		t.Error("v2 purpose table size")
+	}
+	if len(SpecialFeaturesV2()) != NumSpecialFeatures {
+		t.Error("v2 special feature table size")
+	}
+	if PurposesV2()[0].Name != "Store and/or access information on a device" {
+		t.Error("v2 purpose 1 name")
+	}
+}

@@ -1,0 +1,196 @@
+// Package toplist implements a Tranco-style research toplist (Le Pochat
+// et al., NDSS 2019) as used by the paper: ranks from several provider
+// lists (Alexa, Cisco Umbrella, Majestic, Quantcast) are aggregated over
+// a 30-day window into a manipulation-resistant, reproducible ranking.
+// The paper uses the top 10k entries of the Tranco list created on
+// 30 January 2020 (list K8JW).
+//
+// Provider lists are simulated: each provider observes the true
+// popularity ordering of the domain universe through its own noisy,
+// day-varying lens, mimicking the inter-provider disagreement and daily
+// fluctuation documented by Scheitle et al. (IMC 2018).
+package toplist
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Provider identifies one upstream ranking provider.
+type Provider string
+
+// The four providers aggregated by Tranco.
+const (
+	Alexa     Provider = "alexa"
+	Umbrella  Provider = "umbrella"
+	Majestic  Provider = "majestic"
+	Quantcast Provider = "quantcast"
+)
+
+// Providers returns the default provider set.
+func Providers() []Provider {
+	return []Provider{Alexa, Umbrella, Majestic, Quantcast}
+}
+
+// providerNoise is the per-provider rank-noise scale: each provider
+// perturbs a domain's true log-rank by a provider-specific amount, so
+// providers disagree more about the long tail than about the head.
+var providerNoise = map[Provider]float64{
+	Alexa:     0.10,
+	Umbrella:  0.25, // DNS-based: noisiest, infrastructure-heavy
+	Majestic:  0.18, // link-based: slow moving
+	Quantcast: 0.15,
+}
+
+// ProviderList produces one provider's ranking for a given day, as a
+// slice of domains in rank order (index 0 = rank 1). domains must be in
+// true-popularity order. Only the top n entries are returned.
+func ProviderList(src *rng.Source, p Provider, day simtime.Day, domains []string, n int) []string {
+	noise := providerNoise[p]
+	if noise == 0 {
+		noise = 0.2
+	}
+	r := src.Stream("provider", string(p), day.String())
+	type scored struct {
+		domain string
+		score  float64
+	}
+	scoredList := make([]scored, len(domains))
+	for i, d := range domains {
+		// Perturb the true log-rank; per-domain bias is stable across
+		// days for a provider (providers systematically disagree), with
+		// a smaller daily fluctuation component.
+		bias := src.Float64("bias", string(p), d)*2 - 1
+		daily := r.Float64()*2 - 1
+		logRank := logf(i+1) * (1 + noise*bias + noise*0.3*daily)
+		scoredList[i] = scored{d, logRank}
+	}
+	sort.SliceStable(scoredList, func(i, j int) bool { return scoredList[i].score < scoredList[j].score })
+	if n > len(scoredList) {
+		n = len(scoredList)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = scoredList[i].domain
+	}
+	return out
+}
+
+func logf(x int) float64 { return math.Log(float64(x)) }
+
+// List is an aggregated toplist.
+type List struct {
+	// ID is the permanent citable reference, e.g. "K8JW".
+	ID string
+	// Created is the list creation day.
+	Created simtime.Day
+	// Domains holds domains in rank order; Domains[0] has rank 1.
+	Domains []string
+
+	rank map[string]int
+}
+
+// Config parameterizes aggregation.
+type Config struct {
+	Seed uint64
+	// WindowDays is the aggregation window (Tranco default: 30).
+	WindowDays int
+	// Size is the length of the output list.
+	Size int
+	// SampleDays subsamples the window for speed: provider lists are
+	// generated every SampleDays-th day. 1 reproduces Tranco exactly;
+	// larger values trade fidelity for speed. Default 7.
+	SampleDays int
+}
+
+// Build aggregates provider lists over the window ending at `created`
+// using the Borda count (Tranco's default): a domain receives
+// (listSize - rank + 1) points per appearance, summed over all provider
+// lists and days; ties break lexicographically for reproducibility.
+func Build(cfg Config, created simtime.Day, trueOrder []string) *List {
+	if cfg.WindowDays <= 0 {
+		cfg.WindowDays = 30
+	}
+	if cfg.SampleDays <= 0 {
+		cfg.SampleDays = 7
+	}
+	if cfg.Size <= 0 || cfg.Size > len(trueOrder) {
+		cfg.Size = len(trueOrder)
+	}
+	src := rng.New(cfg.Seed).Derive("toplist")
+	points := make(map[string]float64, len(trueOrder))
+	listSize := len(trueOrder)
+	for back := 0; back < cfg.WindowDays; back += cfg.SampleDays {
+		day := created - simtime.Day(back)
+		for _, p := range Providers() {
+			ranking := ProviderList(src, p, day, trueOrder, listSize)
+			for i, d := range ranking {
+				points[d] += float64(listSize - i)
+			}
+		}
+	}
+	domains := make([]string, 0, len(points))
+	for d := range points {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool {
+		if points[domains[i]] != points[domains[j]] {
+			return points[domains[i]] > points[domains[j]]
+		}
+		return domains[i] < domains[j]
+	})
+	if len(domains) > cfg.Size {
+		domains = domains[:cfg.Size]
+	}
+	l := &List{
+		ID:      listID(cfg.Seed, created),
+		Created: created,
+		Domains: domains,
+	}
+	l.buildIndex()
+	return l
+}
+
+// buildIndex (re)builds the rank lookup map.
+func (l *List) buildIndex() {
+	l.rank = make(map[string]int, len(l.Domains))
+	for i, d := range l.Domains {
+		l.rank[d] = i + 1
+	}
+}
+
+// Rank returns the 1-based rank of a domain, or 0 if it is not on the
+// list.
+func (l *List) Rank(domain string) int {
+	if l.rank == nil {
+		l.buildIndex()
+	}
+	return l.rank[domain]
+}
+
+// Top returns the first n domains (or fewer if the list is shorter).
+func (l *List) Top(n int) []string {
+	if n > len(l.Domains) {
+		n = len(l.Domains)
+	}
+	return l.Domains[:n]
+}
+
+// Len returns the list length.
+func (l *List) Len() int { return len(l.Domains) }
+
+// listID derives a short, citable list identifier from the inputs,
+// mimicking Tranco's permanent references (e.g. "K8JW").
+func listID(seed uint64, created simtime.Day) string {
+	const alphabet = "23456789ABCDEFGHJKLMNPQRSTUVWXYZ"
+	h := seed*0x9e3779b97f4a7c15 + uint64(created)*0x853c49e6748fea9b
+	var id [4]byte
+	for i := range id {
+		id[i] = alphabet[h%uint64(len(alphabet))]
+		h /= uint64(len(alphabet))
+	}
+	return string(id[:])
+}

@@ -1,0 +1,140 @@
+package toplist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func trueOrder(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("site%d.com", i+1)
+	}
+	return out
+}
+
+func TestProviderListIsPermutation(t *testing.T) {
+	src := rng.New(1)
+	domains := trueOrder(500)
+	for _, p := range Providers() {
+		ranking := ProviderList(src, p, simtime.Day(10), domains, len(domains))
+		if len(ranking) != len(domains) {
+			t.Fatalf("%s: len %d", p, len(ranking))
+		}
+		seen := make(map[string]bool, len(ranking))
+		for _, d := range ranking {
+			if seen[d] {
+				t.Fatalf("%s: duplicate %q", p, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestProviderListTruncation(t *testing.T) {
+	src := rng.New(1)
+	got := ProviderList(src, Alexa, 0, trueOrder(100), 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestProviderNoiseOrdering(t *testing.T) {
+	// Providers disagree in the tail but broadly preserve the head:
+	// the true #1 should stay in every provider's top 20.
+	src := rng.New(7)
+	domains := trueOrder(1000)
+	for _, p := range Providers() {
+		ranking := ProviderList(src, p, simtime.Day(3), domains, 20)
+		found := false
+		for _, d := range ranking {
+			if d == "site1.com" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: true top domain fell out of the top 20", p)
+		}
+	}
+}
+
+func TestBuild(t *testing.T) {
+	domains := trueOrder(2000)
+	cfg := Config{Seed: 1, WindowDays: 30, Size: 500, SampleDays: 10}
+	l := Build(cfg, simtime.TrancoListDate, domains)
+	if l.Len() != 500 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.ID == "" || len(l.ID) != 4 {
+		t.Errorf("list ID = %q, want 4-char citable reference", l.ID)
+	}
+	if l.Created != simtime.TrancoListDate {
+		t.Error("creation day not recorded")
+	}
+	// Rank lookups are 1-based and consistent with Domains order.
+	for i, d := range l.Top(50) {
+		if l.Rank(d) != i+1 {
+			t.Fatalf("Rank(%q) = %d, want %d", d, l.Rank(d), i+1)
+		}
+	}
+	if l.Rank("not-on-list.com") != 0 {
+		t.Error("unknown domain must rank 0")
+	}
+	// Aggregation keeps the head roughly in place.
+	if l.Rank("site1.com") == 0 || l.Rank("site1.com") > 10 {
+		t.Errorf("true #1 ranked %d", l.Rank("site1.com"))
+	}
+	head := 0
+	for _, d := range l.Top(100) {
+		var n int
+		fmt.Sscanf(d, "site%d.com", &n)
+		if n <= 200 {
+			head++
+		}
+	}
+	if head < 80 {
+		t.Errorf("only %d/100 of the aggregated top 100 come from the true top 200", head)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	domains := trueOrder(300)
+	cfg := Config{Seed: 9, Size: 100}
+	a := Build(cfg, 100, domains)
+	b := Build(cfg, 100, domains)
+	if a.ID != b.ID {
+		t.Error("IDs must be deterministic")
+	}
+	for i := range a.Domains {
+		if a.Domains[i] != b.Domains[i] {
+			t.Fatal("rankings must be deterministic")
+		}
+	}
+	c := Build(Config{Seed: 10, Size: 100}, 100, domains)
+	diff := 0
+	for i := range a.Domains {
+		if a.Domains[i] != c.Domains[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds should perturb the ranking")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	l := Build(Config{}, 50, trueOrder(50))
+	if l.Len() != 50 {
+		t.Errorf("default size should cover the input: %d", l.Len())
+	}
+}
+
+func TestTopClamps(t *testing.T) {
+	l := Build(Config{Seed: 1, Size: 10}, 50, trueOrder(20))
+	if got := len(l.Top(100)); got != 10 {
+		t.Errorf("Top(100) of a 10-list = %d", got)
+	}
+}

@@ -1,0 +1,168 @@
+package webserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cmps"
+	"repro/internal/consensu"
+	"repro/internal/gvl"
+	"repro/internal/simtime"
+	"repro/internal/tcf"
+	"repro/internal/webworld"
+)
+
+func startConsentServer(t *testing.T) (*webworld.World, *consensu.Store, *httptest.Server) {
+	t.Helper()
+	world := webworld.New(webworld.Config{Seed: 1, Domains: 8_000})
+	history := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 5, InitialVendors: 40, PeakVendors: 80})
+	server := NewServer(world, history)
+	store := consensu.NewStore()
+	server.EnableConsentEndpoints(store)
+	ts := httptest.NewServer(server)
+	t.Cleanup(ts.Close)
+	return world, store, ts
+}
+
+func cmpRequest(t *testing.T, ts *httptest.Server, method, path, body string) (*http.Response, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = cmps.Quantcast.Hostname()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, string(data)
+}
+
+func findConsentSite(w *webworld.World, pred func(*webworld.Domain) bool) *webworld.Domain {
+	day := simtime.Table1Snapshot
+	for _, d := range w.Domains() {
+		cmp := d.CMPAt(day)
+		if cmp == cmps.Quantcast && cmp.ImplementsTCF() && pred(d) {
+			return d
+		}
+	}
+	return nil
+}
+
+// TestConsentOverHTTP drives the full wire-level flow: an honest site
+// records the rejection; CookieAccess returns a non-granting cookie.
+func TestConsentOverHTTP(t *testing.T) {
+	world, store, ts := startConsentServer(t)
+	site := findConsentSite(world, func(d *webworld.Domain) bool { return !d.IgnoresOptOut })
+	if site == nil {
+		t.Skip("no honest Quantcast site")
+	}
+	// Fresh user: CookieAccess 404s.
+	resp, _ := cmpRequest(t, ts, http.MethodGet, "/CookieAccess?user=u1", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fresh CookieAccess status = %d", resp.StatusCode)
+	}
+	// Post a rejection.
+	resp, _ = cmpRequest(t, ts, http.MethodPost, "/consent",
+		`{"site":"`+site.Name+`","user":"u1","decision":"reject"}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("consent POST status = %d", resp.StatusCode)
+	}
+	// The global cookie now exists and grants nothing.
+	resp, body := cmpRequest(t, ts, http.MethodGet, "/CookieAccess?user=u1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("CookieAccess status = %d", resp.StatusCode)
+	}
+	c, err := tcf.Decode(body)
+	if err != nil {
+		t.Fatalf("cookie must be a valid consent string: %v", err)
+	}
+	if len(c.ConsentedVendors()) != 0 {
+		t.Error("honest rejection must grant nothing")
+	}
+	if store.Len() != 1 {
+		t.Errorf("store holds %d cookies", store.Len())
+	}
+}
+
+// TestConsentOverHTTPViolation: an IgnoresOptOut site stores a full
+// grant for an explicit rejection — the violation visible from the
+// wire alone.
+func TestConsentOverHTTPViolation(t *testing.T) {
+	world, _, ts := startConsentServer(t)
+	site := findConsentSite(world, func(d *webworld.Domain) bool { return d.IgnoresOptOut })
+	if site == nil {
+		t.Skip("no violating Quantcast site")
+	}
+	resp, _ := cmpRequest(t, ts, http.MethodPost, "/consent",
+		`{"site":"`+site.Name+`","user":"u2","decision":"reject"}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("consent POST status = %d", resp.StatusCode)
+	}
+	_, body := cmpRequest(t, ts, http.MethodGet, "/CookieAccess?user=u2", "")
+	c, err := tcf.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ConsentedVendors()) == 0 {
+		t.Error("the violating site must have stored a grant despite the opt-out")
+	}
+}
+
+func TestConsentEndpointValidation(t *testing.T) {
+	_, _, ts := startConsentServer(t)
+	// Missing user.
+	resp, _ := cmpRequest(t, ts, http.MethodGet, "/CookieAccess", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user: %d", resp.StatusCode)
+	}
+	// Unknown site.
+	resp, _ = cmpRequest(t, ts, http.MethodPost, "/consent", `{"site":"nope.example","user":"u","decision":"accept"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown site: %d", resp.StatusCode)
+	}
+	// Malformed body.
+	resp, _ = cmpRequest(t, ts, http.MethodPost, "/consent", "not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+	// Non-TCF CMP host rejects the endpoints.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/CookieAccess?user=u", nil)
+	req.Host = cmps.TrustArc.Hostname()
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("non-TCF host: %d", r2.StatusCode)
+	}
+}
+
+// TestConsentEndpointsDisabled: without an attached store the paths
+// fall through to the script handler.
+func TestConsentEndpointsDisabled(t *testing.T) {
+	world := webworld.New(webworld.Config{Seed: 1, Domains: 200})
+	ts := httptest.NewServer(NewServer(world, nil))
+	t.Cleanup(ts.Close)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/CookieAccess?user=u", nil)
+	req.Host = cmps.Quantcast.Hostname()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "__cmp") {
+		t.Errorf("disabled endpoints must serve the framework script: %d %q", resp.StatusCode, data)
+	}
+}

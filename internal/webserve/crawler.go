@@ -1,0 +1,173 @@
+package webserve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/psl"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+// Crawler fetches pages from a Server over genuine HTTP: it resolves
+// every hostname to the server's address (a DNS override), follows
+// redirects, extracts subresource URLs from the returned HTML, fetches
+// them, and assembles a capture — the same artifact the simulated
+// browser produces, but built from the wire.
+type Crawler struct {
+	client *http.Client
+	// Timeout bounds one full page load including subresources.
+	Timeout time.Duration
+}
+
+// NewCrawler returns a crawler whose transport dials serverAddr
+// ("host:port") for every hostname.
+func NewCrawler(serverAddr string) *Crawler {
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, serverAddr)
+		},
+		MaxIdleConnsPerHost: 8,
+	}
+	return &Crawler{
+		client: &http.Client{
+			Transport: transport,
+			// Redirects are followed manually so the chain is logged.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// scriptSrc extracts subresource URLs from the served HTML.
+var scriptSrc = regexp.MustCompile(`<script src="(http://[^"]+)"`)
+
+// Fetch crawls one seed URL in the given simulation context and
+// returns the assembled capture.
+func (c *Crawler) Fetch(seedURL string, day simtime.Day, vantage capture.Vantage) (*capture.Capture, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.Timeout)
+	defer cancel()
+
+	cap := &capture.Capture{
+		SeedURL: seedURL,
+		Day:     day,
+		Vantage: vantage,
+		Config:  "http",
+	}
+
+	// Follow the redirect chain manually, logging each hop.
+	current := seedURL
+	var resp *http.Response
+	var body []byte
+	for hop := 0; hop < 8; hop++ {
+		var err error
+		resp, body, err = c.get(ctx, current, day, vantage)
+		if err != nil {
+			cap.Failed = true
+			cap.Error = err.Error()
+			return cap, nil
+		}
+		u, _ := url.Parse(current)
+		cap.Requests = append(cap.Requests, capture.Request{
+			Host: u.Hostname(), Path: u.Path, Status: resp.StatusCode,
+			BytesRaw: len(body), BytesCompressed: len(body),
+		})
+		if resp.StatusCode/100 != 3 {
+			break
+		}
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			break
+		}
+		next, err := url.Parse(loc)
+		if err != nil {
+			cap.Failed = true
+			cap.Error = "bad redirect: " + err.Error()
+			return cap, nil
+		}
+		current = u.ResolveReference(next).String()
+	}
+	final, _ := url.Parse(current)
+	cap.FinalURL = current
+	cap.Status = resp.StatusCode
+	host := strings.TrimPrefix(strings.ToLower(final.Hostname()), "www.")
+	if d, err := psl.EffectiveTLDPlusOne(host); err == nil {
+		cap.FinalDomain = d
+	} else {
+		cap.FinalDomain = host
+	}
+	if resp.StatusCode != http.StatusOK {
+		cap.ScreenshotText = string(body)
+		return cap, nil
+	}
+
+	// Record cookies the document set.
+	for _, ck := range resp.Cookies() {
+		cap.Cookies = append(cap.Cookies, webworld.Cookie{
+			Domain: ck.Domain, Name: ck.Name, Value: ck.Value,
+		})
+	}
+
+	// Extract the screenshot comment and the DOM from the HTML.
+	html := string(body)
+	if i := strings.Index(html, "<!-- screenshot: "); i >= 0 {
+		rest := html[i+len("<!-- screenshot: "):]
+		if j := strings.Index(rest, " -->"); j >= 0 {
+			cap.ScreenshotText = rest[:j]
+		}
+	}
+	cap.DOM = html
+
+	// Fetch third-party subresources, exactly as the browser would.
+	for _, m := range scriptSrc.FindAllStringSubmatch(html, -1) {
+		ru, err := url.Parse(m[1])
+		if err != nil {
+			continue
+		}
+		sub, subBody, err := c.get(ctx, m[1], day, vantage)
+		status := 0
+		if err == nil {
+			status = sub.StatusCode
+		}
+		cap.Requests = append(cap.Requests, capture.Request{
+			Host: ru.Hostname(), Path: ru.Path, Status: status,
+			BytesRaw: len(subBody), BytesCompressed: len(subBody),
+		})
+	}
+	return cap, nil
+}
+
+// get performs one GET with simulation headers and returns the
+// response and its drained body.
+func (c *Crawler) get(ctx context.Context, rawURL string, day simtime.Day, vantage capture.Vantage) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set(HeaderDay, fmt.Sprint(int(day)))
+	req.Header.Set(HeaderGeo, vantage.Geo.String())
+	if vantage.Cloud {
+		req.Header.Set(HeaderCloud, "1")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, body, nil
+}

@@ -1,0 +1,109 @@
+package webserve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+func TestHTTPCrawlUnknownHost(t *testing.T) {
+	_, _, ts := startServer(t)
+	crawler := NewCrawler(serverAddr(t, ts))
+	cap, err := crawler.Fetch("http://www.not-in-universe.example/", 100, capture.EUCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Status != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", cap.Status)
+	}
+}
+
+func TestHTTPCrawlBadSeed(t *testing.T) {
+	_, _, ts := startServer(t)
+	crawler := NewCrawler(serverAddr(t, ts))
+	cap, err := crawler.Fetch("::bad::", 100, capture.EUCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cap.Failed {
+		t.Error("malformed seeds must fail the capture")
+	}
+}
+
+func TestHTTPCrawl451(t *testing.T) {
+	world, _, ts := startServer(t)
+	var d *webworld.Domain
+	for _, cand := range world.Domains() {
+		if cand.Geo451 && cand.RedirectTo == "" && !cand.Unreachable {
+			d = cand
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no 451 domain")
+	}
+	crawler := NewCrawler(serverAddr(t, ts))
+	day := findCalmDay(world, d, simtime.Table1Snapshot)
+	eu, err := crawler.Fetch("http://www."+d.Name+"/", day, capture.EUCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu.Status != http.StatusUnavailableForLegalReasons {
+		t.Errorf("EU status = %d, want 451", eu.Status)
+	}
+}
+
+// findCalmDay skips transient-outage days near the anchor.
+func findCalmDay(w *webworld.World, d *webworld.Domain, anchor simtime.Day) simtime.Day {
+	for off := simtime.Day(0); off < 30; off++ {
+		if !w.TransientDown(d.Name, anchor+off) {
+			return anchor + off
+		}
+	}
+	return anchor
+}
+
+func TestHTTPCrawlTimeout(t *testing.T) {
+	_, _, ts := startServer(t)
+	crawler := NewCrawler(serverAddr(t, ts))
+	crawler.Timeout = time.Nanosecond // everything times out
+	cap, err := crawler.Fetch("http://www.whatever.example/", 100, capture.EUCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cap.Failed {
+		t.Error("deadline exceeded must fail the capture")
+	}
+}
+
+func TestHTTPCrawlCookies(t *testing.T) {
+	world, _, ts := startServer(t)
+	day := simtime.Table1Snapshot
+	d := findSite(world, day, func(d *webworld.Domain) bool {
+		return d.PreChoiceConsent && d.CMPAt(day) != cmps.None && d.CMPAt(day).ImplementsTCF() &&
+			!d.AntiBot && !d.EUOnlyEmbed && !d.SlowLoad && !d.CMPSubsitesOnly &&
+			!world.TransientDown(d.Name, day)
+	})
+	if d == nil {
+		t.Skip("no pre-choice-consent site")
+	}
+	crawler := NewCrawler(serverAddr(t, ts))
+	cap, err := crawler.Fetch("http://www."+d.Name+"/", day, capture.EUUniversity)
+	if err != nil || cap.Failed {
+		t.Fatalf("%v %s", err, cap.Error)
+	}
+	found := false
+	for _, ck := range cap.Cookies {
+		if ck.Name == "euconsent" && ck.Value != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pre-choice consent cookie must cross the wire")
+	}
+}

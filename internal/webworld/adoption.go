@@ -1,0 +1,381 @@
+package webworld
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// This file implements the CMP adoption model: which domains adopt a
+// CMP, which one, when, and how they churn between providers. The
+// model is a per-domain episode state machine whose parameters are
+// calibrated against the paper's aggregates (DESIGN.md §4):
+//
+//   - adoption by rank band peaks in the Tranco 1k–5k range and never
+//     vanishes in the tail (Figure 5);
+//   - per-CMP market shares and their jurisdictional skew match
+//     Table 1 / Figures A.4–A.6 (Quantcast EU-heavy and early-dominant,
+//     OneTrust overtaking via CCPA demand);
+//   - adoption dates spike when GDPR and CCPA come into effect
+//     (Figure 6);
+//   - Cookiebot acts as a "gateway CMP", losing an order of magnitude
+//     more sites than it gains (Figure 4); Crownpeak collapses in
+//     early 2020 (Table A.3 vs Table 1).
+
+// bandAdoptProb is the probability that a domain of the given true
+// rank ever adopts one of the six CMPs during the window.
+func bandAdoptProb(rank int) float64 {
+	switch {
+	case rank <= 50:
+		return 0 // the largest sites build consent management in-house
+	case rank <= 100:
+		return 0.10
+	case rank <= 500:
+		return 0.16
+	case rank <= 1000:
+		return 0.22
+	case rank <= 5000:
+		return 0.19
+	case rank <= 10_000:
+		return 0.135
+	case rank <= 50_000:
+		return 0.085
+	case rank <= 100_000:
+		return 0.055
+	default:
+		return 0.010
+	}
+}
+
+// entryWeight returns the relative probability that a domain's *first*
+// CMP is c, given its rank band and jurisdiction. Entry weights exceed
+// final market shares for high-churn CMPs (Cookiebot, Crownpeak).
+func entryWeight(c cmps.ID, rank int, euuk bool) float64 {
+	base := map[cmps.ID]float64{
+		cmps.OneTrust:  0.355,
+		cmps.Quantcast: 0.270,
+		cmps.TrustArc:  0.175,
+		cmps.Cookiebot: 0.150,
+		cmps.LiveRamp:  0.014,
+		cmps.Crownpeak: 0.036,
+	}[c]
+
+	// Rank-band skew: Quantcast leads the very top and the long tail,
+	// OneTrust the 500–50k mid-market (Section 4.1).
+	switch {
+	case rank <= 100:
+		switch c {
+		case cmps.Quantcast:
+			base *= 2.6
+		case cmps.OneTrust:
+			base *= 0.45
+		case cmps.Cookiebot, cmps.Crownpeak, cmps.LiveRamp:
+			base *= 0.4
+		}
+	case rank <= 500:
+		switch c {
+		case cmps.Quantcast:
+			base *= 1.25
+		case cmps.OneTrust:
+			base *= 0.95
+		}
+	case rank <= 50_000:
+		switch c {
+		case cmps.OneTrust:
+			base *= 1.12
+		case cmps.Quantcast:
+			base *= 0.88
+		}
+	default:
+		switch c {
+		case cmps.Quantcast:
+			base *= 1.45
+		case cmps.OneTrust:
+			base *= 0.70
+		case cmps.Cookiebot:
+			base *= 1.15
+		}
+	}
+
+	// Jurisdictional skew: Quantcast's product targets the GDPR and is
+	// EU/UK-heavy (38.3% EU+UK TLDs); OneTrust and TrustArc target the
+	// CCPA-driven US market; Cookiebot is a Danish product.
+	if euuk {
+		switch c {
+		case cmps.Quantcast:
+			base *= 2.05
+		case cmps.Cookiebot:
+			base *= 1.55
+		case cmps.OneTrust:
+			base *= 0.72
+		case cmps.TrustArc:
+			base *= 0.45
+		}
+	} else {
+		switch c {
+		case cmps.Quantcast:
+			base *= 0.85
+		case cmps.OneTrust:
+			base *= 1.10
+		case cmps.TrustArc:
+			base *= 1.15
+		case cmps.Cookiebot:
+			base *= 0.90
+		}
+	}
+	return base
+}
+
+// dateComponent is one mixture component of an adoption-date
+// distribution: either uniform over [a,b] or Gaussian(mean=a, sd=b).
+type dateComponent struct {
+	w        float64
+	gaussian bool
+	a, b     float64 // uniform: [a,b]; gaussian: mean a, sd b
+}
+
+func day(d simtime.Day) float64 { return float64(d) }
+
+var (
+	endDay = day(simtime.Day(simtime.NumDays - 1))
+	dec19  = day(simtime.Date(2019, time.December, 1))
+	oct19  = day(simtime.Date(2019, time.October, 1))
+	jan20  = day(simtime.CCPAEffective)
+	gdpr   = day(simtime.GDPREffective)
+)
+
+// entryDates per CMP. Shapes follow Figure 6: Quantcast spikes at GDPR
+// and is unaffected by CCPA; OneTrust has a pronounced CCPA wave;
+// LiveRamp launches December 2019.
+func entryDates(c cmps.ID) []dateComponent {
+	switch c {
+	case cmps.Quantcast:
+		return []dateComponent{
+			{0.05, false, 0, gdpr},
+			{0.32, true, gdpr + 5, 12},
+			{0.33, false, gdpr + 10, dec19},
+			{0.30, false, jan20, endDay},
+		}
+	case cmps.OneTrust:
+		return []dateComponent{
+			{0.03, false, 0, gdpr},
+			{0.10, true, gdpr + 5, 14},
+			{0.27, false, gdpr + 10, dec19},
+			{0.29, true, jan20 + 10, 22},
+			{0.31, false, jan20 + 45, endDay},
+		}
+	case cmps.TrustArc:
+		return []dateComponent{
+			{0.04, false, 0, gdpr},
+			{0.17, true, gdpr + 5, 15},
+			{0.37, false, gdpr + 10, dec19},
+			{0.17, true, jan20 + 10, 25},
+			{0.25, false, jan20 + 30, endDay},
+		}
+	case cmps.Cookiebot:
+		return []dateComponent{
+			{0.09, false, 0, gdpr},
+			{0.30, true, gdpr + 3, 10},
+			{0.36, false, gdpr + 10, dec19},
+			{0.25, false, jan20, endDay},
+		}
+	case cmps.LiveRamp:
+		return []dateComponent{{1, false, dec19, endDay}}
+	case cmps.Crownpeak:
+		return []dateComponent{
+			{0.25, true, gdpr + 5, 15},
+			{0.60, false, gdpr + 10, oct19},
+			{0.15, false, oct19, endDay},
+		}
+	default:
+		return []dateComponent{{1, false, 0, endDay}}
+	}
+}
+
+// sampleDate draws a day from a mixture, clamped to the window and to
+// the CMP's launch day.
+func sampleDate(r *rand.Rand, mix []dateComponent, notBefore simtime.Day) simtime.Day {
+	u := r.Float64()
+	var comp dateComponent
+	for _, c := range mix {
+		if u < c.w {
+			comp = c
+			break
+		}
+		u -= c.w
+	}
+	if comp.w == 0 {
+		comp = mix[len(mix)-1]
+	}
+	var v float64
+	if comp.gaussian {
+		v = r.NormFloat64()*comp.b + comp.a
+	} else {
+		v = comp.a + r.Float64()*(comp.b-comp.a)
+	}
+	d := simtime.Day(v)
+	if d < notBefore {
+		d = notBefore + simtime.Day(r.Intn(30))
+	}
+	if d < 0 {
+		d = 0
+	}
+	if int(d) >= simtime.NumDays {
+		d = simtime.Day(simtime.NumDays - 1)
+	}
+	return d
+}
+
+// exitProb is the probability that a domain eventually leaves the CMP
+// (switching away or dropping consent management).
+func exitProb(c cmps.ID) float64 {
+	switch c {
+	case cmps.Cookiebot:
+		return 0.45
+	case cmps.Crownpeak:
+		return 0.78
+	case cmps.TrustArc:
+		return 0.18
+	case cmps.Quantcast:
+		return 0.10
+	case cmps.OneTrust:
+		return 0.06
+	default: // LiveRamp: too new to churn
+		return 0.02
+	}
+}
+
+// sampleExit draws the day a domain leaves the CMP it adopted on
+// `entry`. Returning a day >= NumDays means the exit falls outside the
+// window (episode remains ongoing). Crownpeak's exits concentrate in
+// early 2020, producing its Table A.3 → Table 1 collapse.
+func sampleExit(r *rand.Rand, c cmps.ID, entry simtime.Day) simtime.Day {
+	minStay := simtime.Day(45)
+	var exit simtime.Day
+	if c == cmps.Crownpeak {
+		exit = simtime.Day(r.NormFloat64()*40 + jan20 + 75)
+	} else {
+		// Uniform over [entry+60, end+40%]: a share of exits falls
+		// beyond the window and is therefore unobserved churn.
+		span := float64(simtime.NumDays)*1.4 - float64(entry+60)
+		exit = entry + 60 + simtime.Day(r.Float64()*span)
+	}
+	if exit < entry+minStay {
+		exit = entry + minStay
+	}
+	return exit
+}
+
+// successorWeights is the distribution of the next CMP after a switch.
+// OneTrust and Quantcast absorb most switchers; Cookiebot gains almost
+// nothing back (the "gateway CMP" dynamic of Figure 4).
+func successorWeights(after simtime.Day) map[cmps.ID]float64 {
+	w := map[cmps.ID]float64{
+		cmps.OneTrust:  0.52,
+		cmps.Quantcast: 0.33,
+		cmps.TrustArc:  0.08,
+		cmps.Cookiebot: 0.04,
+		cmps.Crownpeak: 0.01,
+	}
+	if after >= cmps.LiveRamp.Launch() {
+		w[cmps.LiveRamp] = 0.02
+	}
+	return w
+}
+
+// switchAfterExitProb is the share of exits that move to another CMP
+// (the rest abandon consent management).
+const switchAfterExitProb = 0.62
+
+// assignEpisodes draws the domain's full CMP history.
+func (w *World) assignEpisodes(d *Domain, r *rand.Rand) {
+	if d.Unreachable || d.Infrastructure {
+		return
+	}
+	if r.Float64() >= bandAdoptProb(d.Rank) {
+		return
+	}
+
+	// First CMP by entry weights.
+	first := weightedCMP(r, func(c cmps.ID) float64 { return entryWeight(c, d.Rank, d.EUUK) })
+	entry := sampleDate(r, entryDates(first), first.Launch())
+
+	cur := first
+	start := entry
+	end := simtime.Day(simtime.NumDays)
+	for depth := 0; depth < 3; depth++ {
+		if r.Float64() >= exitProb(cur) {
+			break
+		}
+		exit := sampleExit(r, cur, start)
+		if int(exit) >= simtime.NumDays {
+			break // churn beyond the observation window
+		}
+		d.Episodes = append(d.Episodes, Episode{CMP: cur, Start: start, End: exit})
+		if r.Float64() >= switchAfterExitProb {
+			return // abandoned consent management
+		}
+		sw := successorWeights(exit)
+		delete(sw, cur)
+		next := weightedCMP(r, func(c cmps.ID) float64 { return sw[c] })
+		if !next.Valid() {
+			return
+		}
+		cur = next
+		start = exit
+	}
+	d.Episodes = append(d.Episodes, Episode{CMP: cur, Start: start, End: end})
+	d.Episodes = sortEpisodes(d.Episodes)
+}
+
+// weightedCMP draws a CMP proportionally to weightOf.
+func weightedCMP(r *rand.Rand, weightOf func(cmps.ID) float64) cmps.ID {
+	total := 0.0
+	for _, c := range cmps.All() {
+		total += weightOf(c)
+	}
+	if total <= 0 {
+		return cmps.None
+	}
+	u := r.Float64() * total
+	for _, c := range cmps.All() {
+		u -= weightOf(c)
+		if u < 0 {
+			return c
+		}
+	}
+	return cmps.Crownpeak
+}
+
+// assignGeoBehaviour draws geo-dependent embedding: EU-only CMPs and
+// the CCPA-driven wave of sites becoming visible from the US
+// (explaining the Table A.3 → Table 1 US coverage rise, 70% → 79%).
+func (w *World) assignGeoBehaviour(d *Domain, r *rand.Rand) {
+	last := d.Episodes[len(d.Episodes)-1].CMP
+	euOnlyP := map[cmps.ID]float64{
+		cmps.Quantcast: 0.32,
+		cmps.Cookiebot: 0.24,
+		cmps.OneTrust:  0.16,
+		cmps.TrustArc:  0.10,
+		cmps.LiveRamp:  0.15,
+		cmps.Crownpeak: 0.15,
+	}[last]
+	if d.EUUK {
+		euOnlyP *= 1.4
+	}
+	if r.Float64() < euOnlyP {
+		d.EUOnlyEmbed = true
+		// Roughly half of the EU-only sites start serving their CMP to
+		// US visitors during the CCPA wave (Dec 2019 – May 2020).
+		if r.Float64() < 0.50 {
+			wave := simtime.Date(2019, time.December, 1)
+			d.USVisibleFrom = wave + simtime.Day(r.Intn(170))
+		}
+	} else if r.Float64() < 0.35 {
+		// Sites that always embed the framework but only show dialogs
+		// to EU visitors; network detection still works from the US.
+		d.ShowDialogOnlyEU = true
+	}
+}

@@ -1,0 +1,203 @@
+package webworld
+
+import (
+	"math/rand"
+
+	"repro/internal/cmps"
+)
+
+// Publisher customization of embedded CMPs (item I3, Section 4.1).
+// CMPs differ in how much customizability they extend: closed
+// customization (finitely many options, e.g. banner structure) and
+// open customization (free text, e.g. button wording).
+
+// BannerVariant is the closed-customization structure of the consent
+// interface a publisher chose.
+type BannerVariant int
+
+const (
+	// VariantNone is set for domains without a CMP.
+	VariantNone BannerVariant = iota
+	// VariantConventional: cookie banner with a 1-click accept button
+	// and a second button/link to a page with fine-grained controls.
+	VariantConventional
+	// VariantDirectReject: banner with a first-page opt-out/reject
+	// button ("Do Not Sell", "Reject/Manage Cookies", "Deny All").
+	VariantDirectReject
+	// VariantScriptBanner: OneTrust's "script banner" — a cookie
+	// banner in all but name, with Accept and Reject/Manage *Scripts*
+	// buttons (the linguistic shift from cookies to scripts).
+	VariantScriptBanner
+	// VariantFooterLink: no banner, only a cookie/privacy link in the
+	// website footer.
+	VariantFooterLink
+	// VariantMoreOptions: first page offers accept or "More Options";
+	// rejecting requires navigating to a second page (Quantcast
+	// configuration B, Figure A.2).
+	VariantMoreOptions
+	// VariantOptOutConnects: first-page opt-out that must establish
+	// connections with multiple partners before completing (TrustArc,
+	// measured in Figure 9).
+	VariantOptOutConnects
+	// VariantAutonomyButton: first-page button implying the user has
+	// autonomy, leading to further controls (TrustArc).
+	VariantAutonomyButton
+	// VariantNoControlLink: link or button that does not imply the
+	// user has control (TrustArc).
+	VariantNoControlLink
+	// VariantHiddenFromEU: dialogue hidden from EU IP addresses
+	// (TrustArc CCPA product).
+	VariantHiddenFromEU
+	// VariantCustomAPI: publisher uses the CMP for its API only and
+	// built a fully custom dialog (~8% of CMP sites).
+	VariantCustomAPI
+)
+
+var variantNames = map[BannerVariant]string{
+	VariantNone:           "none",
+	VariantConventional:   "conventional-banner",
+	VariantDirectReject:   "direct-reject",
+	VariantScriptBanner:   "script-banner",
+	VariantFooterLink:     "footer-link",
+	VariantMoreOptions:    "more-options",
+	VariantOptOutConnects: "optout-connects-partners",
+	VariantAutonomyButton: "autonomy-button",
+	VariantNoControlLink:  "no-control-link",
+	VariantHiddenFromEU:   "hidden-from-eu",
+	VariantCustomAPI:      "custom-api-only",
+}
+
+func (v BannerVariant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// FooterLinkText is the open customization of footer-link-only sites.
+type FooterLinkText int
+
+const (
+	FooterNoLink FooterLinkText = iota
+	FooterDoNotSell
+	FooterCaliforniaPrivacy
+	FooterPrivacyPolicy
+)
+
+func (f FooterLinkText) String() string {
+	switch f {
+	case FooterDoNotSell:
+		return "Do Not Sell"
+	case FooterCaliforniaPrivacy:
+		return "California Privacy Rights"
+	case FooterPrivacyPolicy:
+		return "Privacy Policy"
+	default:
+		return ""
+	}
+}
+
+// Customization bundles a publisher's dialog customization choices.
+type Customization struct {
+	Variant BannerVariant
+	// ConfirmRequired: the opt-out button requires further clicks to
+	// confirm (40% of OneTrust direct-reject banners).
+	ConfirmRequired bool
+	// Footer is the footer link wording for VariantFooterLink sites.
+	Footer FooterLinkText
+	// AcceptAffirmative: accept-button text is a variation of
+	// "I agree/consent/accept" (87% of Quantcast sites); otherwise the
+	// publisher used free-form text that may not qualify as
+	// affirmative consent.
+	AcceptAffirmative bool
+	// AcceptText is the literal accept-button wording.
+	AcceptText string
+}
+
+// freeform accept-button texts observed in the wild (Section 4.1).
+var freeformAccepts = []string{"Whatever", "Sounds good", "Accept and move on"}
+var affirmativeAccepts = []string{"I ACCEPT", "I agree", "Accept", "I consent", "Agree & continue"}
+
+// assignCustomization draws the I3 traits for the domain's current
+// (last) CMP, following the per-CMP distributions of Section 4.1.
+func (w *World) assignCustomization(d *Domain, r *rand.Rand) {
+	if d.APIOnly {
+		d.Custom.Variant = VariantCustomAPI
+		d.Custom.AcceptText = "OK"
+		return
+	}
+	last := d.Episodes[len(d.Episodes)-1].CMP
+	u := r.Float64()
+	switch last {
+	case cmps.OneTrust:
+		// 61% conventional, 2.4% direct opt-out (40% need confirm),
+		// 5.5% script banner, 7.5% footer link (11:15:4 wording split),
+		// remainder: other conventional-like designs.
+		switch {
+		case u < 0.61:
+			d.Custom.Variant = VariantConventional
+		case u < 0.634:
+			d.Custom.Variant = VariantDirectReject
+			d.Custom.ConfirmRequired = r.Float64() < 0.40
+		case u < 0.689:
+			d.Custom.Variant = VariantScriptBanner
+		case u < 0.764:
+			d.Custom.Variant = VariantFooterLink
+			fu := r.Float64()
+			switch {
+			case fu < 11.0/30:
+				d.Custom.Footer = FooterDoNotSell
+			case fu < 26.0/30:
+				d.Custom.Footer = FooterCaliforniaPrivacy
+			default:
+				d.Custom.Footer = FooterPrivacyPolicy
+			}
+		default:
+			d.Custom.Variant = VariantConventional
+		}
+	case cmps.Quantcast:
+		// Closed customization: 55% 1-click reject-all (config A), 45%
+		// "More Options" second button (config B). Open customization:
+		// 87% affirmative accept wording.
+		if u < 0.55 {
+			d.Custom.Variant = VariantDirectReject
+		} else {
+			d.Custom.Variant = VariantMoreOptions
+		}
+		d.Custom.AcceptAffirmative = r.Float64() < 0.87
+	case cmps.TrustArc:
+		// 7% instant opt-out; 12% opt-out connecting to partners; 44%
+		// autonomy-implying button; 31% no-control link; 4.4% hidden
+		// from EU; remainder other.
+		switch {
+		case u < 0.07:
+			d.Custom.Variant = VariantDirectReject
+		case u < 0.19:
+			d.Custom.Variant = VariantOptOutConnects
+		case u < 0.63:
+			d.Custom.Variant = VariantAutonomyButton
+		case u < 0.94:
+			d.Custom.Variant = VariantNoControlLink
+		case u < 0.984:
+			d.Custom.Variant = VariantHiddenFromEU
+		default:
+			d.Custom.Variant = VariantConventional
+		}
+	default:
+		// Cookiebot, LiveRamp, Crownpeak: mostly conventional banners
+		// with a minority offering a first-page reject.
+		if u < 0.75 {
+			d.Custom.Variant = VariantConventional
+		} else {
+			d.Custom.Variant = VariantDirectReject
+		}
+	}
+	if d.Custom.AcceptText == "" {
+		if d.Custom.AcceptAffirmative || last != cmps.Quantcast {
+			d.Custom.AcceptText = affirmativeAccepts[r.Intn(len(affirmativeAccepts))]
+			d.Custom.AcceptAffirmative = true
+		} else {
+			d.Custom.AcceptText = freeformAccepts[r.Intn(len(freeformAccepts))]
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package webworld
+
+import (
+	"fmt"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// Domain is one registrable website in the synthetic web. All fields
+// are immutable after construction.
+type Domain struct {
+	// Name is the registrable (effective second-level) domain.
+	Name string
+	// Rank is the true popularity rank, 1-based. Toplists observe this
+	// through provider noise.
+	Rank int
+	// TLD is the public suffix, e.g. "com" or "co.uk".
+	TLD string
+	// EUUK reports whether the TLD is an EU or UK country code.
+	EUUK bool
+
+	// Infrastructure marks domains not directly accessed by users
+	// (CDNs, API endpoints); they are never shared on social media.
+	// The paper found >90% of never-shared-but-reachable Tranco-10k
+	// domains to be infrastructure (Section 3.5).
+	Infrastructure bool
+	// NeverShared marks domains that never appear in the social feed.
+	NeverShared bool
+
+	// Reachability of the seed URL (Section 3.2, toplist crawling):
+	// Unreachable domains fail TCP/TLS entirely; NoValidResponse
+	// domains accept connections but emit garbage; HTTPError domains
+	// return a 4xx/5xx status.
+	Unreachable     bool
+	NoValidResponse bool
+	HTTPError       bool
+	// HTTPSWWW reports whether https://www.<domain>/ serves a valid
+	// certificate (the preferred seed URL form).
+	HTTPSWWW bool
+	// RedirectTo, when non-empty, is the registrable domain this
+	// domain redirects to at the top level. About 11% of all crawls
+	// include such redirects.
+	RedirectTo string
+
+	// AntiBot marks sites behind CDN anti-bot interstitials that block
+	// crawls from public-cloud address space (~10% of CMP sites).
+	AntiBot bool
+	// SlowLoad marks sites whose CMP resources load after Netograph's
+	// aggressive idle timeout (~2% of CMP sites are missed this way).
+	SlowLoad bool
+	// Geo451 marks sites that respond with HTTP 451 Unavailable For
+	// Legal Reasons to European visitors (0.2% fringe, Section 3.5).
+	Geo451 bool
+
+	// EUOnlyEmbed marks sites that embed their CMP only for EU
+	// visitors. USVisibleFrom, when set (> 0), is the day such a site
+	// starts embedding the CMP for US visitors too (CCPA adoption).
+	EUOnlyEmbed   bool
+	USVisibleFrom simtime.Day
+
+	// ShowDialogOnlyEU marks sites that always embed the CMP framework
+	// but configure it to only display dialogs to EU visitors. Network
+	// detection still works from the US for these.
+	ShowDialogOnlyEU bool
+
+	// Episodes is the domain's CMP usage history, ordered by start
+	// day, non-overlapping.
+	Episodes []Episode
+
+	// APIOnly marks publishers using the CMP for its API only, with a
+	// fully custom consent dialog (~8%, Section 4.1).
+	APIOnly bool
+	// PrivacyFriendly marks the minority of sites that store no
+	// user-identifying state at all — Sanchez-Rola et al. found 90% of
+	// sites use cookies that could identify users even post-GDPR, so
+	// ≈10% do not.
+	PrivacyFriendly bool
+	// PreChoiceConsent marks sites that send the consent signal before
+	// the user makes any choice — Matte et al. (cited in Section 6)
+	// found this on 12% of TCF websites.
+	PreChoiceConsent bool
+	// IgnoresOptOut marks sites that record positive consent even
+	// after an explicit opt-out ("some even record the user's consent
+	// after an explicit opt-out").
+	IgnoresOptOut bool
+	// Custom describes how the publisher customized the embedded
+	// dialog (item I3).
+	Custom Customization
+
+	// Subsites is how many distinct subsite paths the domain has.
+	Subsites int
+	// BarePages is the number of subsites (<= Subsites) that embed no
+	// external scripts at all — e.g. privacy-policy pages — and hence
+	// show no CMP resources.
+	BarePages int
+	// CMPSubsitesOnly marks sites that embed the CMP on content pages
+	// but not on the landing page (e.g. ad-funded article pages under
+	// a clean corporate front page). Front-page-only crawls miss these
+	// entirely; the paper's subsite sampling is what finds them
+	// ("it allows us to detect CMPs that are only present on specific
+	// subdomains or subsites", Section 3.5).
+	CMPSubsitesOnly bool
+}
+
+// Episode is one continuous period during which the domain embedded a
+// CMP. End is exclusive; an ongoing episode has End == NumDays.
+type Episode struct {
+	CMP   cmps.ID
+	Start simtime.Day
+	End   simtime.Day
+}
+
+// CMPAt returns the CMP embedded on the domain at the given day, or
+// cmps.None.
+func (d *Domain) CMPAt(day simtime.Day) cmps.ID {
+	for _, e := range d.Episodes {
+		if day >= e.Start && day < e.End {
+			return e.CMP
+		}
+	}
+	return cmps.None
+}
+
+// EverUsedCMP reports whether the domain embedded any studied CMP at
+// any point in the window.
+func (d *Domain) EverUsedCMP() bool { return len(d.Episodes) > 0 }
+
+// SubsitePath returns the canonical path of subsite i (0 is the
+// landing page).
+func (d *Domain) SubsitePath(i int) string {
+	if i <= 0 {
+		return "/"
+	}
+	return fmt.Sprintf("/page/%d", i)
+}
+
+// subsiteIsBare reports whether subsite i is one of the pages that
+// embed no external scripts.
+func (d *Domain) subsiteIsBare(i int) bool {
+	// Bare pages are the highest-numbered subsites, so the landing
+	// page is never bare.
+	return i > 0 && i > d.Subsites-1-d.BarePages
+}

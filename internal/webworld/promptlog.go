@@ -1,0 +1,81 @@
+package webworld
+
+import (
+	"sort"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+// CMP dialog frameworks evolve rapidly: the paper observed Quantcast's
+// consent prompt change 38 times during the observation period
+// (Figure 1) and collected the change history via the Internet Wayback
+// Machine (Section 3.4). The simulator versions each CMP's prompt and
+// stamps the revision into the rendered dialog DOM, so the change
+// history can be recovered from captures exactly as the paper did from
+// archived screenshots.
+
+// promptChanges is the number of prompt revisions per CMP over the
+// window. Quantcast's 38 is measured; the others are plausible
+// framework release cadences.
+var promptChanges = map[cmps.ID]int{
+	cmps.OneTrust:  24,
+	cmps.Quantcast: 38,
+	cmps.TrustArc:  15,
+	cmps.Cookiebot: 19,
+	cmps.LiveRamp:  6,
+	cmps.Crownpeak: 9,
+}
+
+// promptChangeDays returns the sorted days on which the CMP shipped a
+// new prompt revision.
+func (w *World) promptChangeDays(c cmps.ID) []simtime.Day {
+	n := promptChanges[c]
+	if n == 0 {
+		return nil
+	}
+	r := w.src.Stream("prompt-revisions", c.String())
+	days := make([]simtime.Day, 0, n)
+	seen := make(map[simtime.Day]bool, n)
+	start := int(c.Launch())
+	for len(days) < n {
+		d := simtime.Day(start + r.Intn(simtime.NumDays-start))
+		if !seen[d] {
+			seen[d] = true
+			days = append(days, d)
+		}
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	return days
+}
+
+// PromptRevision returns the prompt revision of the CMP's dialog
+// framework active at the given day. Revision 1 is the initial design;
+// each change day increments it, so the final revision is
+// 1 + number-of-changes.
+func (w *World) PromptRevision(c cmps.ID, day simtime.Day) int {
+	w.promptOnce.Do(func() {
+		w.promptDays = make(map[cmps.ID][]simtime.Day, cmps.Count)
+		for _, id := range cmps.All() {
+			w.promptDays[id] = w.promptChangeDays(id)
+		}
+	})
+	days := w.promptDays[c]
+	// Binary search: revision = 1 + #changes on or before day.
+	lo, hi := 0, len(days)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if days[mid] <= day {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return 1 + lo
+}
+
+// PromptChangeCount returns how many times the CMP's prompt changed
+// within the window (Figure 1 reports 38 for Quantcast).
+func (w *World) PromptChangeCount(c cmps.ID) int {
+	return promptChanges[c]
+}

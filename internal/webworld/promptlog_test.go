@@ -1,0 +1,72 @@
+package webworld
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmps"
+	"repro/internal/simtime"
+)
+
+func TestPromptRevisionMonotone(t *testing.T) {
+	w := New(Config{Seed: 1, Domains: 100})
+	for _, c := range cmps.All() {
+		prev := 0
+		for day := simtime.Day(0); int(day) < simtime.NumDays; day += 10 {
+			rev := w.PromptRevision(c, day)
+			if rev < prev {
+				t.Fatalf("%s: revision decreased %d → %d at %s", c, prev, rev, day)
+			}
+			prev = rev
+		}
+	}
+}
+
+func TestQuantcastPromptChanges(t *testing.T) {
+	// Figure 1: Quantcast's consent prompt changed 38 times in the
+	// observation period.
+	w := New(Config{Seed: 1, Domains: 100})
+	if got := w.PromptChangeCount(cmps.Quantcast); got != 38 {
+		t.Errorf("change count = %d, want 38", got)
+	}
+	first := w.PromptRevision(cmps.Quantcast, 0)
+	last := w.PromptRevision(cmps.Quantcast, simtime.Day(simtime.NumDays-1))
+	if last-first > 38 {
+		t.Errorf("window revisions span %d → %d, more changes than configured", first, last)
+	}
+	if last-first < 35 {
+		t.Errorf("window revisions span %d → %d, too few changes realized", first, last)
+	}
+}
+
+func TestPromptRevisionRespectsLaunch(t *testing.T) {
+	w := New(Config{Seed: 1, Domains: 100})
+	// LiveRamp launched December 2019: revision 1 until then.
+	if got := w.PromptRevision(cmps.LiveRamp, cmps.LiveRamp.Launch()-1); got != 1 {
+		t.Errorf("pre-launch revision = %d", got)
+	}
+}
+
+func TestPromptRevisionInDialogDOM(t *testing.T) {
+	w := New(Config{Seed: 1, Domains: 5_000})
+	d := findDomain(w, func(d *Domain) bool {
+		return len(d.Episodes) > 0 && !d.APIOnly && d.RedirectTo == "" && !d.AntiBot && !d.Unreachable &&
+			!d.Geo451 && d.Custom.Variant != VariantFooterLink && d.Custom.Variant != VariantHiddenFromEU &&
+			!d.ShowDialogOnlyEU && d.Episodes[len(d.Episodes)-1].End == simtime.Day(simtime.NumDays)
+	})
+	if d == nil {
+		t.Skip("no dialog domain")
+	}
+	ep := d.Episodes[len(d.Episodes)-1]
+	early, err := w.Visit(d.Name, "/", VisitContext{Day: ep.Start, Geo: GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := w.Visit(d.Name, "/", VisitContext{Day: simtime.Day(simtime.NumDays - 1), Geo: GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(early.DOM, "data-prompt-rev=") || !strings.Contains(late.DOM, "data-prompt-rev=") {
+		t.Fatalf("prompt revision missing from DOM: %q", early.DOM)
+	}
+}

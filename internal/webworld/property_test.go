@@ -1,0 +1,83 @@
+package webworld
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/psl"
+	"repro/internal/simtime"
+)
+
+// TestWorldInvariantsProperty checks structural invariants of the
+// universe across many seeds: the top 50 never adopt, episodes are
+// well-formed and launch-respecting, names normalize to themselves,
+// and geo behaviour is only assigned to adopters.
+func TestWorldInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test over many worlds")
+	}
+	f := func(seed uint16) bool {
+		w := New(Config{Seed: uint64(seed), Domains: 800})
+		for _, d := range w.Domains() {
+			if d.Rank <= 50 && len(d.Episodes) > 0 {
+				return false
+			}
+			if got, err := psl.EffectiveTLDPlusOne(d.Name); err != nil || got != d.Name {
+				return false
+			}
+			prevEnd := simtime.Day(-1)
+			for _, e := range d.Episodes {
+				if !e.CMP.Valid() || e.Start >= e.End || e.Start < e.CMP.Launch() || e.Start < prevEnd {
+					return false
+				}
+				prevEnd = e.End
+			}
+			if len(d.Episodes) == 0 {
+				// Non-adopters carry no CMP-specific traits.
+				if d.AntiBot || d.APIOnly || d.EUOnlyEmbed || d.Custom.Variant != VariantNone {
+					return false
+				}
+			}
+			if d.EUOnlyEmbed && d.ShowDialogOnlyEU {
+				return false // mutually exclusive geo behaviours
+			}
+			if d.BarePages > 0 && d.Subsites < 12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVisitNeverPanicsProperty drives Visit across random domains,
+// days, paths, and contexts: it must return a page or an error, never
+// panic, and pages must carry a coherent status.
+func TestVisitNeverPanicsProperty(t *testing.T) {
+	w := New(Config{Seed: 1, Domains: 2_000})
+	f := func(rank uint16, dayRaw uint32, sub uint8, geoEU, cloud bool) bool {
+		d := w.DomainAt(int(rank%2_000) + 1)
+		day := simtime.Day(dayRaw % uint32(simtime.NumDays))
+		geo := GeoUS
+		if geoEU {
+			geo = GeoEU
+		}
+		page, err := w.Visit(d.Name, d.SubsitePath(int(sub)%maxInt(1, d.Subsites)), VisitContext{
+			Day: day, Geo: geo, Cloud: cloud,
+		})
+		if err != nil {
+			return true // errors are fine; panics are not
+		}
+		switch page.Status {
+		case 0, 200, 403, 451, 503:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,422 @@
+package webworld
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cmps"
+	"repro/internal/psl"
+	"repro/internal/simtime"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	return New(Config{Seed: 1, Domains: 5_000})
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a := New(Config{Seed: 3, Domains: 500})
+	b := New(Config{Seed: 3, Domains: 500})
+	for rank := 1; rank <= 500; rank++ {
+		da, db := a.DomainAt(rank), b.DomainAt(rank)
+		if da.Name != db.Name || da.AntiBot != db.AntiBot || len(da.Episodes) != len(db.Episodes) {
+			t.Fatalf("rank %d differs between identically-seeded worlds", rank)
+		}
+		for i := range da.Episodes {
+			if da.Episodes[i] != db.Episodes[i] {
+				t.Fatalf("rank %d episode %d differs", rank, i)
+			}
+		}
+	}
+}
+
+func TestDomainLookups(t *testing.T) {
+	w := testWorld(t)
+	if w.NumDomains() != 5_000 {
+		t.Fatalf("NumDomains = %d", w.NumDomains())
+	}
+	d := w.DomainAt(1)
+	if d == nil || d.Rank != 1 {
+		t.Fatal("DomainAt(1) broken")
+	}
+	if w.Domain(d.Name) != d {
+		t.Error("name lookup must return the same domain")
+	}
+	if w.DomainAt(0) != nil || w.DomainAt(5_001) != nil {
+		t.Error("out-of-range ranks must be nil")
+	}
+	order := w.TrueOrder()
+	if len(order) != 5_000 || order[0] != w.DomainAt(1).Name {
+		t.Error("TrueOrder mismatch")
+	}
+}
+
+func TestDomainNamesNormalize(t *testing.T) {
+	w := testWorld(t)
+	for rank := 1; rank <= 1000; rank++ {
+		d := w.DomainAt(rank)
+		got, err := psl.EffectiveTLDPlusOne("www." + d.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if got != d.Name {
+			t.Fatalf("domain %q is not registrable (got %q)", d.Name, got)
+		}
+	}
+}
+
+func TestTop50NeverAdopt(t *testing.T) {
+	// "None of the largest websites embed the CMPs under
+	// consideration" (Section 4.1).
+	w := New(Config{Seed: 2, Domains: 2_000})
+	for rank := 1; rank <= 50; rank++ {
+		if d := w.DomainAt(rank); len(d.Episodes) > 0 {
+			t.Errorf("rank %d adopted %v", rank, d.Episodes)
+		}
+	}
+}
+
+func TestEpisodesWellFormed(t *testing.T) {
+	w := testWorld(t)
+	adopters := 0
+	for _, d := range w.Domains() {
+		if len(d.Episodes) == 0 {
+			continue
+		}
+		adopters++
+		for i, e := range d.Episodes {
+			if !e.CMP.Valid() {
+				t.Fatalf("%s: invalid CMP", d.Name)
+			}
+			if e.Start >= e.End {
+				t.Fatalf("%s: empty episode %+v", d.Name, e)
+			}
+			if e.Start < e.CMP.Launch() {
+				t.Fatalf("%s: %s episode starts before launch", d.Name, e.CMP)
+			}
+			if i > 0 && e.Start < d.Episodes[i-1].End {
+				t.Fatalf("%s: overlapping episodes", d.Name)
+			}
+		}
+	}
+	if adopters < 100 {
+		t.Fatalf("only %d adopters in 5k domains", adopters)
+	}
+}
+
+func TestCMPAt(t *testing.T) {
+	d := &Domain{Episodes: []Episode{
+		{CMP: cmps.Cookiebot, Start: 10, End: 100},
+		{CMP: cmps.OneTrust, Start: 100, End: simtime.Day(simtime.NumDays)},
+	}}
+	cases := []struct {
+		day  simtime.Day
+		want cmps.ID
+	}{
+		{5, cmps.None}, {10, cmps.Cookiebot}, {99, cmps.Cookiebot},
+		{100, cmps.OneTrust}, {500, cmps.OneTrust},
+	}
+	for _, c := range cases {
+		if got := d.CMPAt(c.day); got != c.want {
+			t.Errorf("CMPAt(%d) = %v, want %v", c.day, got, c.want)
+		}
+	}
+	if !d.EverUsedCMP() {
+		t.Error("EverUsedCMP")
+	}
+}
+
+func TestVisitBasics(t *testing.T) {
+	w := testWorld(t)
+	// Find a reachable CMP domain with an active episode at its start.
+	var d *Domain
+	for _, cand := range w.Domains() {
+		if len(cand.Episodes) > 0 && !cand.Unreachable && cand.RedirectTo == "" &&
+			!cand.AntiBot && !cand.Geo451 && !cand.EUOnlyEmbed && !cand.SlowLoad && !cand.APIOnly {
+			d = cand
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no suitable domain in sample")
+	}
+	day := d.Episodes[0].Start
+	page, err := w.Visit(d.Name, "/", VisitContext{Day: day, Geo: GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Status != 200 || page.FinalDomain != d.Name {
+		t.Fatalf("page: %+v", page)
+	}
+	cmp := d.Episodes[0].CMP
+	if !hasHost(page, cmp.Hostname()) {
+		t.Errorf("CMP indicator host %s missing from resources", cmp.Hostname())
+	}
+	// Before adoption, the indicator must be absent.
+	if day > 0 {
+		before, err := w.Visit(d.Name, "/", VisitContext{Day: day - 1, Geo: GeoEU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasHost(before, cmp.Hostname()) && d.CMPAt(day-1) == cmps.None {
+			t.Error("CMP indicator present before adoption")
+		}
+	}
+}
+
+func hasHost(p *Page, host string) bool {
+	for _, r := range p.Resources {
+		if r.Host == host {
+			return true
+		}
+	}
+	return false
+}
+
+func findDomain(w *World, pred func(*Domain) bool) *Domain {
+	for _, d := range w.Domains() {
+		if pred(d) {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestAntiBotBlocksCloudOnly(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool {
+		return d.AntiBot && d.RedirectTo == "" && !d.Unreachable && !d.Geo451
+	})
+	if d == nil {
+		t.Skip("no anti-bot domain in sample")
+	}
+	day := d.Episodes[0].Start
+	cloud, err := w.Visit(d.Name, "/", VisitContext{Day: day, Geo: GeoEU, Cloud: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cloud.AntiBotBlocked || cloud.Status != 403 {
+		t.Errorf("cloud visit not blocked: %+v", cloud)
+	}
+	if hasHost(cloud, d.Episodes[0].CMP.Hostname()) {
+		t.Error("blocked page must not load CMP resources")
+	}
+	uni, err := w.Visit(d.Name, "/", VisitContext{Day: day, Geo: GeoEU, Cloud: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.AntiBotBlocked {
+		t.Error("university visit must not be blocked")
+	}
+}
+
+func TestEUOnlyEmbed(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool {
+		return d.EUOnlyEmbed && d.USVisibleFrom == 0 && !d.AntiBot && d.RedirectTo == "" && !d.Geo451 && !d.SlowLoad
+	})
+	if d == nil {
+		t.Skip("no EU-only domain in sample")
+	}
+	day := d.Episodes[len(d.Episodes)-1].Start
+	cmp := d.CMPAt(day)
+	eu, _ := w.Visit(d.Name, "/", VisitContext{Day: day, Geo: GeoEU})
+	us, _ := w.Visit(d.Name, "/", VisitContext{Day: day, Geo: GeoUS})
+	if !hasHost(eu, cmp.Hostname()) {
+		t.Error("EU visit must load the CMP")
+	}
+	if hasHost(us, cmp.Hostname()) {
+		t.Error("US visit must not load an EU-only CMP")
+	}
+}
+
+func TestUSVisibleFromWave(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool {
+		return d.EUOnlyEmbed && d.USVisibleFrom > 0 && !d.AntiBot && d.RedirectTo == "" && !d.Geo451 && !d.SlowLoad &&
+			d.Episodes[len(d.Episodes)-1].End == simtime.Day(simtime.NumDays) &&
+			d.Episodes[len(d.Episodes)-1].Start < d.USVisibleFrom
+	})
+	if d == nil {
+		t.Skip("no CCPA-wave domain in sample")
+	}
+	cmp := d.Episodes[len(d.Episodes)-1].CMP
+	before, _ := w.Visit(d.Name, "/", VisitContext{Day: d.USVisibleFrom - 1, Geo: GeoUS})
+	after, _ := w.Visit(d.Name, "/", VisitContext{Day: d.USVisibleFrom, Geo: GeoUS})
+	if hasHost(before, cmp.Hostname()) {
+		t.Error("CMP visible from the US before the CCPA wave")
+	}
+	if !hasHost(after, cmp.Hostname()) {
+		t.Error("CMP invisible from the US after the wave date")
+	}
+}
+
+func TestGeo451(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool { return d.Geo451 && d.RedirectTo == "" })
+	if d == nil {
+		t.Skip("no 451 domain in sample")
+	}
+	eu, _ := w.Visit(d.Name, "/", VisitContext{Day: 800, Geo: GeoEU})
+	us, _ := w.Visit(d.Name, "/", VisitContext{Day: 800, Geo: GeoUS})
+	if eu.Status != 451 {
+		t.Errorf("EU status = %d, want 451", eu.Status)
+	}
+	if us.Status == 451 {
+		t.Error("US visitors must not get 451")
+	}
+}
+
+func TestRedirects(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool { return d.RedirectTo != "" })
+	if d == nil {
+		t.Skip("no redirect domain in sample")
+	}
+	page, err := w.Visit(d.Name, "/", VisitContext{Day: 100, Geo: GeoEU})
+	if err != nil {
+		t.Skipf("redirect target unreachable: %v", err)
+	}
+	if page.FinalDomain == d.Name {
+		t.Error("redirect must change the final domain")
+	}
+	if len(page.RedirectChain) == 0 || page.RedirectChain[0] != d.Name {
+		t.Errorf("redirect chain = %v", page.RedirectChain)
+	}
+}
+
+func TestBarePagesLoadNothingExternal(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool {
+		return d.BarePages > 0 && len(d.Episodes) > 0 && d.RedirectTo == "" && !d.AntiBot && !d.Geo451 && !d.Unreachable
+	})
+	if d == nil {
+		t.Skip("no bare-page CMP domain in sample")
+	}
+	day := d.Episodes[0].Start
+	bare := d.Subsites - 1 // highest index is bare
+	page, err := w.Visit(d.Name, d.SubsitePath(bare), VisitContext{Day: day, Geo: GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range page.Resources {
+		if r.Host != page.FinalHost {
+			t.Errorf("bare page loaded external resource %s", r.Host)
+		}
+	}
+}
+
+func TestUnknownDomain(t *testing.T) {
+	w := testWorld(t)
+	_, err := w.Visit("nonexistent.example", "/", VisitContext{})
+	if _, ok := err.(*ErrUnknownDomain); !ok {
+		t.Errorf("want ErrUnknownDomain, got %v", err)
+	}
+}
+
+func TestVisitDeterminism(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool { return len(d.Episodes) > 0 && d.RedirectTo == "" && !d.Unreachable })
+	if d == nil {
+		t.Skip("no adopter")
+	}
+	ctx := VisitContext{Day: d.Episodes[0].Start, Geo: GeoEU}
+	a, err := w.Visit(d.Name, "/", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Visit(d.Name, "/", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Resources) != len(b.Resources) || a.ScreenshotText != b.ScreenshotText {
+		t.Error("identical visits must render identically")
+	}
+	for i := range a.Resources {
+		if a.Resources[i] != b.Resources[i] {
+			t.Fatal("resource logs must be identical")
+		}
+	}
+}
+
+func TestCustomizationDistribution(t *testing.T) {
+	w := New(Config{Seed: 4, Domains: 30_000})
+	variants := map[cmps.ID]map[BannerVariant]int{}
+	totals := map[cmps.ID]int{}
+	for _, d := range w.Domains() {
+		if len(d.Episodes) == 0 {
+			continue
+		}
+		c := d.Episodes[len(d.Episodes)-1].CMP
+		if variants[c] == nil {
+			variants[c] = map[BannerVariant]int{}
+		}
+		variants[c][d.Custom.Variant]++
+		totals[c]++
+	}
+	// Quantcast: 55% direct reject / 45% more options (±8pts), among
+	// non-API-only sites.
+	qc := variants[cmps.Quantcast]
+	qcTotal := float64(qc[VariantDirectReject] + qc[VariantMoreOptions])
+	if share := float64(qc[VariantDirectReject]) / qcTotal; share < 0.47 || share > 0.63 {
+		t.Errorf("Quantcast 1-click-reject share = %.2f, want ≈0.55", share)
+	}
+	// OneTrust: conventional banner must dominate.
+	ot := variants[cmps.OneTrust]
+	if float64(ot[VariantConventional])/float64(totals[cmps.OneTrust]) < 0.6 {
+		t.Errorf("OneTrust conventional share too low: %v", ot)
+	}
+	// TrustArc: autonomy-button ≈44%.
+	ta := variants[cmps.TrustArc]
+	if share := float64(ta[VariantAutonomyButton]) / float64(totals[cmps.TrustArc]); share < 0.30 || share > 0.52 {
+		t.Errorf("TrustArc autonomy share = %.2f, want ≈0.44·(1-api)", share)
+	}
+	// API-only across all CMPs ≈8%.
+	api, tot := 0, 0
+	for c, m := range variants {
+		api += m[VariantCustomAPI]
+		tot += totals[c]
+	}
+	if share := float64(api) / float64(tot); share < 0.05 || share > 0.11 {
+		t.Errorf("API-only share = %.2f, want ≈0.08", share)
+	}
+}
+
+func TestSubsitePathRoundTrip(t *testing.T) {
+	d := &Domain{Subsites: 20}
+	f := func(i uint8) bool {
+		idx := int(i) % 20
+		return subsiteIndexOf(d, d.SubsitePath(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if subsiteIndexOf(d, "/unknown") != 0 {
+		t.Error("unknown paths map to the landing page")
+	}
+}
+
+func TestDialogTextContainsConsentLanguage(t *testing.T) {
+	w := testWorld(t)
+	d := findDomain(w, func(d *Domain) bool {
+		return len(d.Episodes) > 0 && !d.APIOnly && d.RedirectTo == "" && !d.AntiBot && !d.Unreachable && !d.Geo451 &&
+			d.Custom.Variant != VariantFooterLink && d.Custom.Variant != VariantHiddenFromEU && !d.ShowDialogOnlyEU
+	})
+	if d == nil {
+		t.Skip("no dialog domain")
+	}
+	page, err := w.Visit(d.Name, "/", VisitContext{Day: d.Episodes[len(d.Episodes)-1].Start, Geo: GeoEU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !page.DialogShown {
+		t.Fatal("dialog should be shown")
+	}
+	if !strings.Contains(page.ScreenshotText, "We value your privacy") {
+		t.Errorf("screenshot lacks consent language: %q", page.ScreenshotText)
+	}
+	if !strings.Contains(page.DOM, "data-variant=") {
+		t.Error("DOM lacks the variant marker")
+	}
+}

@@ -1,0 +1,237 @@
+// Package webworld simulates the web of March 2018 – September 2020 as
+// the measurement substrate for the reproduction. It substitutes for
+// the live internet the paper crawled: a deterministic universe of
+// registrable domains with popularity ranks, CMP adoption histories,
+// geo- and vantage-dependent behaviour, redirects, subsites and the
+// other confounders Section 3.5 of the paper documents.
+//
+// The adoption model's parameters are calibrated against the aggregate
+// statistics the paper reports (see DESIGN.md §4); given a seed, the
+// whole world is bit-reproducible and side-effect free.
+package webworld
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cmps"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes the universe.
+type Config struct {
+	// Seed roots all randomness.
+	Seed uint64
+	// Domains is the universe size (the paper observed 4.2M unique
+	// domains; the default reproduction scale is 100k).
+	Domains int
+}
+
+// DefaultConfig returns the default reproduction scale.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Domains: 100_000}
+}
+
+// World is the immutable synthetic web.
+type World struct {
+	cfg     Config
+	src     *rng.Source
+	domains []*Domain // index = rank-1
+	byName  map[string]*Domain
+
+	// promptDays caches per-CMP prompt-revision change days.
+	promptOnce sync.Once
+	promptDays map[cmps.ID][]simtime.Day
+}
+
+// tldTable is the TLD mix of the universe. Weights loosely follow the
+// composition of the Tranco list; EU+UK TLDs are frequent enough to
+// express the jurisdictional CMP preferences (Section 4.1).
+var tldTable = []struct {
+	tld    string
+	weight float64
+	euuk   bool
+}{
+	{"com", 0.46, false},
+	{"org", 0.06, false},
+	{"net", 0.05, false},
+	{"io", 0.03, false},
+	{"co", 0.02, false},
+	{"de", 0.05, true},
+	{"co.uk", 0.05, true},
+	{"fr", 0.03, true},
+	{"it", 0.02, true},
+	{"nl", 0.02, true},
+	{"es", 0.02, true},
+	{"pl", 0.02, true},
+	{"se", 0.01, true},
+	{"eu", 0.01, true},
+	{"ru", 0.03, false},
+	{"jp", 0.03, false},
+	{"com.br", 0.02, false},
+	{"in", 0.02, false},
+	{"com.au", 0.02, false},
+	{"ca", 0.01, false},
+	{"ch", 0.01, true}, // not EU, but GDPR-adjacent; counted non-EUUK below
+	{"github.io", 0.01, false},
+}
+
+// New builds the universe. Construction cost is O(Domains).
+func New(cfg Config) *World {
+	if cfg.Domains <= 0 {
+		cfg.Domains = DefaultConfig().Domains
+	}
+	w := &World{
+		cfg:    cfg,
+		src:    rng.New(cfg.Seed).Derive("webworld"),
+		byName: make(map[string]*Domain, cfg.Domains),
+	}
+	w.domains = make([]*Domain, cfg.Domains)
+	for rank := 1; rank <= cfg.Domains; rank++ {
+		d := w.generateDomain(rank)
+		w.domains[rank-1] = d
+		w.byName[d.Name] = d
+	}
+	// Redirect targets must exist; point alias domains at a nearby
+	// more-popular domain.
+	for _, d := range w.domains {
+		if d.RedirectTo == "redirect-pending" {
+			target := w.domains[w.src.Intn(maxInt(1, d.Rank-1), "redirtarget", d.Name)]
+			if target.Name == d.Name || target.RedirectTo != "" {
+				d.RedirectTo = ""
+			} else {
+				d.RedirectTo = target.Name
+			}
+		}
+	}
+	return w
+}
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// NumDomains returns the universe size.
+func (w *World) NumDomains() int { return len(w.domains) }
+
+// DomainAt returns the domain with the given true rank (1-based).
+func (w *World) DomainAt(rank int) *Domain {
+	if rank < 1 || rank > len(w.domains) {
+		return nil
+	}
+	return w.domains[rank-1]
+}
+
+// Domain returns the domain by registrable name, or nil.
+func (w *World) Domain(name string) *Domain { return w.byName[name] }
+
+// TrueOrder returns all domain names in true popularity order, for
+// feeding toplist providers.
+func (w *World) TrueOrder() []string {
+	out := make([]string, len(w.domains))
+	for i, d := range w.domains {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Domains returns all domains in rank order. The slice is shared; do
+// not mutate.
+func (w *World) Domains() []*Domain { return w.domains }
+
+// generateDomain draws all immutable properties for one rank.
+func (w *World) generateDomain(rank int) *Domain {
+	key := rng.Key(rank)
+	r := w.src.Stream("domain", key)
+
+	// TLD by weighted draw; infrastructure domains skew toward com/net/io.
+	u := r.Float64()
+	tld, euuk := "com", false
+	for _, e := range tldTable {
+		if u < e.weight {
+			tld, euuk = e.tld, e.euuk && e.tld != "ch"
+			break
+		}
+		u -= e.weight
+	}
+	name := fmt.Sprintf("%s%d.%s", sitePrefixes[r.Intn(len(sitePrefixes))], rank, tld)
+
+	d := &Domain{Name: name, Rank: rank, TLD: tld, EUUK: euuk}
+
+	// Infrastructure share grows toward the head of the list (CDNs and
+	// API hosts are extremely popular by traffic but never shared).
+	infraP := 0.05
+	if rank <= 10_000 {
+		infraP = 0.045
+	}
+	d.Infrastructure = r.Float64() < infraP
+
+	// Reachability (Section 3.5 missing-data breakdown, scaled to the
+	// Tranco 10k: 315 unreachable, 4 invalid, 70 HTTP error of 10k).
+	d.Unreachable = r.Float64() < 0.0315
+	d.NoValidResponse = !d.Unreachable && r.Float64() < 0.0004
+	d.HTTPError = !d.Unreachable && !d.NoValidResponse && r.Float64() < 0.0070
+	d.HTTPSWWW = r.Float64() < 0.85
+
+	// Top-level redirects: 192/10k domains redirect to another domain
+	// permanently; transient URL-level redirects are handled in page
+	// rendering. Mark for fix-up after all domains exist.
+	if !d.Unreachable && rank > 1 && r.Float64() < 0.0192 {
+		d.RedirectTo = "redirect-pending"
+	}
+
+	// Never shared on social media: all infrastructure and unreachable
+	// domains plus a small remainder (1076/10k total in the paper).
+	d.NeverShared = d.Infrastructure || d.Unreachable || d.NoValidResponse ||
+		d.HTTPError || r.Float64() < 0.012
+	d.PrivacyFriendly = w.src.Bool(0.10, "privacy-friendly", d.Name)
+
+	// Subsites and bare pages.
+	d.Subsites = 3 + r.Intn(38)
+	if d.Subsites >= 12 && r.Float64() < 0.35 {
+		// Domains with a privacy-policy-like page that loads no
+		// external scripts. Keeps per-domain daily CMP shares >95%
+		// (Section 3.5, Subsites).
+		d.BarePages = 1
+	}
+
+	// CMP adoption history (see adoption.go).
+	w.assignEpisodes(d, r)
+
+	if len(d.Episodes) > 0 {
+		d.AntiBot = r.Float64() < 0.115
+		d.SlowLoad = r.Float64() < 0.021
+		d.Geo451 = r.Float64() < 0.002
+		d.APIOnly = r.Float64() < 0.08
+		// TCF compliance defects documented by Matte et al. (S&P '20).
+		// Drawn from dedicated streams so adding them does not perturb
+		// the calibrated draws below.
+		d.PreChoiceConsent = w.src.Bool(0.12, "prechoice", d.Name)
+		d.IgnoresOptOut = w.src.Bool(0.054, "ignores-optout", d.Name)
+		d.CMPSubsitesOnly = w.src.Bool(0.06, "subsites-only", d.Name)
+		w.assignGeoBehaviour(d, r)
+		w.assignCustomization(d, r)
+	}
+	return d
+}
+
+var sitePrefixes = []string{
+	"news", "daily", "shop", "blog", "media", "portal", "online", "the",
+	"my", "best", "info", "web", "go", "get", "top", "live", "meta",
+	"pixel", "cloud", "data", "play", "game", "tech", "sport", "food",
+	"travel", "health", "auto", "home", "style", "music", "video",
+}
+
+// sortEpisodes orders and sanity-checks a domain's episodes.
+func sortEpisodes(eps []Episode) []Episode {
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
+	return eps
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+// Package repro is a from-scratch Go reproduction of "Measuring the
+// Emergence of Consent Management on the Web" (Hils, Woods and Böhme,
+// ACM IMC 2020).
+//
+// The paper measures the formation of the web's consent-management
+// ecosystem: how Consent Management Providers (CMPs) spread across
+// websites over 2018–2020, what third-party ad-tech vendors declare on
+// the IAB's Global Vendor List, and what consent dialogs cost users in
+// time. This module rebuilds the entire measurement apparatus — a
+// Netograph-style crawling platform over a synthetic web, the CMP
+// detection methodology, the IAB TCF substrate, and the dialog timing
+// experiments — and regenerates every table and figure of the paper's
+// evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-vs-measured results.
+//
+// The top-level entry point is Study:
+//
+//	s := repro.NewStudy(repro.DefaultConfig())
+//	s.RunSocialCrawl(nil)
+//	points, _ := s.AdoptionOverTime(10_000, 7)   // Figure 6
+//	table := s.VantageTable(repro.Table1Snapshot, 10_000) // Table 1
+//
+// Every component is deterministic for a given seed; all randomness is
+// derived from keyed streams, so results are bit-reproducible.
+package repro
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/consent"
+	"repro/internal/core"
+	"repro/internal/gvl"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/tcf"
+)
+
+// Study orchestrates the full reproduction; see core.Study.
+type Study = core.Study
+
+// Config scales a study.
+type Config = core.Config
+
+// NewStudy builds all components of the measurement apparatus.
+func NewStudy(cfg Config) *Study { return core.NewStudy(cfg) }
+
+// DefaultConfig is the full reproduction scale (≈1/100 of the paper's
+// capture volume); TestConfig is a reduced scale that runs in seconds.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// TestConfig returns the reduced scale used by tests and examples.
+func TestConfig() Config { return core.TestConfig() }
+
+// Snapshot days of the paper's tables.
+var (
+	// Table1Snapshot is the May 2020 snapshot (Table 1).
+	Table1Snapshot = simtime.Table1Snapshot
+	// TableA3Snapshot is the January 2020 snapshot (Table A.3).
+	TableA3Snapshot = simtime.TableA3Snapshot
+	// GDPREffective and CCPAEffective are the adoption-spike events.
+	GDPREffective = simtime.GDPREffective
+	CCPAEffective = simtime.CCPAEffective
+)
+
+// Consent-string codec (IAB TCF v1.1).
+type (
+	// ConsentString is a decoded TCF v1.1 consent string.
+	ConsentString = tcf.ConsentString
+)
+
+// DecodeConsentString parses a websafe-base64 TCF v1.1 consent string.
+func DecodeConsentString(s string) (*ConsentString, error) { return tcf.Decode(s) }
+
+// GenerateGVLHistory produces a synthetic Global Vendor List history
+// with the longitudinal dynamics of Figures 7 and 8.
+func GenerateGVLHistory(cfg gvl.HistoryConfig) *gvl.History { return gvl.GenerateHistory(cfg) }
+
+// DefaultGVLConfig mirrors the 215-version history the paper analyzed.
+func DefaultGVLConfig() gvl.HistoryConfig { return gvl.DefaultHistoryConfig() }
+
+// NewTrustArcFlow returns the Figure 9 opt-out measurement flow.
+func NewTrustArcFlow(seed uint64) *consent.TrustArcFlow { return consent.NewTrustArcFlow(seed) }
+
+// NewFieldExperiment returns the Figure 10 dialog timing experiment.
+func NewFieldExperiment(seed uint64, list *gvl.List) *consent.FieldExperiment {
+	return consent.NewFieldExperiment(seed, list)
+}
+
+// AnalyzeSessions computes the Figure 10 statistics from a session log.
+func AnalyzeSessions(sessions []*consent.Session) (*consent.ExperimentResult, error) {
+	return consent.Analyze(sessions)
+}
+
+// MannWhitney runs the two-sided Mann–Whitney U test used by the
+// paper's timing comparisons.
+func MannWhitney(a, b []float64) (stats.MannWhitneyResult, error) { return stats.MannWhitney(a, b) }
+
+// PriorWork returns the Figure 1 related-work inventory.
+func PriorWork() []analysis.PriorStudy { return analysis.PriorWork() }
