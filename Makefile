@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The capture-store perf pair: linear scan vs. indexed query.
+bench:
+	$(GO) test ./internal/capstore/ -run '^$$' -bench 'Query' -benchmem
+
+# Short fuzz pass over the capture wire format (torn writes, segment
+# boundaries, malformed tuples).
+fuzz:
+	$(GO) test ./internal/capturedb/ -run '^$$' -fuzz FuzzScan -fuzztime 30s

@@ -1,16 +1,20 @@
-// Command capq queries a persisted capture database (the JSONL files
-// written by `crawl -out`), mirroring Netograph's custom query API.
+// Command capq queries a persisted capture database, mirroring
+// Netograph's custom query API. It reads either a local source — a
+// JSONL file from `crawl -out` or a sharded store directory from
+// `crawl -store` — or a live capd server.
 //
 // Usage:
 //
-//	capq -file captures.jsonl [-domain D] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
+//	capq -file captures.jsonl | -store capdir | -server http://host:8650
+//	     [-domain D] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
 //	     [-vantage us-cloud|eu-cloud|eu-university] [-host H] [-failed]
 //	     [-count] [-cmp] [-n N]
 //
 // Examples:
 //
 //	capq -file caps.jsonl -count -host cdn.cookielaw.org   # OneTrust captures
-//	capq -file caps.jsonl -domain example.com -cmp         # detection timeline
+//	capq -store capdir -domain example.com -cmp            # indexed lookup
+//	capq -server http://127.0.0.1:8650 -count -host cdn.cookielaw.org
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/capstore"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
 	"repro/internal/detect"
@@ -27,7 +32,9 @@ import (
 
 func main() {
 	var (
-		file      = flag.String("file", "", "capture JSONL file (required)")
+		file      = flag.String("file", "", "capture JSONL file")
+		storeDir  = flag.String("store", "", "sharded capture store directory")
+		server    = flag.String("server", "", "base URL of a running capd (e.g. http://127.0.0.1:8650)")
 		domain    = flag.String("domain", "", "filter by final registrable domain")
 		fromStr   = flag.String("from", "", "filter: captures on or after this date")
 		toStr     = flag.String("to", "", "filter: captures on or before this date")
@@ -39,7 +46,14 @@ func main() {
 		limit     = flag.Int("n", 50, "maximum captures to print (0 = unlimited)")
 	)
 	flag.Parse()
-	if *file == "" {
+	sources := 0
+	for _, s := range []string{*file, *storeDir, *server} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "capq: exactly one of -file, -store, -server is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,12 +68,12 @@ func main() {
 		q.From = parseDay(*fromStr)
 	}
 	if *toStr != "" {
-		q.To = parseDay(*toStr)
+		q.To, q.HasTo = parseDay(*toStr), true
 	}
 
 	det := detect.Default()
 	n := 0
-	err := capturedb.ScanFile(*file, q, func(c *capture.Capture) bool {
+	print := func(c *capture.Capture) bool {
 		n++
 		if *countOnly {
 			return true
@@ -74,7 +88,31 @@ func main() {
 		}
 		fmt.Println(line)
 		return *limit == 0 || n < *limit
-	})
+	}
+
+	var err error
+	switch {
+	case *server != "":
+		cl := capstore.NewClient(*server)
+		if *countOnly {
+			n, err = cl.Count(q)
+		} else {
+			err = cl.Query(q, *limit, 0, print)
+		}
+	case *storeDir != "":
+		var s *capstore.Store
+		s, err = capstore.Open(*storeDir)
+		if err == nil {
+			if *countOnly {
+				n, err = s.Count(q)
+			} else {
+				err = s.Query(q, print)
+			}
+			s.Close()
+		}
+	default:
+		err = capturedb.ScanFile(*file, q, print)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capq:", err)
 		os.Exit(1)

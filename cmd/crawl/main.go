@@ -5,6 +5,7 @@
 // Usage:
 //
 //	crawl [-domains N] [-shares N] [-seed N] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
+//	      [-out captures.jsonl] [-store capdir [-store-shards N]]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/capstore"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
 	"repro/internal/crawler"
@@ -32,7 +34,9 @@ func main() {
 		workers = flag.Int("workers", 8, "crawl concurrency")
 		fromStr = flag.String("from", "", "crawl start date (YYYY-MM-DD, default window start)")
 		toStr   = flag.String("to", "", "crawl end date (YYYY-MM-DD, default window end)")
-		outPath = flag.String("out", "", "also persist raw captures to this JSONL file (query with capturedb)")
+		outPath  = flag.String("out", "", "also persist raw captures to this JSONL file (query with capq -file)")
+		storeDir = flag.String("store", "", "also persist raw captures to a sharded capture store directory (serve with capd)")
+		shards   = flag.Int("store-shards", capstore.DefaultShards, "segment count for -store")
 	)
 	flag.Parse()
 
@@ -50,7 +54,7 @@ func main() {
 	platform := crawler.NewPlatform(world, crawler.Config{Seed: *seed, Workers: *workers})
 	obs := detect.NewObservations(detect.Default())
 
-	var sink capture.Sink = obs
+	sinks := capture.MultiSink{obs}
 	if *outPath != "" {
 		w, err := capturedb.Create(*outPath)
 		if err != nil {
@@ -64,7 +68,28 @@ func main() {
 			}
 			fmt.Printf("  persisted captures:  %d records in %s\n", w.Len(), *outPath)
 		}()
-		sink = capture.MultiSink{obs, w}
+		sinks = append(sinks, w)
+	}
+	if *storeDir != "" {
+		st, err := capstore.Create(*storeDir, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawl:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "crawl: writing capture store:", err)
+				os.Exit(1)
+			}
+			stats := st.Stats()
+			fmt.Printf("  capture store:       %d records in %d segments under %s (%d domains, %d hosts indexed; serve with capd)\n",
+				stats.Records, len(stats.Shards), *storeDir, stats.IndexedDomains, stats.IndexedHosts)
+		}()
+		sinks = append(sinks, st)
+	}
+	var sink capture.Sink = obs
+	if len(sinks) > 1 {
+		sink = sinks
 	}
 
 	start := time.Now()

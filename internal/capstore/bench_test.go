@@ -1,0 +1,147 @@
+package capstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/simtime"
+)
+
+// The perf-trajectory pair: BenchmarkScanQuery is the seed's linear
+// capturedb.Scan over every record, BenchmarkIndexedQuery is the same
+// query answered through capstore's secondary indexes. Both run the
+// domain and request-host (CMP-indicator) shapes that dominate
+// detection workloads, over benchRecords synthetic captures.
+const (
+	benchRecords = 100_000
+	benchDomains = 1_000
+	benchShards  = 16
+)
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchS    *Store
+	benchErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchS != nil {
+		benchS.Close()
+	}
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+// benchStore builds the ≥100k-capture corpus once per process.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "capstore-bench-")
+		if benchErr != nil {
+			return
+		}
+		var s *Store
+		s, benchErr = Create(benchDir, benchShards)
+		if benchErr != nil {
+			return
+		}
+		hosts := []string{
+			"cdn.cookielaw.org", "consent.cookiebot.com", "quantcast.mgr.consensu.org",
+			"static.doubleclick.net", "www.google-analytics.com", "cdn.jsdelivr.net",
+			"fonts.gstatic.com", "cdn.segment.com", "js.stripe.com", "cdn.optimizely.com",
+		}
+		for i := 0; i < benchRecords; i++ {
+			c := sample(fmt.Sprintf("site-%05d.com", i%benchDomains),
+				simtime.Day(i%900), hosts[i%len(hosts)])
+			s.Record(c)
+		}
+		benchErr = s.Flush()
+		benchS = s
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchS
+}
+
+var benchQueries = []struct {
+	name string
+	q    capturedb.Query
+}{
+	{"domain", capturedb.Query{Domain: "site-00500.com"}},
+	{"host", capturedb.Query{RequestHost: "quantcast.mgr.consensu.org"}},
+}
+
+func BenchmarkIndexedQuery(b *testing.B) {
+	s := benchStore(b)
+	for _, bq := range benchQueries {
+		b.Run(bq.name, func(b *testing.B) {
+			before := s.Stats()
+			matches := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matches = 0
+				err := s.Query(bq.q, func(*capture.Capture) bool { matches++; return true })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if matches == 0 {
+				b.Fatal("query matched nothing")
+			}
+			after := s.Stats()
+			scanned := float64(after.RowsScanned-before.RowsScanned) / float64(b.N)
+			skipped := float64(after.RowsSkipped-before.RowsSkipped) / float64(b.N)
+			if skipped == 0 {
+				b.Fatal("indexed path skipped no rows — index pruning is broken")
+			}
+			b.ReportMetric(float64(matches), "matches")
+			b.ReportMetric(scanned, "rows-scanned/op")
+			b.ReportMetric(skipped, "rows-skipped/op")
+		})
+	}
+}
+
+func BenchmarkScanQuery(b *testing.B) {
+	s := benchStore(b)
+	names, err := filepath.Glob(filepath.Join(s.Dir(), "seg-*.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sort.Strings(names)
+	for _, bq := range benchQueries {
+		b.Run(bq.name, func(b *testing.B) {
+			matches := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matches = 0
+				for _, name := range names {
+					err := capturedb.ScanFile(name, bq.q, func(*capture.Capture) bool {
+						matches++
+						return true
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if matches == 0 {
+				b.Fatal("query matched nothing")
+			}
+			b.ReportMetric(float64(matches), "matches")
+			b.ReportMetric(float64(benchRecords), "rows-scanned/op")
+		})
+	}
+}

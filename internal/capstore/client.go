@@ -1,0 +1,138 @@
+package capstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+)
+
+// Client runs queries against a live capd over HTTP, mirroring the
+// local Store API so cmd/capq can target either interchangeably.
+type Client struct {
+	// BaseURL is the capd root, e.g. "http://127.0.0.1:8650".
+	BaseURL string
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the capd at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// params encodes the shared Query type as URL parameters; a set upper
+// bound is always sent explicitly so day-0 bounds survive the wire.
+func params(q capturedb.Query, limit, offset int) url.Values {
+	v := url.Values{}
+	if q.Domain != "" {
+		v.Set("domain", q.Domain)
+	}
+	if q.RequestHost != "" {
+		v.Set("host", q.RequestHost)
+	}
+	if q.Vantage != "" {
+		v.Set("vantage", q.Vantage)
+	}
+	if q.From > 0 {
+		v.Set("from", strconv.Itoa(int(q.From)))
+	}
+	if upper, ok := q.Upper(); ok {
+		v.Set("to", strconv.Itoa(int(upper)))
+	}
+	if q.IncludeFailed {
+		v.Set("failed", "1")
+	}
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	if offset > 0 {
+		v.Set("offset", strconv.Itoa(offset))
+	}
+	return v
+}
+
+func (cl *Client) get(path string, v url.Values) (*http.Response, error) {
+	u := cl.BaseURL + path
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := cl.httpClient().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("capstore: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// Query streams matches from /query to fn; returning false from fn
+// stops early. limit and offset paginate server-side (0 limit means
+// unlimited). A stream cut mid-record surfaces as an error
+// (capturedb.ErrTruncated or a transport error), never as a clean end.
+func (cl *Client) Query(q capturedb.Query, limit, offset int, fn func(*capture.Capture) bool) error {
+	resp, err := cl.get("/query", params(q, limit, offset))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rr := capturedb.NewRecordReader(resp.Body)
+	for {
+		c, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
+}
+
+// Count runs the query server-side via /count.
+func (cl *Client) Count(q capturedb.Query) (int, error) {
+	resp, err := cl.get("/count", params(q, 0, 0))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("capstore: /count: %w", err)
+	}
+	return out.Count, nil
+}
+
+// Stats fetches the server's store snapshot.
+func (cl *Client) Stats() (Stats, error) {
+	var st Stats
+	resp, err := cl.get("/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("capstore: /stats: %w", err)
+	}
+	return st, nil
+}

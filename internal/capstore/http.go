@@ -1,0 +1,150 @@
+package capstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/simtime"
+)
+
+// The paper's "custom query API" over HTTP, served by cmd/capd:
+//
+//	GET /query?domain=D&host=H&vantage=V&from=D1&to=D2&failed=1&limit=N&offset=M
+//	    → streaming NDJSON, one capturedb wire-format record per line
+//	GET /count?…same filters…   → {"count": N}
+//	GET /stats                  → Stats JSON (shards, indexes, counters)
+//
+// from/to are simulation day numbers (simtime.Day); a present `to`
+// parameter makes the upper bound explicit even for day 0.
+
+// flushEvery is how many streamed rows go out between explicit
+// http.Flusher flushes, so long queries stream instead of buffering.
+const flushEvery = 256
+
+// NewHandler exposes a store over HTTP.
+func NewHandler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/count", s.handleCount)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// parseHTTPQuery translates URL parameters into the shared Query type
+// plus pagination bounds.
+func parseHTTPQuery(values url.Values) (q capturedb.Query, limit, offset int, err error) {
+	q.Domain = values.Get("domain")
+	q.RequestHost = values.Get("host")
+	q.Vantage = values.Get("vantage")
+	switch v := values.Get("failed"); v {
+	case "", "0", "false":
+	case "1", "true":
+		q.IncludeFailed = true
+	default:
+		return q, 0, 0, fmt.Errorf("bad failed=%q", v)
+	}
+	atoi := func(key string) (int, bool, error) {
+		v := values.Get(key)
+		if v == "" {
+			return 0, false, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad %s=%q", key, v)
+		}
+		return n, true, nil
+	}
+	if n, ok, aerr := atoi("from"); aerr != nil {
+		return q, 0, 0, aerr
+	} else if ok {
+		q.From = simtime.Day(n)
+	}
+	if n, ok, aerr := atoi("to"); aerr != nil {
+		return q, 0, 0, aerr
+	} else if ok {
+		q.To, q.HasTo = simtime.Day(n), true
+	}
+	if n, _, aerr := atoi("limit"); aerr != nil {
+		return q, 0, 0, aerr
+	} else if n < 0 {
+		return q, 0, 0, fmt.Errorf("bad limit=%d", n)
+	} else {
+		limit = n
+	}
+	if n, _, aerr := atoi("offset"); aerr != nil {
+		return q, 0, 0, aerr
+	} else if n < 0 {
+		return q, 0, 0, fmt.Errorf("bad offset=%d", n)
+	} else {
+		offset = n
+	}
+	return q, limit, offset, nil
+}
+
+// handleQuery streams matches as NDJSON with limit/offset pagination.
+func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, limit, offset, err := parseHTTPQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent, seen := 0, 0
+	var werr error
+	qerr := s.Query(q, func(c *capture.Capture) bool {
+		seen++
+		if seen <= offset {
+			return true
+		}
+		line, err := capturedb.Encode(c)
+		if err == nil {
+			_, err = w.Write(line)
+		}
+		if err != nil {
+			werr = err
+			return false
+		}
+		sent++
+		if flusher != nil && sent%flushEvery == 0 {
+			flusher.Flush()
+		}
+		return limit == 0 || sent < limit
+	})
+	if qerr != nil && sent == 0 && werr == nil {
+		http.Error(w, "capstore: "+qerr.Error(), http.StatusInternalServerError)
+		return
+	}
+	if qerr != nil && werr == nil {
+		// Mid-stream failure: the status line is gone; cut the
+		// connection so the client sees a torn stream, not a clean end.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleCount answers {"count": N}.
+func (s *Store) handleCount(w http.ResponseWriter, r *http.Request) {
+	q, _, _, err := parseHTTPQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n, err := s.Count(q)
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"count": n}) //nolint:errcheck
+}
+
+// handleStats answers the store snapshot.
+func (s *Store) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats()) //nolint:errcheck
+}

@@ -1,0 +1,177 @@
+package capstore
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+)
+
+// newTestServer builds a populated store and serves it the way
+// cmd/capd does.
+func newTestServer(t *testing.T, n int) (*Store, *httptest.Server) {
+	t.Helper()
+	s, err := Create(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, n)
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+// TestClientRoundTrip is the capq -server end-to-end path: the same
+// queries through the HTTP client must match the local store exactly.
+func TestClientRoundTrip(t *testing.T) {
+	s, srv := newTestServer(t, 300)
+	cl := NewClient(srv.URL)
+
+	for _, q := range equivalenceQueries {
+		want := indexed(t, s, q)
+		var got bytes.Buffer
+		err := cl.Query(q, 0, 0, func(c *capture.Capture) bool {
+			line, err := capturedb.Encode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Write(line)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("query %+v: %v", q, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("query %+v: HTTP result diverges from local store", q)
+		}
+
+		wantN, err := s.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := cl.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN {
+			t.Errorf("query %+v: /count = %d, want %d", q, gotN, wantN)
+		}
+	}
+}
+
+func TestClientPagination(t *testing.T) {
+	s, srv := newTestServer(t, 120)
+	cl := NewClient(srv.URL)
+	q := capturedb.Query{RequestHost: "cdn.cookielaw.org"}
+
+	all := indexed(t, s, q)
+	total, err := cl.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("empty corpus")
+	}
+
+	// Page through with limit/offset; concatenated pages must equal
+	// the unpaginated stream.
+	const page = 7
+	var paged bytes.Buffer
+	for off := 0; off < total; off += page {
+		n := 0
+		err := cl.Query(q, page, off, func(c *capture.Capture) bool {
+			n++
+			line, _ := capturedb.Encode(c)
+			paged.Write(line)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := min(page, total-off); n != want {
+			t.Fatalf("page at %d returned %d rows, want %d", off, n, want)
+		}
+	}
+	if !bytes.Equal(paged.Bytes(), all) {
+		t.Error("paginated stream diverges from full stream")
+	}
+
+	// Early stop from the callback must not error.
+	n := 0
+	if err := cl.Query(q, 0, 0, func(*capture.Capture) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("early stop after %d", n)
+	}
+}
+
+func TestHandlerStatsAndErrors(t *testing.T) {
+	s, srv := newTestServer(t, 50)
+	cl := NewClient(srv.URL)
+
+	if _, err := cl.Count(capturedb.Query{Domain: "site-001.com"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 50 || len(st.Shards) != s.NumShards() {
+		t.Errorf("stats over HTTP: %+v", st)
+	}
+	if st.QueriesServed == 0 || st.RowsSkipped == 0 {
+		t.Errorf("counters missing from /stats: %+v", st)
+	}
+
+	for _, bad := range []string{
+		"/query?from=notaday",
+		"/query?limit=-1",
+		"/count?failed=maybe",
+		"/query?to=",
+	} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		want := http.StatusBadRequest
+		if bad == "/query?to=" {
+			want = http.StatusOK // empty param = unset, not an error
+		}
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d (%s), want %d", bad, resp.StatusCode, strings.TrimSpace(string(body)), want)
+		}
+	}
+
+	// NDJSON content type on the stream.
+	resp, err := http.Get(srv.URL + "/query?domain=site-001.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// A day-0-only bound must survive the wire (the HasTo fix).
+	day0 := capturedb.Query{From: 0, To: 0, HasTo: true}
+	wantN, _ := s.Count(day0)
+	gotN, err := cl.Count(day0)
+	if err != nil || gotN != wantN {
+		t.Errorf("day-0 bound over HTTP: got %d want %d err=%v", gotN, wantN, err)
+	}
+	unbounded, _ := s.Count(capturedb.Query{})
+	if wantN == unbounded {
+		t.Fatalf("test corpus cannot distinguish day-0 bound (n=%d)", wantN)
+	}
+}

@@ -1,0 +1,209 @@
+package capstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/simtime"
+)
+
+// Query streams matching captures to fn in canonical store order
+// (segment number, then record position); returning false from fn
+// stops early. The planner picks the most selective access path:
+// domain index, request-host posting list, or a segment scan pruned by
+// per-segment day ranges. Results are exactly those a linear
+// capturedb.Scan over the segment files would yield.
+//
+// Queries running concurrently with ingest see a consistent per-shard
+// prefix of the store: a record is visible only once it is fully
+// indexed.
+func (s *Store) Query(q capturedb.Query, fn func(*capture.Capture) bool) error {
+	s.counters.queries.Add(1)
+	counts := s.snapshotCounts()
+	var total int64
+	for _, n := range counts {
+		total += int64(n)
+	}
+
+	switch {
+	case q.Domain != "":
+		refs := s.lookupRefs(s.byDomain, q.Domain, counts)
+		return s.runRefs(refs, total, q, fn)
+	case q.RequestHost != "":
+		refs := s.lookupRefs(s.byHost, q.RequestHost, counts)
+		return s.runRefs(refs, total, q, fn)
+	default:
+		return s.runScan(counts, q, fn)
+	}
+}
+
+// Count returns the number of matches.
+func (s *Store) Count(q capturedb.Query) (int, error) {
+	n := 0
+	err := s.Query(q, func(*capture.Capture) bool { n++; return true })
+	return n, err
+}
+
+// snapshotCounts freezes the per-shard record counts visible to one
+// query. Records appended afterwards are ignored for the rest of the
+// query, keeping results a consistent prefix per shard.
+func (s *Store) snapshotCounts() []int32 {
+	counts := make([]int32, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		counts[i] = int32(len(sh.recs))
+		sh.mu.Unlock()
+	}
+	return counts
+}
+
+// lookupRefs copies an index posting list capped to the snapshot, in
+// canonical order.
+func (s *Store) lookupRefs(idx map[string][]ref, key string, counts []int32) []ref {
+	s.idxMu.RLock()
+	postings := idx[key]
+	refs := make([]ref, 0, len(postings))
+	for _, r := range postings {
+		if r.idx < counts[r.shard] {
+			refs = append(refs, r)
+		}
+	}
+	s.idxMu.RUnlock()
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].shard != refs[j].shard {
+			return refs[i].shard < refs[j].shard
+		}
+		return refs[i].idx < refs[j].idx
+	})
+	return refs
+}
+
+// runRefs reads exactly the indexed candidate records, pre-filtering
+// on the in-memory day/failed metadata so non-candidates never touch
+// disk. Every record excluded without a disk read counts as skipped.
+func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*capture.Capture) bool) error {
+	var scanned, skipped int64
+	skipped = total - int64(len(refs))
+	defer func() {
+		s.counters.rowsScanned.Add(scanned)
+		s.counters.rowsSkipped.Add(skipped)
+	}()
+
+	// Fetch metadata per contiguous shard run (refs are sorted),
+	// flushing each touched shard once so ReadAt sees the bytes.
+	metas := make([]recMeta, len(refs))
+	for i := 0; i < len(refs); {
+		j := i
+		for j < len(refs) && refs[j].shard == refs[i].shard {
+			j++
+		}
+		sh := s.shards[refs[i].shard]
+		sh.mu.Lock()
+		if err := sh.bw.Flush(); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		for k := i; k < j; k++ {
+			metas[k] = sh.recs[refs[k].idx]
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+
+	var buf []byte
+	for i, r := range refs {
+		meta := metas[i]
+		if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+			skipped++
+			continue
+		}
+		c, err := s.readRecord(s.shards[r.shard], meta, &buf)
+		if err != nil {
+			return err
+		}
+		scanned++
+		if !q.Match(c) {
+			continue
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runScan is the fallback path for queries with no indexed key: every
+// segment is scanned in order, skipping whole segments whose day range
+// cannot intersect the query's bounds.
+func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capture) bool) error {
+	var scanned, skipped int64
+	defer func() {
+		s.counters.rowsScanned.Add(scanned)
+		s.counters.rowsSkipped.Add(skipped)
+	}()
+
+	upper, bounded := q.Upper()
+	for i, sh := range s.shards {
+		n := int(counts[i])
+		if n == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		minDay, maxDay := sh.minDay, sh.maxDay
+		sh.mu.Unlock()
+		// Per-segment day-range pruning. The range may have widened
+		// past the snapshot under concurrent ingest, which only makes
+		// pruning conservative, never wrong.
+		if q.From > maxDay || (bounded && upper < minDay) {
+			skipped += int64(n)
+			continue
+		}
+		sh.mu.Lock()
+		if err := sh.bw.Flush(); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		metas := make([]recMeta, n)
+		copy(metas, sh.recs[:n])
+		sh.mu.Unlock()
+
+		var buf []byte
+		for _, meta := range metas {
+			if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+				skipped++
+				continue
+			}
+			c, err := s.readRecord(sh, meta, &buf)
+			if err != nil {
+				return err
+			}
+			scanned++
+			if !q.Match(c) {
+				continue
+			}
+			if !fn(c) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// readRecord fetches and decodes one record by offset, reusing *buf
+// across calls.
+func (s *Store) readRecord(sh *shard, meta recMeta, buf *[]byte) (*capture.Capture, error) {
+	if cap(*buf) < int(meta.length) {
+		*buf = make([]byte, meta.length)
+	}
+	b := (*buf)[:meta.length]
+	if _, err := sh.f.ReadAt(b, meta.off); err != nil {
+		return nil, fmt.Errorf("capstore: reading record at %d: %w", meta.off, err)
+	}
+	c, err := capturedb.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("capstore: record at %d: %w", meta.off, err)
+	}
+	return c, nil
+}

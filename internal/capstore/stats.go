@@ -1,0 +1,66 @@
+package capstore
+
+import "sync/atomic"
+
+// counters are the store's expvar-style operational counters,
+// published via /stats on capd.
+type counters struct {
+	queries     atomic.Int64
+	rowsScanned atomic.Int64
+	rowsSkipped atomic.Int64
+	records     atomic.Int64
+	truncated   atomic.Int64
+}
+
+// ShardStats describes one segment.
+type ShardStats struct {
+	Segment string `json:"segment"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	MinDay  int    `json:"min_day"`
+	MaxDay  int    `json:"max_day"`
+}
+
+// Stats is a point-in-time snapshot of store shape and counters.
+type Stats struct {
+	Records        int64        `json:"records"`
+	Shards         []ShardStats `json:"shards"`
+	IndexedDomains int          `json:"indexed_domains"`
+	IndexedHosts   int          `json:"indexed_hosts"`
+	HostPostings   int64        `json:"host_postings"`
+	QueriesServed  int64        `json:"queries_served"`
+	RowsScanned    int64        `json:"rows_scanned"`
+	RowsSkipped    int64        `json:"rows_skipped"`
+	TruncatedTails int64        `json:"truncated_tails"`
+}
+
+// Stats snapshots the store: per-shard record counts and byte sizes,
+// index sizes, and the cumulative query counters (queries served,
+// rows scanned vs. rows skipped by index pruning).
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Records:        s.counters.records.Load(),
+		QueriesServed:  s.counters.queries.Load(),
+		RowsScanned:    s.counters.rowsScanned.Load(),
+		RowsSkipped:    s.counters.rowsSkipped.Load(),
+		TruncatedTails: s.counters.truncated.Load(),
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		ss := ShardStats{
+			Segment: segName(i),
+			Records: len(sh.recs),
+			Bytes:   sh.end,
+			MinDay:  int(sh.minDay),
+			MaxDay:  int(sh.maxDay),
+		}
+		sh.mu.Unlock()
+		st.Shards = append(st.Shards, ss)
+	}
+	s.idxMu.RLock()
+	st.IndexedDomains = len(s.byDomain)
+	st.IndexedHosts = len(s.byHost)
+	st.HostPostings = s.postings
+	s.idxMu.RUnlock()
+	return st
+}

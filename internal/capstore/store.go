@@ -1,0 +1,339 @@
+// Package capstore is the sharded, indexed capture store behind the
+// platform's query API — the production substrate for the "central
+// database, which can be queried using a custom API" of Section 3.2.
+// Captures are hash-partitioned by final registrable domain into N
+// segment files in the capturedb wire format, with in-memory secondary
+// indexes (domain → record offsets, request-host posting lists,
+// per-segment day ranges) built at open/ingest time so domain and
+// CMP-indicator queries become index lookups instead of full scans.
+// cmd/capd serves the store over HTTP.
+package capstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/simtime"
+)
+
+// DefaultShards is the segment count used when Create is given 0.
+const DefaultShards = 8
+
+// maxShards bounds the segment fan-out; past a few hundred segments
+// the per-file overhead outweighs any pruning benefit.
+const maxShards = 256
+
+// ref addresses one record: segment number plus position in that
+// segment's record list.
+type ref struct {
+	shard int32
+	idx   int32
+}
+
+// recMeta is the per-record index entry: where the record lives in its
+// segment plus the two fields (day, failed) every query filters on, so
+// non-matching records are skipped without touching disk.
+type recMeta struct {
+	off    int64
+	length int32
+	day    int32
+	failed bool
+}
+
+// shard is one segment file with its concurrent-safe appender.
+type shard struct {
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	end    int64 // logical end offset, including buffered bytes
+	recs   []recMeta
+	minDay simtime.Day
+	maxDay simtime.Day
+}
+
+func (sh *shard) noteDay(d simtime.Day) {
+	if len(sh.recs) == 1 || d < sh.minDay {
+		sh.minDay = d
+	}
+	if len(sh.recs) == 1 || d > sh.maxDay {
+		sh.maxDay = d
+	}
+}
+
+// Store is a sharded capture store rooted at a directory of segment
+// files. It implements capture.Sink (write-through from the crawler)
+// and is safe for concurrent ingest and query.
+type Store struct {
+	dir    string
+	shards []*shard
+
+	// Secondary indexes. Lock ordering: shard.mu before idxMu; index
+	// entries for a record are published before its shard releases
+	// the shard lock, so a per-shard record-count snapshot is always
+	// a fully indexed prefix.
+	idxMu    sync.RWMutex
+	byDomain map[string][]ref
+	byHost   map[string][]ref
+	postings int64
+
+	counters counters
+
+	errMu sync.Mutex
+	err   error
+}
+
+func segName(i int) string { return fmt.Sprintf("seg-%03d.jsonl", i) }
+
+// Create initialises an empty store with the given number of segments
+// (0 means DefaultShards) under dir, truncating any existing segments.
+func Create(dir string, shards int) (*Store, error) {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > maxShards {
+		return nil, fmt.Errorf("capstore: %d shards exceeds the maximum of %d", shards, maxShards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := newStore(dir, shards)
+	for i := range s.shards {
+		f, err := os.Create(filepath.Join(dir, segName(i)))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards[i].f = f
+		s.shards[i].bw = bufio.NewWriterSize(f, 1<<16)
+	}
+	return s, nil
+}
+
+// Open loads an existing store, rebuilding the in-memory indexes by
+// scanning every segment. Crash-truncated segment tails (torn writes)
+// are detected via capturedb.ErrTruncated, counted in Stats, and
+// repaired by truncating the segment to its last complete record so
+// subsequent appends stay well-framed.
+func Open(dir string) (*Store, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("capstore: %s holds no segment files (not a capture store?)", dir)
+	}
+	sort.Strings(names)
+	s := newStore(dir, len(names))
+
+	captures := make([][]*capture.Capture, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			captures[i], errs[i] = s.openSegment(i, name)
+		}(i, name)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("capstore: %s: %w", names[i], err)
+		}
+	}
+	// Index merge runs single-threaded: segment order then record
+	// order, the store's canonical result order.
+	for i, segCaps := range captures {
+		for j, c := range segCaps {
+			s.indexRecord(c, ref{shard: int32(i), idx: int32(j)})
+		}
+		s.counters.records.Add(int64(len(segCaps)))
+	}
+	return s, nil
+}
+
+func newStore(dir string, shards int) *Store {
+	s := &Store{
+		dir:      dir,
+		shards:   make([]*shard, shards),
+		byDomain: make(map[string][]ref),
+		byHost:   make(map[string][]ref),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{}
+	}
+	return s
+}
+
+// openSegment scans one segment file, fills the shard's record
+// metadata, repairs a torn tail, and returns the decoded captures for
+// index building.
+func (s *Store) openSegment(i int, name string) ([]*capture.Capture, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.shards[i]
+	sh.f = f
+	var captures []*capture.Capture
+	rr := capturedb.NewRecordReader(f)
+	for {
+		start := rr.Offset()
+		c, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, capturedb.ErrTruncated) {
+			s.counters.truncated.Add(1)
+			if err := f.Truncate(rr.Valid()); err != nil {
+				return nil, fmt.Errorf("repairing torn tail: %w", err)
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sh.recs = append(sh.recs, recMeta{
+			off:    start,
+			length: int32(rr.Valid() - start),
+			day:    int32(c.Day),
+			failed: c.Failed,
+		})
+		sh.noteDay(c.Day)
+		captures = append(captures, c)
+	}
+	sh.end = rr.Valid()
+	if _, err := f.Seek(sh.end, io.SeekStart); err != nil {
+		return nil, err
+	}
+	sh.bw = bufio.NewWriterSize(f, 1<<16)
+	return captures, nil
+}
+
+// shardFor hash-partitions by final registrable domain so every
+// capture of a domain lands in one segment.
+func (s *Store) shardFor(domain string) int {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// indexRecord publishes a record's secondary-index entries. Callers
+// must already hold the record's shard lock (or be single-threaded,
+// as in Open).
+func (s *Store) indexRecord(c *capture.Capture, r ref) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if c.FinalDomain != "" {
+		s.byDomain[c.FinalDomain] = append(s.byDomain[c.FinalDomain], r)
+	}
+	seen := make(map[string]bool, len(c.Requests))
+	for _, q := range c.Requests {
+		if q.Host == "" || seen[q.Host] {
+			continue
+		}
+		seen[q.Host] = true
+		s.byHost[q.Host] = append(s.byHost[q.Host], r)
+		s.postings++
+	}
+}
+
+// Record implements capture.Sink: write-through into the domain's
+// segment plus index update. The first error is retained and returned
+// by Close, matching capturedb.Writer semantics.
+func (s *Store) Record(c *capture.Capture) {
+	line, err := capturedb.Encode(c)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	si := s.shardFor(c.FinalDomain)
+	sh := s.shards[si]
+	sh.mu.Lock()
+	if _, err := sh.bw.Write(line); err != nil {
+		sh.mu.Unlock()
+		s.fail(err)
+		return
+	}
+	r := ref{shard: int32(si), idx: int32(len(sh.recs))}
+	sh.recs = append(sh.recs, recMeta{
+		off:    sh.end,
+		length: int32(len(line)),
+		day:    int32(c.Day),
+		failed: c.Failed,
+	})
+	sh.end += int64(len(line))
+	sh.noteDay(c.Day)
+	s.indexRecord(c, r)
+	sh.mu.Unlock()
+	s.counters.records.Add(1)
+}
+
+func (s *Store) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Len returns the number of records in the store.
+func (s *Store) Len() int64 { return s.counters.records.Load() }
+
+// NumShards returns the segment count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Flush forces buffered appends to disk on every shard.
+func (s *Store) Flush() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.bw != nil {
+			if err := sh.bw.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if first != nil {
+		s.fail(first)
+	}
+	return first
+}
+
+// Close flushes and closes every segment, returning the first error
+// encountered over the store's lifetime.
+func (s *Store) Close() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.bw != nil {
+			if err := sh.bw.Flush(); err != nil {
+				s.fail(err)
+			}
+		}
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil {
+				s.fail(err)
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}

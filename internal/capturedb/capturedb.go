@@ -2,7 +2,8 @@
 // supports filtered scans — the reproduction's stand-in for Netograph's
 // central capture database with its custom query API ("All crawl data
 // is stored in a central database, which can be queried using a custom
-// API", Section 3.2).
+// API", Section 3.2). The sharded, indexed store built on this wire
+// format lives in internal/capstore.
 //
 // The on-disk schema uses short field names: the paper's platform
 // stores 161 M captures, so encoding size matters more than
@@ -121,6 +122,27 @@ func (r *rec) capture() (*capture.Capture, error) {
 	return c, nil
 }
 
+// Encode renders one capture as a wire-format line, including the
+// trailing newline, so other stores (capstore's segment files) can
+// reuse the framing byte-for-byte.
+func Encode(c *capture.Capture) ([]byte, error) {
+	data, err := json.Marshal(toRec(c))
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses one wire-format line (with or without the trailing
+// newline) back into a capture.
+func Decode(line []byte) (*capture.Capture, error) {
+	var r rec
+	if err := json.Unmarshal(line, &r); err != nil {
+		return nil, err
+	}
+	return r.capture()
+}
+
 // Writer appends captures to a JSONL stream. It implements
 // capture.Sink and is safe for concurrent use; the first write error
 // is retained and returned by Close.
@@ -152,7 +174,7 @@ func Create(path string) (*Writer, error) {
 
 // Record implements capture.Sink.
 func (w *Writer) Record(c *capture.Capture) {
-	data, err := json.Marshal(toRec(c))
+	line, err := Encode(c)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -162,7 +184,7 @@ func (w *Writer) Record(c *capture.Capture) {
 		w.err = err
 		return
 	}
-	if _, err := w.bw.Write(append(data, '\n')); err != nil {
+	if _, err := w.bw.Write(line); err != nil {
 		w.err = err
 		return
 	}
@@ -196,9 +218,12 @@ func (w *Writer) Close() error {
 type Query struct {
 	// Domain restricts to one final registrable domain.
 	Domain string
-	// From/To bound the capture day, inclusive. To == 0 means no
-	// upper bound.
+	// From/To bound the capture day, inclusive. The upper bound is
+	// active when HasTo is set or To > 0; a query for day 0 only is
+	// therefore Query{To: 0, HasTo: true}.
 	From, To simtime.Day
+	// HasTo makes the To bound explicit even when To == 0.
+	HasTo bool
 	// Vantage restricts to one vantage name.
 	Vantage string
 	// RequestHost restricts to captures that logged a request to the
@@ -208,14 +233,31 @@ type Query struct {
 	IncludeFailed bool
 }
 
-func (q *Query) match(c *capture.Capture) bool {
+// Upper returns the inclusive upper day bound and whether one is set.
+func (q *Query) Upper() (simtime.Day, bool) {
+	return q.To, q.HasTo || q.To > 0
+}
+
+// MatchMeta applies only the filters covered by per-record index
+// metadata — the day bounds and the failed flag — so an indexed store
+// can discard a record without decoding it.
+func (q *Query) MatchMeta(day simtime.Day, failed bool) bool {
+	if failed && !q.IncludeFailed {
+		return false
+	}
+	upper, ok := q.Upper()
+	return day >= q.From && (!ok || day <= upper)
+}
+
+// Match reports whether c satisfies every filter of q.
+func (q *Query) Match(c *capture.Capture) bool {
 	if c.Failed && !q.IncludeFailed {
 		return false
 	}
 	if q.Domain != "" && c.FinalDomain != q.Domain {
 		return false
 	}
-	if c.Day < q.From || (q.To > 0 && c.Day > q.To) {
+	if upper, ok := q.Upper(); c.Day < q.From || (ok && c.Day > upper) {
 		return false
 	}
 	if q.Vantage != "" && c.Vantage.Name != q.Vantage {
@@ -236,31 +278,93 @@ func (q *Query) match(c *capture.Capture) bool {
 	return true
 }
 
+// ErrTruncated marks a stream whose final record was cut short by a
+// torn write (crash mid-append): every complete record before it has
+// already been yielded. Callers test with errors.Is.
+var ErrTruncated = errors.New("capturedb: truncated final record")
+
+// RecordReader iterates a JSONL capture stream record by record,
+// tracking byte offsets so indexed stores can address records inside
+// segment files. A final line without a terminating newline that does
+// not parse is reported as ErrTruncated; Valid() then gives the byte
+// length of the intact prefix, suitable for os.File.Truncate repair.
+type RecordReader struct {
+	br    *bufio.Reader
+	off   int64 // offset of the next unread record
+	valid int64 // end offset of the last complete record
+	line  int
+	done  bool
+}
+
+// NewRecordReader wraps r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the byte offset at which the next record starts.
+func (rr *RecordReader) Offset() int64 { return rr.off }
+
+// Valid returns the end offset of the last complete record read.
+func (rr *RecordReader) Valid() int64 { return rr.valid }
+
+// Line returns the 1-based line number of the last record returned.
+func (rr *RecordReader) Line() int { return rr.line }
+
+// Next returns the next capture. It returns io.EOF at a clean end of
+// stream, ErrTruncated (wrapped) for a torn final line, and a
+// line-numbered parse error for malformed complete lines.
+func (rr *RecordReader) Next() (*capture.Capture, error) {
+	if rr.done {
+		return nil, io.EOF
+	}
+	data, err := rr.br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(data) == 0 {
+		rr.done = true
+		return nil, io.EOF
+	}
+	terminated := data[len(data)-1] == '\n'
+	rr.line++
+	c, derr := Decode(data)
+	if derr != nil {
+		if !terminated {
+			// Torn write: an unterminated, unparseable tail.
+			rr.done = true
+			return nil, fmt.Errorf("line %d (offset %d): %w", rr.line, rr.off, ErrTruncated)
+		}
+		return nil, fmt.Errorf("capturedb: line %d: %w", rr.line, derr)
+	}
+	rr.off += int64(len(data))
+	rr.valid = rr.off
+	if !terminated {
+		rr.done = true
+	}
+	return c, nil
+}
+
 // Scan streams matching captures to fn; returning false from fn stops
-// the scan early. Malformed lines abort with an error that names the
-// line number.
+// the scan early. Malformed complete lines abort with an error that
+// names the line number; a crash-truncated final line yields all
+// complete records first and then returns ErrTruncated (wrapped).
 func Scan(r io.Reader, q Query, fn func(*capture.Capture) bool) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 8<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		var rec rec
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("capturedb: line %d: %w", line, err)
+	rr := NewRecordReader(r)
+	for {
+		c, err := rr.Next()
+		if err == io.EOF {
+			return nil
 		}
-		c, err := rec.capture()
 		if err != nil {
-			return fmt.Errorf("capturedb: line %d: %w", line, err)
+			return err
 		}
-		if !q.match(c) {
+		if !q.Match(c) {
 			continue
 		}
 		if !fn(c) {
 			return nil
 		}
 	}
-	return sc.Err()
 }
 
 // ScanFile opens path and scans it.

@@ -2,6 +2,7 @@ package capturedb
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -114,11 +115,94 @@ func TestQueryFilters(t *testing.T) {
 	if got := count(Query{From: 120, To: 180}); got != 1 {
 		t.Errorf("by day range = %d", got)
 	}
+	if got := count(Query{To: 150}); got != 2 {
+		t.Errorf("upper bound only = %d", got)
+	}
 	if got := count(Query{RequestHost: "consent.cookiebot.com"}); got != 1 {
 		t.Errorf("by request host = %d", got)
 	}
 	if got := count(Query{Vantage: "us-cloud"}); got != 0 {
 		t.Errorf("by vantage = %d", got)
+	}
+}
+
+// TestQueryDayZeroBound pins the HasTo fix: a query bounded to day 0
+// must not silently become unbounded.
+func TestQueryDayZeroBound(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(sample("a.com", 0, "cdn.cookielaw.org"))
+	w.Record(sample("a.com", 1, "cdn.cookielaw.org"))
+	w.Record(sample("a.com", 2, "cdn.cookielaw.org"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	n, err := Count(bytes.NewReader(data), Query{From: 0, To: 0, HasTo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("day-0-only query matched %d, want 1", n)
+	}
+	// Without HasTo, To == 0 stays unbounded (legacy zero value).
+	n, err = Count(bytes.NewReader(data), Query{From: 0, To: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("unbounded query matched %d, want 3", n)
+	}
+	if upper, ok := (&Query{To: 5}).Upper(); !ok || upper != 5 {
+		t.Errorf("Upper() with To>0 = %d,%v", upper, ok)
+	}
+	if _, ok := (&Query{}).Upper(); ok {
+		t.Error("zero query must be unbounded")
+	}
+}
+
+// TestScanTruncated checks torn-write recovery: all complete records
+// are yielded, then ErrTruncated is surfaced.
+func TestScanTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(sample("a.com", 10, "cdn.cookielaw.org"))
+	w.Record(sample("b.com", 20, "cdn.cookielaw.org"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	torn := whole[:len(whole)-7] // cut the final record mid-JSON
+
+	var got []*capture.Capture
+	err := Scan(bytes.NewReader(torn), Query{}, func(c *capture.Capture) bool {
+		got = append(got, c)
+		return true
+	})
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(got) != 1 || got[0].FinalDomain != "a.com" {
+		t.Errorf("complete records before the tear: %+v", got)
+	}
+
+	// RecordReader reports the intact prefix length for repair.
+	rr := NewRecordReader(bytes.NewReader(torn))
+	for {
+		if _, err := rr.Next(); err != nil {
+			break
+		}
+	}
+	firstLen := int64(bytes.IndexByte(whole, '\n') + 1)
+	if rr.Valid() != firstLen {
+		t.Errorf("Valid() = %d, want %d", rr.Valid(), firstLen)
+	}
+
+	// A clean final line without trailing newline is still accepted.
+	n, err := Count(bytes.NewReader(whole[:len(whole)-1]), Query{})
+	if err != nil || n != 2 {
+		t.Errorf("unterminated clean tail: n=%d err=%v", n, err)
 	}
 }
 

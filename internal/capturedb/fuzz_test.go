@@ -21,6 +21,14 @@ func FuzzScan(f *testing.F) {
 	f.Add(`{"ck":["no-pipes"]}`)
 	f.Add(`{"sto":[[1,"o","k",true]]}`)
 	f.Add("not json at all")
+	// Torn-write shapes: records cut at segment boundaries that the
+	// sharded store must survive on reopen.
+	full := buf.String()
+	f.Add(full + full[:len(full)/2])       // complete record + truncated tail
+	f.Add(full[:len(full)-2])              // final quote+newline torn off
+	f.Add(full + `{"d":"b.com","t`)        // tear inside a JSON key
+	f.Add(full + full + full[:12])         // two records + short tail
+	f.Add(`{"d":"a.com","st":200}` + "\n") // minimal record, clean boundary
 	f.Fuzz(func(t *testing.T, input string) {
 		var collected []*capture.Capture
 		err := Scan(strings.NewReader(input), Query{IncludeFailed: true}, func(c *capture.Capture) bool {
