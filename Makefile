@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: vet, build, and the full test suite under the race detector.
+# pass: vet, build, the full test suite under the race detector, and
+# the seeded chaos suite.
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build test race chaos bench fuzz
 
-check: vet build race
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,11 +20,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Seeded fault-injection suite: retry completion under injected 5xx /
+# drop / anti-bot rates, byte-identical fault schedules across runs,
+# torn-write repair, and capd load shedding under saturation.
+chaos:
+	$(GO) test ./internal/resilience/... ./internal/crawler/ ./internal/capstore/ -run 'Chaos' -count=1
+
 # The capture-store perf pair: linear scan vs. indexed query.
 bench:
 	$(GO) test ./internal/capstore/ -run '^$$' -bench 'Query' -benchmem
 
-# Short fuzz pass over the capture wire format (torn writes, segment
-# boundaries, malformed tuples).
+# Short fuzz passes: the capture wire format (torn writes, segment
+# boundaries, malformed tuples) and retry classification of malformed
+# webworld/chaos error strings.
 fuzz:
 	$(GO) test ./internal/capturedb/ -run '^$$' -fuzz FuzzScan -fuzztime 30s
+	$(GO) test ./internal/resilience/ -run '^$$' -fuzz FuzzClassifyError -fuzztime 15s

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	capd -store capdir [-addr 127.0.0.1:8650]
+//	capd -store capdir [-addr 127.0.0.1:8650] [-max-inflight N]
+//	     [-request-timeout 30s]
 //
 // Endpoints:
 //
@@ -13,11 +14,19 @@
 //	GET /count?…   match count as {"count": N}
 //	GET /stats     per-shard record counts, index sizes, and counters
 //	               for queries served and rows scanned vs. skipped
+//	GET /healthz   store and admission-queue state (never load-shed)
+//
+// The server degrades gracefully instead of falling over: at most
+// -max-inflight requests are served concurrently and the rest are shed
+// with 429 + Retry-After, each admitted request is bounded by
+// -request-timeout, request bodies are capped, and slow-loris clients
+// are cut by read-header/idle timeouts.
 //
 // Query it with `capq -server http://127.0.0.1:8650 …` or curl:
 //
 //	curl 'http://127.0.0.1:8650/count?host=cdn.cookielaw.org'
 //	curl 'http://127.0.0.1:8650/query?domain=example.com&limit=5'
+//	curl 'http://127.0.0.1:8650/healthz'
 package main
 
 import (
@@ -36,8 +45,10 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("store", "", "capture store directory (required; see crawl -store)")
-		addr = flag.String("addr", "127.0.0.1:8650", "listen address")
+		dir        = flag.String("store", "", "capture store directory (required; see crawl -store)")
+		addr       = flag.String("addr", "127.0.0.1:8650", "listen address")
+		maxInFly   = flag.Int("max-inflight", 64, "concurrent requests served before shedding with 429")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -63,9 +74,25 @@ func main() {
 	}
 	fmt.Printf("capd: serving %d captures (%d segments, %d domains, %d request hosts indexed) on %s\n",
 		st.Records, len(st.Shards), st.IndexedDomains, st.IndexedHosts, ln.Addr())
-	fmt.Println("capd: endpoints /query /count /stats; Ctrl-C shuts down gracefully.")
+	fmt.Printf("capd: endpoints /query /count /stats /healthz; ≤%d in flight, %v/request; Ctrl-C shuts down gracefully.\n",
+		*maxInFly, *reqTimeout)
 
-	srv := &http.Server{Handler: capstore.NewHandler(store)}
+	timeout := *reqTimeout
+	if timeout <= 0 {
+		timeout = -1 // ServeConfig: negative disables, zero means default
+	}
+	srv := &http.Server{
+		Handler: capstore.NewResilientHandler(store, capstore.ServeConfig{
+			MaxInFlight:    *maxInFly,
+			RequestTimeout: timeout,
+		}),
+		// Slow-loris protection: a client must finish its headers
+		// promptly and keep-alive connections cannot idle forever.
+		// WriteTimeout stays unset: /query legitimately streams for as
+		// long as the per-request context allows.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

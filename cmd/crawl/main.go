@@ -6,9 +6,21 @@
 //
 //	crawl [-domains N] [-shares N] [-seed N] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
 //	      [-out captures.jsonl] [-store capdir [-store-shards N]]
+//	      [-stream [-retries N] [-breaker N] [-chaos SPEC]]
+//
+// The default mode is the batch pipeline (CrawlWindow) used for
+// reproducible analysis runs. -stream switches to the deployment
+// architecture: the continuously-running StreamPlatform with
+// per-domain politeness, retry/backoff (-retries), per-domain circuit
+// breakers (-breaker) and a dead-letter ledger for shares that exhaust
+// their chances. -chaos injects deterministic faults into the
+// substrate, e.g.:
+//
+//	crawl -stream -retries 4 -breaker 8 -chaos '5xx=0.05,drop=0.02,antibot=0.01,seed=7'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +33,8 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/detect"
 	"repro/internal/interp"
+	"repro/internal/resilience"
+	"repro/internal/resilience/chaos"
 	"repro/internal/simtime"
 	"repro/internal/socialfeed"
 	"repro/internal/webworld"
@@ -37,6 +51,10 @@ func main() {
 		outPath  = flag.String("out", "", "also persist raw captures to this JSONL file (query with capq -file)")
 		storeDir = flag.String("store", "", "also persist raw captures to a sharded capture store directory (serve with capd)")
 		shards   = flag.Int("store-shards", capstore.DefaultShards, "segment count for -store")
+		stream   = flag.Bool("stream", false, "use the streaming deployment pipeline instead of the batch crawl")
+		retries  = flag.Int("retries", 1, "total attempt budget per share for transient failures (-stream only; 1 disables retrying)")
+		breaker  = flag.Int("breaker", 0, "per-domain circuit breaker: consecutive failures before opening (-stream only; 0 disables)")
+		chaosSpec = flag.String("chaos", "", "inject deterministic faults, e.g. '5xx=0.05,drop=0.02,antibot=0.01,latency=0.05,torn=0.01,seed=7'")
 	)
 	flag.Parse()
 
@@ -49,9 +67,18 @@ func main() {
 		to = parseDay(*toStr)
 	}
 
+	chaosCfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(2)
+	}
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		inj = chaos.New(chaosCfg)
+	}
+
 	world := webworld.New(webworld.Config{Seed: *seed, Domains: *domains})
 	feed := socialfeed.New(world, socialfeed.Config{Seed: *seed, SharesPerDay: *shares})
-	platform := crawler.NewPlatform(world, crawler.Config{Seed: *seed, Workers: *workers})
 	obs := detect.NewObservations(detect.Default())
 
 	sinks := capture.MultiSink{obs}
@@ -76,8 +103,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "crawl:", err)
 			os.Exit(1)
 		}
+		// With torn-write chaos the store is fed through the injector's
+		// tearing sink, whose Close leaves crash-truncated segment
+		// tails for capd to repair on open.
+		var storeSink capture.Sink = st
+		closeStore := func() error { return st.Close() }
+		if inj != nil && chaosCfg.TornWriteRate > 0 {
+			torn := inj.TornSink(st)
+			storeSink = torn
+			closeStore = func() error { return torn.Close() }
+		}
 		defer func() {
-			if err := st.Close(); err != nil {
+			if err := closeStore(); err != nil {
 				fmt.Fprintln(os.Stderr, "crawl: writing capture store:", err)
 				os.Exit(1)
 			}
@@ -85,7 +122,7 @@ func main() {
 			fmt.Printf("  capture store:       %d records in %d segments under %s (%d domains, %d hosts indexed; serve with capd)\n",
 				stats.Records, len(stats.Shards), *storeDir, stats.IndexedDomains, stats.IndexedHosts)
 		}()
-		sinks = append(sinks, st)
+		sinks = append(sinks, storeSink)
 	}
 	var sink capture.Sink = obs
 	if len(sinks) > 1 {
@@ -95,11 +132,50 @@ func main() {
 	start := time.Now()
 	fmt.Printf("Crawling %s … %s (%d days), %d shares/day over %d shareable domains\n",
 		from, to, int(to-from)+1, *shares, feed.NumShareable())
-	platform.CrawlWindow(feed, from, to, sink, func(day simtime.Day, captures int64) {
-		if int(day)%100 == 0 {
-			fmt.Fprintf(os.Stderr, "  %s: %d captures\n", day, captures)
+
+	var streamStats *crawler.StreamStats
+	var deadByReason map[string]int
+	if *stream {
+		scfg := crawler.StreamConfig{
+			Seed:    *seed,
+			Workers: *workers,
+			Retry:   resilience.RetryPolicy{MaxAttempts: *retries},
+			Breaker: resilience.BreakerConfig{Threshold: *breaker},
 		}
-	})
+		if inj != nil {
+			scfg.Visitor = inj.Visitor(world)
+		}
+		platform := crawler.NewStreamPlatform(world, scfg)
+		ctx := context.Background()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			platform.Run(ctx, sink)
+		}()
+		for day := from; day <= to; day++ {
+			for _, s := range feed.Day(day) {
+				if err := platform.Submit(ctx, day, s); err != nil {
+					fmt.Fprintln(os.Stderr, "crawl: submit:", err)
+					os.Exit(1)
+				}
+			}
+			if int(day)%100 == 0 {
+				fmt.Fprintf(os.Stderr, "  %s: %d captures\n", day, platform.Captures())
+			}
+		}
+		platform.Close()
+		<-done
+		st := platform.Stats()
+		streamStats = &st
+		deadByReason = platform.DeadLetters().ByReason()
+	} else {
+		platform := crawler.NewPlatform(world, crawler.Config{Seed: *seed, Workers: *workers})
+		platform.CrawlWindow(feed, from, to, sink, func(day simtime.Day, captures int64) {
+			if int(day)%100 == 0 {
+				fmt.Fprintf(os.Stderr, "  %s: %d captures\n", day, captures)
+			}
+		})
+	}
 	elapsed := time.Since(start)
 
 	fmt.Printf("\nDataset statistics:\n")
@@ -109,6 +185,24 @@ func main() {
 		feed.Submitted, 100*float64(feed.Skipped)/float64(feed.Submitted))
 	fmt.Printf("  multi-CMP captures:  %d (%.4f%%; paper: 0.01%%)\n",
 		obs.MultiCMP, 100*float64(obs.MultiCMP)/float64(obs.Total))
+
+	if streamStats != nil {
+		st := *streamStats
+		fmt.Printf("\nResilience (stream pipeline):\n")
+		fmt.Printf("  submitted:           %d\n", st.Submitted)
+		fmt.Printf("  succeeded:           %d (%.2f%%)\n", st.Succeeded, 100*float64(st.Succeeded)/float64(st.Submitted))
+		fmt.Printf("  failed (recorded):   %d\n", st.FailedRecorded)
+		fmt.Printf("  retries:             %d\n", st.Retries)
+		fmt.Printf("  dead-lettered:       %d %v\n", st.DeadLettered+st.Dropped, deadByReason)
+		fmt.Printf("  breakers open now:   %d\n", st.BreakersOpenNow)
+	}
+	if inj != nil {
+		c := inj.Counts()
+		fmt.Printf("\nChaos (seed %d): %d faults over %d visits, %d records\n",
+			chaosCfg.Seed, c.Total(), c.Visits, c.Records)
+		fmt.Printf("  5xx %d, drops %d, antibot %d, latency %d, torn writes %d\n",
+			c.FiveXX, c.Drops, c.AntiBot, c.Latency, c.Torn)
+	}
 
 	below, between, above := obs.DailyShareDistribution(3, 0.05, 0.95)
 	total := below + between + above

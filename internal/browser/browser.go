@@ -55,14 +55,22 @@ const (
 	defaultResolution = "1024x800"
 )
 
-// Browser loads pages from a webworld.
+// Visitor is the substrate a browser loads pages from. *webworld.World
+// implements it directly; resilience/chaos wraps it to inject
+// deterministic faults between the browser and the world.
+type Visitor interface {
+	Visit(domain, path string, ctx webworld.VisitContext) (*webworld.Page, error)
+}
+
+// Browser loads pages from a webworld (or any fault-injecting wrapper
+// of one).
 type Browser struct {
-	world *webworld.World
+	world Visitor
 	opts  Options
 }
 
 // New returns a browser over the world.
-func New(w *webworld.World, opts Options) *Browser {
+func New(w Visitor, opts Options) *Browser {
 	if opts.Language == "" {
 		opts.Language = "en-US"
 	}

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/resilience"
 	"repro/internal/simtime"
 )
 
@@ -32,6 +34,79 @@ func NewHandler(s *Store) http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/count", s.handleCount)
 	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// ServeConfig parameterizes the degradation-hardened handler.
+type ServeConfig struct {
+	// MaxInFlight bounds concurrent query handling; excess load is
+	// shed with 429 + Retry-After (default 64).
+	MaxInFlight int
+	// RequestTimeout bounds each admitted request via its context;
+	// streaming queries are torn off mid-stream at the deadline rather
+	// than buffered (default 30s, negative disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; the API is GET-only, so any
+	// body is hostile (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// health is the /healthz payload: store and admission-queue state.
+type health struct {
+	Status         string                  `json:"status"` // "ok" or "saturated"
+	Records        int64                   `json:"records"`
+	Segments       int                     `json:"segments"`
+	TruncatedTails int64                   `json:"truncated_tails"`
+	QueriesServed  int64                   `json:"queries_served"`
+	Limiter        resilience.LimiterStats `json:"limiter"`
+}
+
+// NewResilientHandler exposes the store with graceful degradation: a
+// concurrency limiter shedding load with 429 + Retry-After,
+// per-request timeouts, a request-body cap, and a /healthz endpoint
+// (outside the limiter — health probes must not be shed) reporting
+// store and queue state.
+func NewResilientHandler(s *Store, cfg ServeConfig) http.Handler {
+	cfg = cfg.withDefaults()
+	lim := resilience.NewHTTPLimiter(resilience.HTTPLimiterConfig{
+		MaxInFlight: cfg.MaxInFlight,
+		Timeout:     cfg.RequestTimeout,
+	})
+	core := http.MaxBytesHandler(NewHandler(s), cfg.MaxBodyBytes)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		h := health{
+			Status:         "ok",
+			Records:        st.Records,
+			Segments:       len(st.Shards),
+			TruncatedTails: st.TruncatedTails,
+			QueriesServed:  st.QueriesServed,
+			Limiter:        lim.Stats(),
+		}
+		if lim.Saturated() {
+			h.Status = "saturated"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h) //nolint:errcheck
+	})
+	mux.Handle("/", lim.Wrap(core))
 	return mux
 }
 
@@ -95,10 +170,19 @@ func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
 	sent, seen := 0, 0
 	var werr error
 	qerr := s.Query(q, func(c *capture.Capture) bool {
 		seen++
+		// Honour the per-request deadline/cancellation between rows so
+		// long streams degrade by being cut, not by buffering forever.
+		if (seen-1)%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				werr = err
+				return false
+			}
+		}
 		if seen <= offset {
 			return true
 		}
@@ -120,9 +204,15 @@ func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "capstore: "+qerr.Error(), http.StatusInternalServerError)
 		return
 	}
-	if qerr != nil && werr == nil {
-		// Mid-stream failure: the status line is gone; cut the
-		// connection so the client sees a torn stream, not a clean end.
+	if werr != nil && ctx.Err() != nil && sent == 0 {
+		// Deadline hit before the first row went out: a clean 503.
+		http.Error(w, "capstore: request timed out", http.StatusServiceUnavailable)
+		return
+	}
+	if ((qerr != nil && werr == nil) || (werr != nil && ctx.Err() != nil)) && sent > 0 {
+		// Mid-stream failure or timeout: the status line is gone; cut
+		// the connection so the client sees a torn stream, not a clean
+		// end.
 		panic(http.ErrAbortHandler)
 	}
 }

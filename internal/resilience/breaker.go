@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterizes per-domain circuit breakers. A zero (or
+// negative) Threshold disables breaking entirely.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before allowing a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// Now is the clock, injectable for deterministic tests (default
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker is one domain's circuit breaker. Closed passes everything;
+// after Threshold consecutive failures it opens and rejects; after
+// Cooldown it admits a single half-open probe whose outcome closes or
+// re-opens it.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    breakerState
+	fails    int // consecutive failures
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed. In the half-open state
+// exactly one probe is admitted; its Success/Failure resolves the
+// state for everyone else.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = stateHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful request: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed request; the breaker opens when the streak
+// reaches the threshold, and a failed half-open probe re-opens it with
+// a fresh cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == stateHalfOpen || (b.cfg.Threshold > 0 && b.fails >= b.cfg.Threshold) {
+		b.state = stateOpen
+		b.openedAt = b.cfg.Now()
+		b.probing = false
+	}
+}
+
+// Open reports whether the breaker currently rejects (open and still
+// cooling down).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateOpen && b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown
+}
+
+// BreakerSet keys breakers by registrable domain, creating them
+// lazily. Nil-safe: a nil set allows everything.
+type BreakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set, or nil when the config disables
+// breaking (Threshold <= 0) so callers can branch on set == nil.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// get returns the domain's breaker, creating it on first use.
+func (s *BreakerSet) get(domain string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[domain]
+	if b == nil {
+		b = NewBreaker(s.cfg)
+		s.m[domain] = b
+	}
+	return b
+}
+
+// Allow reports whether the domain may be crawled now.
+func (s *BreakerSet) Allow(domain string) bool {
+	if s == nil {
+		return true
+	}
+	return s.get(domain).Allow()
+}
+
+// Success records a successful crawl of the domain.
+func (s *BreakerSet) Success(domain string) {
+	if s == nil {
+		return
+	}
+	s.get(domain).Success()
+}
+
+// Failure records a failed crawl of the domain.
+func (s *BreakerSet) Failure(domain string) {
+	if s == nil {
+		return
+	}
+	s.get(domain).Failure()
+}
+
+// OpenCount returns how many breakers are currently open.
+func (s *BreakerSet) OpenCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	breakers := make([]*Breaker, 0, len(s.m))
+	for _, b := range s.m {
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, b := range breakers {
+		if b.Open() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,365 @@
+// Package chaos injects deterministic faults into the crawl pipeline,
+// in the spirit of reproducible web-measurement artifacts (Web
+// Execution Bundles): the substrate misbehaves, but identically on
+// every run with the same seed. The injector wraps the webworld at the
+// Visit boundary (added latency, transient 5xx, connection drops,
+// anti-bot interstitials) and the capture store at the Record boundary
+// (torn tail writes), drawing every fault from rng.Source streams keyed
+// by (domain, path, day, visit-number) — per-key visit counters make
+// the schedule independent of worker interleaving, so a seeded run
+// reproduces the exact fault schedule byte for byte.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/rng"
+	"repro/internal/webworld"
+)
+
+// Fault kinds, as they appear in the schedule and counters.
+const (
+	FaultLatency = "latency"
+	FaultFiveXX  = "5xx"
+	FaultDrop    = "drop"
+	FaultAntiBot = "antibot"
+	FaultTorn    = "torn"
+)
+
+// Config parameterizes the injector. All rates are per-visit
+// probabilities in [0,1]; zero disables that fault.
+type Config struct {
+	// Seed roots the fault schedule; independent of the world seed.
+	Seed uint64
+	// LatencyRate adds a deterministic real-time stall to a visit.
+	LatencyRate float64
+	// LatencyMax bounds the injected stall (default 2ms — enough to
+	// perturb scheduling, small enough for tests).
+	LatencyMax time.Duration
+	// FiveXXRate fails a visit with a transient 503.
+	FiveXXRate float64
+	// DropRate fails a visit with a connection reset.
+	DropRate float64
+	// AntiBotRate fails a visit with a transient anti-bot
+	// interstitial challenge.
+	AntiBotRate float64
+	// TornWriteRate tears a capture-store write: the record's encoded
+	// tail is left crash-truncated for capstore's repair-on-open path
+	// (applies to sinks wrapped with TornSink).
+	TornWriteRate float64
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Fault string
+	Key   string // domain|path|day for visits, seed URL|day for writes
+	Visit int    // 0-based per-key occurrence number
+}
+
+// Counts tallies injected faults.
+type Counts struct {
+	Visits  int64
+	Latency int64
+	FiveXX  int64
+	Drops   int64
+	AntiBot int64
+	Records int64
+	Torn    int64
+}
+
+// Total returns the number of injected faults (latency included).
+func (c Counts) Total() int64 {
+	return c.Latency + c.FiveXX + c.Drops + c.AntiBot + c.Torn
+}
+
+// Injector draws the fault schedule. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+	src *rng.Source
+
+	mu     sync.Mutex
+	visits map[string]int // per-key occurrence counters
+	events []Event
+	counts Counts
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.LatencyMax <= 0 {
+		cfg.LatencyMax = 2 * time.Millisecond
+	}
+	return &Injector{
+		cfg:    cfg,
+		src:    rng.New(cfg.Seed).Derive("chaos"),
+		visits: make(map[string]int),
+	}
+}
+
+// next bumps and returns the 0-based occurrence number for key.
+func (i *Injector) next(counterSpace, key string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	k := counterSpace + "\x1f" + key
+	n := i.visits[k]
+	i.visits[k] = n + 1
+	return n
+}
+
+func (i *Injector) note(e Event, bump func(*Counts)) {
+	i.mu.Lock()
+	i.events = append(i.events, e)
+	bump(&i.counts)
+	i.mu.Unlock()
+}
+
+// draw is one independent deterministic fault decision.
+func (i *Injector) draw(fault string, rate float64, key string, visit int) bool {
+	return rate > 0 && i.src.Bool(rate, fault, key, rng.Key(visit))
+}
+
+// Counts snapshots the fault tallies.
+func (i *Injector) Counts() Counts {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts
+}
+
+// Schedule serializes the full fault schedule, one event per line,
+// sorted so the bytes are independent of worker interleaving: two runs
+// with the same seed and workload produce byte-identical schedules.
+func (i *Injector) Schedule() []byte {
+	i.mu.Lock()
+	lines := make([]string, len(i.events))
+	for j, e := range i.events {
+		lines[j] = e.Fault + "\t" + e.Key + "\t" + strconv.Itoa(e.Visit) + "\n"
+	}
+	i.mu.Unlock()
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, ""))
+}
+
+// Visitor is the shape of webworld.World's Visit method (structurally
+// identical to browser.Visitor); declared here so chaos composes with
+// anything page-shaped without importing the browser.
+type Visitor interface {
+	Visit(domain, path string, ctx webworld.VisitContext) (*webworld.Page, error)
+}
+
+// injVisitor wraps an upstream substrate with fault injection.
+type injVisitor struct {
+	inj *Injector
+	up  Visitor
+}
+
+// Visitor wraps the upstream substrate (normally *webworld.World) so
+// browsers built over the result experience the injected faults. Fault
+// checks run in a fixed order (drop, 5xx, anti-bot, latency) with
+// independent draws, so enabling one fault never perturbs another's
+// schedule.
+func (i *Injector) Visitor(up Visitor) Visitor {
+	return &injVisitor{inj: i, up: up}
+}
+
+// Visit implements the substrate with faults ahead of the real visit.
+func (v *injVisitor) Visit(domain, path string, ctx webworld.VisitContext) (*webworld.Page, error) {
+	i := v.inj
+	key := domain + "|" + path + "|" + ctx.Day.String()
+	n := i.next("visit", key)
+	i.mu.Lock()
+	i.counts.Visits++
+	i.mu.Unlock()
+
+	if i.draw(FaultDrop, i.cfg.DropRate, key, n) {
+		i.note(Event{Fault: FaultDrop, Key: key, Visit: n}, func(c *Counts) { c.Drops++ })
+		return nil, fmt.Errorf("chaos: %s: read tcp: connection reset by peer", domain)
+	}
+	if i.draw(FaultFiveXX, i.cfg.FiveXXRate, key, n) {
+		i.note(Event{Fault: FaultFiveXX, Key: key, Visit: n}, func(c *Counts) { c.FiveXX++ })
+		return nil, fmt.Errorf("chaos: %s: transient 503 service unavailable", domain)
+	}
+	if i.draw(FaultAntiBot, i.cfg.AntiBotRate, key, n) {
+		i.note(Event{Fault: FaultAntiBot, Key: key, Visit: n}, func(c *Counts) { c.AntiBot++ })
+		return nil, fmt.Errorf("chaos: %s: anti-bot interstitial challenge", domain)
+	}
+	if i.draw(FaultLatency, i.cfg.LatencyRate, key, n) {
+		i.note(Event{Fault: FaultLatency, Key: key, Visit: n}, func(c *Counts) { c.Latency++ })
+		// Deterministic duration, real-time stall: perturbs worker
+		// scheduling without touching the page's simulated timings.
+		frac := i.src.Float64("latency-ms", key, rng.Key(n))
+		time.Sleep(time.Duration(frac * float64(i.cfg.LatencyMax)))
+	}
+	return v.up.Visit(domain, path, ctx)
+}
+
+// TornSink wraps a capture store with torn-write injection. Scheduled
+// records are withheld during the run and, at Close, their encoded
+// bytes are appended crash-truncated to segment tails — exercising
+// capstore's repair-on-open recovery end to end. At most one tear lands
+// per segment file (tail repair fixes only final lines); tears beyond
+// that count as plain lost writes.
+type TornSink struct {
+	inj   *Injector
+	store *capstore.Store
+
+	mu      sync.Mutex
+	pending [][]byte // encoded lines scheduled to tear
+	lost    int      // tears beyond the per-segment capacity
+}
+
+// TornSink wraps the store. The result implements capture.Sink; call
+// its Close (not the store's) so the scheduled tears land.
+func (i *Injector) TornSink(store *capstore.Store) *TornSink {
+	return &TornSink{inj: i, store: store}
+}
+
+// Record implements capture.Sink.
+func (t *TornSink) Record(c *capture.Capture) {
+	i := t.inj
+	i.mu.Lock()
+	i.counts.Records++
+	i.mu.Unlock()
+	key := c.SeedURL + "|" + c.Day.String()
+	n := i.next("write", key)
+	if i.draw(FaultTorn, i.cfg.TornWriteRate, key, n) {
+		line, err := capturedb.Encode(c)
+		if err != nil {
+			t.store.Record(c) // unencodable: let the store surface it
+			return
+		}
+		i.note(Event{Fault: FaultTorn, Key: key, Visit: n}, func(c *Counts) { c.Torn++ })
+		t.mu.Lock()
+		t.pending = append(t.pending, line)
+		t.mu.Unlock()
+		return
+	}
+	t.store.Record(c)
+}
+
+// Close closes the store, then appends each scheduled torn record —
+// truncated at a deterministic offset — to a distinct segment tail, as
+// a crash mid-write would leave it.
+func (t *TornSink) Close() error {
+	if err := t.store.Close(); err != nil {
+		return err
+	}
+	segs, err := filepath.Glob(filepath.Join(t.store.Dir(), "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(segs)
+	t.mu.Lock()
+	pending := t.pending
+	t.mu.Unlock()
+	for j, line := range pending {
+		if j >= len(segs) {
+			t.mu.Lock()
+			t.lost++
+			t.mu.Unlock()
+			continue
+		}
+		// Tear somewhere strictly inside the record so the fragment has
+		// no trailing newline: 1 ≤ cut ≤ len-2 (len includes '\n').
+		cut := 1
+		if len(line) > 2 {
+			cut = 1 + t.inj.src.Intn(len(line)-2, "torn-cut", strconv.Itoa(j))
+		}
+		f, err := os.OpenFile(segs[j], os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(line[:cut]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Torn returns how many tears were scheduled and landed on a segment.
+func (t *TornSink) Torn() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.pending) - t.lost
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Lost returns tears that exceeded per-segment capacity (plain lost
+// writes).
+func (t *TornSink) Lost() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lost
+}
+
+// ParseSpec parses the -chaos CLI flag: comma-separated key=value
+// pairs, e.g. "5xx=0.05,drop=0.02,antibot=0.01,latency=0.05,
+// latmax=5ms,torn=0.01,seed=7". Unknown keys are errors; an empty spec
+// yields a zero config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: bad spec element %q (want key=value)", part)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad seed %q", v)
+			}
+			cfg.Seed = n
+		case "latmax":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad latmax %q", v)
+			}
+			cfg.LatencyMax = d
+		case FaultLatency, FaultFiveXX, FaultDrop, FaultAntiBot, FaultTorn:
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return cfg, fmt.Errorf("chaos: bad rate %s=%q (want [0,1])", k, v)
+			}
+			switch k {
+			case FaultLatency:
+				cfg.LatencyRate = rate
+			case FaultFiveXX:
+				cfg.FiveXXRate = rate
+			case FaultDrop:
+				cfg.DropRate = rate
+			case FaultAntiBot:
+				cfg.AntiBotRate = rate
+			case FaultTorn:
+				cfg.TornWriteRate = rate
+			}
+		default:
+			return cfg, fmt.Errorf("chaos: unknown spec key %q", k)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/simtime"
+	"repro/internal/webworld"
+)
+
+// visitSweep visits the same workload through an injector-wrapped
+// world, from `workers` goroutines in nondeterministic order.
+func visitSweep(t *testing.T, inj *Injector, w *webworld.World, domains int, workers int) {
+	t.Helper()
+	v := inj.Visitor(w)
+	var wg sync.WaitGroup
+	work := make(chan string, domains)
+	for _, d := range w.Domains()[:domains] {
+		work <- d.Name
+	}
+	close(work)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				for day := simtime.Day(10); day < 13; day++ {
+					v.Visit(name, "/", webworld.VisitContext{Day: day, Geo: webworld.GeoEU, Cloud: true}) //nolint:errcheck
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChaosScheduleDeterministic: the full fault schedule is
+// byte-identical across two runs with the same seed, regardless of
+// worker interleaving.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	w := webworld.New(webworld.Config{Seed: 1, Domains: 600})
+	cfg := Config{Seed: 7, FiveXXRate: 0.05, DropRate: 0.02, AntiBotRate: 0.01, LatencyRate: 0.03, LatencyMax: 100 * time.Microsecond}
+
+	var schedules [][]byte
+	for run := 0; run < 2; run++ {
+		inj := New(cfg)
+		visitSweep(t, inj, w, 600, 2+run*6) // different worker counts on purpose
+		schedules = append(schedules, inj.Schedule())
+	}
+	if len(schedules[0]) == 0 {
+		t.Fatal("no faults scheduled at these rates over 1800 visits")
+	}
+	if !bytes.Equal(schedules[0], schedules[1]) {
+		t.Fatalf("fault schedules differ between same-seed runs:\n%d bytes vs %d bytes",
+			len(schedules[0]), len(schedules[1]))
+	}
+	// A different seed yields a different schedule.
+	inj := New(Config{Seed: 8, FiveXXRate: 0.05, DropRate: 0.02, AntiBotRate: 0.01})
+	visitSweep(t, inj, w, 600, 4)
+	if bytes.Equal(schedules[0], inj.Schedule()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosFaultRates: injected fault frequencies land near their
+// configured rates, and the error text of each fault classifies as the
+// transient failure it models.
+func TestChaosFaultRates(t *testing.T) {
+	w := webworld.New(webworld.Config{Seed: 1, Domains: 2_000})
+	inj := New(Config{Seed: 3, FiveXXRate: 0.05, DropRate: 0.02, AntiBotRate: 0.01})
+	visitSweep(t, inj, w, 2_000, 8)
+	c := inj.Counts()
+	if c.Visits != 6_000 {
+		t.Fatalf("visits = %d", c.Visits)
+	}
+	within := func(name string, got int64, rate float64) {
+		want := rate * float64(c.Visits)
+		if float64(got) < 0.5*want || float64(got) > 1.6*want {
+			t.Errorf("%s = %d, want ≈%.0f", name, got, want)
+		}
+	}
+	within("5xx", c.FiveXX, 0.05)
+	// Drop and anti-bot draw after 5xx on independent streams, so their
+	// observed rate is conditioned only on earlier faults not firing.
+	within("drops", c.Drops, 0.02*0.95)
+	within("antibot", c.AntiBot, 0.01*0.95)
+}
+
+func TestChaosFaultErrorsAreTransient(t *testing.T) {
+	w := webworld.New(webworld.Config{Seed: 1, Domains: 50})
+	inj := New(Config{Seed: 1, DropRate: 1})
+	v := inj.Visitor(w)
+	_, err := v.Visit(w.DomainAt(1).Name, "/", webworld.VisitContext{Day: 10, Geo: webworld.GeoUS})
+	if err == nil {
+		t.Fatal("rate-1 drop did not fail the visit")
+	}
+	// The classification contract lives in resilience; here we pin the
+	// message shape it keys on.
+	if !bytes.Contains([]byte(err.Error()), []byte("connection reset")) {
+		t.Fatalf("drop error %q lacks transient marker", err)
+	}
+}
+
+// TestChaosTornWriteRepair runs the full torn-write cycle: records flow
+// through a TornSink into a real store, scheduled tears land as
+// crash-truncated segment tails at Close, and reopening repairs exactly
+// the torn tails while preserving every completed record.
+func TestChaosTornWriteRepair(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := capstore.Create(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Config{Seed: 11, TornWriteRate: 0.02})
+	sink := inj.TornSink(st)
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		sink.Record(&capture.Capture{
+			SeedURL:     fmt.Sprintf("https://www.site%d.com/", i),
+			FinalURL:    fmt.Sprintf("https://www.site%d.com/", i),
+			FinalDomain: fmt.Sprintf("site%d.com", i),
+			Day:         simtime.Day(100 + i%5),
+			Vantage:     capture.EUCloud,
+			Status:      200,
+		})
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn, lost := sink.Torn(), sink.Lost()
+	if torn == 0 {
+		t.Fatalf("no tears scheduled over %d writes at 2%%", n)
+	}
+	if torn > 4 {
+		t.Fatalf("torn = %d exceeds segment count", torn)
+	}
+
+	re, err := capstore.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tails: %v", err)
+	}
+	defer re.Close()
+	stats := re.Stats()
+	if int(stats.TruncatedTails) != torn {
+		t.Errorf("repaired %d tails, want %d", stats.TruncatedTails, torn)
+	}
+	if want := int64(n - torn - lost); stats.Records != want {
+		t.Errorf("records after repair = %d, want %d", stats.Records, want)
+	}
+	// Torn writes appear in the schedule like any other fault.
+	if c := inj.Counts(); int(c.Torn) != torn+lost {
+		t.Errorf("counts.Torn = %d, want %d", c.Torn, torn+lost)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("5xx=0.05, drop=0.02,antibot=0.01,latency=0.05,latmax=5ms,torn=0.01,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, FiveXXRate: 0.05, DropRate: 0.02, AntiBotRate: 0.01,
+		LatencyRate: 0.05, LatencyMax: 5 * time.Millisecond, TornWriteRate: 0.01}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if c, err := ParseSpec(""); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"nope=1", "drop=2", "drop", "seed=x", "latmax=fast"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q did not error", bad)
+		}
+	}
+}

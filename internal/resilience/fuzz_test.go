@@ -1,0 +1,46 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClassifyError pins the retry-classification of arbitrary —
+// including malformed — webworld/browser error strings: it must be
+// total (always Retryable or Terminal), stable, and case-insensitive.
+// The seeds cover every error shape the substrate emits today plus
+// torn/garbage variants a crashed worker might log.
+func FuzzClassifyError(f *testing.F) {
+	seeds := []string{
+		"",
+		"webworld: news3.com: connection refused",
+		"webworld: shop9.de: temporarily unavailable",
+		`webworld: unknown domain "nope.example"`,
+		"no valid HTTP response",
+		`browser: seed ":" has no host`,
+		"browser: parse seed: net/url: invalid control character in URL",
+		"chaos: a.com: read tcp: connection reset by peer",
+		"chaos: a.com: transient 503 service unavailable",
+		"chaos: a.com: anti-bot interstitial challenge",
+		// Malformed: torn mid-word, embedded NULs, mixed case, huge.
+		"webworld: x.com: temporarily unavai",
+		"CONNECTION REFUSED\x00\xff",
+		"\x00\x01\x02 503 \xfe",
+		strings.Repeat("connection ", 1000) + "reset",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, msg string) {
+		c := ClassifyError(msg)
+		if c != Retryable && c != Terminal {
+			t.Fatalf("ClassifyError(%q) = %v: classification must be total", msg, c)
+		}
+		if c2 := ClassifyError(msg); c2 != c {
+			t.Fatalf("ClassifyError(%q) unstable: %v then %v", msg, c, c2)
+		}
+		if c3 := ClassifyError(strings.ToUpper(msg)); c3 != c {
+			t.Fatalf("ClassifyError(%q) case-sensitive: %v vs %v", msg, c, c3)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPLimiterConfig parameterizes graceful degradation for an HTTP
+// service: admit up to MaxInFlight concurrent requests, shed the rest
+// immediately with 429 + Retry-After (load shedding beats queueing —
+// queued requests would time out anyway and take the server's memory
+// with them), and bound each admitted request with a context deadline.
+type HTTPLimiterConfig struct {
+	// MaxInFlight is the concurrent-request ceiling (default 64).
+	MaxInFlight int
+	// RetryAfter is the client backoff hint sent with 429 responses
+	// (default 1s; rounded up to whole seconds for the header).
+	RetryAfter time.Duration
+	// Timeout is the per-request context deadline; 0 disables.
+	// Handlers observe it through r.Context() so streaming responses
+	// are cut rather than buffered.
+	Timeout time.Duration
+}
+
+func (c HTTPLimiterConfig) withDefaults() HTTPLimiterConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// HTTPLimiter is a concurrency limiter with shed counters.
+type HTTPLimiter struct {
+	cfg HTTPLimiterConfig
+	sem chan struct{}
+
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewHTTPLimiter returns a limiter for the config.
+func NewHTTPLimiter(cfg HTTPLimiterConfig) *HTTPLimiter {
+	cfg = cfg.withDefaults()
+	return &HTTPLimiter{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+}
+
+// Wrap applies admission control and the per-request deadline to next.
+func (l *HTTPLimiter) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case l.sem <- struct{}{}:
+		default:
+			l.shed.Add(1)
+			secs := int((l.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer func() { <-l.sem }()
+		l.admitted.Add(1)
+		l.inFlight.Add(1)
+		defer l.inFlight.Add(-1)
+		if l.cfg.Timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), l.cfg.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// LimiterStats is a counter snapshot.
+type LimiterStats struct {
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+}
+
+// Stats snapshots the limiter.
+func (l *HTTPLimiter) Stats() LimiterStats {
+	return LimiterStats{
+		InFlight:    l.inFlight.Load(),
+		MaxInFlight: l.cfg.MaxInFlight,
+		Admitted:    l.admitted.Load(),
+		Shed:        l.shed.Load(),
+	}
+}
+
+// Saturated reports whether the limiter is at capacity right now.
+func (l *HTTPLimiter) Saturated() bool {
+	return l.inFlight.Load() >= int64(l.cfg.MaxInFlight)
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosLimiterShedsUnderSaturation saturates a slow handler behind
+// the limiter: excess load is shed with 429 + Retry-After while every
+// admitted request completes promptly (bounded p99 for admitted work,
+// the acceptance shape for capd under a saturating client).
+func TestChaosLimiterShedsUnderSaturation(t *testing.T) {
+	const maxInFlight = 4
+	const clients = 48
+	var concurrent, peak atomic.Int64
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := concurrent.Add(1)
+		defer concurrent.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		w.Write([]byte("ok"))
+	})
+	lim := NewHTTPLimiter(HTTPLimiterConfig{MaxInFlight: maxInFlight, RetryAfter: 2 * time.Second})
+	srv := httptest.NewServer(lim.Wrap(slow))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	var ok, shed atomic.Int64
+	var slowest atomic.Int64 // worst admitted-request latency, ns
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+				ns := time.Since(start).Nanoseconds()
+				for {
+					s := slowest.Load()
+					if ns <= s || slowest.CompareAndSwap(s, ns) {
+						break
+					}
+				}
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				if resp.Header.Get("Retry-After") != "2" {
+					t.Errorf("Retry-After = %q, want \"2\"", resp.Header.Get("Retry-After"))
+				}
+			default:
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ok.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("ok=%d shed=%d: saturating burst must both admit and shed", ok.Load(), shed.Load())
+	}
+	if ok.Load()+shed.Load() != clients {
+		t.Fatalf("ok+shed = %d, want %d", ok.Load()+shed.Load(), clients)
+	}
+	if p := peak.Load(); p > maxInFlight {
+		t.Fatalf("handler concurrency peaked at %d > limit %d", p, maxInFlight)
+	}
+	// Admitted requests stay bounded: the handler sleeps 20ms and at
+	// most maxInFlight run at once, so even generous scheduling slack
+	// keeps admitted latency well under a second.
+	if worst := time.Duration(slowest.Load()); worst > 2*time.Second {
+		t.Fatalf("worst admitted latency %v unbounded", worst)
+	}
+	st := lim.Stats()
+	if st.Admitted != ok.Load() || st.Shed != shed.Load() {
+		t.Fatalf("stats %+v disagree with observed ok=%d shed=%d", st, ok.Load(), shed.Load())
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after drain", st.InFlight)
+	}
+}
+
+func TestLimiterTimeoutCancelsRequestContext(t *testing.T) {
+	done := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			close(done)
+		case <-time.After(5 * time.Second):
+			t.Error("request context never cancelled")
+		}
+	})
+	lim := NewHTTPLimiter(HTTPLimiterConfig{MaxInFlight: 1, Timeout: 30 * time.Millisecond})
+	srv := httptest.NewServer(lim.Wrap(h))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not observe deadline")
+	}
+}

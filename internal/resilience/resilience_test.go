@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/rng"
+)
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want Class
+	}{
+		{"webworld: news3.com: connection refused", Terminal},
+		{`webworld: unknown domain "nope.example"`, Terminal},
+		{`browser: seed ":" has no host`, Terminal},
+		{"browser: parse seed: invalid URL", Terminal},
+		{"no valid HTTP response", Terminal},
+		{"webworld: shop9.de: temporarily unavailable", Retryable},
+		{"chaos: shop9.de: read tcp: connection reset by peer", Retryable},
+		{"chaos: shop9.de: transient 503 service unavailable", Retryable},
+		{"chaos: shop9.de: anti-bot interstitial challenge", Retryable},
+		{"i/o timeout", Retryable},
+		{"request timed out", Retryable},
+		// Unknown errors default to retryable: never abandon a share on
+		// first sight of an unrecognized failure.
+		{"", Retryable},
+		{"something entirely new", Retryable},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.msg); got != c.want {
+			t.Errorf("ClassifyError(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCapture(t *testing.T) {
+	if got := ClassifyCapture(&capture.Capture{Status: 200}); got != Success {
+		t.Errorf("ok capture = %v", got)
+	}
+	// Soft failures the platform records as observations are Success.
+	if got := ClassifyCapture(&capture.Capture{Status: 503}); got != Success {
+		t.Errorf("recorded 503 page = %v", got)
+	}
+	if got := ClassifyCapture(&capture.Capture{Failed: true, Error: "x: temporarily unavailable"}); got != Retryable {
+		t.Errorf("transient = %v", got)
+	}
+	if got := ClassifyCapture(&capture.Capture{Failed: true, Error: "x: connection refused"}); got != Terminal {
+		t.Errorf("refused = %v", got)
+	}
+	if got := ClassifyCapture(nil); got != Terminal {
+		t.Errorf("nil capture = %v", got)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	src := rng.New(42)
+	var prev []time.Duration
+	for run := 0; run < 2; run++ {
+		var got []time.Duration
+		for retry := 1; retry <= 6; retry++ {
+			d := p.Backoff(src, retry, "https://example.com/", "2019-06-01")
+			// Jitter 0.5 → within [0.75, 1.25] of the nominal delay.
+			nominal := float64(10*time.Millisecond) * float64(int(1)<<(retry-1))
+			if nominal > float64(80*time.Millisecond) {
+				nominal = float64(80 * time.Millisecond)
+			}
+			if float64(d) < 0.74*nominal || float64(d) > 1.26*nominal {
+				t.Errorf("retry %d: delay %v outside jitter band of %v", retry, d, time.Duration(nominal))
+			}
+			got = append(got, d)
+		}
+		if run == 1 {
+			for i := range got {
+				if got[i] != prev[i] {
+					t.Errorf("retry %d: backoff not deterministic: %v vs %v", i+1, got[i], prev[i])
+				}
+			}
+		}
+		prev = got
+	}
+	// Different shares draw different jitter.
+	a := p.Backoff(src, 1, "https://a.com/")
+	b := p.Backoff(src, 1, "https://b.com/")
+	if a == b {
+		t.Errorf("distinct keys drew identical jitter %v", a)
+	}
+}
+
+func TestRetryPolicyZeroValueDisabled(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	if d := p.Backoff(rng.New(1), 1, "k"); d < 0 {
+		t.Fatalf("negative backoff %v", d)
+	}
+}
+
+func TestDeadLetterSink(t *testing.T) {
+	m := NewMemDeadLetter()
+	m.Add(DeadEntry{URL: "u1", Domain: "a.com", Reason: ReasonBudgetExhausted})
+	m.Add(DeadEntry{URL: "u2", Domain: "a.com", Reason: ReasonCancelled})
+	m.Add(DeadEntry{URL: "u3", Domain: "b.com", Reason: ReasonBudgetExhausted})
+	if m.Len() != 3 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	by := m.ByReason()
+	if by[ReasonBudgetExhausted] != 2 || by[ReasonCancelled] != 1 {
+		t.Fatalf("by reason: %v", by)
+	}
+	if e := m.Entries(); len(e) != 3 || e[0].URL != "u1" {
+		t.Fatalf("entries: %v", e)
+	}
+}

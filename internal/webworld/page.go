@@ -166,7 +166,14 @@ const transientDownRate = 0.02
 // TransientDown reports whether the (reachable) domain suffers a
 // transient outage on the given day.
 func (w *World) TransientDown(name string, day simtime.Day) bool {
-	return w.src.Bool(transientDownRate, "transient", name, day.String())
+	rate := transientDownRate
+	switch {
+	case w.cfg.TransientDownRate < 0:
+		return false
+	case w.cfg.TransientDownRate > 0:
+		rate = w.cfg.TransientDownRate
+	}
+	return w.src.Bool(rate, "transient", name, day.String())
 }
 
 // ErrUnknownDomain is returned for visits to domains outside the

@@ -27,6 +27,12 @@ type Config struct {
 	// Domains is the universe size (the paper observed 4.2M unique
 	// domains; the default reproduction scale is 100k).
 	Domains int
+	// TransientDownRate overrides the per-(domain, day) probability of
+	// a transient outage: 0 keeps the calibrated default (2%,
+	// Section 3.5), negative disables outages entirely. Outages are
+	// drawn per day, so same-day retries never recover them — chaos
+	// experiments isolating injected fault rates set this negative.
+	TransientDownRate float64
 }
 
 // DefaultConfig returns the default reproduction scale.
