@@ -4,7 +4,18 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench fuzz
+# Benchmark-regression harness knobs. BENCHTIME is fixed (iteration
+# count, not wall time) so snapshots from different runs compare
+# apples to apples; THRESHOLD is the relative ns/op regression bound
+# benchdiff fails on.
+BENCHTIME ?= 5x
+BENCHDATE ?= $(shell date +%F)
+BENCHSNAP ?= BENCH_$(BENCHDATE).json
+OLD       ?= BENCH_seed.json
+NEW       ?= $(BENCHSNAP)
+THRESHOLD ?= 0.20
+
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore fuzz
 
 check: vet build race chaos
 
@@ -26,8 +37,23 @@ race:
 chaos:
 	$(GO) test ./internal/resilience/... ./internal/crawler/ ./internal/capstore/ -run 'Chaos' -count=1
 
-# The capture-store perf pair: linear scan vs. indexed query.
+# Tier-1 benchmark suite → JSON snapshot. Runs every root-package
+# benchmark at a fixed BENCHTIME, tees the raw output to bench.out,
+# and parses it into $(BENCHSNAP) for benchdiff.
 bench:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test . -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 30m | tee bench.out
+	./bin/benchdiff -parse bench.out -date $(BENCHDATE) -out $(BENCHSNAP)
+	@echo "snapshot written to $(BENCHSNAP)"
+
+# Compare two snapshots; fails if any benchmark regressed beyond
+# THRESHOLD. Usage: make benchdiff OLD=BENCH_seed.json NEW=BENCH_x.json
+benchdiff:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	./bin/benchdiff -compare -threshold $(THRESHOLD) $(OLD) $(NEW)
+
+# The capture-store perf pair: linear scan vs. indexed query.
+bench-capstore:
 	$(GO) test ./internal/capstore/ -run '^$$' -bench 'Query' -benchmem
 
 # Short fuzz passes: the capture wire format (torn writes, segment

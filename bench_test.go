@@ -413,16 +413,28 @@ func BenchmarkCaptureDB(b *testing.B) {
 	store := core.EUUniversityStore(benchCampaign)
 	caps := store.All()
 	b.Run("write", func(b *testing.B) {
+		// Write one representative record per iteration; throughput is
+		// its encoded size, fixed before the loop so MB/s is exact
+		// regardless of b.N.
+		rec := caps[0]
+		enc, err := capturedb.Encode(rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(enc)))
 		var buf bytes.Buffer
 		w := capturedb.NewWriter(&buf)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			w.Record(caps[i%len(caps)])
+			w.Record(rec)
 		}
+		b.StopTimer()
 		if err := w.Close(); err != nil {
 			b.Fatal(err)
 		}
-		b.SetBytes(int64(buf.Len() / max(1, b.N)))
+		if buf.Len() != b.N*len(enc) {
+			b.Fatalf("wrote %d bytes, want %d", buf.Len(), b.N*len(enc))
+		}
 	})
 	b.Run("scan", func(b *testing.B) {
 		var buf bytes.Buffer
@@ -443,6 +455,26 @@ func BenchmarkCaptureDB(b *testing.B) {
 		}
 	})
 	_ = s
+}
+
+// BenchmarkDetectOne measures the per-capture network-detection hot
+// path. It must stay allocation-free: Record calls it (via DetectMask)
+// once per capture under a shard lock.
+func BenchmarkDetectOne(b *testing.B) {
+	benchSetup(b)
+	caps := core.EUUniversityStore(benchCampaign).All()
+	det := detect.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		if det.DetectOne(caps[i%len(caps)]) != cmps.None {
+			found++
+		}
+	}
+	if b.N >= len(caps) && found == 0 {
+		b.Fatal("no CMPs detected in EU university captures")
+	}
 }
 
 // BenchmarkHTTPCrawl measures the wire-level pipeline: serving a page

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	analyze [-quick] [-seed N] [-domains N] [-shares N] [-toplist N]
+//	analyze [-quick] [-seed N] [-domains N] [-shares N] [-toplist N] [-workers N]
 //
 // -quick runs at test scale (seconds); the default scale is ≈1/100 of
 // the paper's capture volume and takes a few minutes.
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/cmps"
@@ -32,6 +33,7 @@ func main() {
 		domains = flag.Int("domains", 0, "override universe size")
 		shares  = flag.Int("shares", 0, "override social-feed shares per day")
 		topN    = flag.Int("toplist", 0, "override toplist size for rank analyses")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign/crawl worker count")
 		verbose = flag.Bool("v", false, "print crawl progress")
 	)
 	flag.Parse()
@@ -41,6 +43,7 @@ func main() {
 		cfg = core.TestConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *domains > 0 {
 		cfg.Domains = *domains
 	}
@@ -189,6 +192,9 @@ func main() {
 		adoptionAt, s.Customization(campaign),
 		exp.DirectReject.MedianAcceptSec, exp.DirectReject.MedianRejectSec,
 		exp.MoreOptions.MedianRejectSec, optOutSec)))
+
+	hits, misses := s.CampaignCacheStats()
+	fmt.Printf("Campaign cache: %d hits, %d misses (%d workers)\n", hits, misses, *workers)
 }
 
 func check(err error) {

@@ -1,0 +1,105 @@
+// Command benchdiff converts `go test -bench` output into JSON
+// snapshots and compares two snapshots, failing when any benchmark's
+// ns/op regressed beyond a threshold. It is the gate behind
+// `make bench` / `make benchdiff`:
+//
+//	benchdiff -parse bench.out -out BENCH_2026-08-05.json
+//	benchdiff -compare BENCH_seed.json BENCH_2026-08-05.json -threshold 0.20
+//
+// -parse reads benchmark output (from the file argument, or stdin when
+// the argument is "-") and writes a snapshot. -compare exits 1 if any
+// benchmark present in both snapshots got slower by more than
+// threshold (relative; 0.20 = +20%).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchsnap"
+)
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` output from this file (\"-\" for stdin) into a snapshot")
+		out       = flag.String("out", "", "with -parse: write the snapshot JSON here (default stdout)")
+		date      = flag.String("date", "", "with -parse: date string recorded in the snapshot")
+		compare   = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
+		threshold = flag.Float64("threshold", 0.20, "with -compare: relative ns/op regression bound (0.20 = +20%)")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out, *date); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -compare needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(in, out, date string) error {
+	var r io.Reader
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := benchsnap.Parse(r)
+	if err != nil {
+		return err
+	}
+	snap.Date = date
+	if out == "" {
+		enc, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(enc, '\n'))
+		return err
+	}
+	return snap.WriteFile(out)
+}
+
+func runCompare(oldPath, newPath string, threshold float64) (bool, error) {
+	old, err := benchsnap.Load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	new, err := benchsnap.Load(newPath)
+	if err != nil {
+		return false, err
+	}
+	rep := benchsnap.Compare(old, new, threshold)
+	rep.Format(os.Stdout)
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", len(regs), threshold*100)
+		return false, nil
+	}
+	fmt.Printf("benchdiff: no regression beyond %.0f%% across %d benchmark(s)\n", threshold*100, len(rep.Deltas))
+	return true, nil
+}

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/analysis"
@@ -45,7 +46,7 @@ func main() {
 		domains = flag.Int("domains", 20_000, "universe size")
 		shares  = flag.Int("shares", 800, "social-feed shares per day")
 		seed    = flag.Uint64("seed", 1, "root seed")
-		workers = flag.Int("workers", 8, "crawl concurrency")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "crawl concurrency")
 		fromStr = flag.String("from", "", "crawl start date (YYYY-MM-DD, default window start)")
 		toStr   = flag.String("to", "", "crawl end date (YYYY-MM-DD, default window end)")
 		outPath  = flag.String("out", "", "also persist raw captures to this JSONL file (query with capq -file)")

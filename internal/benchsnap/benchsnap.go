@@ -1,0 +1,264 @@
+// Package benchsnap parses `go test -bench` output into JSON
+// snapshots and diffs two snapshots against a regression threshold.
+// It is the engine behind `make bench` (which emits BENCH_<date>.json
+// files) and cmd/benchdiff (which gates changes on them), closing the
+// benchmark-regression loop for the analysis hot path.
+package benchsnap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Unset float fields are
+// encoded as absent (pointer nil) so a snapshot records exactly what
+// the run reported.
+type Result struct {
+	// Iterations is the b.N the numbers were averaged over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the primary regression-gated metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerS is present when the benchmark calls b.SetBytes.
+	MBPerS *float64 `json:"mb_per_s,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one benchmark run: environment header plus per-name
+// results. Names have the -GOMAXPROCS suffix stripped so snapshots
+// from machines with different core counts stay comparable.
+type Snapshot struct {
+	Date       string            `json:"date,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the trailing -N procs suffix from names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output. Lines that are not benchmark
+// results (headers, PASS/ok, test logs) are skipped.
+func Parse(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			s.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			s.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			s.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchsnap: no benchmark results found")
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-8  3  42 ns/op  ..." line:
+// name, iteration count, then whitespace-separated (value, unit)
+// measurement pairs.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		v := val
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		case "MB/s":
+			res.MBPerS = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return name, res, seen
+}
+
+// Load reads a snapshot JSON file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchsnap: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Names returns the benchmark names in sorted order.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Benchmarks))
+	for name := range s.Benchmarks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delta is one benchmark's old-vs-new comparison. Ratio is new/old for
+// ns/op; <1 is an improvement.
+type Delta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64
+	Regression bool
+	// AllocDelta is new-old allocs/op when both snapshots report it.
+	AllocDelta float64
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list benchmarks present in one snapshot only
+	// (renames and removals are surfaced, not silently dropped).
+	OnlyOld []string
+	OnlyNew []string
+	// Threshold is the relative ns/op regression bound the report was
+	// computed with.
+	Threshold float64
+}
+
+// Regressions returns the deltas that exceeded the threshold.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two snapshots: a benchmark regresses when its ns/op
+// grew by more than threshold (e.g. 0.20 → +20%) relative to old.
+func Compare(old, new *Snapshot, threshold float64) *Report {
+	rep := &Report{Threshold: threshold}
+	for _, name := range old.Names() {
+		o := old.Benchmarks[name]
+		n, ok := new.Benchmarks[name]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, name)
+			continue
+		}
+		d := Delta{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / o.NsPerOp
+			d.Regression = d.Ratio > 1+threshold
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			d.AllocDelta = *n.AllocsPerOp - *o.AllocsPerOp
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, name := range new.Names() {
+		if _, ok := old.Benchmarks[name]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+		}
+	}
+	return rep
+}
+
+// Format renders the report as an aligned text table, regressions
+// flagged, biggest movers first.
+func (r *Report) Format(w io.Writer) {
+	deltas := append([]Delta(nil), r.Deltas...)
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
+	for _, d := range deltas {
+		flag := " "
+		switch {
+		case d.Regression:
+			flag = "!"
+		case d.Ratio > 0 && d.Ratio < 1/(1+r.Threshold):
+			flag = "+"
+		}
+		fmt.Fprintf(w, "%s %-60s %14.0f → %14.0f ns/op  %7s", flag, d.Name, d.OldNs, d.NewNs, ratioString(d.Ratio))
+		if d.AllocDelta != 0 {
+			fmt.Fprintf(w, "  (allocs %+.0f/op)", d.AllocDelta)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(w, "- %-60s removed\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(w, "+ %-60s new\n", name)
+	}
+}
+
+// ratioString renders a new/old ratio as a speedup/slowdown label.
+func ratioString(ratio float64) string {
+	switch {
+	case ratio == 0:
+		return "n/a"
+	case ratio <= 1:
+		return fmt.Sprintf("%.2fx faster", 1/ratio)
+	default:
+		return fmt.Sprintf("%.2fx slower", ratio)
+	}
+}

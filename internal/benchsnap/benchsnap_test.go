@@ -1,0 +1,149 @@
+package benchsnap
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkTable1Vantage-8       	       5	 163200000 ns/op
+BenchmarkCoverageSeries-8      	       5	 385900000 ns/op	      12 campaigns
+BenchmarkCaptureDB/write-8     	       5	     25280 ns/op	  42.80 MB/s	    2048 B/op	      12 allocs/op
+BenchmarkDetectOne-8           	 5000000	       211 ns/op	       0 B/op	       0 allocs/op
+--- some test log line
+PASS
+ok  	repro	16.2s
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	s, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParse(t *testing.T) {
+	s := parseSample(t)
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q, want linux/amd64/repro", s.Goos, s.Goarch, s.Pkg)
+	}
+	if !strings.Contains(s.CPU, "Xeon") {
+		t.Errorf("CPU = %q, want Xeon", s.CPU)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4: %v", len(s.Benchmarks), s.Names())
+	}
+
+	// GOMAXPROCS suffix must be stripped; sub-benchmark names kept.
+	r, ok := s.Benchmarks["BenchmarkCaptureDB/write"]
+	if !ok {
+		t.Fatalf("missing BenchmarkCaptureDB/write in %v", s.Names())
+	}
+	if r.Iterations != 5 || r.NsPerOp != 25280 {
+		t.Errorf("write = %+v, want 5 iters, 25280 ns/op", r)
+	}
+	if r.MBPerS == nil || *r.MBPerS != 42.80 {
+		t.Errorf("write MB/s = %v, want 42.80", r.MBPerS)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 2048 || r.AllocsPerOp == nil || *r.AllocsPerOp != 12 {
+		t.Errorf("write mem = %v B/op %v allocs/op, want 2048/12", r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	// Custom b.ReportMetric units land in Metrics.
+	cov := s.Benchmarks["BenchmarkCoverageSeries"]
+	if cov.Metrics["campaigns"] != 12 {
+		t.Errorf("campaigns metric = %v, want 12", cov.Metrics)
+	}
+
+	det := s.Benchmarks["BenchmarkDetectOne"]
+	if det.Iterations != 5000000 || det.NsPerOp != 211 {
+		t.Errorf("DetectOne = %+v", det)
+	}
+	if det.AllocsPerOp == nil || *det.AllocsPerOp != 0 {
+		t.Errorf("DetectOne allocs = %v, want 0", det.AllocsPerOp)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("Parse of output with no benchmarks: want error")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := parseSample(t)
+	s.Date = "2026-08-05"
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Date != "2026-08-05" || len(got.Benchmarks) != len(s.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for name, want := range s.Benchmarks {
+		if got.Benchmarks[name].NsPerOp != want.NsPerOp {
+			t.Errorf("%s: ns/op %v != %v", name, got.Benchmarks[name].NsPerOp, want.NsPerOp)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	alloc0, alloc3 := 0.0, 3.0
+	old := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: &alloc0},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1000},
+		"BenchmarkGone": {NsPerOp: 50},
+	}}
+	new := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1150, AllocsPerOp: &alloc3}, // +15%: within threshold
+		"BenchmarkB": {NsPerOp: 1300},                       // +30%: regression
+		"BenchmarkC": {NsPerOp: 200},                        // 5x faster
+		"BenchmarkNew": {NsPerOp: 10},
+	}}
+	rep := Compare(old, new, 0.20)
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(rep.Deltas))
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only BenchmarkB", regs)
+	}
+	if got := regs[0].Ratio; got != 1.3 {
+		t.Errorf("BenchmarkB ratio = %v, want 1.3", got)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "BenchmarkGone" {
+		t.Errorf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", rep.OnlyNew)
+	}
+
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"! BenchmarkB", "+ BenchmarkC", "5.00x faster", "1.30x slower", "allocs +3/op", "BenchmarkGone", "BenchmarkNew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := &Snapshot{Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: 1000}}}
+	new := &Snapshot{Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: 1100}}}
+	if regs := Compare(old, new, 0.20).Regressions(); len(regs) != 0 {
+		t.Fatalf("+10%% flagged as regression at 20%% threshold: %+v", regs)
+	}
+}

@@ -108,6 +108,32 @@ func (s *MemStore) Record(c *Capture) {
 	}
 }
 
+// RecordAll appends a batch of captures in order under a single lock
+// acquisition. Workers that buffer captures locally use this to avoid
+// per-capture lock traffic on a shared store.
+func (s *MemStore) RecordAll(caps []*Capture) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range caps {
+		s.captures = append(s.captures, c)
+		if c.FinalDomain != "" {
+			s.byDomain[c.FinalDomain] = append(s.byDomain[c.FinalDomain], c)
+		}
+	}
+}
+
+// Merge appends every capture of `from` to s, preserving from's
+// recording order. The campaign engine records into private per-worker
+// stores and merges them in shard order once the pool drains, so the
+// merged store is byte-identical to a serial run. `from` must be
+// quiescent (no concurrent Record calls on it).
+func (s *MemStore) Merge(from *MemStore) {
+	from.mu.Lock()
+	caps := from.captures
+	from.mu.Unlock()
+	s.RecordAll(caps)
+}
+
 // Len returns the number of stored captures.
 func (s *MemStore) Len() int {
 	s.mu.Lock()

@@ -369,3 +369,59 @@ func absf(x float64) float64 {
 	}
 	return x
 }
+
+// TestCampaignMemoization pins the RunToplistCampaign cache contract:
+// repeated calls share the memoized result, the LRU bound evicts the
+// least recently used key, touching an entry protects it, and a
+// negative CampaignCache disables memoization entirely.
+func TestCampaignMemoization(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Domains = 3_000
+	cfg.ToplistSize = 300
+	cfg.CampaignCache = 2
+	s := NewStudy(cfg)
+	day := simtime.Table1Snapshot
+
+	a := s.RunToplistCampaign(day, 100)
+	if b := s.RunToplistCampaign(day, 100); b != a {
+		t.Fatal("repeated call must return the cached pointer")
+	}
+	if h, m := s.CampaignCacheStats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", h, m)
+	}
+
+	// Fill past the bound of 2: keys (day,200) and (day,300) push
+	// (day,100) out; re-requesting it must recompute.
+	s.RunToplistCampaign(day, 200)
+	s.RunToplistCampaign(day, 300)
+	c := s.RunToplistCampaign(day, 100)
+	if c == a {
+		t.Fatal("evicted entry must be recomputed, not resurrected")
+	}
+	if len(c.Probes) != len(a.Probes) {
+		t.Fatalf("recomputed campaign diverged: %d probes vs %d", len(c.Probes), len(a.Probes))
+	}
+
+	// LRU, not FIFO: cache now holds {300, 100}; touching 300 makes
+	// 100 the eviction victim when 500 is inserted.
+	d300 := s.RunToplistCampaign(day, 300)
+	s.RunToplistCampaign(day, 500)
+	if got := s.RunToplistCampaign(day, 300); got != d300 {
+		t.Fatal("recently touched entry must survive eviction")
+	}
+
+	s.FlushCampaignCache()
+	if got := s.RunToplistCampaign(day, 300); got == d300 {
+		t.Fatal("flush must drop memoized campaigns")
+	}
+
+	cfg.CampaignCache = -1
+	s2 := NewStudy(cfg)
+	x := s2.RunToplistCampaign(day, 100)
+	if y := s2.RunToplistCampaign(day, 100); y == x {
+		t.Fatal("negative CampaignCache must disable memoization")
+	}
+	if h, m := s2.CampaignCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache counted %d hits / %d misses", h, m)
+	}
+}

@@ -1,9 +1,13 @@
 package crawler
 
 import (
+	"bytes"
+	"sync"
 	"testing"
 
 	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/detect"
 	"repro/internal/simtime"
 	"repro/internal/socialfeed"
 	"repro/internal/webworld"
@@ -87,7 +91,7 @@ func TestCrawlWindowProgress(t *testing.T) {
 
 func TestSeedProbe(t *testing.T) {
 	w := crawlWorld(t)
-	var sawHTTPS, sawApex, sawUnreachable bool
+	var sawHTTPS, sawHTTPWWW, sawApex, sawUnreachable bool
 	for _, d := range w.Domains()[:1000] {
 		probe := SeedProbe(w, d.Name)
 		switch probe.Outcome {
@@ -95,6 +99,15 @@ func TestSeedProbe(t *testing.T) {
 			sawHTTPS = true
 			if probe.SeedURL != "https://www."+d.Name+"/" {
 				t.Errorf("seed URL %q", probe.SeedURL)
+			}
+		case ProbeHTTPWWW:
+			sawHTTPWWW = true
+			if probe.SeedURL != "http://www."+d.Name+"/" {
+				t.Errorf("seed URL %q", probe.SeedURL)
+			}
+			if d.HTTPSWWW || !d.HTTPWWW {
+				t.Errorf("%s: http-www probe but HTTPSWWW=%v HTTPWWW=%v",
+					d.Name, d.HTTPSWWW, d.HTTPWWW)
 			}
 		case ProbeHTTPApex:
 			sawApex = true
@@ -108,12 +121,120 @@ func TestSeedProbe(t *testing.T) {
 			}
 		}
 	}
-	if !sawHTTPS || !sawApex || !sawUnreachable {
-		t.Errorf("probe outcome coverage: https=%v apex=%v unreachable=%v",
-			sawHTTPS, sawApex, sawUnreachable)
+	if !sawHTTPS || !sawHTTPWWW || !sawApex || !sawUnreachable {
+		t.Errorf("probe outcome coverage: https=%v http-www=%v apex=%v unreachable=%v",
+			sawHTTPS, sawHTTPWWW, sawApex, sawUnreachable)
 	}
 	if SeedProbe(w, "missing.example").Outcome != ProbeUnreachable {
 		t.Error("unknown domains must probe unreachable")
+	}
+}
+
+// TestCampaignWorkerDeterminism pins the parallel campaign contract:
+// probe slices and per-configuration store contents are byte-identical
+// at any worker count.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	w := crawlWorld(t)
+	var domains []string
+	for _, d := range w.Domains()[:300] {
+		domains = append(domains, d.Name)
+	}
+	run := func(workers int) *CampaignResult {
+		c := &Campaign{World: w, Domains: domains, Day: simtime.Table1Snapshot, Workers: workers}
+		return c.Run()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8, 64, 1000} {
+		par := run(workers)
+		if len(par.Probes) != len(serial.Probes) {
+			t.Fatalf("workers=%d: %d probes, serial %d", workers, len(par.Probes), len(serial.Probes))
+		}
+		for i := range serial.Probes {
+			if par.Probes[i] != serial.Probes[i] {
+				t.Fatalf("workers=%d: probe %d = %+v, serial %+v",
+					workers, i, par.Probes[i], serial.Probes[i])
+			}
+		}
+		for key, ss := range serial.Stores {
+			ps := par.Stores[key]
+			if ps == nil {
+				t.Fatalf("workers=%d: missing store %q", workers, key)
+			}
+			if ps.Len() != ss.Len() {
+				t.Fatalf("workers=%d %s: %d captures, serial %d", workers, key, ps.Len(), ss.Len())
+			}
+			pc, sc := ps.All(), ss.All()
+			for i := range sc {
+				want, err := capturedb.Encode(sc[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := capturedb.Encode(pc[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d %s: capture %d differs from serial:\n got %s\nwant %s",
+						workers, key, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestObservationsConcurrentCrawl drives the lock-striped Observations
+// from concurrent CrawlDay workers; run under -race it is the
+// regression test for the striping.
+func TestObservationsConcurrentCrawl(t *testing.T) {
+	w := crawlWorld(t)
+	feed := socialfeed.New(w, socialfeed.Config{Seed: 4, SharesPerDay: 400})
+	obs := detect.NewObservations(detect.Default())
+	const days = 8
+	// Feed.Day is stateful (cross-day dedup) — generate the share
+	// stream serially up front, then crawl and record concurrently.
+	sharesByDay := make([][]socialfeed.Share, days)
+	for day := simtime.Day(0); day < days; day++ {
+		sharesByDay[day] = feed.Day(day)
+	}
+	var wg sync.WaitGroup
+	for day := simtime.Day(0); day < days; day++ {
+		wg.Add(1)
+		go func(day simtime.Day) {
+			defer wg.Done()
+			p := NewPlatform(w, Config{Seed: 4, Workers: 2})
+			store := capture.NewMemStore()
+			p.CrawlDay(day, sharesByDay[day], store)
+			var inner sync.WaitGroup
+			caps := store.All()
+			for half := 0; half < 2; half++ {
+				inner.Add(1)
+				go func(caps []*capture.Capture) {
+					defer inner.Done()
+					for _, c := range caps {
+						obs.Record(c)
+					}
+				}(caps[half*len(caps)/2 : (half+1)*len(caps)/2])
+			}
+			inner.Wait()
+		}(day)
+	}
+	wg.Wait()
+	if obs.Total == 0 || obs.NumDomains() == 0 {
+		t.Fatalf("no observations recorded: total=%d domains=%d", obs.Total, obs.NumDomains())
+	}
+	// The striped store must agree with a serial re-record.
+	serial := detect.NewObservations(detect.Default())
+	for day := simtime.Day(0); day < days; day++ {
+		p := NewPlatform(w, Config{Seed: 4, Workers: 2})
+		store := capture.NewMemStore()
+		p.CrawlDay(day, sharesByDay[day], store)
+		for _, c := range store.All() {
+			serial.Record(c)
+		}
+	}
+	if obs.Total != serial.Total || obs.NumDomains() != serial.NumDomains() {
+		t.Fatalf("concurrent totals diverge: total %d vs %d, domains %d vs %d",
+			obs.Total, serial.Total, obs.NumDomains(), serial.NumDomains())
 	}
 }
 

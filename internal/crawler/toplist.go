@@ -2,6 +2,8 @@ package crawler
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/browser"
 	"repro/internal/capture"
@@ -63,6 +65,11 @@ func SeedProbe(w *webworld.World, domain string) ProbeResult {
 		return ProbeResult{Domain: domain, Outcome: ProbeHTTPSWWW,
 			SeedURL: fmt.Sprintf("https://www.%s/", domain)}
 	}
+	if d.HTTPWWW {
+		// TLS to www:443 failed but plain HTTP on www:80 connected.
+		return ProbeResult{Domain: domain, Outcome: ProbeHTTPWWW,
+			SeedURL: fmt.Sprintf("http://www.%s/", domain)}
+	}
 	return ProbeResult{Domain: domain, Outcome: ProbeHTTPApex,
 		SeedURL: fmt.Sprintf("http://%s/", domain)}
 }
@@ -98,6 +105,9 @@ type Campaign struct {
 	World   *webworld.World
 	Domains []string
 	Day     simtime.Day
+	// Workers is the crawl concurrency of Run. Zero or negative means
+	// GOMAXPROCS. Results are byte-identical at any worker count.
+	Workers int
 }
 
 // CampaignResult holds per-configuration capture stores and the probe
@@ -113,19 +123,77 @@ type CampaignResult struct {
 // times over the span of a week" (Section 3.2).
 var retryOffsets = []simtime.Day{0, 2, 4, 7}
 
+// campaignShard is the private output of one campaign worker: the
+// probes and per-config captures of one contiguous slice of the
+// toplist, in toplist order.
+type campaignShard struct {
+	probes []ProbeResult
+	stores []*capture.MemStore // index parallels ToplistConfigs()
+}
+
 // Run executes the full six-configuration campaign, retrying
 // unsuccessful captures over the following week.
+//
+// The toplist is sharded into contiguous ranges across Workers
+// goroutines. Each worker owns a private set of six per-config
+// browsers and records into private per-worker stores; after the pool
+// drains, shards are merged in toplist order. Because shards are
+// contiguous and the merge respects shard order, the result — probe
+// slice and per-config store contents — is byte-identical to a serial
+// run at any worker count.
 func (c *Campaign) Run() *CampaignResult {
-	res := &CampaignResult{Stores: make(map[string]*capture.MemStore)}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Domains) {
+		workers = len(c.Domains)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	configs := ToplistConfigs()
-	browsers := make([]*browser.Browser, len(configs))
-	for i, tc := range configs {
-		browsers[i] = browser.New(c.World, tc.Opts)
+
+	shards := make([]campaignShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous shard bounds: the first (len % workers) shards get
+		// one extra domain.
+		lo := w * len(c.Domains) / workers
+		hi := (w + 1) * len(c.Domains) / workers
+		wg.Add(1)
+		go func(shard *campaignShard, domains []string) {
+			defer wg.Done()
+			c.runShard(shard, domains, configs)
+		}(&shards[w], c.Domains[lo:hi])
+	}
+	wg.Wait()
+
+	res := &CampaignResult{Stores: make(map[string]*capture.MemStore, len(configs))}
+	for _, tc := range configs {
 		res.Stores[ConfigKey(tc)] = capture.NewMemStore()
 	}
-	for _, domain := range c.Domains {
+	for _, sh := range shards {
+		res.Probes = append(res.Probes, sh.probes...)
+		for i, tc := range configs {
+			res.Stores[ConfigKey(tc)].Merge(sh.stores[i])
+		}
+	}
+	return res
+}
+
+// runShard crawls one contiguous toplist slice with a private browser
+// and store set.
+func (c *Campaign) runShard(out *campaignShard, domains []string, configs []ToplistConfig) {
+	browsers := make([]*browser.Browser, len(configs))
+	out.stores = make([]*capture.MemStore, len(configs))
+	for i, tc := range configs {
+		browsers[i] = browser.New(c.World, tc.Opts)
+		out.stores[i] = capture.NewMemStore()
+	}
+	for _, domain := range domains {
 		probe := SeedProbe(c.World, domain)
-		res.Probes = append(res.Probes, probe)
+		out.probes = append(out.probes, probe)
 		if probe.Outcome == ProbeUnreachable {
 			continue
 		}
@@ -137,8 +205,7 @@ func (c *Campaign) Run() *CampaignResult {
 					break
 				}
 			}
-			res.Stores[ConfigKey(tc)].Record(cap)
+			out.stores[i].Record(cap)
 		}
 	}
-	return res
 }

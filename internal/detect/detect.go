@@ -72,18 +72,37 @@ func New(fps []Fingerprint) *Detector {
 func Default() *Detector { return New(Fingerprints()) }
 
 // Detect returns the CMPs whose network fingerprints match the
-// capture, in cmps.All order. More than one CMP on a page is an
-// overcount the paper quantifies at 0.01% of captures.
+// capture, in first-request order. More than one CMP on a page is an
+// overcount the paper quantifies at 0.01% of captures. The no-match
+// path performs no allocations; a match allocates only the result
+// slice (dedup is tracked in a bitmask, not a map).
 func (d *Detector) Detect(c *capture.Capture) []cmps.ID {
-	seen := map[cmps.ID]bool{}
+	var seen uint32
 	var out []cmps.ID
 	for _, r := range c.Requests {
-		if id, ok := d.byHost[r.Host]; ok && !seen[id] {
-			seen[id] = true
+		if id, ok := d.byHost[r.Host]; ok && seen&(1<<uint(id)) == 0 {
+			seen |= 1 << uint(id)
 			out = append(out, id)
 		}
 	}
 	return out
+}
+
+// DetectMask classifies the capture without allocating: it returns the
+// first matching CMP in request order (cmps.None when nothing matches)
+// and a bitmask with bit i set iff cmps.ID(i) matched. It is the
+// hot-path entry point for streaming sinks that record millions of
+// captures.
+func (d *Detector) DetectMask(c *capture.Capture) (first cmps.ID, mask uint32) {
+	for _, r := range c.Requests {
+		if id, ok := d.byHost[r.Host]; ok {
+			if mask == 0 {
+				first = id
+			}
+			mask |= 1 << uint(id)
+		}
+	}
+	return first, mask
 }
 
 // DetectOne returns the single detected CMP, or cmps.None. When

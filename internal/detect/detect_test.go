@@ -82,6 +82,51 @@ func TestDetect(t *testing.T) {
 	}
 }
 
+func TestDetectMask(t *testing.T) {
+	det := Default()
+	multi := capWithHosts("example.com", 0,
+		"www.example.com", "consent.cookiebot.com", "cdn.cookielaw.org", "consent.cookiebot.com")
+	first, mask := det.DetectMask(multi)
+	if first != cmps.Cookiebot {
+		t.Errorf("first = %v, want Cookiebot (first in request order)", first)
+	}
+	wantMask := uint32(1<<uint(cmps.Cookiebot) | 1<<uint(cmps.OneTrust))
+	if mask != wantMask {
+		t.Errorf("mask = %b, want %b", mask, wantMask)
+	}
+	if first != det.DetectOne(multi) {
+		t.Error("DetectMask first must agree with DetectOne")
+	}
+	if _, mask := det.DetectMask(capWithHosts("x.com", 0, "cdn.jsdelivr.net")); mask != 0 {
+		t.Errorf("no-CMP capture: mask = %b, want 0", mask)
+	}
+}
+
+// TestDetectionNoAllocs pins the allocation contract of the per-capture
+// hot path: DetectOne, DetectMask, and Detect on no-match captures must
+// not allocate (Record runs them under a shard lock for every capture).
+func TestDetectionNoAllocs(t *testing.T) {
+	det := Default()
+	match := capWithHosts("example.com", 0,
+		"www.example.com", "www.google-analytics.com", "cdn.cookielaw.org")
+	miss := capWithHosts("example.com", 0, "www.example.com", "cdn.jsdelivr.net")
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"DetectOne/match", func() { det.DetectOne(match) }},
+		{"DetectOne/miss", func() { det.DetectOne(miss) }},
+		{"DetectMask/match", func() { det.DetectMask(match) }},
+		{"DetectMask/miss", func() { det.DetectMask(miss) }},
+		{"Detect/miss", func() { det.Detect(miss) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+}
+
 func TestDetectDOM(t *testing.T) {
 	det := Default()
 	c := &capture.Capture{DOM: `<div class="qc-cmp-ui">…</div>`}

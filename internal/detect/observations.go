@@ -1,29 +1,53 @@
 package detect
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/capture"
 	"repro/internal/cmps"
 	"repro/internal/simtime"
 )
 
+// numShards is the lock-stripe count of an Observations aggregate.
+// Domains hash onto shards, so concurrent recorders only contend when
+// two captures land on the same stripe; 64 stripes keep the collision
+// probability low for any realistic worker count.
+const numShards = 64
+
 // Observations is a streaming capture sink that aggregates detection
 // results into compact per-domain records. The social-media pipeline
 // records millions of captures; only an 8-byte record per capture is
 // retained, mirroring how the paper's analyses consume the capture
 // database rather than raw page data.
+//
+// Recording is safe for concurrent use and lock-striped by domain
+// hash: crawl workers recording different domains do not serialize on
+// a global mutex.
 type Observations struct {
 	det *Detector
 
+	shards [numShards]obsShard
+
+	// MultiCMP counts captures matching more than one CMP (overcount
+	// quantification, Section 3.5: 0.01% of captures). Updated
+	// atomically; read it only after recording has quiesced (or via
+	// atomic.LoadInt64 while recorders are live).
+	MultiCMP int64
+	// Total counts all recorded (non-failed) captures. Updated
+	// atomically, like MultiCMP.
+	Total int64
+}
+
+// obsShard is one lock stripe: a mutex plus the domains hashing onto
+// it. The pad spaces shards a cache line apart so that stripes used by
+// different workers do not false-share.
+type obsShard struct {
 	mu      sync.Mutex
 	domains map[string]*domainObs
-	// MultiCMP counts captures matching more than one CMP (overcount
-	// quantification, Section 3.5: 0.01% of captures).
-	MultiCMP int64
-	// Total counts all recorded (non-failed) captures.
-	Total int64
+	_       [40]byte
 }
 
 // obsRec is one capture's compact detection record.
@@ -39,58 +63,79 @@ type domainObs struct {
 
 // NewObservations returns an empty aggregate fed by the detector.
 func NewObservations(det *Detector) *Observations {
-	return &Observations{det: det, domains: make(map[string]*domainObs)}
+	o := &Observations{det: det}
+	for i := range o.shards {
+		o.shards[i].domains = make(map[string]*domainObs)
+	}
+	return o
 }
 
-// Record implements capture.Sink.
+// shard returns the lock stripe responsible for the domain (FNV-1a,
+// inlined to keep Record allocation-free).
+func (o *Observations) shard(domain string) *obsShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return &o.shards[h%numShards]
+}
+
+// Record implements capture.Sink. It performs no allocations beyond
+// the amortized growth of the per-domain record slice.
 func (o *Observations) Record(c *capture.Capture) {
 	if c.Failed || c.FinalDomain == "" {
 		return
 	}
-	detected := o.det.Detect(c)
-	var id cmps.ID
-	if len(detected) > 0 {
-		id = detected[0]
+	id, mask := o.det.DetectMask(c)
+	atomic.AddInt64(&o.Total, 1)
+	if bits.OnesCount32(mask) > 1 {
+		atomic.AddInt64(&o.MultiCMP, 1)
 	}
-
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.Total++
-	if len(detected) > 1 {
-		o.MultiCMP++
-	}
-	dom := o.domains[c.FinalDomain]
+	sh := o.shard(c.FinalDomain)
+	sh.mu.Lock()
+	dom := sh.domains[c.FinalDomain]
 	if dom == nil {
 		dom = &domainObs{}
-		o.domains[c.FinalDomain] = dom
+		sh.domains[c.FinalDomain] = dom
 	}
 	dom.recs = append(dom.recs, obsRec{day: int32(c.Day), cmp: int8(id)})
 	dom.sorted = false
+	sh.mu.Unlock()
 }
 
 // Observed reports whether the domain ever appeared as a final domain
 // in the capture stream.
 func (o *Observations) Observed(domain string) bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	_, ok := o.domains[domain]
+	sh := o.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.domains[domain]
 	return ok
 }
 
 // NumDomains returns how many distinct final domains were observed.
 func (o *Observations) NumDomains() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return len(o.domains)
+	n := 0
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		n += len(sh.domains)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Domains returns the observed domain names, sorted.
 func (o *Observations) Domains() []string {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make([]string, 0, len(o.domains))
-	for d := range o.domains {
-		out = append(out, d)
+	var out []string
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		for d := range sh.domains {
+			out = append(out, d)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -151,11 +196,12 @@ func (o *Observations) DayObservationsWithThreshold(domain string, threshold flo
 }
 
 // sortedRecs returns the domain's records sorted by day, sorting
-// lazily under the lock.
+// lazily under the shard lock.
 func (o *Observations) sortedRecs(domain string) []obsRec {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	dom := o.domains[domain]
+	sh := o.shard(domain)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dom := sh.domains[domain]
 	if dom == nil {
 		return nil
 	}
@@ -171,13 +217,7 @@ func (o *Observations) sortedRecs(domain string) []obsRec {
 // in between. The paper reports that for 99.8% of all domains the
 // daily share is consistently below 5% or above 95%.
 func (o *Observations) DailyShareDistribution(minCaptures int, lo, hi float64) (below, between, above int) {
-	var domains []string
-	o.mu.Lock()
-	for d := range o.domains {
-		domains = append(domains, d)
-	}
-	o.mu.Unlock()
-	for _, d := range domains {
+	for _, d := range o.Domains() {
 		recs := o.sortedRecs(d)
 		for i := 0; i < len(recs); {
 			j := i

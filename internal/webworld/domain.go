@@ -38,6 +38,10 @@ type Domain struct {
 	// HTTPSWWW reports whether https://www.<domain>/ serves a valid
 	// certificate (the preferred seed URL form).
 	HTTPSWWW bool
+	// HTTPWWW reports whether plain HTTP on www.<domain>:80 connects
+	// when TLS does not — the seed-probe fallback between HTTPS-www and
+	// the bare apex (Section 3.2).
+	HTTPWWW bool
 	// RedirectTo, when non-empty, is the registrable domain this
 	// domain redirects to at the top level. About 11% of all crawls
 	// include such redirects.

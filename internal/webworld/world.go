@@ -179,6 +179,10 @@ func (w *World) generateDomain(rank int) *Domain {
 	d.NoValidResponse = !d.Unreachable && r.Float64() < 0.0004
 	d.HTTPError = !d.Unreachable && !d.NoValidResponse && r.Float64() < 0.0070
 	d.HTTPSWWW = r.Float64() < 0.85
+	// Among domains without a valid www certificate, a subset still
+	// serves plain HTTP on www:80. Drawn from a dedicated stream so the
+	// calibrated draws below are unperturbed.
+	d.HTTPWWW = !d.HTTPSWWW && !d.Unreachable && w.src.Bool(0.4, "http-www", d.Name)
 
 	// Top-level redirects: 192/10k domains redirect to another domain
 	// permanently; transient URL-level redirects are handled in page
