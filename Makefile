@@ -9,15 +9,26 @@ GO ?= go
 # apples to apples; THRESHOLD is the relative ns/op regression bound
 # benchdiff fails on.
 BENCHTIME ?= 5x
+BENCHCOUNT ?= 5
 BENCHDATE ?= $(shell date +%F)
 BENCHSNAP ?= BENCH_$(BENCHDATE).json
 OLD       ?= BENCH_seed.json
 NEW       ?= $(BENCHSNAP)
 THRESHOLD ?= 0.20
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore fuzz
+# Telemetry-overhead gate knobs: live recorder vs. no-op recorder on
+# the detection and stream-visit hot paths, bounded at OBS_THRESHOLD.
+# Time-based OBS_BENCHTIME (unlike the snapshot suite's fixed
+# iteration count) because the gate compares within one run; OBS_COUNT
+# repeats each benchmark and benchdiff keeps the fastest, filtering
+# scheduler/frequency noise out of the ratio.
+OBS_THRESHOLD ?= 0.05
+OBS_BENCHTIME ?= 1s
+OBS_COUNT     ?= 4
 
-check: vet build race chaos
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fuzz
+
+check: vet build race chaos obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,11 +49,13 @@ chaos:
 	$(GO) test ./internal/resilience/... ./internal/crawler/ ./internal/capstore/ -run 'Chaos' -count=1
 
 # Tier-1 benchmark suite → JSON snapshot. Runs every root-package
-# benchmark at a fixed BENCHTIME, tees the raw output to bench.out,
-# and parses it into $(BENCHSNAP) for benchdiff.
+# benchmark at a fixed BENCHTIME, repeated BENCHCOUNT times (the
+# parser keeps each benchmark's fastest run, filtering scheduler and
+# frequency noise), tees the raw output to bench.out, and parses it
+# into $(BENCHSNAP) for benchdiff.
 bench:
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff
-	$(GO) test . -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 30m | tee bench.out
+	$(GO) test . -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -timeout 30m | tee bench.out
 	./bin/benchdiff -parse bench.out -date $(BENCHDATE) -out $(BENCHSNAP)
 	@echo "snapshot written to $(BENCHSNAP)"
 
@@ -55,6 +68,25 @@ benchdiff:
 # The capture-store perf pair: linear scan vs. indexed query.
 bench-capstore:
 	$(GO) test ./internal/capstore/ -run '^$$' -bench 'Query' -benchmem
+
+# End-to-end telemetry smoke: boot a real capd with -metrics over a
+# fixture store, drive queries, and fail on unparseable /metrics
+# lines, missing spans in /debug/trace, or a /healthz without the
+# telemetry summary.
+obs-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) run ./cmd/obssmoke -capd bin/capd
+
+# Telemetry overhead gate: the live recorder must stay within
+# OBS_THRESHOLD of the no-op recorder on both hot paths. Longer
+# benchtime than `make bench` so the ratio is stable; not part of
+# `make check`.
+obs-overhead:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test . -run '^$$' -bench 'DetectOne|StreamVisit' -benchtime $(OBS_BENCHTIME) -count $(OBS_COUNT) -timeout 20m | tee obs-bench.out
+	./bin/benchdiff -parse obs-bench.out -out obs-bench.json
+	./bin/benchdiff -pair BenchmarkDetectOneNop,BenchmarkDetectOne -threshold $(OBS_THRESHOLD) obs-bench.json
+	./bin/benchdiff -pair BenchmarkStreamVisit/nop,BenchmarkStreamVisit/live -threshold $(OBS_THRESHOLD) obs-bench.json
 
 # Short fuzz passes: the capture wire format (torn writes, segment
 # boundaries, malformed tuples) and retry classification of malformed

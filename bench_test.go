@@ -14,10 +14,12 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"net/url"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/capture"
@@ -30,9 +32,13 @@ import (
 	"repro/internal/detect"
 	"repro/internal/gvl"
 	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/simtime"
+	"repro/internal/socialfeed"
 	"repro/internal/tcf"
 	"repro/internal/webserve"
+	"repro/internal/webworld"
 )
 
 var (
@@ -458,12 +464,25 @@ func BenchmarkCaptureDB(b *testing.B) {
 }
 
 // BenchmarkDetectOne measures the per-capture network-detection hot
-// path. It must stay allocation-free: Record calls it (via DetectMask)
-// once per capture under a shard lock.
+// path with a live metrics recorder attached. It must stay
+// allocation-free: Record calls it (via DetectMask) once per capture
+// under a shard lock. BenchmarkDetectOneNop is the same loop with the
+// no-op recorder; `make obs-overhead` gates the pair at 5%.
 func BenchmarkDetectOne(b *testing.B) {
+	det := detect.Default()
+	det.SetMetrics(detect.NewMetrics(obs.NewRegistry()))
+	benchDetectOne(b, det)
+}
+
+// BenchmarkDetectOneNop is the detection hot path with the no-op (nil)
+// recorder — the baseline for the telemetry-overhead gate.
+func BenchmarkDetectOneNop(b *testing.B) {
+	benchDetectOne(b, detect.Default())
+}
+
+func benchDetectOne(b *testing.B, det *detect.Detector) {
 	benchSetup(b)
 	caps := core.EUUniversityStore(benchCampaign).All()
-	det := detect.Default()
 	b.ReportAllocs()
 	b.ResetTimer()
 	found := 0
@@ -476,6 +495,67 @@ func BenchmarkDetectOne(b *testing.B) {
 		b.Fatal("no CMPs detected in EU university captures")
 	}
 }
+
+// BenchmarkStreamVisit drives the streaming pipeline end to end —
+// Submit through politeness, browser visit, detection-free discard
+// sink — and reports the per-share cost. The nop/live pair bounds the
+// overhead of the visit-path telemetry (latency histogram, outcome
+// counters, visit/store spans); `make obs-overhead` gates it at 5%.
+func BenchmarkStreamVisit(b *testing.B) {
+	b.Run("nop", func(b *testing.B) { benchStreamVisit(b, false) })
+	b.Run("live", func(b *testing.B) { benchStreamVisit(b, true) })
+}
+
+func benchStreamVisit(b *testing.B, live bool) {
+	world := webworld.New(webworld.Config{Seed: 1, Domains: 3_000})
+	feed := socialfeed.New(world, socialfeed.Config{Seed: 1, SharesPerDay: 200})
+	type sub struct {
+		day   simtime.Day
+		share socialfeed.Share
+	}
+	var subs []sub
+	for day := simtime.Day(0); len(subs) < 512; day++ {
+		for _, s := range feed.Day(day) {
+			subs = append(subs, sub{day, s})
+		}
+	}
+	cfg := crawler.StreamConfig{
+		Seed:           1,
+		Workers:        4,
+		PerDomainDelay: time.Nanosecond,
+		Retry:          resilience.RetryPolicy{MaxAttempts: 2},
+	}
+	if live {
+		cfg.Metrics = crawler.NewStreamMetrics(obs.NewRegistry())
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{Cap: 4096})
+	}
+	p := crawler.NewStreamPlatform(world, cfg)
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(ctx, discardSink{})
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := subs[i%len(subs)]
+		if err := p.Submit(ctx, s.day, s.share); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Close()
+	<-done
+	b.StopTimer()
+	st := p.Stats()
+	if st.Succeeded+st.FailedRecorded+st.DeadLettered+st.Dropped != st.Submitted {
+		b.Fatalf("ledger identity broken: %+v", st)
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Record(*capture.Capture) {}
 
 // BenchmarkHTTPCrawl measures the wire-level pipeline: serving a page
 // over real HTTP and reassembling the capture.

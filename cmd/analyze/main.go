@@ -7,9 +7,12 @@
 // Usage:
 //
 //	analyze [-quick] [-seed N] [-domains N] [-shares N] [-toplist N] [-workers N]
+//	        [-telemetry]
 //
 // -quick runs at test scale (seconds); the default scale is ≈1/100 of
-// the paper's capture volume and takes a few minutes.
+// the paper's capture volume and takes a few minutes. -telemetry meters
+// the detector, the aggregation sink and the campaign-memoization cache
+// and dumps the Prometheus text exposition after the report.
 package main
 
 import (
@@ -22,19 +25,22 @@ import (
 	"repro/internal/cmps"
 	"repro/internal/consent"
 	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/simtime"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run at reduced test scale")
-		seed    = flag.Uint64("seed", 1, "root seed (bit-reproducible results per seed)")
-		domains = flag.Int("domains", 0, "override universe size")
-		shares  = flag.Int("shares", 0, "override social-feed shares per day")
-		topN    = flag.Int("toplist", 0, "override toplist size for rank analyses")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign/crawl worker count")
-		verbose = flag.Bool("v", false, "print crawl progress")
+		quick     = flag.Bool("quick", false, "run at reduced test scale")
+		seed      = flag.Uint64("seed", 1, "root seed (bit-reproducible results per seed)")
+		domains   = flag.Int("domains", 0, "override universe size")
+		shares    = flag.Int("shares", 0, "override social-feed shares per day")
+		topN      = flag.Int("toplist", 0, "override toplist size for rank analyses")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign/crawl worker count")
+		verbose   = flag.Bool("v", false, "print crawl progress")
+		telemetry = flag.Bool("telemetry", false, "meter the run and dump the Prometheus exposition after the report")
 	)
 	flag.Parse()
 
@@ -59,6 +65,15 @@ func main() {
 	s := core.NewStudy(cfg)
 	fmt.Printf("Toplist ID: %s (created %s, as the paper's list K8JW of 2020-01-30)\n",
 		s.Toplist.ID, s.Toplist.Created)
+
+	// A nil registry keeps every recorder in its no-op form.
+	var reg *obs.Registry
+	if *telemetry {
+		reg = obs.NewRegistry()
+		s.Detector.SetMetrics(detect.NewMetrics(reg))
+		s.Observations.RegisterMetrics(reg)
+		s.RegisterMetrics(reg)
+	}
 
 	fmt.Println("Crawling the social-media feed, March 2018 – September 2020 …")
 	var lastPct int
@@ -195,6 +210,11 @@ func main() {
 
 	hits, misses := s.CampaignCacheStats()
 	fmt.Printf("Campaign cache: %d hits, %d misses (%d workers)\n", hits, misses, *workers)
+
+	if reg != nil {
+		fmt.Printf("\nTelemetry (Prometheus exposition):\n")
+		check(reg.WritePrometheus(os.Stdout))
+	}
 }
 
 func check(err error) {

@@ -5,11 +5,16 @@
 //
 //	benchdiff -parse bench.out -out BENCH_2026-08-05.json
 //	benchdiff -compare BENCH_seed.json BENCH_2026-08-05.json -threshold 0.20
+//	benchdiff -pair BenchmarkDetectOneNop,BenchmarkDetectOne -threshold 0.05 obs.json
 //
 // -parse reads benchmark output (from the file argument, or stdin when
 // the argument is "-") and writes a snapshot. -compare exits 1 if any
 // benchmark present in both snapshots got slower by more than
-// threshold (relative; 0.20 = +20%).
+// threshold (relative; 0.20 = +20%). -pair compares two benchmarks
+// inside ONE snapshot — baseline name first — and exits 1 when the
+// second is slower than the first beyond the threshold; it is the gate
+// behind `make obs-overhead`, which bounds the cost of live telemetry
+// against the no-op recorder.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/benchsnap"
 )
@@ -28,7 +34,8 @@ func main() {
 		out       = flag.String("out", "", "with -parse: write the snapshot JSON here (default stdout)")
 		date      = flag.String("date", "", "with -parse: date string recorded in the snapshot")
 		compare   = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
-		threshold = flag.Float64("threshold", 0.20, "with -compare: relative ns/op regression bound (0.20 = +20%)")
+		pair      = flag.String("pair", "", "compare two benchmarks inside one snapshot: benchdiff -pair BASELINE,CANDIDATE SNAP.json")
+		threshold = flag.Float64("threshold", 0.20, "with -compare/-pair: relative ns/op regression bound (0.20 = +20%)")
 	)
 	flag.Parse()
 
@@ -44,6 +51,19 @@ func main() {
 			os.Exit(2)
 		}
 		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *pair != "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -pair needs exactly one snapshot file")
+			os.Exit(2)
+		}
+		ok, err := runPair(flag.Arg(0), *pair, *threshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
@@ -83,6 +103,38 @@ func runParse(in, out, date string) error {
 		return err
 	}
 	return snap.WriteFile(out)
+}
+
+// runPair gates CANDIDATE against BASELINE within one snapshot — the
+// live-telemetry-vs-no-op overhead check.
+func runPair(path, pair string, threshold float64) (bool, error) {
+	names := strings.Split(pair, ",")
+	if len(names) != 2 || names[0] == "" || names[1] == "" {
+		return false, fmt.Errorf("-pair wants BASELINE,CANDIDATE, got %q", pair)
+	}
+	snap, err := benchsnap.Load(path)
+	if err != nil {
+		return false, err
+	}
+	var res [2]benchsnap.Result
+	for i, name := range names {
+		r, ok := snap.Benchmarks[name]
+		if !ok {
+			return false, fmt.Errorf("%s: benchmark %q not in snapshot (have %v)", path, name, snap.Names())
+		}
+		if r.NsPerOp <= 0 {
+			return false, fmt.Errorf("%s: benchmark %q has no ns/op", path, name)
+		}
+		res[i] = r
+	}
+	ratio := res[1].NsPerOp / res[0].NsPerOp
+	fmt.Printf("benchdiff: %s %.0f ns/op vs %s %.0f ns/op: %+.1f%% (bound %+.0f%%)\n",
+		names[0], res[0].NsPerOp, names[1], res[1].NsPerOp, (ratio-1)*100, threshold*100)
+	if ratio > 1+threshold {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s exceeds %s by more than %.0f%%\n", names[1], names[0], threshold*100)
+		return false, nil
+	}
+	return true, nil
 }
 
 func runCompare(oldPath, newPath string, threshold float64) (bool, error) {

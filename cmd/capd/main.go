@@ -16,6 +16,19 @@
 //	               for queries served and rows scanned vs. skipped
 //	GET /healthz   store and admission-queue state (never load-shed)
 //
+// With -metrics, the unified telemetry surface is mounted as well —
+// outside the load-shedding limiter, so it stays scrapeable while
+// queries are being shed:
+//
+//	GET /metrics       Prometheus text exposition (store counters,
+//	                   per-query histograms, limiter admission state)
+//	GET /metrics.json  the same registry as JSON
+//	GET /debug/trace   per-query spans as NDJSON (?name= filters)
+//	GET /debug/pprof/  the standard net/http/pprof surface
+//
+// and /healthz gains a telemetry summary (uptime, slowest query
+// buckets).
+//
 // The server degrades gracefully instead of falling over: at most
 // -max-inflight requests are served concurrently and the rest are shed
 // with 429 + Retry-After, each admitted request is bounded by
@@ -27,6 +40,7 @@
 //	curl 'http://127.0.0.1:8650/count?host=cdn.cookielaw.org'
 //	curl 'http://127.0.0.1:8650/query?domain=example.com&limit=5'
 //	curl 'http://127.0.0.1:8650/healthz'
+//	curl 'http://127.0.0.1:8650/metrics'        # with -metrics
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/capstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -49,6 +64,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8650", "listen address")
 		maxInFly   = flag.Int("max-inflight", 64, "concurrent requests served before shedding with 429")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+		metrics    = flag.Bool("metrics", false, "expose /metrics, /debug/trace and /debug/pprof (outside the limiter)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -81,11 +97,35 @@ func main() {
 	if timeout <= 0 {
 		timeout = -1 // ServeConfig: negative disables, zero means default
 	}
+	serveCfg := capstore.ServeConfig{
+		MaxInFlight:    *maxInFly,
+		RequestTimeout: timeout,
+	}
+	var handler http.Handler
+	if *metrics {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(obs.TracerConfig{})
+		tracer.RegisterMetrics(reg)
+		store.RegisterMetrics(reg)
+		store.SetTracer(tracer)
+		serveCfg.Registry = reg
+		serveCfg.Metrics = store.Metrics()
+		// The debug surface mounts on the outer mux, beside /healthz
+		// and outside the limiter: scrapes and profiles must work
+		// exactly when the query path is saturated.
+		outer := http.NewServeMux()
+		debug := obs.Handler(reg, tracer)
+		outer.Handle("/metrics", debug)
+		outer.Handle("/metrics.json", debug)
+		outer.Handle("/debug/", debug)
+		outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
+		handler = outer
+		fmt.Printf("capd: telemetry on /metrics, /metrics.json, /debug/trace, /debug/pprof/\n")
+	} else {
+		handler = capstore.NewResilientHandler(store, serveCfg)
+	}
 	srv := &http.Server{
-		Handler: capstore.NewResilientHandler(store, capstore.ServeConfig{
-			MaxInFlight:    *maxInFly,
-			RequestTimeout: timeout,
-		}),
+		Handler: handler,
 		// Slow-loris protection: a client must finish its headers
 		// promptly and keep-alive connections cannot idle forever.
 		// WriteTimeout stays unset: /query legitimately streams for as

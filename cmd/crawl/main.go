@@ -6,7 +6,7 @@
 //
 //	crawl [-domains N] [-shares N] [-seed N] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
 //	      [-out captures.jsonl] [-store capdir [-store-shards N]]
-//	      [-stream [-retries N] [-breaker N] [-chaos SPEC]]
+//	      [-stream [-retries N] [-breaker N] [-chaos SPEC]] [-telemetry]
 //
 // The default mode is the batch pipeline (CrawlWindow) used for
 // reproducible analysis runs. -stream switches to the deployment
@@ -17,6 +17,10 @@
 // substrate, e.g.:
 //
 //	crawl -stream -retries 4 -breaker 8 -chaos '5xx=0.05,drop=0.02,antibot=0.01,seed=7'
+//
+// -telemetry attaches the unified metrics registry to the detector,
+// the aggregation sink and (with -stream) the pipeline, and dumps the
+// Prometheus text exposition when the run finishes.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/detect"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/resilience/chaos"
 	"repro/internal/simtime"
@@ -43,18 +48,19 @@ import (
 
 func main() {
 	var (
-		domains = flag.Int("domains", 20_000, "universe size")
-		shares  = flag.Int("shares", 800, "social-feed shares per day")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "crawl concurrency")
-		fromStr = flag.String("from", "", "crawl start date (YYYY-MM-DD, default window start)")
-		toStr   = flag.String("to", "", "crawl end date (YYYY-MM-DD, default window end)")
-		outPath  = flag.String("out", "", "also persist raw captures to this JSONL file (query with capq -file)")
-		storeDir = flag.String("store", "", "also persist raw captures to a sharded capture store directory (serve with capd)")
-		shards   = flag.Int("store-shards", capstore.DefaultShards, "segment count for -store")
-		stream   = flag.Bool("stream", false, "use the streaming deployment pipeline instead of the batch crawl")
-		retries  = flag.Int("retries", 1, "total attempt budget per share for transient failures (-stream only; 1 disables retrying)")
-		breaker  = flag.Int("breaker", 0, "per-domain circuit breaker: consecutive failures before opening (-stream only; 0 disables)")
+		domains   = flag.Int("domains", 20_000, "universe size")
+		shares    = flag.Int("shares", 800, "social-feed shares per day")
+		seed      = flag.Uint64("seed", 1, "root seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "crawl concurrency")
+		fromStr   = flag.String("from", "", "crawl start date (YYYY-MM-DD, default window start)")
+		toStr     = flag.String("to", "", "crawl end date (YYYY-MM-DD, default window end)")
+		outPath   = flag.String("out", "", "also persist raw captures to this JSONL file (query with capq -file)")
+		storeDir  = flag.String("store", "", "also persist raw captures to a sharded capture store directory (serve with capd)")
+		shards    = flag.Int("store-shards", capstore.DefaultShards, "segment count for -store")
+		stream    = flag.Bool("stream", false, "use the streaming deployment pipeline instead of the batch crawl")
+		telemetry = flag.Bool("telemetry", false, "meter the run (detector, sinks, stream pipeline) and dump the Prometheus exposition on exit")
+		retries   = flag.Int("retries", 1, "total attempt budget per share for transient failures (-stream only; 1 disables retrying)")
+		breaker   = flag.Int("breaker", 0, "per-domain circuit breaker: consecutive failures before opening (-stream only; 0 disables)")
 		chaosSpec = flag.String("chaos", "", "inject deterministic faults, e.g. '5xx=0.05,drop=0.02,antibot=0.01,latency=0.05,torn=0.01,seed=7'")
 	)
 	flag.Parse()
@@ -78,11 +84,21 @@ func main() {
 		inj = chaos.New(chaosCfg)
 	}
 
+	// A nil registry keeps every recorder below in its no-op form, so
+	// the untelemetered run pays only nil checks.
+	var reg *obs.Registry
+	if *telemetry {
+		reg = obs.NewRegistry()
+	}
+
 	world := webworld.New(webworld.Config{Seed: *seed, Domains: *domains})
 	feed := socialfeed.New(world, socialfeed.Config{Seed: *seed, SharesPerDay: *shares})
-	obs := detect.NewObservations(detect.Default())
+	det := detect.Default()
+	det.SetMetrics(detect.NewMetrics(reg))
+	observations := detect.NewObservations(det)
+	observations.RegisterMetrics(reg)
 
-	sinks := capture.MultiSink{obs}
+	sinks := capture.MultiSink{observations}
 	if *outPath != "" {
 		w, err := capturedb.Create(*outPath)
 		if err != nil {
@@ -125,7 +141,7 @@ func main() {
 		}()
 		sinks = append(sinks, storeSink)
 	}
-	var sink capture.Sink = obs
+	var sink capture.Sink = observations
 	if len(sinks) > 1 {
 		sink = sinks
 	}
@@ -142,11 +158,13 @@ func main() {
 			Workers: *workers,
 			Retry:   resilience.RetryPolicy{MaxAttempts: *retries},
 			Breaker: resilience.BreakerConfig{Threshold: *breaker},
+			Metrics: crawler.NewStreamMetrics(reg),
 		}
 		if inj != nil {
 			scfg.Visitor = inj.Visitor(world)
 		}
 		platform := crawler.NewStreamPlatform(world, scfg)
+		platform.RegisterMetrics(reg)
 		ctx := context.Background()
 		done := make(chan struct{})
 		go func() {
@@ -180,12 +198,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("\nDataset statistics:\n")
-	fmt.Printf("  captures:            %d (%.0f/s)\n", obs.Total, float64(obs.Total)/elapsed.Seconds())
-	fmt.Printf("  unique domains:      %d\n", obs.NumDomains())
+	fmt.Printf("  captures:            %d (%.0f/s)\n", observations.Total, float64(observations.Total)/elapsed.Seconds())
+	fmt.Printf("  unique domains:      %d\n", observations.NumDomains())
 	fmt.Printf("  feed submissions:    %d (%.1f%% skipped by dedup)\n",
 		feed.Submitted, 100*float64(feed.Skipped)/float64(feed.Submitted))
 	fmt.Printf("  multi-CMP captures:  %d (%.4f%%; paper: 0.01%%)\n",
-		obs.MultiCMP, 100*float64(obs.MultiCMP)/float64(obs.Total))
+		observations.MultiCMP, 100*float64(observations.MultiCMP)/float64(observations.Total))
 
 	if streamStats != nil {
 		st := *streamStats
@@ -205,15 +223,23 @@ func main() {
 			c.FiveXX, c.Drops, c.AntiBot, c.Latency, c.Torn)
 	}
 
-	below, between, above := obs.DailyShareDistribution(3, 0.05, 0.95)
+	below, between, above := observations.DailyShareDistribution(3, 0.05, 0.95)
 	total := below + between + above
 	if total > 0 {
 		fmt.Printf("  daily CMP-share polarization: %.2f%% of domain-days <5%% or >95%% (paper: 99.8%% of domains)\n",
 			100*float64(below+above)/float64(total))
 	}
 
-	db := analysis.BuildPresence(obs, interp.Options{})
+	db := analysis.BuildPresence(observations, interp.Options{})
 	fmt.Printf("  domains with CMP presence: %d\n", db.Len())
+
+	if reg != nil {
+		fmt.Printf("\nTelemetry (Prometheus exposition):\n")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "crawl: telemetry:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func parseDay(s string) simtime.Day {

@@ -1,0 +1,236 @@
+// Command obssmoke exercises the unified telemetry surface end to end
+// against a real capd process: it writes a fixture capture store, boots
+// `capd -store … -metrics` as a child, drives queries through the
+// public client, and then verifies every debug endpoint — /metrics
+// parses as Prometheus text and carries the store families, the same
+// registry is served as /metrics.json, /debug/trace shows the query
+// spans, /debug/pprof/ answers, and /healthz carries the telemetry
+// summary. Any failure exits non-zero.
+//
+// Usage:
+//
+//	obssmoke [-capd bin/capd]
+//
+// `make obs-smoke` builds capd and runs this; it is part of `make
+// check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+const fixtureRecords = 120
+
+func main() {
+	capdPath := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "obssmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "store")
+	check(buildFixture(storeDir))
+
+	addr, stop, err := bootCapd(*capdPath, storeDir)
+	check(err)
+	defer stop()
+	base := "http://" + addr
+	cl := capstore.NewClient(base)
+
+	// Generate telemetry through the public query API: one indexed
+	// domain query, one indexed host query, one count.
+	var rows int
+	check(cl.Query(capturedb.Query{Domain: "site-001.com"}, 0, 0, func(*capture.Capture) bool {
+		rows++
+		return true
+	}))
+	if rows == 0 {
+		fatalf("domain query returned no rows")
+	}
+	n, err := cl.Count(capturedb.Query{RequestHost: "cdn.cookielaw.org"})
+	check(err)
+	if n == 0 {
+		fatalf("host count returned 0")
+	}
+
+	// /metrics must be valid exposition text and carry the store,
+	// tracer and limiter families.
+	text := get(base + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{
+		fmt.Sprintf("capstore_records_total %d", fixtureRecords),
+		"capstore_queries_total 2",
+		"capstore_query_seconds_bucket",
+		"obs_trace_spans",
+		"resilience_http_admitted_total",
+	} {
+		if !strings.Contains(text, want) {
+			fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// The JSON mirror and the span export must agree with what we did.
+	if js := get(base + "/metrics.json"); !strings.Contains(js, `"capstore_queries_total"`) {
+		fatalf("/metrics.json missing capstore_queries_total:\n%s", js)
+	}
+	trace := get(base + "/debug/trace")
+	for _, want := range []string{
+		`"id":"query[path=domain-index]"`,
+		`"id":"query[path=host-index]"`,
+	} {
+		if !strings.Contains(trace, want) {
+			fatalf("/debug/trace missing %q:\n%s", want, trace)
+		}
+	}
+	get(base + "/debug/pprof/")
+
+	// /healthz gains the telemetry summary when -metrics is on.
+	h, err := cl.Health()
+	check(err)
+	if h.Records != fixtureRecords {
+		fatalf("healthz records = %d, want %d", h.Records, fixtureRecords)
+	}
+	if h.Telemetry == nil {
+		fatalf("healthz telemetry summary missing: %+v", h)
+	}
+	if h.Telemetry.UptimeSeconds <= 0 {
+		fatalf("healthz uptime = %v, want > 0", h.Telemetry.UptimeSeconds)
+	}
+	if len(h.Telemetry.SlowestQueryBuckets) == 0 {
+		fatalf("healthz slowest query buckets empty after %d queries", 2)
+	}
+
+	check(stop())
+	fmt.Printf("obssmoke: ok (%d records, %d rows from site-001.com, %d cdn.cookielaw.org captures)\n",
+		fixtureRecords, rows, n)
+}
+
+// buildFixture writes a small sharded store: 30 domains over 200 days,
+// every capture loading cdn.cookielaw.org, every 11th failed.
+func buildFixture(dir string) error {
+	st, err := capstore.Create(dir, 4)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < fixtureRecords; i++ {
+		domain := fmt.Sprintf("site-%03d.com", i%30)
+		c := &capture.Capture{
+			SeedURL:     "http://" + domain + "/",
+			FinalDomain: domain,
+			Day:         simtime.Day(i % 200),
+			Vantage:     capture.EUCloud,
+			Requests: []capture.Request{
+				{Host: domain, Status: 200},
+				{Host: "cdn.cookielaw.org", Status: 200},
+			},
+		}
+		if i%11 == 0 {
+			c.Failed = true
+		}
+		st.Record(c)
+	}
+	return st.Close()
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// bootCapd starts capd with telemetry on an ephemeral port and parses
+// the bound address from its startup banner. stop sends SIGTERM and
+// waits for the graceful drain.
+func bootCapd(bin, storeDir string) (addr string, stop func() error, err error) {
+	cmd := exec.Command(bin, "-store", storeDir, "-metrics", "-addr", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	banner := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var seen []byte
+		for {
+			n, err := out.Read(buf)
+			seen = append(seen, buf[:n]...)
+			if m := addrRe.FindSubmatch(seen); m != nil {
+				banner <- string(m[1])
+				break
+			}
+			if err != nil {
+				banner <- ""
+				return
+			}
+		}
+		io.Copy(io.Discard, out)
+	}()
+	select {
+	case addr = <-banner:
+	case <-time.After(10 * time.Second):
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", nil, fmt.Errorf("capd did not report a listen address")
+	}
+	stopped := false
+	stop = func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			return fmt.Errorf("capd did not shut down after SIGTERM")
+		}
+	}
+	return addr, stop, nil
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obssmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

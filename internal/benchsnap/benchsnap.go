@@ -50,7 +50,10 @@ type Snapshot struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // Parse reads `go test -bench` output. Lines that are not benchmark
-// results (headers, PASS/ok, test logs) are skipped.
+// results (headers, PASS/ok, test logs) are skipped. When a benchmark
+// appears more than once (`-count` > 1) the fastest run wins: the
+// minimum is the standard robust estimator — slower repeats measure
+// scheduler and frequency noise, not the code.
 func Parse(r io.Reader) (*Snapshot, error) {
 	s := &Snapshot{Benchmarks: make(map[string]Result)}
 	sc := bufio.NewScanner(r)
@@ -74,7 +77,10 @@ func Parse(r io.Reader) (*Snapshot, error) {
 			continue
 		}
 		name, res, ok := parseBenchLine(line)
-		if ok {
+		if !ok {
+			continue
+		}
+		if prev, seen := s.Benchmarks[name]; !seen || res.NsPerOp < prev.NsPerOp {
 			s.Benchmarks[name] = res
 		}
 	}

@@ -71,6 +71,21 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// With -count > 1 the fastest repeat must win, regardless of order.
+func TestParseRepeatsKeepMin(t *testing.T) {
+	out := `BenchmarkX-8	100	300 ns/op
+BenchmarkX-8	100	250 ns/op
+BenchmarkX-8	100	280 ns/op
+`
+	s, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := s.Benchmarks["BenchmarkX"].NsPerOp; got != 250 {
+		t.Errorf("BenchmarkX = %v ns/op, want min 250", got)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	if _, err := Parse(strings.NewReader("PASS\nok\n")); err == nil {
 		t.Fatal("Parse of output with no benchmarks: want error")

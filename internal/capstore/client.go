@@ -123,6 +123,23 @@ func (cl *Client) Count(q capturedb.Query) (int, error) {
 	return out.Count, nil
 }
 
+// Health fetches /healthz — served outside the server's load-shedding
+// limiter, so it answers even when queries are being shed. The
+// Telemetry field is populated only when the server runs with metrics
+// enabled.
+func (cl *Client) Health() (Health, error) {
+	var h Health
+	resp, err := cl.get("/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("capstore: /healthz: %w", err)
+	}
+	return h, nil
+}
+
 // Stats fetches the server's store snapshot.
 func (cl *Client) Stats() (Stats, error) {
 	var st Stats

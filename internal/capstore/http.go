@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/simtime"
 )
@@ -49,6 +50,16 @@ type ServeConfig struct {
 	// MaxBodyBytes caps request bodies; the API is GET-only, so any
 	// body is hostile (default 1 MiB).
 	MaxBodyBytes int64
+	// Registry, when non-nil, receives the limiter's admission metrics
+	// (in-flight, shed). Mount obs.Handler on the same outer mux —
+	// outside this handler's limiter — to scrape them.
+	Registry *obs.Registry
+	// Metrics, when non-nil, is the store's per-query recorder; its
+	// latency histogram feeds the /healthz telemetry summary.
+	Metrics *StoreMetrics
+	// Now is the uptime clock for /healthz telemetry, injectable for
+	// deterministic tests (default time.Now).
+	Now func() time.Time
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -64,17 +75,58 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
-// health is the /healthz payload: store and admission-queue state.
-type health struct {
+// Health is the /healthz payload: store and admission-queue state,
+// plus a telemetry summary when the handler was built with metrics.
+type Health struct {
 	Status         string                  `json:"status"` // "ok" or "saturated"
 	Records        int64                   `json:"records"`
 	Segments       int                     `json:"segments"`
 	TruncatedTails int64                   `json:"truncated_tails"`
 	QueriesServed  int64                   `json:"queries_served"`
 	Limiter        resilience.LimiterStats `json:"limiter"`
+	Telemetry      *HealthTelemetry        `json:"telemetry,omitempty"`
+}
+
+// HealthTelemetry summarizes the live registry for health probes that
+// don't want to parse a full /metrics exposition.
+type HealthTelemetry struct {
+	// UptimeSeconds counts from handler construction.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// SlowestQueryBuckets are the highest-latency non-empty buckets of
+	// the query-latency histogram, slowest first, at most three.
+	SlowestQueryBuckets []QueryBucket `json:"slowest_query_buckets,omitempty"`
+}
+
+// QueryBucket is one histogram bucket in the health summary.
+type QueryBucket struct {
+	// LE is the bucket's inclusive upper bound in seconds ("+Inf" for
+	// the overflow bucket).
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// slowestBuckets converts a cumulative snapshot back to per-bucket
+// counts and returns the n highest non-empty ones, slowest first.
+func slowestBuckets(snap obs.HistogramSnapshot, n int) []QueryBucket {
+	counts := make([]int64, len(snap.Buckets))
+	var prev int64
+	for i, b := range snap.Buckets {
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	var out []QueryBucket
+	for i := len(counts) - 1; i >= 0 && len(out) < n; i-- {
+		if counts[i] > 0 {
+			out = append(out, QueryBucket{LE: snap.Buckets[i].Label, Count: counts[i]})
+		}
+	}
+	return out
 }
 
 // NewResilientHandler exposes the store with graceful degradation: a
@@ -88,11 +140,13 @@ func NewResilientHandler(s *Store, cfg ServeConfig) http.Handler {
 		MaxInFlight: cfg.MaxInFlight,
 		Timeout:     cfg.RequestTimeout,
 	})
+	lim.RegisterMetrics(cfg.Registry)
+	started := cfg.Now()
 	core := http.MaxBytesHandler(NewHandler(s), cfg.MaxBodyBytes)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
-		h := health{
+		h := Health{
 			Status:         "ok",
 			Records:        st.Records,
 			Segments:       len(st.Shards),
@@ -102,6 +156,12 @@ func NewResilientHandler(s *Store, cfg ServeConfig) http.Handler {
 		}
 		if lim.Saturated() {
 			h.Status = "saturated"
+		}
+		if cfg.Metrics != nil {
+			h.Telemetry = &HealthTelemetry{
+				UptimeSeconds:       cfg.Now().Sub(started).Seconds(),
+				SlowestQueryBuckets: slowestBuckets(cfg.Metrics.QuerySeconds.Snapshot(), 3),
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(h) //nolint:errcheck

@@ -1,0 +1,111 @@
+package capstore
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// rowBuckets grade per-query row counts: 1, 4, 16, … ~260k.
+var rowBuckets = obs.ExponentialBuckets(1, 4, 10)
+
+// StoreMetrics is the store's per-query recorder: latency and
+// rows-scanned/skipped histograms. A nil *StoreMetrics (what
+// NewStoreMetrics returns for a nil registry) is the no-op recorder.
+// The latency histogram also feeds the /healthz telemetry summary —
+// see HealthTelemetry.
+type StoreMetrics struct {
+	// QuerySeconds is the wall time of one Query call, dispatch to
+	// completion.
+	QuerySeconds *obs.Histogram
+	// RowsScanned and RowsSkipped are per-query distributions of
+	// records read from disk vs. excluded by index or metadata
+	// pruning (the cumulative totals live in Stats).
+	RowsScanned *obs.Histogram
+	RowsSkipped *obs.Histogram
+	// Now is the query-latency clock, injectable for deterministic
+	// tests (default time.Now).
+	Now func() time.Time
+}
+
+// NewStoreMetrics registers the per-query metric families on reg;
+// returns nil (the no-op recorder) when reg is nil.
+func NewStoreMetrics(reg *obs.Registry) *StoreMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &StoreMetrics{
+		QuerySeconds: obs.NewHistogram(reg, "capstore_query_seconds",
+			"Wall time of one store query, dispatch to completion.",
+			obs.LatencyBuckets),
+		RowsScanned: obs.NewHistogram(reg, "capstore_query_rows_scanned",
+			"Records read from disk per query.", rowBuckets),
+		RowsSkipped: obs.NewHistogram(reg, "capstore_query_rows_skipped",
+			"Records excluded per query without a disk read (index and metadata pruning).",
+			rowBuckets),
+	}
+}
+
+func (m *StoreMetrics) now() time.Time {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return time.Now()
+}
+
+// RegisterMetrics publishes the store's operational state on reg —
+// cumulative counters mirroring Stats() plus index-shape gauges — and
+// attaches a NewStoreMetrics per-query recorder to the store. Safe to
+// call while queries and ingest are running.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	obs.NewCounterFunc(reg, "capstore_records_total",
+		"Records ingested into the store.", s.counters.records.Load)
+	obs.NewCounterFunc(reg, "capstore_queries_total",
+		"Queries served.", s.counters.queries.Load)
+	obs.NewCounterFunc(reg, "capstore_rows_scanned_total",
+		"Records read from disk across all queries.", s.counters.rowsScanned.Load)
+	obs.NewCounterFunc(reg, "capstore_rows_skipped_total",
+		"Records excluded across all queries without a disk read.", s.counters.rowsSkipped.Load)
+	obs.NewCounterFunc(reg, "capstore_truncated_tails_total",
+		"Crash-torn segment tails detected and repaired at open.", s.counters.truncated.Load)
+	obs.NewGaugeFunc(reg, "capstore_segments",
+		"Segment files backing the store.",
+		func() float64 { return float64(len(s.shards)) })
+	obs.NewGaugeFunc(reg, "capstore_indexed_domains",
+		"Distinct final domains in the secondary index.",
+		func() float64 {
+			s.idxMu.RLock()
+			n := len(s.byDomain)
+			s.idxMu.RUnlock()
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "capstore_indexed_hosts",
+		"Distinct request hosts in the posting-list index.",
+		func() float64 {
+			s.idxMu.RLock()
+			n := len(s.byHost)
+			s.idxMu.RUnlock()
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "capstore_host_postings",
+		"Total request-host posting-list entries.",
+		func() float64 {
+			s.idxMu.RLock()
+			n := s.postings
+			s.idxMu.RUnlock()
+			return float64(n)
+		})
+	s.metrics.Store(NewStoreMetrics(reg))
+}
+
+// SetTracer attaches a tracer emitting one "query" span per Query
+// call (attrs: access path at start; scanned/skipped row counts on
+// completion). Safe to call while queries are running; nil detaches.
+func (s *Store) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// Metrics returns the attached per-query recorder, nil when telemetry
+// is disabled.
+func (s *Store) Metrics() *StoreMetrics { return s.metrics.Load() }

@@ -3,9 +3,12 @@ package capstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -21,22 +24,52 @@ import (
 // indexed.
 func (s *Store) Query(q capturedb.Query, fn func(*capture.Capture) bool) error {
 	s.counters.queries.Add(1)
+	m := s.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = m.now()
+	}
 	counts := s.snapshotCounts()
 	var total int64
 	for _, n := range counts {
 		total += int64(n)
 	}
 
+	path := "scan"
 	switch {
 	case q.Domain != "":
-		refs := s.lookupRefs(s.byDomain, q.Domain, counts)
-		return s.runRefs(refs, total, q, fn)
+		path = "domain-index"
 	case q.RequestHost != "":
-		refs := s.lookupRefs(s.byHost, q.RequestHost, counts)
-		return s.runRefs(refs, total, q, fn)
-	default:
-		return s.runScan(counts, q, fn)
+		path = "host-index"
 	}
+	var span *obs.Span
+	if tr := s.tracer.Load(); tr != nil {
+		span = tr.Start("query", obs.A("path", path))
+	}
+
+	var scanned, skipped int64
+	var err error
+	switch path {
+	case "domain-index":
+		scanned, skipped, err = s.runRefs(s.lookupRefs(s.byDomain, q.Domain, counts), total, q, fn)
+	case "host-index":
+		scanned, skipped, err = s.runRefs(s.lookupRefs(s.byHost, q.RequestHost, counts), total, q, fn)
+	default:
+		scanned, skipped, err = s.runScan(counts, q, fn)
+	}
+	s.counters.rowsScanned.Add(scanned)
+	s.counters.rowsSkipped.Add(skipped)
+	if m != nil {
+		m.QuerySeconds.Observe(m.now().Sub(start).Seconds())
+		m.RowsScanned.Observe(float64(scanned))
+		m.RowsSkipped.Observe(float64(skipped))
+	}
+	if span != nil {
+		span.Attr("scanned", strconv.FormatInt(scanned, 10))
+		span.Attr("skipped", strconv.FormatInt(skipped, 10))
+		span.End()
+	}
+	return err
 }
 
 // Count returns the number of matches.
@@ -82,14 +115,11 @@ func (s *Store) lookupRefs(idx map[string][]ref, key string, counts []int32) []r
 
 // runRefs reads exactly the indexed candidate records, pre-filtering
 // on the in-memory day/failed metadata so non-candidates never touch
-// disk. Every record excluded without a disk read counts as skipped.
-func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*capture.Capture) bool) error {
-	var scanned, skipped int64
+// disk. Every record excluded without a disk read counts as skipped;
+// the per-query tallies are returned so Query can book them globally
+// and per-query in one place.
+func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
 	skipped = total - int64(len(refs))
-	defer func() {
-		s.counters.rowsScanned.Add(scanned)
-		s.counters.rowsSkipped.Add(skipped)
-	}()
 
 	// Fetch metadata per contiguous shard run (refs are sorted),
 	// flushing each touched shard once so ReadAt sees the bytes.
@@ -103,7 +133,7 @@ func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*cap
 		sh.mu.Lock()
 		if err := sh.bw.Flush(); err != nil {
 			sh.mu.Unlock()
-			return err
+			return scanned, skipped, err
 		}
 		for k := i; k < j; k++ {
 			metas[k] = sh.recs[refs[k].idx]
@@ -121,29 +151,23 @@ func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*cap
 		}
 		c, err := s.readRecord(s.shards[r.shard], meta, &buf)
 		if err != nil {
-			return err
+			return scanned, skipped, err
 		}
 		scanned++
 		if !q.Match(c) {
 			continue
 		}
 		if !fn(c) {
-			return nil
+			return scanned, skipped, nil
 		}
 	}
-	return nil
+	return scanned, skipped, nil
 }
 
 // runScan is the fallback path for queries with no indexed key: every
 // segment is scanned in order, skipping whole segments whose day range
 // cannot intersect the query's bounds.
-func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capture) bool) error {
-	var scanned, skipped int64
-	defer func() {
-		s.counters.rowsScanned.Add(scanned)
-		s.counters.rowsSkipped.Add(skipped)
-	}()
-
+func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
 	upper, bounded := q.Upper()
 	for i, sh := range s.shards {
 		n := int(counts[i])
@@ -163,7 +187,7 @@ func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capt
 		sh.mu.Lock()
 		if err := sh.bw.Flush(); err != nil {
 			sh.mu.Unlock()
-			return err
+			return scanned, skipped, err
 		}
 		metas := make([]recMeta, n)
 		copy(metas, sh.recs[:n])
@@ -177,18 +201,18 @@ func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capt
 			}
 			c, err := s.readRecord(sh, meta, &buf)
 			if err != nil {
-				return err
+				return scanned, skipped, err
 			}
 			scanned++
 			if !q.Match(c) {
 				continue
 			}
 			if !fn(c) {
-				return nil
+				return scanned, skipped, nil
 			}
 		}
 	}
-	return nil
+	return scanned, skipped, nil
 }
 
 // readRecord fetches and decodes one record by offset, reusing *buf

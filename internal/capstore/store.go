@@ -19,9 +19,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -86,6 +88,12 @@ type Store struct {
 	postings int64
 
 	counters counters
+
+	// Optional telemetry, attached via RegisterMetrics / SetTracer.
+	// Atomic so attachment can race live queries without a lock on
+	// the hot path.
+	metrics atomic.Pointer[StoreMetrics]
+	tracer  atomic.Pointer[obs.Tracer]
 
 	errMu sync.Mutex
 	err   error

@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the study's campaign-memoization state on
+// reg: hit/miss counters, the live hit ratio, and the cache's entry
+// count against its bound. Safe to call while campaigns run.
+func (s *Study) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	obs.NewCounterFunc(reg, "study_campaign_cache_hits_total",
+		"Toplist campaigns answered from the memoization cache.",
+		func() int64 { h, _ := s.CampaignCacheStats(); return h })
+	obs.NewCounterFunc(reg, "study_campaign_cache_misses_total",
+		"Toplist campaigns that had to crawl.",
+		func() int64 { _, m := s.CampaignCacheStats(); return m })
+	obs.NewGaugeFunc(reg, "study_campaign_cache_hit_ratio",
+		"Cache hits over lookups (0 before the first lookup).",
+		func() float64 {
+			h, m := s.CampaignCacheStats()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+	obs.NewGaugeFunc(reg, "study_campaign_cache_entries",
+		"Memoized campaigns currently held.",
+		func() float64 {
+			s.campMu.Lock()
+			n := len(s.campCache)
+			s.campMu.Unlock()
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "study_campaign_cache_bound",
+		"Memoization LRU size bound (0 = disabled).",
+		func() float64 { return float64(s.campaignCacheSize()) })
+}

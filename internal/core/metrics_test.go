@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// The registered families must track the memoization counters live.
+func TestStudyRegisterMetrics(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Domains = 3_000
+	cfg.ToplistSize = 300
+	cfg.CampaignCache = 2
+	s := NewStudy(cfg)
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	day := simtime.Table1Snapshot
+	s.RunToplistCampaign(day, 100) // miss
+	s.RunToplistCampaign(day, 100) // hit
+	s.RunToplistCampaign(day, 200) // miss
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"study_campaign_cache_hits_total 1",
+		"study_campaign_cache_misses_total 2",
+		"study_campaign_cache_entries 2",
+		"study_campaign_cache_bound 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// hit ratio = 1/3
+	if !strings.Contains(text, "study_campaign_cache_hit_ratio 0.333") {
+		t.Errorf("exposition missing hit ratio ≈ 1/3:\n%s", text)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Errorf("invalid exposition: %v", err)
+	}
+}

@@ -3,11 +3,13 @@ package crawler
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/browser"
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/simtime"
@@ -85,6 +87,17 @@ type StreamConfig struct {
 	// DeadLetter receives shares that exhaust their chances; nil
 	// installs an in-memory sink readable via DeadLetters().
 	DeadLetter resilience.DeadLetterSink
+	// Metrics receives per-visit telemetry (latency histogram, outcome
+	// and dead-letter counters); nil is the no-op recorder. See also
+	// StreamPlatform.RegisterMetrics for the live-state gauges.
+	Metrics *StreamMetrics
+	// Tracer records visit/retry/store spans for each processed share;
+	// nil disables tracing.
+	Tracer *obs.Tracer
+	// Now is the clock behind politeness scheduling and visit timing,
+	// injectable for deterministic tests — the same pattern as
+	// resilience.BreakerConfig.Now (default time.Now).
+	Now func() time.Time
 }
 
 // StreamStats is the pipeline's per-outcome ledger. Succeeded +
@@ -130,6 +143,9 @@ func NewStreamPlatform(w *webworld.World, cfg StreamConfig) *StreamPlatform {
 	}
 	if cfg.PerDomainDelay <= 0 {
 		cfg.PerDomainDelay = 10 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	p := &StreamPlatform{
 		cfg:      cfg,
@@ -203,20 +219,27 @@ func (p *StreamPlatform) Stats() StreamStats {
 // when StreamConfig.DeadLetter replaced it.
 func (p *StreamPlatform) DeadLetters() *resilience.MemDeadLetter { return p.memDead }
 
-// politenessWait blocks until the domain may be hit again, respecting
-// cancellation. It reserves the next slot before waiting so concurrent
-// workers honouring the same domain serialize correctly.
-func (p *StreamPlatform) politenessWait(ctx context.Context, domain string) error {
+// politenessReserve claims the domain's next capture slot under the
+// configured clock and returns how long the caller must wait for it.
+// Reserving before waiting makes concurrent workers honouring the same
+// domain serialize correctly, and keeping the computation pure against
+// StreamConfig.Now makes the schedule testable without sleeping.
+func (p *StreamPlatform) politenessReserve(domain string) time.Duration {
 	p.mu.Lock()
-	now := time.Now()
+	defer p.mu.Unlock()
+	now := p.cfg.Now()
 	next := p.lastHit[domain].Add(p.cfg.PerDomainDelay)
 	if next.Before(now) {
 		next = now
 	}
 	p.lastHit[domain] = next
-	p.mu.Unlock()
+	return next.Sub(now)
+}
 
-	d := time.Until(next)
+// politenessWait blocks until the domain may be hit again, respecting
+// cancellation.
+func (p *StreamPlatform) politenessWait(ctx context.Context, domain string) error {
+	d := p.politenessReserve(domain)
 	if d <= 0 {
 		return nil
 	}
@@ -245,9 +268,16 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// record sends a capture to the sink and books the outcome.
-func (p *StreamPlatform) record(sink capture.Sink, c *capture.Capture, ok bool) {
-	sink.Record(c)
+// record sends a capture to the sink and books the outcome; the store
+// span (a child of the visit span) brackets the sink write.
+func (p *StreamPlatform) record(sink capture.Sink, c *capture.Capture, ok bool, visit *obs.Span) {
+	if visit != nil {
+		store := visit.Start("store")
+		sink.Record(c)
+		store.End()
+	} else {
+		sink.Record(c)
+	}
 	p.mu.Lock()
 	p.captures++
 	if ok {
@@ -256,6 +286,7 @@ func (p *StreamPlatform) record(sink capture.Sink, c *capture.Capture, ok bool) 
 		p.stats.FailedRecorded++
 	}
 	p.mu.Unlock()
+	p.cfg.Metrics.recordVisit(ok)
 }
 
 // deadLetter books a share that leaves the pipeline without a capture.
@@ -281,6 +312,7 @@ func (p *StreamPlatform) deadLetter(q queued, attempts int, reason, lastErr stri
 		}
 	}
 	p.mu.Unlock()
+	p.cfg.Metrics.deadLetter(reason)
 }
 
 // process runs one share to a terminal outcome: a recorded capture
@@ -288,7 +320,17 @@ func (p *StreamPlatform) deadLetter(q queued, attempts int, reason, lastErr stri
 // two happens per dequeued share.
 func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink capture.Sink, q queued) {
 	domain := q.share.Domain
+	var visit *obs.Span
+	if p.cfg.Tracer != nil {
+		visit = p.cfg.Tracer.Start("visit", obs.A("url", q.share.URL), obs.A("day", q.day.String()))
+		defer visit.End()
+	}
+	if m := p.cfg.Metrics; m != nil {
+		start := p.cfg.Now()
+		defer func() { m.VisitSeconds.Observe(p.cfg.Now().Sub(start).Seconds()) }()
+	}
 	if !p.breakers.Allow(domain) {
+		visit.Attr("outcome", "dead-letter")
 		p.deadLetter(q, 0, resilience.ReasonBreakerOpen, "")
 		return
 	}
@@ -301,6 +343,7 @@ func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink c
 		if err := p.politenessWait(ctx, domain); err != nil {
 			// Cancelled mid-wait: account for the share instead of
 			// losing it.
+			visit.Attr("outcome", "dead-letter")
 			p.deadLetter(q, attempt-1, resilience.ReasonCancelled, lastErr)
 			return
 		}
@@ -308,15 +351,22 @@ func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink c
 		if p.src.Bool(0.5, "vantage", q.share.URL, q.day.String()) {
 			vantage = capture.EUCloud
 		}
+		var retry *obs.Span
+		if visit != nil && attempt > 1 {
+			retry = visit.Start("retry", obs.A("n", strconv.Itoa(attempt)))
+		}
 		c := b.Load(q.share.URL, q.day, vantage)
+		retry.End()
 		switch resilience.ClassifyCapture(c) {
 		case resilience.Success:
 			p.breakers.Success(domain)
-			p.record(sink, c, true)
+			visit.Attr("outcome", "success")
+			p.record(sink, c, true, visit)
 			return
 		case resilience.Terminal:
 			p.breakers.Failure(domain)
-			p.record(sink, c, false)
+			visit.Attr("outcome", "failed")
+			p.record(sink, c, false, visit)
 			return
 		default: // Retryable
 			p.breakers.Failure(domain)
@@ -325,22 +375,27 @@ func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink c
 				if maxAttempts == 1 {
 					// Retries disabled: keep the record-everything
 					// behaviour of the batch pipeline.
-					p.record(sink, c, false)
+					visit.Attr("outcome", "failed")
+					p.record(sink, c, false, visit)
 				} else {
+					visit.Attr("outcome", "dead-letter")
 					p.deadLetter(q, attempt, resilience.ReasonBudgetExhausted, lastErr)
 				}
 				return
 			}
 			if !p.breakers.Allow(domain) {
 				// Our own failures opened the domain's breaker.
+				visit.Attr("outcome", "dead-letter")
 				p.deadLetter(q, attempt, resilience.ReasonBreakerOpen, lastErr)
 				return
 			}
 			p.mu.Lock()
 			p.stats.Retries++
 			p.mu.Unlock()
+			p.cfg.Metrics.retry()
 			backoff := p.cfg.Retry.Backoff(p.src, attempt, q.share.URL, q.day.String())
 			if err := sleepCtx(ctx, backoff); err != nil {
+				visit.Attr("outcome", "dead-letter")
 				p.deadLetter(q, attempt, resilience.ReasonCancelled, lastErr)
 				return
 			}

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/simtime"
 	"repro/internal/socialfeed"
@@ -32,10 +34,34 @@ func getStressWorld() *webworld.World {
 // checkStressInvariants asserts the pipeline's accounting after Run
 // has returned: every accepted submission ends in exactly one of
 // recorded / dead-lettered / dropped, and no share is both recorded
-// and dead-lettered.
+// and dead-lettered. When the platform ran with live telemetry, the
+// metric counters must tell the same story as the mutex-guarded
+// ledger.
 func checkStressInvariants(t *testing.T, name string, p *StreamPlatform, store *capture.MemStore, accepted int64) {
 	t.Helper()
 	st := p.Stats()
+	if m := p.cfg.Metrics; m != nil {
+		if got := m.Succeeded.Value(); got != st.Succeeded {
+			t.Errorf("%s: succeeded metric %d != ledger %d", name, got, st.Succeeded)
+		}
+		if got := m.Failed.Value(); got != st.FailedRecorded {
+			t.Errorf("%s: failed metric %d != ledger %d", name, got, st.FailedRecorded)
+		}
+		if got := m.Retries.Value(); got != st.Retries {
+			t.Errorf("%s: retries metric %d != ledger %d", name, got, st.Retries)
+		}
+		var deadTotal int64
+		for _, c := range m.deadLetters {
+			deadTotal += c.Value()
+		}
+		if want := st.DeadLettered + st.Dropped; deadTotal != want {
+			t.Errorf("%s: dead-letter metrics sum %d != ledger %d", name, deadTotal, want)
+		}
+		if snap := m.VisitSeconds.Snapshot(); snap.Count != st.Succeeded+st.FailedRecorded+st.DeadLettered {
+			t.Errorf("%s: visit latency observations %d != processed shares %d",
+				name, snap.Count, st.Succeeded+st.FailedRecorded+st.DeadLettered)
+		}
+	}
 	if st.Submitted != accepted {
 		t.Errorf("%s: platform counted %d submissions, test accepted %d", name, st.Submitted, accepted)
 	}
@@ -90,6 +116,7 @@ func TestStreamStressOrderings(t *testing.T) {
 	}
 
 	run := func(name string, iter int, cancelMidway bool) {
+		reg := obs.NewRegistry()
 		p := NewStreamPlatform(w, StreamConfig{
 			Seed:           uint64(100 + iter),
 			Workers:        6,
@@ -97,7 +124,10 @@ func TestStreamStressOrderings(t *testing.T) {
 			PerDomainDelay: 100 * time.Microsecond,
 			Retry:          resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: 500 * time.Microsecond},
 			Breaker:        resilience.BreakerConfig{Threshold: 4, Cooldown: 5 * time.Millisecond},
+			Metrics:        NewStreamMetrics(reg),
+			Tracer:         obs.NewTracer(obs.TracerConfig{}),
 		})
+		p.RegisterMetrics(reg)
 		store := capture.NewMemStore()
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
@@ -152,6 +182,15 @@ func TestStreamStressOrderings(t *testing.T) {
 			}
 		}
 		checkStressInvariants(t, fmt.Sprintf("%s/%d", name, iter), p, store, accepted.Load())
+		// The exposition produced under concurrent load must stay
+		// parseable.
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("%s/%d: %v", name, iter, err)
+		}
+		if err := obs.ValidateExposition(&buf); err != nil {
+			t.Errorf("%s/%d: invalid exposition: %v", name, iter, err)
+		}
 	}
 
 	for iter := 0; iter < 3; iter++ {

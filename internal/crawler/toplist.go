@@ -3,10 +3,13 @@ package crawler
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/webworld"
 )
@@ -108,6 +111,18 @@ type Campaign struct {
 	// Workers is the crawl concurrency of Run. Zero or negative means
 	// GOMAXPROCS. Results are byte-identical at any worker count.
 	Workers int
+	// Metrics receives per-visit latency, retry, and probe-outcome
+	// counts; nil disables recording.
+	Metrics *CampaignMetrics
+	// Tracer receives campaign → shard → visit spans; nil disables
+	// tracing. With a fixed-clock tracer the exported span set is
+	// byte-identical at any worker count (shard bounds vary only in
+	// post-start display attributes, never in span identity).
+	Tracer *obs.Tracer
+	// Now is the clock used for visit-latency observations, injectable
+	// for deterministic tests (default time.Now). Matches the
+	// resilience.BreakerConfig.Now pattern.
+	Now func() time.Time
 }
 
 // CampaignResult holds per-configuration capture stores and the probe
@@ -142,6 +157,9 @@ type campaignShard struct {
 // slice and per-config store contents — is byte-identical to a serial
 // run at any worker count.
 func (c *Campaign) Run() *CampaignResult {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -154,6 +172,15 @@ func (c *Campaign) Run() *CampaignResult {
 	}
 	configs := ToplistConfigs()
 
+	var root *obs.Span
+	if c.Tracer != nil {
+		root = c.Tracer.Start("campaign",
+			obs.A("day", c.Day.String()),
+			obs.A("domains", strconv.Itoa(len(c.Domains))))
+		root.Attr("workers", strconv.Itoa(workers))
+		defer root.End()
+	}
+
 	shards := make([]campaignShard, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -161,11 +188,21 @@ func (c *Campaign) Run() *CampaignResult {
 		// one extra domain.
 		lo := w * len(c.Domains) / workers
 		hi := (w + 1) * len(c.Domains) / workers
+		// The shard span carries no start attributes: its identity (and
+		// hence the parent id of every visit span below it) must not
+		// depend on the worker count. Bounds are display-only.
+		var shardSpan *obs.Span
+		if root != nil {
+			shardSpan = root.Start("shard")
+			shardSpan.Attr("lo", strconv.Itoa(lo))
+			shardSpan.Attr("hi", strconv.Itoa(hi))
+		}
 		wg.Add(1)
-		go func(shard *campaignShard, domains []string) {
+		go func(shard *campaignShard, domains []string, span *obs.Span) {
 			defer wg.Done()
-			c.runShard(shard, domains, configs)
-		}(&shards[w], c.Domains[lo:hi])
+			defer span.End()
+			c.runShard(shard, domains, configs, span)
+		}(&shards[w], c.Domains[lo:hi], shardSpan)
 	}
 	wg.Wait()
 
@@ -184,7 +221,7 @@ func (c *Campaign) Run() *CampaignResult {
 
 // runShard crawls one contiguous toplist slice with a private browser
 // and store set.
-func (c *Campaign) runShard(out *campaignShard, domains []string, configs []ToplistConfig) {
+func (c *Campaign) runShard(out *campaignShard, domains []string, configs []ToplistConfig, span *obs.Span) {
 	browsers := make([]*browser.Browser, len(configs))
 	out.stores = make([]*capture.MemStore, len(configs))
 	for i, tc := range configs {
@@ -194,16 +231,46 @@ func (c *Campaign) runShard(out *campaignShard, domains []string, configs []Topl
 	for _, domain := range domains {
 		probe := SeedProbe(c.World, domain)
 		out.probes = append(out.probes, probe)
+		c.Metrics.probe(probe.Outcome)
 		if probe.Outcome == ProbeUnreachable {
 			continue
 		}
 		for i, tc := range configs {
+			var visit *obs.Span
+			if span != nil {
+				visit = span.Start("visit",
+					obs.A("url", probe.SeedURL),
+					obs.A("config", ConfigKey(tc)))
+			}
+			var start time.Time
+			if c.Metrics != nil {
+				start = c.Now()
+			}
 			var cap *capture.Capture
-			for _, off := range retryOffsets {
+			for n, off := range retryOffsets {
+				var retry *obs.Span
+				if visit != nil && n > 0 {
+					retry = visit.Start("retry", obs.A("n", strconv.Itoa(n)))
+				}
+				if n > 0 {
+					c.Metrics.retry()
+				}
 				cap = browsers[i].Load(probe.SeedURL, c.Day+off, tc.Vantage)
+				retry.End()
 				if !cap.Failed {
 					break
 				}
+			}
+			if m := c.Metrics; m != nil {
+				m.VisitSeconds.Observe(c.Now().Sub(start).Seconds())
+			}
+			if visit != nil {
+				if cap.Failed {
+					visit.Attr("outcome", "failed")
+				} else {
+					visit.Attr("outcome", "success")
+				}
+				visit.End()
 			}
 			out.stores[i].Record(cap)
 		}

@@ -48,6 +48,7 @@ func Fingerprints() []Fingerprint {
 type Detector struct {
 	byHost map[string]cmps.ID
 	byCSS  map[string]cmps.ID
+	m      *Metrics // nil = telemetry off; see SetMetrics
 }
 
 // New builds a detector from the given fingerprints; pass
@@ -85,6 +86,11 @@ func (d *Detector) Detect(c *capture.Capture) []cmps.ID {
 			out = append(out, id)
 		}
 	}
+	if len(out) > 0 {
+		d.m.masked(out[0], seen)
+	} else {
+		d.m.one(cmps.None)
+	}
 	return out
 }
 
@@ -102,6 +108,7 @@ func (d *Detector) DetectMask(c *capture.Capture) (first cmps.ID, mask uint32) {
 			mask |= 1 << uint(id)
 		}
 	}
+	d.m.masked(first, mask)
 	return first, mask
 }
 
@@ -110,9 +117,11 @@ func (d *Detector) DetectMask(c *capture.Capture) (first cmps.ID, mask uint32) {
 func (d *Detector) DetectOne(c *capture.Capture) cmps.ID {
 	for _, r := range c.Requests {
 		if id, ok := d.byHost[r.Host]; ok {
+			d.m.one(id)
 			return id
 		}
 	}
+	d.m.one(cmps.None)
 	return cmps.None
 }
 

@@ -1,0 +1,121 @@
+package detect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/obs"
+)
+
+func reqCapture(domain string, hosts ...string) *capture.Capture {
+	c := &capture.Capture{FinalDomain: domain, Day: 12}
+	for _, h := range hosts {
+		c.Requests = append(c.Requests, capture.Request{Host: h})
+	}
+	return c
+}
+
+func TestDetectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := Default()
+	d.SetMetrics(NewMetrics(reg))
+
+	one := reqCapture("a.com", "www.a.com", cmps.OneTrust.Hostname())
+	multi := reqCapture("b.com", cmps.Quantcast.Hostname(), cmps.OneTrust.Hostname())
+	none := reqCapture("c.com", "www.c.com")
+
+	if got := d.DetectOne(one); got != cmps.OneTrust {
+		t.Fatalf("DetectOne = %v", got)
+	}
+	d.DetectMask(multi)
+	d.Detect(none)
+	d.Detect(multi)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`detect_captures_total{cmp="OneTrust"} 1`,
+		`detect_captures_total{cmp="Quantcast"} 2`,
+		`detect_captures_total{cmp="none"} 1`,
+		"detect_multi_cmp_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Errorf("invalid exposition: %v", err)
+	}
+}
+
+func TestObservationsTracerAndSinkMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.TracerConfig{})
+	o := NewObservations(Default())
+	o.SetTracer(tr)
+	o.RegisterMetrics(reg)
+
+	o.Record(reqCapture("a.com", cmps.Cookiebot.Hostname()))
+	o.Record(reqCapture("b.com", "www.b.com"))
+	failed := reqCapture("c.com", cmps.OneTrust.Hostname())
+	failed.Failed = true
+	o.Record(failed) // failed captures are not aggregated, not traced
+
+	if tr.Len() != 2 {
+		t.Errorf("spans = %d, want 2", tr.Len())
+	}
+	var spans bytes.Buffer
+	if err := tr.WriteNDJSON(&spans, "detect"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spans.String(), `"id":"detect[domain=a.com;day=day 12]"`) &&
+		!strings.Contains(spans.String(), `"domain","v":"a.com"`) {
+		t.Errorf("detect span for a.com missing:\n%s", spans.String())
+	}
+	if !strings.Contains(spans.String(), `{"k":"cmp","v":"Cookiebot"}`) {
+		t.Errorf("classified CMP should be a display attribute:\n%s", spans.String())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"detect_sink_recorded_total 2",
+		"detect_sink_domains 2",
+		"detect_sink_multi_cmp_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The hot paths must stay allocation-free with telemetry off and
+// allocation-free per classification with counters attached.
+func TestDetectHotPathAllocs(t *testing.T) {
+	c := reqCapture("a.com", "x.com", cmps.TrustArc.Hostname())
+	for name, d := range map[string]*Detector{
+		"no-metrics":   Default(),
+		"with-metrics": func() *Detector { d := Default(); d.SetMetrics(NewMetrics(obs.NewRegistry())); return d }(),
+	} {
+		if n := testing.AllocsPerRun(100, func() { d.DetectOne(c) }); n != 0 {
+			t.Errorf("%s: DetectOne allocs %v, want 0", name, n)
+		}
+		if n := testing.AllocsPerRun(100, func() { d.DetectMask(c) }); n != 0 {
+			t.Errorf("%s: DetectMask allocs %v, want 0", name, n)
+		}
+	}
+	o := NewObservations(Default())
+	o.Record(c) // warm the domain slice
+	if n := testing.AllocsPerRun(100, func() { o.Record(c) }); n > 1 {
+		t.Errorf("Record allocs %v, want <=1 (amortized slice growth)", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/cmps"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -27,7 +28,8 @@ const numShards = 64
 // hash: crawl workers recording different domains do not serialize on
 // a global mutex.
 type Observations struct {
-	det *Detector
+	det    *Detector
+	tracer *obs.Tracer // nil = tracing off; see SetTracer
 
 	shards [numShards]obsShard
 
@@ -87,6 +89,10 @@ func (o *Observations) Record(c *capture.Capture) {
 	if c.Failed || c.FinalDomain == "" {
 		return
 	}
+	var span *obs.Span
+	if o.tracer != nil {
+		span = o.tracer.Start("detect", obs.A("domain", c.FinalDomain), obs.A("day", c.Day.String()))
+	}
 	id, mask := o.det.DetectMask(c)
 	atomic.AddInt64(&o.Total, 1)
 	if bits.OnesCount32(mask) > 1 {
@@ -102,6 +108,10 @@ func (o *Observations) Record(c *capture.Capture) {
 	dom.recs = append(dom.recs, obsRec{day: int32(c.Day), cmp: int8(id)})
 	dom.sorted = false
 	sh.mu.Unlock()
+	if span != nil {
+		span.Attr("cmp", id.String())
+		span.End()
+	}
 }
 
 // Observed reports whether the domain ever appeared as a final domain

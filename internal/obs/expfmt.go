@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE comments, then
+// one line per sample, with histogram buckets cumulative under the
+// canonical _bucket/_sum/_count suffixes. Families appear in
+// registration order, children sorted by label values. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.sortedChildren() {
+			labels := formatLabels(f.labelNames, c.labelValues)
+			switch {
+			case c.hist != nil:
+				snap := c.hist.Snapshot()
+				for _, b := range snap.Buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.name, formatLabelsExtra(f.labelNames, c.labelValues, "le", b.Label), b.Count)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labels, formatFloat(snap.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labels, snap.Count)
+			case c.fn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatFloat(c.fn()))
+			case c.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labels, c.counter.Value())
+			case c.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatFloat(c.gauge.Value()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatLabels renders {k="v",…}, or "" when there are no labels.
+func formatLabels(names, values []string) string {
+	return formatLabelsExtra(names, values, "", "")
+}
+
+// formatLabelsExtra appends one extra pair (used for histogram le=).
+func formatLabelsExtra(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// jsonMetric and jsonFamily shape the JSON exposition.
+type jsonMetric struct {
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     *float64           `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+type jsonFamily struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Help    string       `json:"help,omitempty"`
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+// WriteJSON renders the registry as a JSON document mirroring the text
+// exposition: {"families":[{name, kind, help, metrics:[…]}]}. A nil
+// registry writes an empty family list.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	for _, f := range r.snapshotFamilies() {
+		jf := jsonFamily{Name: f.name, Kind: f.kind.String(), Help: f.help, Metrics: []jsonMetric{}}
+		for _, c := range f.sortedChildren() {
+			m := jsonMetric{}
+			if len(f.labelNames) > 0 {
+				m.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					m.Labels[n] = c.labelValues[i]
+				}
+			}
+			switch {
+			case c.hist != nil:
+				snap := c.hist.Snapshot()
+				m.Histogram = &snap
+			case c.fn != nil:
+				v := c.fn()
+				m.Value = &v
+			case c.counter != nil:
+				v := float64(c.counter.Value())
+				m.Value = &v
+			case c.gauge != nil:
+				v := c.gauge.Value()
+				m.Value = &v
+			}
+			jf.Metrics = append(jf.Metrics, m)
+		}
+		fams = append(fams, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Families []jsonFamily `json:"families"`
+	}{fams})
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidateExposition parses a Prometheus text exposition and returns
+// an error naming the first malformed line. It is the check behind
+// `make obs-smoke` and the package's own round-trip tests: metric and
+// label names must be legal, label values must be properly quoted and
+// escaped, sample values must parse as floats, and # TYPE comments
+// must declare a known type at most once per family.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]bool{}
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", n, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	return nil
+}
+
+func validateComment(line string, typed map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment, allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if typed[fields[2]] {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		typed[fields[2]] = true
+	}
+	return nil
+}
+
+func validateSample(line string) error {
+	rest := line
+	// Metric name runs up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	name := rest[:end]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		after, err := validateLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = after
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return nil
+}
+
+// validateLabels consumes a {k="v",…} block and returns what follows.
+func validateLabels(s string) (rest string, err error) {
+	i := 1 // past '{'
+	for {
+		// Label name.
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if !labelNameRe.MatchString(s[i:j]) {
+			return "", fmt.Errorf("bad label name %q", s[i:j])
+		}
+		// Quoted value with escapes.
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return "", fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return s[i+1:], nil
+		}
+		return "", fmt.Errorf("malformed label block")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default upper bounds for latency histograms,
+// in seconds. The substrate's simulated visits and in-process queries
+// complete in microseconds, so the range starts far below Prometheus's
+// defaults while still covering multi-second tails.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor, e.g. ExponentialBuckets(1, 10, 8) →
+// 1, 10, 100, … 1e7. It panics on invalid parameters.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if count < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExponentialBuckets needs count >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into fixed buckets by inclusive upper
+// bound, plus an implicit +Inf bucket, and keeps the running sum. All
+// methods are safe for concurrent use; a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64      // sorted, strictly increasing; +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1, per-bucket (non-cumulative)
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	// Drop a trailing +Inf: the overflow bucket is always implicit.
+	for len(bs) > 0 && math.IsInf(bs[len(bs)-1], 1) {
+		bs = bs[:len(bs)-1]
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v ("le" semantics); beyond
+	// the last bound, the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// LE is the inclusive upper bound; math.Inf(1) for the last bucket.
+	LE float64 `json:"-"`
+	// Label is LE in exposition form ("+Inf" for the last bucket).
+	Label string `json:"le"`
+	// Count is the cumulative count of observations <= LE.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Under
+// concurrent observation the buckets, count and sum are each atomically
+// read but not mutually consistent; the skew is at most the handful of
+// observations in flight.
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+}
+
+// Snapshot returns the cumulative bucket counts. A nil histogram
+// yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Buckets = make([]Bucket, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le, label := math.Inf(1), "+Inf"
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+			label = formatFloat(le)
+		}
+		s.Buckets[i] = Bucket{LE: le, Label: label, Count: cum}
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// formatFloat renders a float the way the text exposition expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug surface for a registry and tracer:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /metrics.json   the same registry as JSON
+//	GET /debug/trace    finished spans as canonical NDJSON
+//	                    (?name=visit&name=retry filters by span name)
+//	GET /debug/pprof/*  the standard runtime profiles
+//
+// Mount it OUTSIDE any load-shedding limiter: scrapes and profiles are
+// exactly what an operator needs while the service is saturated, so
+// they must not be shed with the query traffic. Either argument may be
+// nil; the corresponding endpoints serve empty documents.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteNDJSON(w, r.URL.Query()["name"]...) //nolint:errcheck
+	})
+	// net/http/pprof registers on DefaultServeMux via init; bind its
+	// handlers to this private mux instead so the debug surface is
+	// self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	NewCounter(reg, "h_ops_total", "ops").Add(3)
+	NewHistogram(reg, "h_seconds", "lat", LatencyBuckets).Observe(0.001)
+	tr := NewTracer(TracerConfig{Clock: fixedClock()})
+	tr.Start("visit", A("u", "x")).End()
+	tr.Start("query", A("domain", "d")).End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "h_ops_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"h_ops_total"`) {
+		t.Errorf("/metrics.json = %d:\n%s", code, body)
+	}
+
+	code, body = get("/debug/trace")
+	if code != http.StatusOK || strings.Count(body, "\n") != 2 {
+		t.Errorf("/debug/trace = %d:\n%s", code, body)
+	}
+	code, body = get("/debug/trace?name=query")
+	if code != http.StatusOK || strings.Count(body, "\n") != 1 || !strings.Contains(body, `"query"`) {
+		t.Errorf("/debug/trace?name=query = %d:\n%s", code, body)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/trace"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with nil backends = %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package obs is the reproduction's telemetry substrate: a metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms, with
+// optional labels) exported in the Prometheus text format and as JSON,
+// span-based pipeline tracing with injectable clocks, and an HTTP debug
+// surface (/metrics, /debug/trace, net/http/pprof). It depends only on
+// the standard library.
+//
+// Everything is nil-safe by construction: the registration helpers
+// accept a nil *Registry and return nil handles, and every method on a
+// nil handle is a no-op. A nil registry therefore IS the disabled
+// ("no-op") recorder — instrumented code carries no feature flags, and
+// the disabled path costs one nil check per observation.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds metric families in registration order. Create one
+// with NewRegistry; the zero value is not usable.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric family with zero or more label names and
+// one child per distinct label-value tuple.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // child keys in creation order; exposition sorts
+}
+
+// child is one sample series: exactly one of the value fields is set.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	fn          func() float64
+	hist        *Histogram
+}
+
+// childKey joins label values with a separator that cannot appear in
+// well-formed UTF-8 label values.
+func childKey(values []string) string { return strings.Join(values, "\xff") }
+
+// family returns the named family, creating it on first registration.
+// Registering the same name with a different kind or label set is a
+// programming error and panics.
+func (r *Registry) family(name, help string, kind Kind, labelNames ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("obs: conflicting registration of metric %q", name))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: labelNames,
+		children:   make(map[string]*child),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// getChild returns the child for the label values, creating it if
+// needed.
+func (f *family) getChild(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := childKey(values)
+	c := f.children[k]
+	if c == nil {
+		c = &child{labelValues: values}
+		f.children[k] = c
+		f.order = append(f.order, k)
+	}
+	return c
+}
+
+// sortedChildren snapshots the family's children sorted by label
+// values, for deterministic exposition.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	out := make([]*child, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// snapshotFamilies copies the family list in registration order.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	return fams
+}
+
+// NewCounter registers (or finds) an unlabeled counter. Returns nil
+// when r is nil.
+func NewCounter(r *Registry, name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.family(name, help, KindCounter).getChild(nil)
+	if c.counter == nil {
+		c.counter = new(Counter)
+	}
+	return c.counter
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// exposition time — for publishing counters a subsystem already keeps
+// in its own atomics. No-op when r or fn is nil.
+func NewCounterFunc(r *Registry, name, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.family(name, help, KindCounter).getChild(nil).fn = func() float64 { return float64(fn()) }
+}
+
+// NewGauge registers (or finds) an unlabeled gauge. Returns nil when r
+// is nil.
+func NewGauge(r *Registry, name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	c := r.family(name, help, KindGauge).getChild(nil)
+	if c.gauge == nil {
+		c.gauge = new(Gauge)
+	}
+	return c.gauge
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at
+// exposition time. No-op when r or fn is nil.
+func NewGaugeFunc(r *Registry, name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.family(name, help, KindGauge).getChild(nil).fn = fn
+}
+
+// NewHistogram registers (or finds) an unlabeled histogram with the
+// given bucket upper bounds (see LatencyBuckets, ExponentialBuckets).
+// Returns nil when r is nil.
+func NewHistogram(r *Registry, name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	c := r.family(name, help, KindHistogram).getChild(nil)
+	if c.hist == nil {
+		c.hist = newHistogram(buckets)
+	}
+	return c.hist
+}
+
+// CounterVec is a counter family with labels. Resolve children once
+// with With and keep the returned *Counter for map-free hot paths.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family. Returns nil when r
+// is nil.
+func NewCounterVec(r *Registry, name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, KindCounter, labelNames...)}
+}
+
+// With returns the child counter for the label values, creating it on
+// first use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c := v.f.getChild(values)
+	v.f.mu.Lock()
+	if c.counter == nil {
+		c.counter = new(Counter)
+	}
+	v.f.mu.Unlock()
+	return c.counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labeled gauge family. Returns nil when r is
+// nil.
+func NewGaugeVec(r *Registry, name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.family(name, help, KindGauge, labelNames...)}
+}
+
+// With returns the child gauge for the label values. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	c := v.f.getChild(values)
+	v.f.mu.Lock()
+	if c.gauge == nil {
+		c.gauge = new(Gauge)
+	}
+	v.f.mu.Unlock()
+	return c.gauge
+}

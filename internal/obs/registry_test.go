@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeValues(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter(reg, "test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := NewCounter(reg, "test_ops_total", "ops"); again != c {
+		t.Error("re-registering the same counter should return the same handle")
+	}
+
+	g := NewGauge(reg, "test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	v := NewCounterVec(reg, "test_by_reason_total", "by reason", "reason")
+	a := v.With("a")
+	a.Inc()
+	v.With("b").Add(2)
+	if a != v.With("a") {
+		t.Error("With should return a stable child")
+	}
+	if got := v.With("b").Value(); got != 2 {
+		t.Errorf("child b = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram(reg, "test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Errorf("count = %d, want 5", snap.Count)
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100; math.Abs(snap.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", snap.Sum, want)
+	}
+	// Cumulative: le=0.1 → 2 (0.05 and the boundary value 0.1),
+	// le=1 → 3, le=10 → 4, +Inf → 5.
+	wantCum := []int64{2, 3, 4, 5}
+	wantLabel := []string{"0.1", "1", "10", "+Inf"}
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] || b.Label != wantLabel[i] {
+			t.Errorf("bucket %d = {%s %d}, want {%s %d}", i, b.Label, b.Count, wantLabel[i], wantCum[i])
+		}
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// A nil registry is the no-op recorder: every constructor returns a
+// nil handle and every method on it must be safe.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := NewCounter(reg, "x_total", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	g := NewGauge(reg, "x", "")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	NewGaugeFunc(reg, "x2", "", func() float64 { return 1 })
+	NewCounterFunc(reg, "x3_total", "", func() int64 { return 1 })
+	h := NewHistogram(reg, "x_seconds", "", LatencyBuckets)
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 || s.Buckets != nil {
+		t.Error("nil histogram should snapshot empty")
+	}
+	v := NewCounterVec(reg, "x_by_total", "", "k")
+	v.With("a").Inc()
+	gv := NewGaugeVec(reg, "x_by", "", "k")
+	gv.With("a").Set(1)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry exposition = %q, %v", buf.String(), err)
+	}
+
+	var tr *Tracer
+	sp := tr.Start("visit", A("url", "u"))
+	sp.Attr("k", "v")
+	sp.Start("child").End()
+	sp.End()
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Errorf("nil tracer export: %v", err)
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	NewCounter(reg, "dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering dup_total as a gauge should panic")
+		}
+	}()
+	NewGauge(reg, "dup_total", "")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	NewCounter(reg, "app_ops_total", "Operations.").Add(7)
+	NewGauge(reg, "app_depth", "Queue depth.").Set(2.5)
+	NewCounterVec(reg, "app_errs_total", "Errors by kind.", "kind").With(`qu"ote`).Add(1)
+	NewHistogram(reg, "app_seconds", "Latency.", []float64{0.5}).Observe(0.25)
+	NewGaugeFunc(reg, "app_live", "Live view.", func() float64 { return 4 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP app_ops_total Operations.\n",
+		"# TYPE app_ops_total counter\n",
+		"app_ops_total 7\n",
+		"app_depth 2.5\n",
+		`app_errs_total{kind="qu\"ote"} 1` + "\n",
+		`app_seconds_bucket{le="0.5"} 1` + "\n",
+		`app_seconds_bucket{le="+Inf"} 1` + "\n",
+		"app_seconds_sum 0.25\n",
+		"app_seconds_count 1\n",
+		"app_live 4\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Our own exposition must pass our own validator.
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Errorf("self exposition invalid: %v", err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	NewCounter(reg, "j_total", "help").Add(3)
+	NewHistogram(reg, "j_seconds", "", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []struct {
+			Name    string `json:"name"`
+			Kind    string `json:"kind"`
+			Metrics []struct {
+				Value     *float64 `json:"value"`
+				Histogram *struct {
+					Count int64 `json:"count"`
+				} `json:"histogram"`
+			} `json:"metrics"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding JSON exposition: %v", err)
+	}
+	if len(doc.Families) != 2 || doc.Families[0].Name != "j_total" || doc.Families[0].Kind != "counter" {
+		t.Fatalf("unexpected families: %+v", doc.Families)
+	}
+	if v := doc.Families[0].Metrics[0].Value; v == nil || *v != 3 {
+		t.Errorf("counter value = %v, want 3", v)
+	}
+	if h := doc.Families[1].Metrics[0].Histogram; h == nil || h.Count != 1 {
+		t.Errorf("histogram = %+v, want count 1", h)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter(reg, "conc_total", "")
+	h := NewHistogram(reg, "conc_seconds", "", LatencyBuckets)
+	v := NewCounterVec(reg, "conc_by_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 || math.Abs(s.Sum-8) > 1e-6 {
+		t.Errorf("histogram count=%d sum=%v, want 8000/8", s.Count, s.Sum)
+	}
+	if v.With("a").Value() != 8000 {
+		t.Errorf("vec = %d, want 8000", v.With("a").Value())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []string{
+		"1bad_name 3\n",
+		"ok_total\n",   // no value
+		"ok_total x\n", // bad value
+		`ok_total{k="unterminated 3` + "\n",
+		`ok_total{9k="v"} 3` + "\n",     // bad label name
+		"# TYPE ok_total frobnicator\n", // unknown type
+		"# TYPE ok_total counter\n# TYPE ok_total counter\nok_total 1\n", // dup TYPE
+	}
+	for _, in := range bad {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("ValidateExposition(%q) should fail", in)
+		}
+	}
+	good := "# HELP a_total h\n# TYPE a_total counter\na_total 1\n" +
+		`a_bucket{le="+Inf"} 2` + "\n" + "b_thing 1.5e-7 1700000000\n\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("ValidateExposition(good) = %v", err)
+	}
+}

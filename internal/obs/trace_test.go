@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a constant instant, the deterministic-trace
+// configuration: every span gets the same timestamp and zero duration.
+func fixedClock() func() time.Time {
+	at := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return at }
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: fixedClock()})
+	visit := tr.Start("visit", A("url", "https://example.com/"), A("day", "12"))
+	retry := visit.Start("retry", A("n", "2"))
+	retry.End()
+	visit.Attr("outcome", "success")
+	visit.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var got struct {
+		Name   string `json:"name"`
+		ID     string `json:"id"`
+		Parent string `json:"parent"`
+		Start  string `json:"start"`
+		DurNS  int64  `json:"dur_ns"`
+		Attrs  []Attr `json:"attrs"`
+	}
+	// Lexicographic order puts the retry line first.
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "retry" || got.ID != "retry[n=2]" || got.Parent != "visit[url=https://example.com/;day=12]" {
+		t.Errorf("retry span = %+v", got)
+	}
+	got = struct {
+		Name   string `json:"name"`
+		ID     string `json:"id"`
+		Parent string `json:"parent"`
+		Start  string `json:"start"`
+		DurNS  int64  `json:"dur_ns"`
+		Attrs  []Attr `json:"attrs"`
+	}{}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "visit" || got.Parent != "" || got.DurNS != 0 {
+		t.Errorf("visit span = %+v", got)
+	}
+	if len(got.Attrs) != 3 || got.Attrs[2] != A("outcome", "success") {
+		t.Errorf("visit attrs = %+v", got.Attrs)
+	}
+	if got.Start != "2020-05-01T00:00:00Z" {
+		t.Errorf("start = %q", got.Start)
+	}
+}
+
+// The canonical export must be byte-identical regardless of the order
+// spans finished in — that is what makes multi-worker traces
+// comparable.
+func TestExportCanonicalOrder(t *testing.T) {
+	export := func(order []int) string {
+		tr := NewTracer(TracerConfig{Clock: fixedClock()})
+		spans := make([]*Span, 10)
+		for i := range spans {
+			spans[i] = tr.Start("visit", A("url", "u"+strconv.Itoa(i)))
+		}
+		for _, i := range order {
+			spans[i].End()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	asc := export([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	shuffled := export([]int{7, 2, 9, 0, 5, 4, 8, 1, 3, 6})
+	if asc != shuffled {
+		t.Error("export depends on span completion order")
+	}
+}
+
+func TestExportNameFilter(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: fixedClock()})
+	tr.Start("visit", A("u", "1")).End()
+	tr.Start("shard", A("w", "0")).End()
+	tr.Start("retry", A("n", "2")).End()
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf, "visit", "retry"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"shard"`) {
+		t.Errorf("filter leaked shard spans:\n%s", buf.String())
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Errorf("filtered lines = %d, want 2", n)
+	}
+}
+
+func TestTracerCapDropsOldest(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: fixedClock(), Cap: 4})
+	for i := 0; i < 10; i++ {
+		tr.Start("s", A("i", strconv.Itoa(i))).End()
+	}
+	if tr.Len() != 4 {
+		t.Errorf("retained = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s[i=9]") || strings.Contains(buf.String(), "s[i=0]") {
+		t.Errorf("cap should drop the oldest spans:\n%s", buf.String())
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: fixedClock()})
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Errorf("retained = %d, want 1", tr.Len())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: fixedClock(), Cap: 128})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("visit", A("w", strconv.Itoa(w)), A("i", strconv.Itoa(i)))
+				sp.Start("store").End()
+				sp.Attr("outcome", "ok")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 1600 {
+		t.Errorf("retained+dropped = %d, want 1600", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockDuration(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	s := tr.Start("timed")
+	time.Sleep(time.Millisecond)
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		DurNS int64 `json:"dur_ns"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.DurNS <= 0 {
+		t.Errorf("dur_ns = %d, want > 0 under the real clock", got.DurNS)
+	}
+}

@@ -17,6 +17,9 @@ type BreakerConfig struct {
 	// Now is the clock, injectable for deterministic tests (default
 	// time.Now).
 	Now func() time.Time
+	// Metrics receives state-transition counts; nil disables recording
+	// (see BreakerSet.RegisterMetrics for wiring a whole set).
+	Metrics *BreakerMetrics
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -69,6 +72,7 @@ func (b *Breaker) Allow() bool {
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = stateHalfOpen
 			b.probing = true
+			b.cfg.Metrics.halfOpen()
 			return true
 		}
 		return false
@@ -86,6 +90,9 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != stateClosed {
+		b.cfg.Metrics.closed()
+	}
 	b.state = stateClosed
 	b.fails = 0
 	b.probing = false
@@ -99,6 +106,9 @@ func (b *Breaker) Failure() {
 	defer b.mu.Unlock()
 	b.fails++
 	if b.state == stateHalfOpen || (b.cfg.Threshold > 0 && b.fails >= b.cfg.Threshold) {
+		if b.state != stateOpen {
+			b.cfg.Metrics.opened()
+		}
 		b.state = stateOpen
 		b.openedAt = b.cfg.Now()
 		b.probing = false
