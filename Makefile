@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke fuzz
 
-check: vet build race chaos obs-smoke
+check: vet build race chaos obs-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,17 @@ obs-smoke:
 	$(GO) build -o bin/capd ./cmd/capd
 	$(GO) run ./cmd/obssmoke -capd bin/capd
 
+# End-to-end fleet smoke: boot capd (-ingest -metrics), fleetd
+# (-metrics) and two crawl workers over a small fixture window, SIGKILL
+# one worker mid-run, and assert the fleet's store is byte-identical to
+# the single-process baseline, the ledger balances, and both /metrics
+# endpoints stay valid.
+fleet-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) build -o bin/fleetd ./cmd/fleetd
+	$(GO) build -o bin/crawl ./cmd/crawl
+	$(GO) run ./cmd/fleetsmoke -capd bin/capd -fleetd bin/fleetd -crawl bin/crawl
+
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer
 # benchtime than `make bench` so the ratio is stable; not part of
@@ -89,8 +100,9 @@ obs-overhead:
 	./bin/benchdiff -pair BenchmarkStreamVisit/nop,BenchmarkStreamVisit/live -threshold $(OBS_THRESHOLD) obs-bench.json
 
 # Short fuzz passes: the capture wire format (torn writes, segment
-# boundaries, malformed tuples) and retry classification of malformed
-# webworld/chaos error strings.
+# boundaries, malformed tuples), retry classification of malformed
+# webworld/chaos error strings, and the fleet wire-protocol decoder.
 fuzz:
 	$(GO) test ./internal/capturedb/ -run '^$$' -fuzz FuzzScan -fuzztime 30s
 	$(GO) test ./internal/resilience/ -run '^$$' -fuzz FuzzClassifyError -fuzztime 15s
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 15s

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	capd -store capdir [-addr 127.0.0.1:8650] [-max-inflight N]
-//	     [-request-timeout 30s]
+//	     [-request-timeout 30s] [-ingest [-init-shards N]]
 //
 // Endpoints:
 //
@@ -15,6 +15,19 @@
 //	GET /stats     per-shard record counts, index sizes, and counters
 //	               for queries served and rows scanned vs. skipped
 //	GET /healthz   store and admission-queue state (never load-shed)
+//
+// With -ingest, the store also accepts remote writes — the fleet's
+// storage backend (see internal/fleet and DESIGN.md §9):
+//
+//	POST /ingest           NDJSON batch in the capturedb wire format,
+//	                       applied in body order with per-share
+//	                       idempotency (re-delivery is safe)
+//	POST /ingest?at=S&n=N  ordered mode: the batch covers work items
+//	                       [S, S+N) of the coordinator's total order
+//	                       and commits exactly in that order
+//
+// -init-shards N creates the store directory if it does not exist yet,
+// so a fleet can be booted against an empty capd.
 //
 // With -metrics, the unified telemetry surface is mounted as well —
 // outside the load-shedding limiter, so it stays scrapeable while
@@ -65,14 +78,31 @@ func main() {
 		maxInFly   = flag.Int("max-inflight", 64, "concurrent requests served before shedding with 429")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 		metrics    = flag.Bool("metrics", false, "expose /metrics, /debug/trace and /debug/pprof (outside the limiter)")
+		ingest     = flag.Bool("ingest", false, "accept remote writes on POST /ingest (fleet storage backend)")
+		initShards = flag.Int("init-shards", 0, "create the store with N shards if -store does not exist yet (requires -ingest)")
+		maxPending = flag.Int("ingest-pending", 64, "ordered-ingest reorder batches buffered before shedding with 503")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *initShards > 0 && !*ingest {
+		fmt.Fprintln(os.Stderr, "capd: -init-shards only makes sense with -ingest")
+		os.Exit(2)
+	}
 
-	store, err := capstore.Open(*dir)
+	var store *capstore.Store
+	var err error
+	if *initShards > 0 {
+		if _, statErr := os.Stat(*dir); os.IsNotExist(statErr) {
+			store, err = capstore.Create(*dir, *initShards)
+		} else {
+			store, err = capstore.Open(*dir)
+		}
+	} else {
+		store, err = capstore.Open(*dir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capd:", err)
 		os.Exit(1)
@@ -101,9 +131,23 @@ func main() {
 		MaxInFlight:    *maxInFly,
 		RequestTimeout: timeout,
 	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var ingester *capstore.Ingester
+	if *ingest {
+		ingester, err = capstore.NewIngester(store, capstore.IngestConfig{
+			MaxPendingBatches: *maxPending,
+			Registry:          reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capd:", err)
+			os.Exit(1)
+		}
+	}
 	var handler http.Handler
 	if *metrics {
-		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(obs.TracerConfig{})
 		tracer.RegisterMetrics(reg)
 		store.RegisterMetrics(reg)
@@ -118,11 +162,27 @@ func main() {
 		outer.Handle("/metrics", debug)
 		outer.Handle("/metrics.json", debug)
 		outer.Handle("/debug/", debug)
+		if ingester != nil {
+			// Ingest mounts outside the limiter and its 1 MiB body cap:
+			// the query path's shedding must not starve the fleet's
+			// storage backend, and batches are legitimately large. The
+			// ingester enforces its own body bound and reorder-buffer
+			// shedding instead.
+			outer.Handle("/ingest", ingester)
+		}
 		outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
 		handler = outer
 		fmt.Printf("capd: telemetry on /metrics, /metrics.json, /debug/trace, /debug/pprof/\n")
+	} else if ingester != nil {
+		outer := http.NewServeMux()
+		outer.Handle("/ingest", ingester)
+		outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
+		handler = outer
 	} else {
 		handler = capstore.NewResilientHandler(store, serveCfg)
+	}
+	if ingester != nil {
+		fmt.Printf("capd: remote ingest on POST /ingest (≤%d reorder batches buffered)\n", *maxPending)
 	}
 	srv := &http.Server{
 		Handler: handler,

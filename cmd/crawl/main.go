@@ -7,6 +7,7 @@
 //	crawl [-domains N] [-shares N] [-seed N] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
 //	      [-out captures.jsonl] [-store capdir [-store-shards N]]
 //	      [-stream [-retries N] [-breaker N] [-chaos SPEC]] [-telemetry]
+//	crawl -fleet http://COORD [-worker-id NAME]
 //
 // The default mode is the batch pipeline (CrawlWindow) used for
 // reproducible analysis runs. -stream switches to the deployment
@@ -21,6 +22,13 @@
 // -telemetry attaches the unified metrics registry to the detector,
 // the aggregation sink and (with -stream) the pipeline, and dumps the
 // Prometheus text exposition when the run finishes.
+//
+// -fleet turns the process into a worker node of a distributed crawl:
+// it pulls leases from the fleetd coordinator at the given URL, crawls
+// them through the StreamPlatform path, and pushes captures to the
+// capd ingest endpoint the coordinator names. Run parameters (seeds,
+// retry budget, politeness) come from the coordinator's /config, so
+// the other flags are ignored in this mode. See DESIGN.md §9.
 package main
 
 import (
@@ -62,8 +70,14 @@ func main() {
 		retries   = flag.Int("retries", 1, "total attempt budget per share for transient failures (-stream only; 1 disables retrying)")
 		breaker   = flag.Int("breaker", 0, "per-domain circuit breaker: consecutive failures before opening (-stream only; 0 disables)")
 		chaosSpec = flag.String("chaos", "", "inject deterministic faults, e.g. '5xx=0.05,drop=0.02,antibot=0.01,latency=0.05,torn=0.01,seed=7'")
+		fleetURL  = flag.String("fleet", "", "run as a fleet worker against this coordinator (fleetd) URL; most other flags are ignored — run parameters come from the coordinator's /config")
+		workerID  = flag.String("worker-id", "", "worker name in the fleet protocol (default: host.pid)")
 	)
 	flag.Parse()
+
+	if *fleetURL != "" {
+		os.Exit(fleetWorker(*fleetURL, *workerID))
+	}
 
 	from := simtime.Day(0)
 	to := simtime.Day(simtime.NumDays - 1)

@@ -1,0 +1,381 @@
+// Command fleetsmoke exercises the distributed crawl end to end with
+// real processes: it boots a capd storage backend (-ingest -metrics), a
+// fleetd coordinator (-metrics), and two `crawl -fleet` workers over a
+// small fixture window, SIGKILLs one worker mid-run, and then verifies
+// the headline invariant — the fleet's capture store is byte-identical
+// to a single-process StreamPlatform run over the same window — plus
+// the ledger (fleetd exits 0 only when captures+dead+dropped==submitted)
+// and telemetry sanity on both /metrics endpoints. Any failure exits
+// non-zero.
+//
+// Usage:
+//
+//	fleetsmoke [-capd bin/capd] [-fleetd bin/fleetd] [-crawl bin/crawl]
+//
+// `make fleet-smoke` builds the three binaries and runs this; it is
+// part of `make check`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/crawler"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/simtime"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// Fixture window. The baseline below must crawl with exactly these
+// parameters — every one of them is byte-affecting except politeness
+// and the lease geometry.
+const (
+	seed    = 7
+	domains = 1_500
+	shares  = 150
+	lastDay = 1 // window [0, lastDay]
+	retries = 2
+	shards  = 4
+)
+
+func main() {
+	capdBin := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	fleetdBin := flag.String("fleetd", filepath.Join("bin", "fleetd"), "path to the fleetd binary under test")
+	crawlBin := flag.String("crawl", filepath.Join("bin", "crawl"), "path to the crawl binary under test")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "fleetsmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	baseDir := filepath.Join(dir, "baseline")
+	baseStats := buildBaseline(baseDir)
+	fmt.Printf("fleetsmoke: baseline: %d captured (%d failed-recorded), %d dead-lettered\n",
+		baseStats.Succeeded+baseStats.FailedRecorded, baseStats.FailedRecorded, baseStats.DeadLettered)
+
+	// capd: fresh store, remote ingest, telemetry.
+	storeDir := filepath.Join(dir, "fleetstore")
+	capd := boot(*capdBin, "-store", storeDir, "-init-shards", strconv.Itoa(shards),
+		"-ingest", "-metrics", "-addr", "127.0.0.1:0")
+	defer capd.kill()
+	capdURL := "http://" + capd.addr()
+
+	// fleetd: the coordinator, telemetry on. Generous retry budget so a
+	// killed worker's chunk is re-leased rather than dead-lettered (a
+	// dead chunk would — correctly — diverge from the baseline bytes).
+	fleetd := boot(*fleetdBin, "-ingest", capdURL, "-addr", "127.0.0.1:0",
+		"-seed", strconv.Itoa(seed), "-domains", strconv.Itoa(domains), "-shares", strconv.Itoa(shares),
+		"-from", "0", "-to", strconv.Itoa(lastDay),
+		"-lease-size", "8", "-lease-ttl", "1s", "-retry-budget", "10",
+		"-retries", strconv.Itoa(retries), "-breaker", "0", "-politeness", "1ms", "-metrics")
+	defer fleetd.kill()
+	fleetdURL := "http://" + fleetd.addr()
+
+	w1 := start(*crawlBin, "-fleet", fleetdURL, "-worker-id", "fleetsmoke-w1")
+	defer w1.kill()
+	w2 := start(*crawlBin, "-fleet", fleetdURL, "-worker-id", "fleetsmoke-w2")
+	defer w2.kill()
+
+	// Chaos: SIGKILL w2 as soon as the coordinator has leases in flight.
+	// If the kill lands mid-lease its chunk expires and is reassigned;
+	// either way the fleet must drain to the same bytes.
+	status := fleet.NewClient(fleetdURL)
+	killed := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !killed {
+		if time.Now().After(deadline) {
+			fatalf("no lease observed within 30s; fleet never started")
+		}
+		if fleetd.exited() {
+			fatalf("fleetd drained before the injected worker kill; grow the fixture window")
+		}
+		st, err := status.Status()
+		if err == nil && st.Active >= 1 {
+			check(w2.cmd.Process.Kill()) // SIGKILL: no goodbye, the lease just stops heartbeating
+			killed = true
+			fmt.Printf("fleetsmoke: killed w2 with %d leases active, %d/%d chunks pending\n",
+				st.Active, st.Pending, st.Chunks)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Coordinator telemetry must be valid exposition and carry the fleet
+	// families while the run is live.
+	text := get(fleetdURL + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{"fleet_leases_granted_total", "fleet_chunks_pending", "fleet_workers_live"} {
+		if !strings.Contains(text, want) {
+			fatalf("fleetd /metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// fleetd exits 0 only when the window drained AND the ledger
+	// balances (captures+dead+dropped == submitted) — the invariant
+	// check lives in fleetd itself.
+	if err := fleetd.wait(60 * time.Second); err != nil {
+		fatalf("fleetd: %v\n%s", err, fleetd.output())
+	}
+	sub, caps, dead, dropped, reassigned := parseLedger(fleetd.output())
+	// The feed dedups (URL, day), so the window's real share count is
+	// whatever the baseline submitted — not shares×days.
+	if want := baseStats.Succeeded + baseStats.FailedRecorded + baseStats.DeadLettered; sub != want {
+		fatalf("fleetd submitted %d shares, baseline window has %d", sub, want)
+	}
+	if dropped != 0 {
+		fatalf("fleetd dropped %d shares on a clean drain", dropped)
+	}
+	if caps != baseStats.Succeeded+baseStats.FailedRecorded {
+		fatalf("fleet captured %d, baseline recorded %d", caps, baseStats.Succeeded+baseStats.FailedRecorded)
+	}
+	if dead != baseStats.DeadLettered {
+		fatalf("fleet dead-lettered %d, baseline %d", dead, baseStats.DeadLettered)
+	}
+
+	// The surviving worker drains on its own or spins on the vanished
+	// coordinator; either way a SIGTERM must end it.
+	w1.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	w1.wait(10 * time.Second)              //nolint:errcheck
+
+	// capd telemetry: valid exposition, and the ingest path actually
+	// carried the records.
+	text = get(capdURL + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	if !strings.Contains(text, "capstore_ingest_records_total") {
+		fatalf("capd /metrics missing capstore_ingest_records_total:\n%s", text)
+	}
+	if n := gaugeValue(text, "capstore_ingest_records_total"); n != caps {
+		fatalf("capd ingested %d records, fleetd booked %d captures", n, caps)
+	}
+
+	// Graceful capd shutdown flushes and closes the store; then the
+	// headline: byte-identical segments.
+	check(capd.cmd.Process.Signal(syscall.SIGTERM))
+	if err := capd.wait(10 * time.Second); err != nil {
+		fatalf("capd shutdown: %v", err)
+	}
+	compareSegments(baseDir, storeDir)
+
+	fmt.Printf("fleetsmoke: ok — %d shares, %d captured, %d dead-lettered, %d leases reassigned after SIGKILL, stores byte-identical\n",
+		sub, caps, dead, reassigned)
+}
+
+// buildBaseline runs the single-process reference pipeline: Workers=1
+// records captures in share order, which is the canonical byte layout
+// the fleet must reproduce. Retry budget and breaker setting mirror the
+// fleetd flags above; backoff timing and politeness are byte-neutral.
+func buildBaseline(dir string) crawler.StreamStats {
+	st, err := capstore.Create(dir, shards)
+	check(err)
+	world := webworld.New(webworld.Config{Seed: seed, Domains: domains})
+	feed := socialfeed.New(world, socialfeed.Config{Seed: seed, SharesPerDay: shares})
+	p := crawler.NewStreamPlatform(world, crawler.StreamConfig{
+		Seed:           seed,
+		Workers:        1,
+		PerDomainDelay: time.Millisecond,
+		Retry:          resilience.RetryPolicy{MaxAttempts: retries, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.5},
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(context.Background(), st)
+	}()
+	for day := simtime.Day(0); day <= lastDay; day++ {
+		for _, s := range feed.Day(day) {
+			check(p.Submit(context.Background(), day, s))
+		}
+	}
+	p.Close()
+	<-done
+	check(st.Close())
+	return p.Stats()
+}
+
+func compareSegments(wantDir, gotDir string) {
+	wants, err := filepath.Glob(filepath.Join(wantDir, "seg-*.jsonl"))
+	check(err)
+	gots, err := filepath.Glob(filepath.Join(gotDir, "seg-*.jsonl"))
+	check(err)
+	if len(wants) != len(gots) {
+		fatalf("segment count: baseline %d, fleet %d", len(wants), len(gots))
+	}
+	var total int
+	for _, wp := range wants {
+		gp := filepath.Join(gotDir, filepath.Base(wp))
+		w, err := os.ReadFile(wp)
+		check(err)
+		g, err := os.ReadFile(gp)
+		check(err)
+		if !bytes.Equal(w, g) {
+			fatalf("segment %s differs: baseline %d bytes, fleet %d bytes",
+				filepath.Base(wp), len(w), len(g))
+		}
+		total += len(w)
+	}
+	fmt.Printf("fleetsmoke: %d segments byte-identical (%d bytes)\n", len(wants), total)
+}
+
+var ledgerRe = regexp.MustCompile(`drained — submitted=(\d+) captures=(\d+) dead=(\d+) dropped=(\d+) \(leases=\d+ reassigned=(\d+)`)
+
+func parseLedger(out string) (submitted, captures, dead, dropped, reassigned int64) {
+	m := ledgerRe.FindStringSubmatch(out)
+	if m == nil {
+		fatalf("no ledger line in fleetd output:\n%s", out)
+	}
+	vals := make([]int64, 5)
+	for i := range vals {
+		vals[i], _ = strconv.ParseInt(m[i+1], 10, 64)
+	}
+	return vals[0], vals[1], vals[2], vals[3], vals[4]
+}
+
+// gaugeValue extracts the value of an unlabelled metric line.
+func gaugeValue(text, name string) int64 {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		fatalf("metric %s has no sample:\n%s", name, text)
+	}
+	n, _ := strconv.ParseInt(m[1], 10, 64)
+	return n
+}
+
+// proc is a child process whose stdout is captured (and echoed) so
+// startup banners and the final ledger line can be parsed.
+type proc struct {
+	cmd    *exec.Cmd
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	doneCh chan error
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// procs tracks every child so fatalf can reap them — an orphaned capd
+// or worker would otherwise outlive a failed smoke run.
+var procs []*proc
+
+// start launches a child with captured stdout.
+func start(bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	check(err)
+	check(cmd.Start())
+	p := &proc{cmd: cmd, doneCh: make(chan error, 1)}
+	procs = append(procs, p)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := out.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.buf.Write(buf[:n])
+				p.mu.Unlock()
+				os.Stdout.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				break
+			}
+		}
+		p.doneCh <- cmd.Wait()
+	}()
+	return p
+}
+
+// boot is start plus waiting for the "… on 127.0.0.1:PORT" banner.
+func boot(bin string, args ...string) *proc {
+	p := start(bin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(p.output()); m != nil {
+			return p
+		}
+		if time.Now().After(deadline) || p.exited() {
+			p.kill()
+			fatalf("%s did not report a listen address:\n%s", bin, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *proc) addr() string {
+	return addrRe.FindStringSubmatch(p.output())[1]
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func (p *proc) exited() bool {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(d time.Duration) error {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return err
+	case <-time.After(d):
+		p.kill()
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil && !p.exited() {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.doneCh
+		p.doneCh <- nil
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetsmoke: "+format+"\n", args...)
+	for _, p := range procs {
+		p.kill()
+	}
+	os.Exit(1)
+}

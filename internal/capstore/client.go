@@ -1,6 +1,7 @@
 package capstore
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -138,6 +139,80 @@ func (cl *Client) Health() (Health, error) {
 		return h, fmt.Errorf("capstore: /healthz: %w", err)
 	}
 	return h, nil
+}
+
+// ingest POSTs an NDJSON body to /ingest with the given parameters and
+// decodes the IngestResult. A 503 (reorder buffer full) is surfaced as
+// ErrIngestShed so callers can back off and retry.
+func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
+	var res IngestResult
+	u := cl.BaseURL + "/ingest"
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := cl.httpClient().Post(u, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512)) //nolint:errcheck
+		return res, ErrIngestShed
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return res, fmt.Errorf("capstore: /ingest: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("capstore: /ingest: %w", err)
+	}
+	return res, nil
+}
+
+// encodeBatch renders captures as an NDJSON request body.
+func encodeBatch(caps []*capture.Capture) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, c := range caps {
+		line, err := capturedb.Encode(c)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes(), nil
+}
+
+// Record pushes one capture over /ingest (unordered mode). Re-delivery
+// of the same share is idempotent server-side.
+func (cl *Client) Record(c *capture.Capture) (IngestResult, error) {
+	return cl.RecordBatch([]*capture.Capture{c})
+}
+
+// RecordBatch pushes captures over /ingest (unordered mode); they are
+// applied in slice order with per-record idempotency.
+func (cl *Client) RecordBatch(caps []*capture.Capture) (IngestResult, error) {
+	body, err := encodeBatch(caps)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return cl.ingest(nil, body)
+}
+
+// RecordBatchAt pushes the ordered batch covering work items [at, at+n)
+// — the fleet's commit path. caps may be shorter than n (failed or
+// dead-lettered items produce no record) or empty (a pure skip marker
+// advancing the commit cursor). The server commits ranges strictly in
+// order; ErrIngestShed means the reorder buffer is full and the push
+// should be retried after a short delay.
+func (cl *Client) RecordBatchAt(at, n int64, caps []*capture.Capture) (IngestResult, error) {
+	body, err := encodeBatch(caps)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	v := url.Values{}
+	v.Set("at", strconv.FormatInt(at, 10))
+	v.Set("n", strconv.FormatInt(n, 10))
+	return cl.ingest(v, body)
 }
 
 // Stats fetches the server's store snapshot.

@@ -1,0 +1,345 @@
+package capstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/obs"
+)
+
+// Remote ingest: POST /ingest turns capd from a read-only query service
+// into the fleet's storage backend. The body is NDJSON in the capturedb
+// wire format, one record per line, applied in body order.
+//
+// Two delivery modes share the endpoint:
+//
+//   - Unordered (no parameters): records append as they arrive, with
+//     per-record idempotency — a record whose IngestKey was already
+//     accepted is dropped and counted, so clients may re-deliver after
+//     an ambiguous transport failure without duplicating storage.
+//
+//   - Ordered (?at=SEQ&n=N): the batch covers work items [SEQ, SEQ+N)
+//     of a coordinator-assigned total order, and batches commit in
+//     exactly that order. Out-of-order arrivals wait in a bounded
+//     reorder buffer; a batch whose range was already committed (or is
+//     already waiting) is a duplicate delivery and is dropped whole.
+//     This is what makes a fleet of workers produce a byte-identical
+//     store to a single-process run: every worker's appends land at
+//     their canonical position no matter when they arrive.
+//
+// The buffer is the ingest path's graceful-degradation valve: past
+// IngestConfig.MaxPendingBatches, out-of-order batches are shed with
+// 503 + Retry-After instead of growing memory without bound; the batch
+// that unblocks the commit cursor is always admitted.
+
+// IngestKey is the per-share idempotency key, derived from the record
+// itself: after feed dedup a (seed URL, day, configuration) triple
+// identifies exactly one share, so re-delivered captures need no
+// side-channel key to be recognized.
+func IngestKey(c *capture.Capture) string {
+	return c.SeedURL + "\x1f" + strconv.Itoa(int(c.Day)) + "\x1f" + c.Config
+}
+
+// IngestConfig parameterizes an Ingester.
+type IngestConfig struct {
+	// MaxPendingBatches bounds the ordered-mode reorder buffer; an
+	// out-of-order batch arriving past the bound is shed with 503
+	// (default 64).
+	MaxPendingBatches int
+	// MaxBodyBytes caps one ingest request body (default 64 MiB).
+	MaxBodyBytes int64
+	// Registry, when non-nil, receives the ingest metric families.
+	Registry *obs.Registry
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.MaxPendingBatches <= 0 {
+		c.MaxPendingBatches = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// IngestStats is a point-in-time snapshot of the ingest path.
+type IngestStats struct {
+	// Accepted counts records appended to the store.
+	Accepted int64 `json:"accepted"`
+	// Duplicates counts records dropped by idempotency — re-delivered
+	// ordered ranges and repeated unordered keys alike.
+	Duplicates int64 `json:"duplicates"`
+	// Batches counts ingest requests that decoded successfully.
+	Batches int64 `json:"batches"`
+	// Shed counts out-of-order batches refused with 503.
+	Shed int64 `json:"shed"`
+	// NextSeq is the ordered-mode commit cursor: every work item below
+	// it has been committed or skipped.
+	NextSeq int64 `json:"next_seq"`
+	// PendingBatches is the current reorder-buffer occupancy.
+	PendingBatches int `json:"pending_batches"`
+}
+
+// IngestResult is the /ingest response body.
+type IngestResult struct {
+	// Accepted counts records of this request appended (ordered-mode
+	// batches count on arrival, even if they commit later).
+	Accepted int64 `json:"accepted"`
+	// Duplicates counts records of this request dropped by idempotency.
+	Duplicates int64 `json:"duplicates"`
+	// Pending is the reorder-buffer occupancy after this request.
+	Pending int `json:"pending"`
+}
+
+type pendingBatch struct {
+	n    int64
+	caps []*capture.Capture
+}
+
+// Ingester applies remote batches to a Store with idempotency and
+// (optionally) coordinator-ordered commit. It is an http.Handler for
+// POST /ingest and safe for concurrent use.
+type Ingester struct {
+	store *Store
+	cfg   IngestConfig
+
+	mu      sync.Mutex
+	seen    map[string]struct{}
+	nextSeq int64
+	pending map[int64]*pendingBatch
+	stats   IngestStats
+
+	metrics *ingestMetrics
+}
+
+type ingestMetrics struct {
+	records    *obs.Counter
+	duplicates *obs.Counter
+	batches    *obs.Counter
+	shed       *obs.Counter
+}
+
+// NewIngester wraps a store for remote ingest. The idempotency index is
+// seeded from the store's existing records, so reopening a store and
+// re-attaching an ingester keeps re-deliveries idempotent across capd
+// restarts.
+func NewIngester(s *Store, cfg IngestConfig) (*Ingester, error) {
+	cfg = cfg.withDefaults()
+	in := &Ingester{
+		store:   s,
+		cfg:     cfg,
+		seen:    make(map[string]struct{}),
+		pending: make(map[int64]*pendingBatch),
+	}
+	err := s.Query(capturedb.Query{IncludeFailed: true}, func(c *capture.Capture) bool {
+		in.seen[IngestKey(c)] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("capstore: seeding ingest idempotency index: %w", err)
+	}
+	if cfg.Registry != nil {
+		in.metrics = &ingestMetrics{
+			records: obs.NewCounter(cfg.Registry, "capstore_ingest_records_total",
+				"Records accepted over POST /ingest and appended to the store."),
+			duplicates: obs.NewCounter(cfg.Registry, "capstore_ingest_duplicates_total",
+				"Re-delivered records dropped by idempotency (per-key and per-range)."),
+			batches: obs.NewCounter(cfg.Registry, "capstore_ingest_batches_total",
+				"Ingest requests that decoded successfully."),
+			shed: obs.NewCounter(cfg.Registry, "capstore_ingest_shed_total",
+				"Out-of-order ordered batches refused with 503 at the reorder-buffer bound."),
+		}
+		obs.NewGaugeFunc(cfg.Registry, "capstore_ingest_pending_batches",
+			"Ordered batches waiting in the reorder buffer for their commit turn.",
+			func() float64 { return float64(in.Stats().PendingBatches) })
+		obs.NewGaugeFunc(cfg.Registry, "capstore_ingest_next_seq",
+			"Ordered-ingest commit cursor: work items below it are committed or skipped.",
+			func() float64 { return float64(in.Stats().NextSeq) })
+	}
+	return in, nil
+}
+
+// Stats snapshots the ingest counters.
+func (in *Ingester) Stats() IngestStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.stats
+	st.NextSeq = in.nextSeq
+	st.PendingBatches = len(in.pending)
+	return st
+}
+
+// apply appends records with per-key idempotency. Callers hold in.mu.
+func (in *Ingester) apply(caps []*capture.Capture) (accepted, dups int64) {
+	for _, c := range caps {
+		k := IngestKey(c)
+		if _, ok := in.seen[k]; ok {
+			dups++
+			continue
+		}
+		in.seen[k] = struct{}{}
+		in.store.Record(c)
+		accepted++
+	}
+	in.stats.Accepted += accepted
+	in.stats.Duplicates += dups
+	in.metrics.record(accepted, dups)
+	return accepted, dups
+}
+
+func (m *ingestMetrics) record(accepted, dups int64) {
+	if m == nil {
+		return
+	}
+	m.records.Add(accepted)
+	m.duplicates.Add(dups)
+}
+
+// IngestBatch applies an unordered batch in order, returning how many
+// records were appended vs. dropped as duplicates.
+func (in *Ingester) IngestBatch(caps []*capture.Capture) IngestResult {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Batches++
+	if in.metrics != nil {
+		in.metrics.batches.Inc()
+	}
+	acc, dups := in.apply(caps)
+	return IngestResult{Accepted: acc, Duplicates: dups, Pending: len(in.pending)}
+}
+
+// ErrIngestShed marks an out-of-order ordered batch refused because the
+// reorder buffer is full; the caller should retry after the cursor
+// advances.
+var ErrIngestShed = errors.New("capstore: ingest reorder buffer full")
+
+// IngestBatchAt enqueues the ordered batch covering work items
+// [at, at+n); caps are the records those items produced (possibly fewer
+// than n — dead-lettered items produce none — and possibly zero for a
+// skip marker). Batches commit strictly in range order. A batch whose
+// range is already committed or already waiting is dropped whole as a
+// duplicate delivery.
+func (in *Ingester) IngestBatchAt(at int64, n int64, caps []*capture.Capture) (IngestResult, error) {
+	if at < 0 || n < 1 || int64(len(caps)) > n {
+		return IngestResult{}, fmt.Errorf("capstore: bad ordered batch at=%d n=%d records=%d", at, n, len(caps))
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if at < in.nextSeq {
+		in.stats.Batches++
+		in.stats.Duplicates += int64(len(caps))
+		if in.metrics != nil {
+			in.metrics.batches.Inc()
+		}
+		in.metrics.record(0, int64(len(caps)))
+		return IngestResult{Duplicates: int64(len(caps)), Pending: len(in.pending)}, nil
+	}
+	if _, ok := in.pending[at]; ok {
+		in.stats.Batches++
+		in.stats.Duplicates += int64(len(caps))
+		if in.metrics != nil {
+			in.metrics.batches.Inc()
+		}
+		in.metrics.record(0, int64(len(caps)))
+		return IngestResult{Duplicates: int64(len(caps)), Pending: len(in.pending)}, nil
+	}
+	if at != in.nextSeq && len(in.pending) >= in.cfg.MaxPendingBatches {
+		in.stats.Shed++
+		if in.metrics != nil {
+			in.metrics.shed.Inc()
+		}
+		return IngestResult{Pending: len(in.pending)}, ErrIngestShed
+	}
+	in.stats.Batches++
+	if in.metrics != nil {
+		in.metrics.batches.Inc()
+	}
+	in.pending[at] = &pendingBatch{n: n, caps: caps}
+	var acc, dups int64
+	for {
+		b, ok := in.pending[in.nextSeq]
+		if !ok {
+			break
+		}
+		delete(in.pending, in.nextSeq)
+		a, d := in.apply(b.caps)
+		acc += a
+		dups += d
+		in.nextSeq += b.n
+	}
+	// Report this request's records as accepted even when the batch is
+	// still waiting its turn: delivery is complete from the worker's
+	// perspective, and duplicates of a waiting range are refused above.
+	if acc == 0 && dups == 0 && len(caps) > 0 {
+		acc = int64(len(caps))
+	}
+	return IngestResult{Accepted: acc, Duplicates: dups, Pending: len(in.pending)}, nil
+}
+
+// ServeHTTP implements POST /ingest.
+func (in *Ingester) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "capstore: /ingest is POST-only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	atStr, nStr := q.Get("at"), q.Get("n")
+	ordered := atStr != "" || nStr != ""
+	var at, n int64
+	if ordered {
+		var err error
+		if at, err = strconv.ParseInt(atStr, 10, 64); err != nil || at < 0 {
+			http.Error(w, fmt.Sprintf("capstore: bad at=%q", atStr), http.StatusBadRequest)
+			return
+		}
+		if n, err = strconv.ParseInt(nStr, 10, 64); err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("capstore: bad n=%q", nStr), http.StatusBadRequest)
+			return
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, in.cfg.MaxBodyBytes)
+	var caps []*capture.Capture
+	rr := capturedb.NewRecordReader(body)
+	for {
+		c, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("capstore: /ingest line %d: %v", rr.Line(), err), http.StatusBadRequest)
+			return
+		}
+		caps = append(caps, c)
+	}
+
+	var res IngestResult
+	if ordered {
+		var err error
+		res, err = in.IngestBatchAt(at, n, caps)
+		if errors.Is(err, ErrIngestShed) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "capstore: ingest reorder buffer full, retry", http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		res = in.IngestBatch(caps)
+	}
+	if err := in.store.Flush(); err != nil {
+		http.Error(w, fmt.Sprintf("capstore: /ingest flush: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res) //nolint:errcheck
+}

@@ -27,7 +27,7 @@ type Config struct {
 type Platform struct {
 	cfg   Config
 	world *webworld.World
-	src   *rng.Source
+	vsrc  *rng.Source
 	us    *browser.Browser
 	eu    *browser.Browser
 
@@ -44,7 +44,7 @@ func NewPlatform(w *webworld.World, cfg Config) *Platform {
 	return &Platform{
 		cfg:   cfg,
 		world: w,
-		src:   rng.New(cfg.Seed).Derive("crawler"),
+		vsrc:  VantageSource(cfg.Seed),
 		us:    browser.New(w, opts),
 		eu:    browser.New(w, opts),
 	}
@@ -64,10 +64,7 @@ func (p *Platform) CrawlDay(day simtime.Day, shares []socialfeed.Share, sink cap
 		go func(i int, s socialfeed.Share) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			vantage := capture.USCloud
-			if p.src.Bool(0.5, "vantage", s.URL, day.String()) {
-				vantage = capture.EUCloud
-			}
+			vantage := PickVantage(p.vsrc, s.URL, day)
 			b := p.us
 			if vantage.Name == capture.EUCloud.Name {
 				b = p.eu

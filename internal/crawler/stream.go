@@ -39,6 +39,7 @@ type StreamPlatform struct {
 	world   *webworld.World
 	visitor browser.Visitor
 	src     *rng.Source
+	vsrc    *rng.Source
 
 	// queue is the bounded capture queue; ingestion blocks when the
 	// crawlers fall behind (backpressure instead of unbounded memory).
@@ -152,6 +153,7 @@ func NewStreamPlatform(w *webworld.World, cfg StreamConfig) *StreamPlatform {
 		world:    w,
 		visitor:  cfg.Visitor,
 		src:      rng.New(cfg.Seed).Derive("stream-crawler"),
+		vsrc:     VantageSource(cfg.Seed),
 		queue:    make(chan queued, cfg.QueueDepth),
 		breakers: resilience.NewBreakerSet(cfg.Breaker),
 		dead:     cfg.DeadLetter,
@@ -347,10 +349,7 @@ func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink c
 			p.deadLetter(q, attempt-1, resilience.ReasonCancelled, lastErr)
 			return
 		}
-		vantage := capture.USCloud
-		if p.src.Bool(0.5, "vantage", q.share.URL, q.day.String()) {
-			vantage = capture.EUCloud
-		}
+		vantage := PickVantage(p.vsrc, q.share.URL, q.day)
 		var retry *obs.Span
 		if visit != nil && attempt > 1 {
 			retry = visit.Start("retry", obs.A("n", strconv.Itoa(attempt)))

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The checkpoint log is the coordinator's crash-safe progress record:
+// one JSON line per finally-accounted chunk (done or dead), appended
+// and fsynced before the outcome is acknowledged. A restarted
+// coordinator replays the log against the deterministically
+// reconstructed work list — the (chunk index, first, n) triple is
+// validated on replay, so a log from a different seed or window fails
+// loudly instead of silently mis-attributing progress. A torn final
+// line (crash mid-append) is truncated away on open, mirroring
+// capstore's segment-tail repair.
+
+const (
+	ckptDone = "done"
+	ckptDead = "dead"
+)
+
+// ckptRecord is one finally-accounted chunk.
+type ckptRecord struct {
+	Kind     string `json:"k"`
+	Chunk    int    `json:"c"`
+	First    int64  `json:"f"`
+	N        int    `json:"n"`
+	Captures int64  `json:"cap,omitempty"`
+	Dead     int64  `json:"dead,omitempty"`
+}
+
+type checkpointLog struct {
+	f *os.File
+}
+
+// openCheckpoint opens (or creates) the log at path and repairs a torn
+// tail so the append position starts at the last complete record.
+func openCheckpoint(path string) (*checkpointLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: opening checkpoint: %w", err)
+	}
+	valid, err := validPrefix(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: repairing checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &checkpointLog{f: f}, nil
+}
+
+// validPrefix scans for the byte length of the intact record prefix.
+// A complete-but-malformed line is an error (the log is corrupt, not
+// merely torn); only an unterminated, unparseable tail is repairable.
+func validPrefix(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(f)
+	var valid int64
+	line := 0
+	for {
+		data, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if len(data) == 0 {
+			return valid, nil
+		}
+		line++
+		if data[len(data)-1] != '\n' {
+			// Append writes record+newline in one call, so any
+			// unterminated tail is a torn write: truncate it.
+			return valid, nil
+		}
+		var r ckptRecord
+		if jerr := json.Unmarshal(data, &r); jerr != nil {
+			return 0, fmt.Errorf("fleet: checkpoint line %d corrupt: %v", line, jerr)
+		}
+		valid += int64(len(data))
+	}
+}
+
+// Replay streams the log's records to fn in append order.
+func (l *checkpointLog) Replay(fn func(ckptRecord) error) error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReader(l.f)
+	for {
+		data, err := br.ReadBytes('\n')
+		if len(data) > 0 && data[len(data)-1] == '\n' {
+			var r ckptRecord
+			if jerr := json.Unmarshal(data, &r); jerr != nil {
+				return fmt.Errorf("fleet: checkpoint replay: %v", jerr)
+			}
+			if ferr := fn(r); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := l.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Append durably records one chunk outcome: written, then fsynced,
+// before the coordinator acknowledges the completion.
+func (l *checkpointLog) Append(r ckptRecord) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := l.f.Write(data); err != nil {
+		return fmt.Errorf("fleet: checkpoint append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: checkpoint sync: %w", err)
+	}
+	return nil
+}
+
+func (l *checkpointLog) Close() error { return l.f.Close() }

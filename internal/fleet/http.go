@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/resilience"
+)
+
+// RunConfig is everything a worker needs to participate in a fleet run
+// beyond the coordinator's address, served on GET /config. Shipping the
+// run parameters from the coordinator — instead of flag-matching across
+// machines — is what makes "same run" a property the system enforces:
+// vantage assignment, retry jitter, and the synthetic world all derive
+// from these seeds, so a worker that fetched /config provably agrees
+// with every other worker and with the single-process baseline.
+type RunConfig struct {
+	WorldSeed    uint64 `json:"world_seed"`
+	WorldDomains int    `json:"world_domains"`
+	CrawlSeed    uint64 `json:"crawl_seed"`
+	// RetryAttempts and BreakerThreshold parameterize the worker-side
+	// StreamPlatform; BreakerThreshold 0 disables breakers (their state
+	// is order-dependent across shares, so determinism runs disable
+	// them — see DESIGN.md §9).
+	RetryAttempts    int   `json:"retry_attempts"`
+	BreakerThreshold int   `json:"breaker_threshold"`
+	PolitenessMS     int64 `json:"politeness_ms"`
+	// IngestURL is the capd the workers push captures to.
+	IngestURL string `json:"ingest_url"`
+}
+
+// ServerConfig parameterizes the coordinator's HTTP surface.
+type ServerConfig struct {
+	// MaxInFlight bounds concurrently served protocol requests; excess
+	// is shed with 429 + Retry-After (default 128).
+	MaxInFlight int
+	// MaxBodyBytes caps one request body (default 1 MiB; completion
+	// frames are small).
+	MaxBodyBytes int64
+}
+
+// NewHandler mounts the fleet wire protocol over a coordinator:
+//
+//	POST /lease      lease-request frame → lease-grant | idle | drained
+//	POST /heartbeat  heartbeat frame     → ack | error
+//	POST /complete   completion frame    → ack (Dup marks stale) | error
+//	GET  /status     coordinator Status as JSON
+//	GET  /config     RunConfig as JSON
+//	GET  /healthz    liveness (outside the limiter)
+//
+// Protocol responses are HTTP 200 with the semantics in the frame Type,
+// so transport failures and protocol outcomes stay distinguishable.
+func NewHandler(co *Coordinator, rc RunConfig, cfg ServerConfig) http.Handler {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 128
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		frameExchange(w, r, cfg.MaxBodyBytes, FrameLeaseRequest, func(f *Frame) *Frame {
+			return co.Grant(f.Worker, f.Capacity)
+		})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		frameExchange(w, r, cfg.MaxBodyBytes, FrameHeartbeat, func(f *Frame) *Frame {
+			return co.Heartbeat(f.Worker, f.Lease)
+		})
+	})
+	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
+		frameExchange(w, r, cfg.MaxBodyBytes, FrameCompletion, func(f *Frame) *Frame {
+			return co.Complete(f.Worker, f.Lease, f.Results)
+		})
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(co.Status()) //nolint:errcheck
+	})
+	mux.HandleFunc("/config", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rc) //nolint:errcheck
+	})
+
+	limited := resilience.NewHTTPLimiter(resilience.HTTPLimiterConfig{
+		MaxInFlight: cfg.MaxInFlight,
+	}).Wrap(mux)
+	outer := http.NewServeMux()
+	// Liveness answers even while the protocol path sheds.
+	outer.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := co.Status()
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "drained": st.Drained}) //nolint:errcheck
+	})
+	outer.Handle("/", limited)
+	return outer
+}
+
+// frameExchange decodes one frame of the expected type, applies fn, and
+// writes the response frame.
+func frameExchange(w http.ResponseWriter, r *http.Request, maxBody int64, want FrameType, fn func(*Frame) *Frame) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "fleet: frame endpoints are POST-only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("fleet: reading frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	f, err := DecodeFrame(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.Type != want {
+		http.Error(w, fmt.Sprintf("fleet: endpoint wants %s frame, got %s", want, f.Type), http.StatusBadRequest)
+		return
+	}
+	writeFrame(w, fn(f))
+}
+
+func writeFrame(w http.ResponseWriter, f *Frame) {
+	data, err := EncodeFrame(f)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("fleet: encoding response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}

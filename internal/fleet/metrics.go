@@ -1,0 +1,77 @@
+package fleet
+
+import "repro/internal/obs"
+
+// coordMetrics is the coordinator's counter set. All fields are nil-safe
+// through the nil-receiver checks at the call sites (metrics == nil when
+// no registry is attached).
+type coordMetrics struct {
+	granted        *obs.Counter
+	reassigned     *obs.Counter
+	completions    *obs.Counter
+	dupCompletions *obs.Counter
+	captured       *obs.Counter
+	dead           *obs.Counter
+	shed           *obs.Counter
+}
+
+// registerMetrics attaches the fleet metric families to the configured
+// registry. Gauges are sampled from coordinator state at scrape time.
+func (co *Coordinator) registerMetrics() {
+	reg := co.cfg.Registry
+	if reg == nil {
+		return
+	}
+	co.metrics = &coordMetrics{
+		granted: obs.NewCounter(reg, "fleet_leases_granted_total",
+			"Leases handed to workers, including re-grants of reassigned chunks."),
+		reassigned: obs.NewCounter(reg, "fleet_leases_reassigned_total",
+			"Leases expired without completion and returned to the queue."),
+		completions: obs.NewCounter(reg, "fleet_completions_total",
+			"Chunk completions accepted and accounted."),
+		dupCompletions: obs.NewCounter(reg, "fleet_duplicate_completions_total",
+			"Completions for chunks already accounted (reassigned and finished elsewhere)."),
+		captured: obs.NewCounter(reg, "fleet_shares_captured_total",
+			"Work items whose capture record reached the store."),
+		dead: obs.NewCounter(reg, "fleet_shares_dead_total",
+			"Work items dead-lettered (worker budget exhaustion or lease expiry past the retry budget)."),
+		shed: obs.NewCounter(reg, "fleet_grants_shed_total",
+			"Lease requests refused at the max-active-leases bound."),
+	}
+	obs.NewGaugeFunc(reg, "fleet_leases_active",
+		"Leases currently held by workers.", func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			return float64(len(co.byLease))
+		})
+	obs.NewGaugeFunc(reg, "fleet_chunks_pending",
+		"Chunks waiting to be leased.", func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			n := 0
+			for _, c := range co.chunks {
+				if c.state == chunkPending {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "fleet_shares_remaining",
+		"Work items not yet accounted (pending or leased).", func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			var n int64
+			for _, c := range co.chunks {
+				if c.state == chunkPending || c.state == chunkActive {
+					n += int64(c.n())
+				}
+			}
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "fleet_workers_live",
+		"Workers heard from within two lease TTLs.", func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			return float64(co.liveWorkersLocked())
+		})
+}

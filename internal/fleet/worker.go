@@ -1,0 +1,372 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/crawler"
+	"repro/internal/resilience"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// PushFunc delivers a completed chunk's captures to the store at its
+// canonical range [at, at+n). capstore.Client.RecordBatchAt satisfies
+// it over HTTP; tests push straight into an in-process Ingester.
+type PushFunc func(at, n int64, caps []*capture.Capture) error
+
+// IngestPush adapts a capstore client to PushFunc.
+func IngestPush(cl *capstore.Client) PushFunc {
+	return func(at, n int64, caps []*capture.Capture) error {
+		_, err := cl.RecordBatchAt(at, n, caps)
+		return err
+	}
+}
+
+// WorkerConfig parameterizes one fleet worker.
+type WorkerConfig struct {
+	// ID names the worker in the protocol (required).
+	ID string
+	// Coordinator speaks the wire protocol (required).
+	Coordinator *Client
+	// Push delivers captures (required).
+	Push PushFunc
+	// World is the synthetic substrate the worker crawls. cmd/crawl
+	// rebuilds it from the coordinator's RunConfig seeds.
+	World *webworld.World
+	// Run carries the fleet-wide crawl parameters (normally fetched
+	// from the coordinator's /config).
+	Run RunConfig
+	// Visitor overrides the load substrate (chaos fault injection);
+	// nil means World.
+	Visitor browser.Visitor
+	// Patience bounds how long the worker tolerates consecutive
+	// transport failures against the coordinator or the store before
+	// giving up (0 means a minute). It must cover a coordinator
+	// crash+restart; without a bound, a worker that misses the drained
+	// frame because the coordinator exited would retry forever.
+	Patience time.Duration
+}
+
+// ErrWorkerCrashed is returned by Worker.Run when the test crash hook
+// fires — the in-process stand-in for a SIGKILLed worker node.
+var ErrWorkerCrashed = errors.New("fleet: worker crashed (injected)")
+
+// Worker pulls leases from a coordinator, crawls them through the same
+// StreamPlatform path as a single-process run, pushes the captures to
+// the store at their canonical positions, and reports completions.
+type Worker struct {
+	id       string
+	coord    *Client
+	push     PushFunc
+	world    *webworld.World
+	run      RunConfig
+	visitor  browser.Visitor
+	patience time.Duration
+
+	// crash, when set by in-package tests, is consulted at named stages
+	// ("granted" before processing, "processed" before the push,
+	// "pushed" before the completion); returning true abandons the
+	// worker abruptly, mid-lease, like a killed process.
+	crash func(stage string, first int64) bool
+}
+
+// NewWorker wires a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" || cfg.Coordinator == nil || cfg.Push == nil || cfg.World == nil {
+		return nil, errors.New("fleet: worker needs ID, Coordinator, Push, and World")
+	}
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = time.Minute
+	}
+	return &Worker{
+		id:       cfg.ID,
+		coord:    cfg.Coordinator,
+		push:     cfg.Push,
+		world:    cfg.World,
+		run:      cfg.Run,
+		visitor:  cfg.Visitor,
+		patience: patience,
+	}, nil
+}
+
+// Run pulls and executes leases until the coordinator reports the
+// window drained, ctx is cancelled, or the crash hook fires.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := w.leaseWithRetry(ctx)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FrameDrained:
+			return nil
+		case FrameIdle:
+			if err := sleepCtx(ctx, time.Duration(f.RetryMS)*time.Millisecond); err != nil {
+				return err
+			}
+		case FrameLeaseGrant:
+			if err := w.runLease(ctx, f); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: unexpected %s frame from /lease", f.Type)
+		}
+	}
+}
+
+// outage tracks a run of consecutive transport failures against one
+// peer and reports when it has outlasted the worker's patience. A
+// success (or a live-server response such as 429 shedding) resets it.
+type outage struct {
+	limit time.Duration
+	since time.Time
+}
+
+func (o *outage) fail() bool {
+	if o.since.IsZero() {
+		o.since = time.Now()
+	}
+	return time.Since(o.since) > o.limit
+}
+
+func (o *outage) reset() { o.since = time.Time{} }
+
+// leaseWithRetry asks for work, retrying transport failures and 429
+// shedding with a flat delay — the coordinator may simply be saturated
+// or restarting. An outage longer than the worker's patience gives up:
+// a drained coordinator exits without telling idle-retrying workers.
+func (w *Worker) leaseWithRetry(ctx context.Context) (*Frame, error) {
+	down := outage{limit: w.patience}
+	for {
+		f, err := w.coord.Lease(w.id, 0)
+		if err == nil {
+			return f, nil
+		}
+		if down.fail() {
+			return nil, fmt.Errorf("fleet: coordinator unreachable for %v: %w", w.patience, err)
+		}
+		if serr := sleepCtx(ctx, 100*time.Millisecond); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// runLease executes one granted chunk end to end: heartbeats keep the
+// lease alive while the chunk crawls; the captures are pushed at the
+// chunk's canonical range; the completion closes the loop. Losing the
+// lease (heartbeat rejected) abandons the chunk without pushing — the
+// coordinator has already re-granted it, and the replacement worker's
+// push is byte-identical anyway.
+func (w *Worker) runLease(ctx context.Context, grant *Frame) error {
+	if w.crashed("granted", grant.First) {
+		return ErrWorkerCrashed
+	}
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(leaseCtx, grant, cancel)
+	}()
+	defer func() { cancel(); <-hbDone }()
+
+	results, caps := w.processChunk(leaseCtx, grant)
+	if leaseCtx.Err() != nil && ctx.Err() == nil {
+		// Lease lost mid-crawl: abandon silently.
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if w.crashed("processed", grant.First) {
+		return ErrWorkerCrashed
+	}
+	if err := w.pushWithRetry(ctx, grant, caps); err != nil {
+		return err
+	}
+	if w.crashed("pushed", grant.First) {
+		return ErrWorkerCrashed
+	}
+	down := outage{limit: w.patience}
+	for {
+		f, err := w.coord.Complete(w.id, grant.Lease, results)
+		if err == nil {
+			if f.Type == FrameError {
+				return fmt.Errorf("fleet: completion rejected: %s", f.Err)
+			}
+			return nil // ack — Dup is fine, the chunk is accounted
+		}
+		// Giving up on a completion is safe: the lease expires, the
+		// chunk is reassigned, and the replacement delivery dedups.
+		if down.fail() {
+			return fmt.Errorf("fleet: coordinator unreachable for %v: %w", w.patience, err)
+		}
+		if serr := sleepCtx(ctx, 100*time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+}
+
+func (w *Worker) crashed(stage string, first int64) bool {
+	return w.crash != nil && w.crash(stage, first)
+}
+
+// heartbeat extends the lease at TTL/3 until the lease context ends; a
+// rejected heartbeat (unknown lease — it expired and was reassigned)
+// cancels the lease context so the crawl is abandoned.
+func (w *Worker) heartbeat(ctx context.Context, grant *Frame, cancel context.CancelFunc) {
+	interval := time.Duration(grant.TTLMS) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			f, err := w.coord.Heartbeat(w.id, grant.Lease)
+			if err != nil {
+				continue // transient transport failure; the TTL absorbs a few
+			}
+			if f.Type == FrameError {
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// processChunk crawls the chunk through a fresh single-worker
+// StreamPlatform — the exact retry/politeness/vantage path of the
+// single-process pipeline. Workers=1 makes the sink receive captures in
+// share order, so the captures slice is already in canonical order for
+// the ordered push. Breakers follow RunConfig.BreakerThreshold
+// (0 disables; their state is cross-share order-dependent, so
+// determinism runs keep them off).
+func (w *Worker) processChunk(ctx context.Context, grant *Frame) ([]Result, []*capture.Capture) {
+	sink := capture.NewMemStore()
+	dead := resilience.NewMemDeadLetter()
+	p := crawler.NewStreamPlatform(w.world, crawler.StreamConfig{
+		Seed:           w.run.CrawlSeed,
+		Workers:        1,
+		QueueDepth:     grant.N,
+		PerDomainDelay: time.Duration(w.run.PolitenessMS) * time.Millisecond,
+		Retry: resilience.RetryPolicy{
+			MaxAttempts: w.run.RetryAttempts,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    10 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.5,
+		},
+		Breaker:    resilience.BreakerConfig{Threshold: w.run.BreakerThreshold},
+		Visitor:    w.visitor,
+		DeadLetter: dead,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(context.Background(), sink)
+	}()
+	for _, it := range grant.Items {
+		if err := p.Submit(ctx, it.Day, crawlShare(it)); err != nil {
+			break // cancelled: the lease is lost, outcomes are moot
+		}
+	}
+	p.Close()
+	<-done
+
+	// Map outcomes back to sequence numbers. Every submitted item
+	// reached exactly one terminal: a recorded capture or a dead-letter
+	// entry; items never submitted (cancellation) stay unaccounted,
+	// which is fine — a lost lease's results are discarded.
+	seqOf := make(map[string]int64, grant.N)
+	for _, it := range grant.Items {
+		seqOf[it.URL+"\x1f"+it.Day.String()] = it.Seq
+	}
+	caps := sink.All()
+	results := make([]Result, 0, grant.N)
+	for _, c := range caps {
+		results = append(results, Result{
+			Seq:      seqOf[c.SeedURL+"\x1f"+c.Day.String()],
+			Captured: true,
+		})
+	}
+	for _, e := range dead.Entries() {
+		results = append(results, Result{
+			Seq:      seqOf[e.URL+"\x1f"+e.Day.String()],
+			Attempts: e.Attempts,
+			Reason:   e.Reason,
+			Err:      e.LastErr,
+		})
+	}
+	sortResults(results)
+	return results, caps
+}
+
+// crawlShare rebuilds the socialfeed.Share a work item was cut from.
+// Platform and Hour do not influence the crawl, so the wire protocol
+// does not carry them.
+func crawlShare(it WorkItem) socialfeed.Share {
+	return socialfeed.Share{URL: it.URL, Domain: it.Domain}
+}
+
+func sortResults(rs []Result) {
+	// Insertion sort: chunks are small and nearly ordered (captures are
+	// in share order; dead letters interleave).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Seq < rs[j-1].Seq; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// pushWithRetry delivers the chunk's captures, absorbing reorder-buffer
+// shedding (the store is waiting for an earlier range) with retries.
+// Shedding is a live server asking for backoff and never counts toward
+// the patience budget; transport failures do.
+func (w *Worker) pushWithRetry(ctx context.Context, grant *Frame, caps []*capture.Capture) error {
+	down := outage{limit: w.patience}
+	for {
+		err := w.push(grant.First, int64(grant.N), caps)
+		if err == nil {
+			return nil
+		}
+		delay := 100 * time.Millisecond
+		if errors.Is(err, capstore.ErrIngestShed) {
+			delay = 250 * time.Millisecond
+			down.reset()
+		} else if down.fail() {
+			return fmt.Errorf("fleet: store unreachable for %v: %w", w.patience, err)
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleepCtx waits d, cut short by cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
