@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke fuzz
 
-check: vet build race chaos obs-smoke fleet-smoke
+check: vet build race chaos obs-smoke fleet-smoke decision-smoke
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +88,15 @@ fleet-smoke:
 	$(GO) build -o bin/crawl ./cmd/crawl
 	$(GO) run ./cmd/fleetsmoke -capd bin/capd -fleetd bin/fleetd -crawl bin/crawl
 
+# End-to-end decision smoke: boot a real consentd with -metrics, drive
+# mixed traffic (NDJSON batches, single decisions, vendor filters)
+# through the load driver, re-check sampled batch answers against the
+# naive reference decoder, and fail on missing decision metrics or a
+# cold cache.
+decision-smoke:
+	$(GO) build -o bin/consentd ./cmd/consentd
+	$(GO) run ./cmd/decisionsmoke -consentd bin/consentd
+
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer
 # benchtime than `make bench` so the ratio is stable; not part of
@@ -101,8 +110,13 @@ obs-overhead:
 
 # Short fuzz passes: the capture wire format (torn writes, segment
 # boundaries, malformed tuples), retry classification of malformed
-# webworld/chaos error strings, and the fleet wire-protocol decoder.
+# webworld/chaos error strings, the fleet wire-protocol decoder, both
+# TCF consent-string codecs, and the compiled-vs-naive decision kernel
+# differential.
 fuzz:
 	$(GO) test ./internal/capturedb/ -run '^$$' -fuzz FuzzScan -fuzztime 30s
 	$(GO) test ./internal/resilience/ -run '^$$' -fuzz FuzzClassifyError -fuzztime 15s
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 15s
+	$(GO) test ./internal/tcf/ -run '^$$' -fuzz FuzzDecode$$ -fuzztime 20s
+	$(GO) test ./internal/tcf/ -run '^$$' -fuzz FuzzDecodeV2 -fuzztime 20s
+	$(GO) test ./internal/decision/ -run '^$$' -fuzz FuzzDecideDifferential -fuzztime 30s

@@ -15,6 +15,8 @@ package repro
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sync"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/consent"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/decision"
 	"repro/internal/detect"
 	"repro/internal/gvl"
 	"repro/internal/interp"
@@ -643,4 +646,98 @@ func BenchmarkAblationTCFEncoding(b *testing.B) {
 			b.ReportMetric(float64(size), "string-bytes")
 		})
 	}
+}
+
+// BenchmarkDecideOne is the zero-alloc gate on the steady-state
+// decision path: one cache-hit lookup of a compiled consent string
+// plus one kernel decision with a pre-resolved GVL table. allocs/op
+// must be 0.
+func BenchmarkDecideOne(b *testing.B) {
+	pop, err := decision.GeneratePopulation(decision.PopulationConfig{Seed: 1, Size: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 40, PeakVendors: 400})
+	resolver := decision.NewResolver(gvl.UpgradeHistory(h, gvl.DefaultV2UpgradeConfig()))
+	cache := decision.NewCache(decision.CacheConfig{})
+	keys := make([][]byte, len(pop.Strings))
+	for i, s := range pop.Strings {
+		if _, err := cache.Get(s); err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = []byte(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink decision.Basis
+	for i := 0; i < b.N; i++ {
+		c, err := cache.GetBytes(keys[i%len(keys)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = decision.Decide(c, resolver.Table(c.VendorListVersion), 1+i%650, 1+i%10)
+	}
+	_ = sink
+}
+
+// BenchmarkDecideBatch measures the consent-decision service end to
+// end: one iteration posts a pre-rendered 512-decision NDJSON batch to
+// a real decision server over HTTP and drains the response. The
+// decisions/sec metric is the service throughput figure (cmd/
+// decisionload measures the same path against a consentd process).
+func BenchmarkDecideBatch(b *testing.B) {
+	const batchSize = 512
+	pop, err := decision.GeneratePopulation(decision.PopulationConfig{Seed: 1, Size: 2000, MaxVLV: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := gvl.GenerateHistory(gvl.HistoryConfig{Seed: 1, Versions: 40, PeakVendors: 400})
+	srv := decision.NewServer(decision.ServerConfig{
+		Resolver: decision.NewResolver(gvl.UpgradeHistory(h, gvl.DefaultV2UpgradeConfig())),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One pre-rendered body, built by the load driver's generator via a
+	// single-request dry run configuration.
+	bodies := decision.PrerenderBodies(decision.LoadConfig{
+		ServerURL:  ts.URL,
+		Population: pop,
+		BatchSize:  batchSize,
+		Bodies:     4,
+	})
+	client := ts.Client()
+	// Warm the compiled-string cache.
+	for _, body := range bodies {
+		resp, err := client.Post(ts.URL+"/v1/batch", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch returned %s", resp.Status)
+		}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/batch", "application/x-ndjson", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != batchSize*decision.BatchAnswerLen {
+			b.Fatalf("answered %d bytes, want %d", n, batchSize*decision.BatchAnswerLen)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*batchSize/elapsed.Seconds(), "decisions/sec")
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(int64(b.N)*batchSize), "ns/decision")
 }

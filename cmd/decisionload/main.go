@@ -1,0 +1,124 @@
+// Command decisionload is the seeded load generator for consentd: it
+// synthesizes a deterministic consent-string population, pre-renders
+// batch request bodies shaped like real bid traffic (Zipf-skewed string
+// popularity, runs of vendor/purpose questions per string), drives the
+// server from concurrent workers, and reports throughput with p50/p99
+// request latency. With -validate it replays sampled batches and checks
+// every answer against the naive reference path (full re-decode + map
+// lookups over the same generated GVL) — the correctness gate used by
+// `make decision-smoke`.
+//
+// Usage:
+//
+//	decisionload -server http://127.0.0.1:8344 [-decisions 1000000]
+//	             [-workers 4] [-batch 512] [-seed 1] [-population 10000]
+//	             [-zipf 1.1] [-uniform] [-validate N] [-json]
+//
+// The generated population and traffic are functions of -seed alone, so
+// a run is exactly reproducible; the GVL flags must match the ones the
+// target consentd was started with for -validate to agree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/decision"
+	"repro/internal/gvl"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "", "consentd base URL (required)")
+		seed     = flag.Uint64("seed", 1, "root seed for population and traffic")
+		popSize  = flag.Int("population", 10_000, "distinct consent strings generated")
+		decs     = flag.Int("decisions", 1_000_000, "total decisions to drive")
+		workers  = flag.Int("workers", 4, "concurrent client connections")
+		batch    = flag.Int("batch", 512, "decisions per batch request")
+		bodies   = flag.Int("bodies", 64, "pre-rendered request bodies cycled through")
+		zipfExp  = flag.Float64("zipf", 1.1, "Zipf exponent for string popularity")
+		uniform  = flag.Bool("uniform", false, "uniform string popularity (cache-hostile)")
+		maxVLV   = flag.Int("max-vlv", 215, "max vendor-list version stamped on strings")
+		validate = flag.Int("validate", 0, "after the run, re-check N batches against the naive path")
+		gvlSeed  = flag.Uint64("gvl-seed", 1, "GVL seed (must match the server's for -validate)")
+		gvlVers  = flag.Int("gvl-versions", 215, "GVL versions (must match the server's)")
+		gvlVend  = flag.Int("gvl-vendors", 650, "GVL peak vendors (must match the server's)")
+		flexProb = flag.Float64("flexible-prob", 0.25, "flexible-purpose probability (must match the server's)")
+		asJSON   = flag.Bool("json", false, "emit the result as one JSON object")
+	)
+	flag.Parse()
+	if *server == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pop, err := decision.GeneratePopulation(decision.PopulationConfig{
+		Seed:   *seed,
+		Size:   *popSize,
+		MaxVLV: *maxVLV,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decisionload:", err)
+		os.Exit(1)
+	}
+	cfg := decision.LoadConfig{
+		ServerURL:    *server,
+		Population:   pop,
+		Seed:         *seed,
+		Workers:      *workers,
+		Decisions:    *decs,
+		BatchSize:    *batch,
+		Bodies:       *bodies,
+		ZipfExponent: *zipfExp,
+		Uniform:      *uniform,
+	}
+
+	res, err := decision.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decisionload:", err)
+		os.Exit(1)
+	}
+
+	var vr *decision.ValidateResult
+	if *validate > 0 {
+		h := gvl.GenerateHistory(gvl.HistoryConfig{
+			Seed: *gvlSeed, Versions: *gvlVers, PeakVendors: *gvlVend,
+		})
+		resolver := decision.NewResolver(gvl.UpgradeHistory(h, gvl.V2UpgradeConfig{
+			FlexibleSeed: *gvlSeed, FlexibleProb: *flexProb,
+		}))
+		vr, err = decision.ValidateAgainstNaive(cfg, resolver, *validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decisionload: validate:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		out := struct {
+			*decision.LoadResult
+			Validation *decision.ValidateResult `json:"validation,omitempty"`
+		}{res, vr}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		fmt.Printf("decisionload: %d decisions in %d requests over %v\n",
+			res.Decisions, res.Requests, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("decisionload: %.0f decisions/sec; batch latency p50 %v, p99 %v\n",
+			res.DecisionsPerSec, res.P50, res.P99)
+		fmt.Printf("decisionload: bases: consent %d, legitimate-interest %d, denied %d\n",
+			res.Bases["consent"], res.Bases["legitimate-interest"], res.Bases["none"])
+		if vr != nil {
+			fmt.Printf("decisionload: validated %d answers against the naive path, %d mismatches\n",
+				vr.Checked, vr.Mismatches)
+		}
+	}
+	if vr != nil && vr.Mismatches > 0 {
+		fmt.Fprintln(os.Stderr, "decisionload: MISMATCH:", vr.FirstMismatch)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,259 @@
+// Command decisionsmoke is the end-to-end gate for the consent-decision
+// service: it boots a real consentd child process with telemetry on an
+// ephemeral port, drives mixed traffic through the load driver (batch
+// NDJSON, single decisions, vendor filters), re-checks sampled batch
+// answers against the naive reference path, and verifies the /metrics
+// and /healthz surfaces carry the decision families. Any failure exits
+// non-zero.
+//
+// Usage:
+//
+//	decisionsmoke [-consentd bin/consentd] [-decisions 50000]
+//
+// `make decision-smoke` builds consentd and runs this; it is part of
+// `make check`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/decision"
+	"repro/internal/gvl"
+	"repro/internal/obs"
+)
+
+// The child's GVL must match the validator's resolver exactly; both use
+// these parameters.
+const (
+	gvlSeed     = 1
+	gvlVersions = 60
+	gvlVendors  = 400
+	flexProb    = 0.25
+)
+
+func main() {
+	bin := flag.String("consentd", filepath.Join("bin", "consentd"), "path to the consentd binary under test")
+	decisions := flag.Int("decisions", 50_000, "decisions to drive through the batch endpoint")
+	flag.Parse()
+
+	addr, stop, err := bootConsentd(*bin)
+	check(err)
+	defer stop()
+	base := "http://" + addr
+
+	pop, err := decision.GeneratePopulation(decision.PopulationConfig{
+		Seed: 1, Size: 2000, MaxVLV: gvlVersions,
+	})
+	check(err)
+
+	// Mixed batch traffic through the load driver.
+	cfg := decision.LoadConfig{
+		ServerURL:  base,
+		Population: pop,
+		Workers:    4,
+		Decisions:  *decisions,
+		BatchSize:  256,
+		Bodies:     32,
+	}
+	res, err := decision.RunLoad(cfg)
+	check(err)
+	if res.Decisions < int64(*decisions) {
+		fatalf("drove only %d of %d decisions", res.Decisions, *decisions)
+	}
+	if res.Bases["consent"] == 0 || res.Bases["none"] == 0 {
+		fatalf("implausible basis mix: %v", res.Bases)
+	}
+
+	// Single-decision endpoint agrees with the local kernel.
+	raw := pop.Strings[0]
+	one := get(base + "/decide?tc=" + raw + "&vendor=1&purpose=1")
+	var dr struct {
+		Allowed bool   `json:"allowed"`
+		Basis   string `json:"basis"`
+	}
+	check(json.Unmarshal([]byte(one), &dr))
+	if (dr.Basis == "none") == dr.Allowed {
+		fatalf("/decide inconsistent: %s", one)
+	}
+
+	// Vendor filter answers a plausible subset.
+	fresp, err := http.Post(base+"/v1/filter", "application/json",
+		strings.NewReader(`{"t":"`+raw+`","purpose":1,"vendors":[1,2,3,4,5,6,7,8,9,10]}`))
+	check(err)
+	fbody, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		fatalf("/v1/filter: %s\n%s", fresp.Status, fbody)
+	}
+	var fr struct {
+		Allowed []int `json:"allowed"`
+		Checked int   `json:"checked"`
+	}
+	check(json.Unmarshal(fbody, &fr))
+	if fr.Checked != 10 || len(fr.Allowed) > 10 {
+		fatalf("/v1/filter implausible: %s", fbody)
+	}
+
+	// Validation: sampled batches re-checked against the naive path
+	// over the same generated GVL.
+	h := gvl.GenerateHistory(gvl.HistoryConfig{
+		Seed: gvlSeed, Versions: gvlVersions, PeakVendors: gvlVendors,
+	})
+	resolver := decision.NewResolver(gvl.UpgradeHistory(h, gvl.V2UpgradeConfig{
+		FlexibleSeed: gvlSeed, FlexibleProb: flexProb,
+	}))
+	vr, err := decision.ValidateAgainstNaive(cfg, resolver, 8)
+	check(err)
+	if vr.Mismatches > 0 {
+		fatalf("%d of %d answers disagree with the naive path: %s",
+			vr.Mismatches, vr.Checked, vr.FirstMismatch)
+	}
+
+	// /metrics is valid exposition text and carries the decision
+	// families with real traffic in them.
+	text := get(base + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{
+		`decision_decisions_total{endpoint="batch",basis="consent"}`,
+		`decision_decisions_total{endpoint="filter",basis="consent"}`,
+		"decision_cache_hits_total",
+		"decision_cache_hit_ratio",
+		"decision_batch_seconds_bucket",
+		"decision_single_seconds_bucket",
+		"decision_http_admitted_total",
+		"obs_trace_spans",
+	} {
+		if !strings.Contains(text, want) {
+			fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// /healthz totals cover the driven traffic and the cache absorbed
+	// the skewed string population.
+	var health struct {
+		Decisions     int64   `json:"decisions"`
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+		GVL           struct {
+			Versions int `json:"versions"`
+		} `json:"gvl"`
+	}
+	check(json.Unmarshal([]byte(get(base+"/healthz")), &health))
+	if health.Decisions < res.Decisions {
+		fatalf("/healthz decisions = %d, driver counted %d", health.Decisions, res.Decisions)
+	}
+	if health.GVL.Versions != gvlVersions {
+		fatalf("/healthz GVL versions = %d, want %d", health.GVL.Versions, gvlVersions)
+	}
+	if health.CacheHitRatio < 0.5 {
+		fatalf("cache hit ratio %.3f after skewed traffic, want ≥ 0.5", health.CacheHitRatio)
+	}
+
+	check(stop())
+	fmt.Printf("decisionsmoke: ok (%d decisions at %.0f/sec, p50 %v p99 %v, %.1f%% cache hits, %d answers validated)\n",
+		res.Decisions, res.DecisionsPerSec, res.P50, res.P99,
+		100*health.CacheHitRatio, vr.Checked)
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// bootConsentd starts consentd with telemetry on an ephemeral port and
+// parses the bound address from its startup banner. stop sends SIGTERM
+// and waits for the graceful drain.
+func bootConsentd(bin string) (addr string, stop func() error, err error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-metrics",
+		"-gvl-seed", fmt.Sprint(gvlSeed),
+		"-gvl-versions", fmt.Sprint(gvlVersions),
+		"-gvl-vendors", fmt.Sprint(gvlVendors),
+		"-flexible-prob", fmt.Sprint(flexProb),
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	banner := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var seen []byte
+		for {
+			n, err := out.Read(buf)
+			seen = append(seen, buf[:n]...)
+			if m := addrRe.FindSubmatch(seen); m != nil {
+				banner <- string(m[1])
+				break
+			}
+			if err != nil {
+				banner <- ""
+				return
+			}
+		}
+		io.Copy(io.Discard, out)
+	}()
+	select {
+	case addr = <-banner:
+	case <-time.After(10 * time.Second):
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", nil, fmt.Errorf("consentd did not report a listen address")
+	}
+	stopped := false
+	stop = func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			return fmt.Errorf("consentd did not shut down after SIGTERM")
+		}
+	}
+	return addr, stop, nil
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "decisionsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,7 +6,10 @@
 //
 //	tcf -decode <consent-string>       # v1 or v2, auto-detected
 //	tcf -decode <v1-string> -upgrade   # also print the v2 equivalent
+//	tcf -decode <string> -decide V:P   # answer "may vendor V process for
+//	                                   # purpose P?" via the decision kernel
 //	tcf -demo                          # build, encode and decode an example
+//	tcf -demo -decide V:P              # …and decide against the example string
 package main
 
 import (
@@ -14,8 +17,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/decision"
 	"repro/internal/tcf"
 )
 
@@ -23,13 +29,16 @@ func main() {
 	var (
 		decode  = flag.String("decode", "", "consent string to decode")
 		upgrade = flag.Bool("upgrade", false, "with -decode of a v1 string: print the v2 upgrade")
+		decide  = flag.String("decide", "", "with -decode: answer a vendor:purpose question (e.g. -decide 32:1)")
 		demo    = flag.Bool("demo", false, "encode and decode an example string")
 	)
 	flag.Parse()
 
 	switch {
 	case *demo:
-		runDemo()
+		runDemo(*decide)
+	case *decode != "" && *decide != "":
+		runDecide(*decode, *decide)
 	case *decode != "":
 		if c, err := tcf.Decode(*decode); err == nil {
 			printV1(c)
@@ -55,7 +64,41 @@ func main() {
 	}
 }
 
-func runDemo() {
+// runDecide answers one vendor:purpose question through the same
+// compiled kernel consentd serves from (internal/decision), so the CLI
+// answer is bit-for-bit the production answer. No GVL table is applied:
+// the answer reflects the string alone.
+func runDecide(raw, question string) {
+	vs, ps, ok := strings.Cut(question, ":")
+	if !ok {
+		fatal(fmt.Errorf("-decide wants vendor:purpose, e.g. -decide 32:1"))
+	}
+	vendor, err1 := strconv.Atoi(strings.TrimSpace(vs))
+	purpose, err2 := strconv.Atoi(strings.TrimSpace(ps))
+	if err1 != nil || err2 != nil {
+		fatal(fmt.Errorf("-decide wants integer vendor:purpose, got %q", question))
+	}
+	c, err := decision.Compile(raw)
+	if err != nil {
+		fatal(err)
+	}
+	basis := decision.Decide(c, nil, vendor, purpose)
+	fmt.Printf("vendor %d, purpose %d (TCF v%d string, vendor list v%d):\n",
+		vendor, purpose, c.WireVersion, c.VendorListVersion)
+	if basis.Allowed() {
+		fmt.Printf("  ALLOWED under %s\n", basis)
+	} else {
+		fmt.Printf("  DENIED\n")
+	}
+	fmt.Printf("  purpose consent: %v, purpose LI: %v, vendor consent: %v, vendor LI: %v\n",
+		c.PurposeConsent(purpose), c.PurposeLI(purpose),
+		c.VendorConsent(vendor), c.VendorLI(vendor))
+	if !basis.Allowed() {
+		os.Exit(3)
+	}
+}
+
+func runDemo(decide string) {
 	c := tcf.New(time.Now().UTC())
 	c.CMPID = 10
 	c.ConsentLanguage = "EN"
@@ -73,6 +116,10 @@ func runDemo() {
 		fatal(err)
 	}
 	printV1(d)
+	if decide != "" {
+		fmt.Println()
+		runDecide(s, decide)
+	}
 }
 
 func printV1(c *tcf.ConsentString) {

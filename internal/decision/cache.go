@@ -1,0 +1,199 @@
+package decision
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// A consentd serves a working set of TC strings far smaller than its
+// request stream: real consent populations are heavily skewed (a few
+// accept-all and reject-all strings dominate, with a long tail of
+// partial grants). The cache exploits that: a sharded, bounded LRU
+// keyed by the raw string, so the steady-state decision path compiles
+// nothing. Shards cut lock contention; per-shard LRU keeps eviction
+// O(1). Failed compiles are cached too — a malformed string hammered
+// by a buggy client must not cost a full parse per request.
+
+// CacheConfig sizes the compiled-form cache.
+type CacheConfig struct {
+	// Capacity is the total number of cached entries across all
+	// shards (default 32768; compiled forms are a few hundred bytes).
+	Capacity int
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16).
+	Shards int
+}
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 32768
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.Capacity < c.Shards {
+		c.Capacity = c.Shards
+	}
+	return c
+}
+
+// Cache is a sharded, bounded LRU of compiled consent strings.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+	cap int
+	_   [24]byte // keep shards off one another's cache lines
+}
+
+type cacheEntry struct {
+	key string
+	c   *Compiled
+	err error
+}
+
+// NewCache returns an empty cache.
+func NewCache(cfg CacheConfig) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{shards: make([]cacheShard, cfg.Shards), mask: uint64(cfg.Shards - 1)}
+	per := cfg.Capacity / cfg.Shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element, per+1)
+		c.shards[i].ll = list.New()
+		c.shards[i].cap = per
+	}
+	return c
+}
+
+// fnv1a hashes the key bytes; inlined so the hit path never escapes
+// its argument.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Get returns the compiled form for raw, compiling and inserting on a
+// miss. The hit path takes one shard lock and allocates nothing.
+func (c *Cache) Get(raw string) (*Compiled, error) {
+	s := &c.shards[fnv1a(raw)&c.mask]
+	s.mu.Lock()
+	if el, ok := s.m[raw]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.c, e.err
+	}
+	s.mu.Unlock()
+	return c.compileInsert(s, raw)
+}
+
+// GetBytes is Get for a key still held as bytes (the batch endpoint's
+// line parser). The hit path probes the shard map via the compiler's
+// map-access optimization and does not copy the key; only a miss
+// materializes the string.
+func (c *Cache) GetBytes(raw []byte) (*Compiled, error) {
+	s := &c.shards[fnv1aBytes(raw)&c.mask]
+	s.mu.Lock()
+	if el, ok := s.m[string(raw)]; ok { // no alloc: map access special case
+		s.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.c, e.err
+	}
+	s.mu.Unlock()
+	return c.compileInsert(s, string(raw))
+}
+
+func fnv1aBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// compileInsert compiles outside the shard lock (two goroutines may
+// race to compile the same string; last insert wins, both results are
+// identical) and inserts with LRU eviction.
+func (c *Cache) compileInsert(s *cacheShard, raw string) (*Compiled, error) {
+	c.misses.Add(1)
+	compiled, err := Compile(raw)
+	e := &cacheEntry{key: raw, c: compiled, err: err}
+	s.mu.Lock()
+	if el, ok := s.m[raw]; ok {
+		// Lost the race; adopt the winner for a consistent view.
+		s.ll.MoveToFront(el)
+		won := el.Value.(*cacheEntry)
+		s.mu.Unlock()
+		return won.c, won.err
+	}
+	s.m[raw] = s.ll.PushFront(e)
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	return compiled, err
+}
+
+// CacheStats is a counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any traffic.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Size += s.ll.Len()
+		st.Capacity += s.cap
+		s.mu.Unlock()
+	}
+	return st
+}

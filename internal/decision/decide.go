@@ -1,0 +1,96 @@
+package decision
+
+// Decide answers: may this vendor process for this purpose under the
+// given consent string, and on which legal basis? It is the hot path —
+// pure bit arithmetic over the Compiled form and the pre-resolved
+// vendor table, 0 allocs/op (gated by TestDecideNoAllocs and
+// BenchmarkDecideOne).
+//
+// Semantics (identical to NaiveDecide, asserted differentially):
+//
+//   - A RestrictionNotAllowed publisher restriction covering
+//     (purpose, vendor) denies outright.
+//   - The consent path requires the purpose-consent signal (with the
+//     purpose-one treatment applied) AND per-vendor consent.
+//   - The LI path requires purpose LI transparency AND per-vendor LI
+//     establishment; v1-compiled strings have no LI signals, so the
+//     path is naturally dead for them.
+//   - RequireConsent / RequireLegInt restrictions disable the other
+//     path for covered (purpose, vendor) pairs.
+//   - With a vendor table (t != nil), the vendor must additionally be
+//     registered on that GVL version and have declared the purpose
+//     under the basis in question. A flexible purpose declared under
+//     one basis may serve the other exactly when a Require* publisher
+//     restriction switches it.
+//
+// t == nil answers from the string alone — the legal-basis declaration
+// check is skipped, as for strings stamped with a vendor-list version
+// predating the resolver's history.
+func Decide(c *Compiled, t *VendorTable, vendor, purpose int) Basis {
+	if c == nil || vendor <= 0 || purpose < 1 || purpose > NumPurposeBits {
+		return BasisNone
+	}
+	var notAllowed, requireConsent, requireLI bool
+	if len(c.restrictNA) > 0 {
+		notAllowed = covers(c.restrictNA, vendor, purpose)
+	}
+	if notAllowed {
+		return BasisNone
+	}
+	if len(c.restrictRC) > 0 {
+		requireConsent = covers(c.restrictRC, vendor, purpose)
+	}
+	if len(c.restrictRL) > 0 {
+		requireLI = covers(c.restrictRL, vendor, purpose)
+	}
+
+	pbit := uint(purpose - 1)
+	purposeConsent := c.purposes>>pbit&1 == 1
+	if purpose == 1 && c.PurposeOneTreatment {
+		purposeConsent = true
+	}
+	consentOK := purposeConsent && c.vendorConsent.test(vendor)
+	liOK := c.purposesLI>>pbit&1 == 1 && c.vendorLI.test(vendor)
+
+	if t != nil {
+		if !t.present.test(vendor) {
+			return BasisNone
+		}
+		declC := t.declaresConsent(vendor, purpose)
+		declLI := t.declaresLegInt(vendor, purpose)
+		flex := t.declaresFlexible(vendor, purpose)
+		// A Require* restriction switches a flexible purpose onto the
+		// mandated basis; without flexibility the declaration stands.
+		canConsent := declC || (declLI && flex && requireConsent)
+		canLI := declLI || (declC && flex && requireLI)
+		consentOK = consentOK && canConsent
+		liOK = liOK && canLI
+	}
+	if requireConsent {
+		liOK = false
+	}
+	if requireLI {
+		consentOK = false
+	}
+
+	if consentOK {
+		return BasisConsent
+	}
+	if liOK {
+		return BasisLegInt
+	}
+	return BasisNone
+}
+
+// FilterVendors appends to dst the subset of vendors that may process
+// for the purpose ("which of these K vendors may bid?") and returns
+// it. dst may be nil; pass a reused buffer to keep the call
+// allocation-free once grown.
+func FilterVendors(c *Compiled, t *VendorTable, vendors []int, purpose int, dst []int) []int {
+	for _, v := range vendors {
+		if Decide(c, t, v, purpose).Allowed() {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

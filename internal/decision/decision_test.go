@@ -1,0 +1,453 @@
+package decision
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gvl"
+	"repro/internal/simtime"
+	"repro/internal/tcf"
+)
+
+func mustEncodeV2(t testing.TB, c *tcf.V2ConsentString) string {
+	t.Helper()
+	s, err := c.EncodeV2()
+	if err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	return s
+}
+
+// acceptAllV2 builds a v2 string consenting to everything up to
+// maxVendor.
+func acceptAllV2(t testing.TB, maxVendor int) *tcf.V2ConsentString {
+	t.Helper()
+	c := tcf.NewV2(simtime.Date(2020, time.March, 1).Time())
+	c.VendorListVersion = 30
+	c.MaxVendorID = maxVendor
+	for p := 1; p <= tcf.NumPurposesV2; p++ {
+		c.PurposesConsent[p] = true
+	}
+	for v := 1; v <= maxVendor; v++ {
+		c.VendorConsent[v] = true
+	}
+	return c
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, id := range []int{1, 64, 65, 128, 130} {
+		b.set(id)
+	}
+	b.set(0)   // ignored
+	b.set(200) // beyond the word capacity, ignored
+	for _, id := range []int{1, 64, 65, 128, 130} {
+		if !b.test(id) {
+			t.Errorf("bit %d not set", id)
+		}
+	}
+	for _, id := range []int{-1, 0, 2, 63, 66, 129, 131, 200, 1000} {
+		if b.test(id) {
+			t.Errorf("bit %d unexpectedly set", id)
+		}
+	}
+	if got := b.count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
+func TestCompileV2RoundTrip(t *testing.T) {
+	c := acceptAllV2(t, 100)
+	c.PurposesLITransparency[2] = true
+	c.MaxVendorLIID = 80
+	c.VendorLegInt[40] = true
+	c.SpecialFeatureOptIns[1] = true
+	raw := mustEncodeV2(t, c)
+
+	cp, err := Compile(raw)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if cp.WireVersion != tcf.V2Version || cp.VendorListVersion != 30 {
+		t.Fatalf("header mismatch: %+v", cp)
+	}
+	if !cp.PurposeConsent(3) || cp.PurposeConsent(11) {
+		t.Errorf("purpose consent bits wrong")
+	}
+	if !cp.PurposeLI(2) || cp.PurposeLI(3) {
+		t.Errorf("purpose LI bits wrong")
+	}
+	if !cp.VendorConsent(100) || cp.VendorConsent(101) {
+		t.Errorf("vendor consent bits wrong")
+	}
+	if !cp.VendorLI(40) || cp.VendorLI(41) {
+		t.Errorf("vendor LI bits wrong")
+	}
+	if !cp.SpecialFeature(1) || cp.SpecialFeature(2) {
+		t.Errorf("special feature bits wrong")
+	}
+	if cp.ConsentedVendors() != 100 {
+		t.Errorf("ConsentedVendors = %d, want 100", cp.ConsentedVendors())
+	}
+}
+
+func TestCompileV1Migration(t *testing.T) {
+	c := tcf.New(simtime.Date(2019, time.June, 1).Time())
+	c.VendorListVersion = 10
+	c.PurposesAllowed[2] = true // → v2 purposes 3, 5
+	c.PurposesAllowed[5] = true // → v2 purposes 7, 8
+	c.MaxVendorID = 20
+	c.VendorConsent[7] = true
+	raw, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cp, err := Compile(raw)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if cp.WireVersion != tcf.Version {
+		t.Fatalf("WireVersion = %d", cp.WireVersion)
+	}
+	wantOn := map[int]bool{3: true, 5: true, 7: true, 8: true}
+	for p := 1; p <= 10; p++ {
+		if cp.PurposeConsent(p) != wantOn[p] {
+			t.Errorf("purpose %d = %v, want %v", p, cp.PurposeConsent(p), wantOn[p])
+		}
+	}
+	if !cp.VendorConsent(7) || cp.VendorConsent(8) {
+		t.Errorf("vendor consent wrong")
+	}
+	// v1 has no LI signals: the LI path must be dead.
+	for p := 1; p <= 10; p++ {
+		if cp.PurposeLI(p) {
+			t.Errorf("v1 string has purpose LI %d", p)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, raw := range []string{"", "!", "ZZZZ", "Caaaa#aaa"} {
+		if _, err := Compile(raw); err == nil {
+			t.Errorf("Compile(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestDecideBasics(t *testing.T) {
+	c := acceptAllV2(t, 50)
+	c.PurposesConsent[4] = false
+	raw := mustEncodeV2(t, c)
+	cp, err := Compile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp, nil, 10, 1); got != BasisConsent {
+		t.Errorf("vendor 10 purpose 1 = %v, want consent", got)
+	}
+	if got := Decide(cp, nil, 10, 4); got != BasisNone {
+		t.Errorf("withheld purpose = %v, want none", got)
+	}
+	if got := Decide(cp, nil, 51, 1); got != BasisNone {
+		t.Errorf("out-of-range vendor = %v, want none", got)
+	}
+	for _, bad := range [][2]int{{0, 1}, {-3, 1}, {1, 0}, {1, 25}, {1, -1}} {
+		if got := Decide(cp, nil, bad[0], bad[1]); got != BasisNone {
+			t.Errorf("Decide(%d,%d) = %v, want none", bad[0], bad[1], got)
+		}
+	}
+	if Decide(nil, nil, 1, 1) != BasisNone {
+		t.Errorf("nil compiled must deny")
+	}
+}
+
+func TestDecideLegitimateInterest(t *testing.T) {
+	c := tcf.NewV2(simtime.Date(2020, time.March, 1).Time())
+	c.VendorListVersion = 30
+	c.PurposesLITransparency[7] = true
+	c.MaxVendorLIID = 10
+	c.VendorLegInt[9] = true
+	raw := mustEncodeV2(t, c)
+	cp, err := Compile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp, nil, 9, 7); got != BasisLegInt {
+		t.Errorf("LI decision = %v, want legitimate-interest", got)
+	}
+	if got := Decide(cp, nil, 9, 8); got != BasisNone {
+		t.Errorf("no transparency = %v, want none", got)
+	}
+	if got := Decide(cp, nil, 8, 7); got != BasisNone {
+		t.Errorf("no vendor LI = %v, want none", got)
+	}
+}
+
+func TestDecideConsentWinsOverLI(t *testing.T) {
+	c := acceptAllV2(t, 10)
+	c.PurposesLITransparency[2] = true
+	c.MaxVendorLIID = 10
+	c.VendorLegInt[5] = true
+	cp, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp, nil, 5, 2); got != BasisConsent {
+		t.Errorf("both paths open = %v, want consent", got)
+	}
+}
+
+func TestDecidePurposeOneTreatment(t *testing.T) {
+	c := tcf.NewV2(simtime.Date(2020, time.March, 1).Time())
+	c.VendorListVersion = 30
+	c.PurposeOneTreatment = true
+	c.MaxVendorID = 5
+	c.VendorConsent[3] = true
+	cp, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purpose-1 signal is treated as granted, but vendor consent is
+	// still required.
+	if got := Decide(cp, nil, 3, 1); got != BasisConsent {
+		t.Errorf("P1T vendor 3 = %v, want consent", got)
+	}
+	if got := Decide(cp, nil, 2, 1); got != BasisNone {
+		t.Errorf("P1T vendor 2 (no consent) = %v, want none", got)
+	}
+	if got := Decide(cp, nil, 3, 2); got != BasisNone {
+		t.Errorf("P1T must not leak to purpose 2: got %v", got)
+	}
+}
+
+func TestDecideRestrictions(t *testing.T) {
+	c := acceptAllV2(t, 20)
+	c.PurposesLITransparency[2] = true
+	c.MaxVendorLIID = 20
+	for v := 1; v <= 20; v++ {
+		c.VendorLegInt[v] = true
+	}
+	c.PubRestrictions = []tcf.PubRestriction{
+		{Purpose: 2, Type: tcf.RestrictionNotAllowed, VendorIDs: []int{4}},
+		{Purpose: 2, Type: tcf.RestrictionRequireConsent, VendorIDs: []int{5}},
+		{Purpose: 2, Type: tcf.RestrictionRequireLegInt, VendorIDs: []int{6}},
+	}
+	cp, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp, nil, 4, 2); got != BasisNone {
+		t.Errorf("NotAllowed = %v, want none", got)
+	}
+	if got := Decide(cp, nil, 4, 3); got != BasisConsent {
+		t.Errorf("NotAllowed must not leak to purpose 3: %v", got)
+	}
+	if got := Decide(cp, nil, 5, 2); got != BasisConsent {
+		t.Errorf("RequireConsent with consent = %v, want consent", got)
+	}
+	if got := Decide(cp, nil, 6, 2); got != BasisLegInt {
+		t.Errorf("RequireLegInt forces LI = %v, want legitimate-interest", got)
+	}
+	if got := Decide(cp, nil, 7, 2); got != BasisConsent {
+		t.Errorf("unrestricted vendor = %v, want consent", got)
+	}
+}
+
+// TestDecideWithTable pins the GVL-declaration semantics against a
+// hand-built list.
+func TestDecideWithTable(t *testing.T) {
+	l := &gvl.ListV2{
+		GVLSpecificationVersion: 2,
+		VendorListVersion:       30,
+		Vendors: []gvl.VendorV2{
+			{ID: 1, Name: "consent-only", Purposes: []int{2}},
+			{ID: 2, Name: "li-only", LegIntPurposes: []int{2}},
+			{ID: 3, Name: "flex-li", LegIntPurposes: []int{2}, FlexiblePurposes: []int{2}},
+			{ID: 4, Name: "flex-consent", Purposes: []int{2}, FlexiblePurposes: []int{2}},
+		},
+	}
+	table := NewVendorTable(l)
+	if table.Vendors() != 4 || table.MaxVendorID != 4 {
+		t.Fatalf("table shape: %+v", table)
+	}
+
+	c := acceptAllV2(t, 10)
+	c.PurposesLITransparency[2] = true
+	c.MaxVendorLIID = 10
+	for v := 1; v <= 10; v++ {
+		c.VendorLegInt[v] = true
+	}
+	base := mustEncodeV2(t, c)
+	cp, err := Compile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Declared-basis gating.
+	if got := Decide(cp, table, 1, 2); got != BasisConsent {
+		t.Errorf("consent-only vendor = %v, want consent", got)
+	}
+	if got := Decide(cp, table, 2, 2); got != BasisLegInt {
+		t.Errorf("li-only vendor = %v, want legitimate-interest", got)
+	}
+	// Vendor absent from the list: denied.
+	if got := Decide(cp, table, 9, 2); got != BasisNone {
+		t.Errorf("unregistered vendor = %v, want none", got)
+	}
+
+	// Flexible LI vendor under a RequireConsent restriction: the
+	// flexible purpose switches to the consent basis.
+	c.PubRestrictions = []tcf.PubRestriction{
+		{Purpose: 2, Type: tcf.RestrictionRequireConsent, VendorIDs: []int{2, 3}},
+	}
+	cp2, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp2, table, 3, 2); got != BasisConsent {
+		t.Errorf("flexible LI vendor under RequireConsent = %v, want consent", got)
+	}
+	// Non-flexible LI vendor under RequireConsent: dead on both paths.
+	if got := Decide(cp2, table, 2, 2); got != BasisNone {
+		t.Errorf("rigid LI vendor under RequireConsent = %v, want none", got)
+	}
+
+	// Flexible consent vendor under RequireLegInt switches to LI.
+	c.PubRestrictions = []tcf.PubRestriction{
+		{Purpose: 2, Type: tcf.RestrictionRequireLegInt, VendorIDs: []int{1, 4}},
+	}
+	cp3, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(cp3, table, 4, 2); got != BasisLegInt {
+		t.Errorf("flexible consent vendor under RequireLegInt = %v, want legitimate-interest", got)
+	}
+	if got := Decide(cp3, table, 1, 2); got != BasisNone {
+		t.Errorf("rigid consent vendor under RequireLegInt = %v, want none", got)
+	}
+}
+
+func TestFilterVendors(t *testing.T) {
+	c := acceptAllV2(t, 10)
+	delete(c.VendorConsent, 4)
+	cp, err := Compile(mustEncodeV2(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FilterVendors(cp, nil, []int{1, 4, 9, 11}, 1, nil)
+	want := []int{1, 9}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("FilterVendors = %v, want %v", got, want)
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	cache := NewCache(CacheConfig{Capacity: 4, Shards: 1})
+	raws := make([]string, 6)
+	for i := range raws {
+		c := acceptAllV2(t, 10+i)
+		raws[i] = mustEncodeV2(t, c)
+	}
+	for _, r := range raws[:4] {
+		if _, err := cache.Get(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 4 || st.Hits != 0 || st.Size != 4 {
+		t.Fatalf("after fills: %+v", st)
+	}
+	if _, err := cache.Get(raws[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st = cache.Stats(); st.Hits != 1 {
+		t.Fatalf("hit not counted: %+v", st)
+	}
+	// Two more inserts evict the two least-recently-used.
+	cache.Get(raws[4])
+	cache.Get(raws[5])
+	st = cache.Stats()
+	if st.Evictions != 2 || st.Size != 4 {
+		t.Fatalf("eviction: %+v", st)
+	}
+	// raws[0] was refreshed by the hit above: still cached.
+	cache.Get(raws[0])
+	if got := cache.Stats().Hits; got != 2 {
+		t.Fatalf("LRU refresh lost: hits = %d", got)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	cache := NewCache(CacheConfig{})
+	bad := "C!!!!not-a-consent-string"
+	if _, err := cache.Get(bad); err == nil {
+		t.Fatal("bad string compiled")
+	}
+	if _, err := cache.Get(bad); err == nil {
+		t.Fatal("bad string compiled on second get")
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("error not cached: %+v", st)
+	}
+}
+
+func TestCacheGetBytes(t *testing.T) {
+	cache := NewCache(CacheConfig{})
+	raw := mustEncodeV2(t, acceptAllV2(t, 25))
+	c1, err := cache.Get(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cache.GetBytes([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("GetBytes returned a different compiled form")
+	}
+	if cache.Stats().Hits != 1 {
+		t.Fatalf("GetBytes did not hit: %+v", cache.Stats())
+	}
+}
+
+// TestDecideNoAllocs is the zero-alloc gate for the steady-state path:
+// cache hit (string and bytes keys) plus Decide with a table.
+func TestDecideNoAllocs(t *testing.T) {
+	cache := NewCache(CacheConfig{})
+	c := acceptAllV2(t, 650)
+	c.PurposesLITransparency[7] = true
+	c.MaxVendorLIID = 650
+	for v := 1; v <= 650; v += 3 {
+		c.VendorLegInt[v] = true
+	}
+	raw := mustEncodeV2(t, c)
+	rawBytes := []byte(raw)
+	if _, err := cache.Get(raw); err != nil {
+		t.Fatal(err)
+	}
+	table := NewVendorTable(&gvl.ListV2{
+		VendorListVersion: 30,
+		Vendors: []gvl.VendorV2{
+			{ID: 9, Purposes: []int{1, 2, 3}},
+			{ID: 650, Purposes: []int{1}, LegIntPurposes: []int{7}},
+		},
+	})
+
+	var sink Basis
+	allocs := testing.AllocsPerRun(1000, func() {
+		cp, err := cache.GetBytes(rawBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = Decide(cp, table, 9, 2)
+		sink = Decide(cp, table, 650, 7)
+		sink = Decide(cp, nil, 123, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decision path allocates: %v allocs/op", allocs)
+	}
+	_ = sink
+}

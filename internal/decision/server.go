@@ -1,0 +1,556 @@
+package decision
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// The consentd HTTP surface. Three decision endpoints sit behind a
+// load-shedding resilience.HTTPLimiter; /healthz stays outside it so
+// orchestration keeps working while traffic is being shed (the same
+// split capd uses).
+//
+//	GET  /decide?tc=S&vendor=N&purpose=P
+//	     one decision as JSON: {"allowed":…,"basis":…}
+//
+//	POST /v1/batch
+//	     NDJSON in, NDJSON out, one line per decision. Request lines
+//	     are canonical (no spaces, keys in order):
+//	         {"t":"<tc-string>","v":<vendor>,"p":<purpose>}
+//	         {"v":<vendor>,"p":<purpose>}          # reuses previous t
+//	     The sticky "t" mirrors the auction shape — one user's string
+//	     asked about many vendors — and keeps the per-line cost to a
+//	     few dozen nanoseconds. Response lines are {"b":"C"} with
+//	     b ∈ {"N","C","L"} (denied / consent / legitimate interest),
+//	     in request order.
+//
+//	POST /v1/filter
+//	     {"t":"<tc>","purpose":P,"vendors":[…]} →
+//	     {"allowed":[…],"checked":K} — the pre-auction vendor filter.
+//
+//	GET  /healthz
+//	     uptime, decision counters, cache and GVL state, limiter.
+
+// ServerConfig wires a decision server.
+type ServerConfig struct {
+	// Resolver provides pre-resolved GVL tables; nil serves decisions
+	// from the string alone.
+	Resolver *Resolver
+	// Cache sizes the compiled-form cache (zero values take the
+	// CacheConfig defaults).
+	Cache CacheConfig
+	// MaxInFlight / RequestTimeout parameterize the HTTP limiter
+	// (defaults 256 / 10s).
+	MaxInFlight    int
+	RequestTimeout time.Duration
+	// Registry / Tracer attach the obs surface; both optional.
+	Registry *obs.Registry
+	// Tracer records decision spans.
+	Tracer *obs.Tracer
+	// MaxBatchBytes caps a /v1/batch request body (default 8 MiB).
+	MaxBatchBytes int64
+}
+
+// Server answers consent decisions over HTTP.
+type Server struct {
+	cache    *Cache
+	resolver *Resolver
+	limiter  *resilience.HTTPLimiter
+	tracer   *obs.Tracer
+	m        *serverMetrics
+	start    time.Time
+	maxBatch int64
+
+	decisions atomic.Int64
+	requests  atomic.Int64
+	errors    atomic.Int64
+}
+
+// serverMetrics holds pre-resolved children so the hot path never
+// touches the label map.
+type serverMetrics struct {
+	decisionsBy [3][3]*obs.Counter // [endpoint][basis]
+	requestsBy  [3]*obs.Counter
+	errorsBy    [3]*obs.Counter
+	singleSec   *obs.Histogram
+	batchSec    *obs.Histogram
+	batchPerReq *obs.Histogram
+	filterSec   *obs.Histogram
+}
+
+const (
+	epSingle = 0
+	epBatch  = 1
+	epFilter = 2
+)
+
+var epNames = [3]string{"single", "batch", "filter"}
+var basisNames = [3]string{"none", "consent", "legitimate-interest"}
+
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{}
+	dv := obs.NewCounterVec(reg, "decision_decisions_total",
+		"Consent decisions answered, by endpoint and resulting legal basis.", "endpoint", "basis")
+	rv := obs.NewCounterVec(reg, "decision_requests_total",
+		"Decision API requests served, by endpoint.", "endpoint")
+	ev := obs.NewCounterVec(reg, "decision_errors_total",
+		"Decision API requests rejected with a client error, by endpoint.", "endpoint")
+	for e := 0; e < 3; e++ {
+		for b := 0; b < 3; b++ {
+			m.decisionsBy[e][b] = dv.With(epNames[e], basisNames[b])
+		}
+		m.requestsBy[e] = rv.With(epNames[e])
+		m.errorsBy[e] = ev.With(epNames[e])
+	}
+	m.singleSec = obs.NewHistogram(reg, "decision_single_seconds",
+		"Per-decision latency of the single-decision endpoint.",
+		obs.ExponentialBuckets(1e-6, 4, 12))
+	m.batchSec = obs.NewHistogram(reg, "decision_batch_seconds",
+		"Per-request latency of the batch endpoint.",
+		obs.ExponentialBuckets(1e-5, 4, 12))
+	m.batchPerReq = obs.NewHistogram(reg, "decision_batch_decisions",
+		"Decisions per batch request.",
+		obs.ExponentialBuckets(1, 4, 10))
+	m.filterSec = obs.NewHistogram(reg, "decision_filter_seconds",
+		"Per-request latency of the vendor-filter endpoint.",
+		obs.ExponentialBuckets(1e-6, 4, 12))
+
+	obs.NewCounterFunc(reg, "decision_cache_hits_total",
+		"Compiled-form cache hits.", func() int64 { return s.cache.hits.Load() })
+	obs.NewCounterFunc(reg, "decision_cache_misses_total",
+		"Compiled-form cache misses (each one paid a full decode).", func() int64 { return s.cache.misses.Load() })
+	obs.NewCounterFunc(reg, "decision_cache_evictions_total",
+		"Compiled forms evicted by the LRU bound.", func() int64 { return s.cache.evictions.Load() })
+	obs.NewGaugeFunc(reg, "decision_cache_hit_ratio",
+		"Compiled-form cache hit ratio since start.", func() float64 { return s.cache.Stats().HitRatio() })
+	obs.NewGaugeFunc(reg, "decision_cache_entries",
+		"Compiled forms currently cached.", func() float64 { return float64(s.cache.Stats().Size) })
+	if s.resolver != nil {
+		obs.NewGaugeFunc(reg, "decision_gvl_versions",
+			"GVL versions pre-resolved into serving tables.", func() float64 {
+				_, _, n := s.resolver.Versions()
+				return float64(n)
+			})
+	}
+	obs.NewCounterFunc(reg, "decision_http_admitted_total",
+		"Requests admitted by the decision limiter.", func() int64 { return s.limiter.Stats().Admitted })
+	obs.NewCounterFunc(reg, "decision_http_shed_total",
+		"Requests shed with 429 by the decision limiter.", func() int64 { return s.limiter.Stats().Shed })
+	return m
+}
+
+// NewServer builds the decision service.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 8 << 20
+	}
+	s := &Server{
+		cache:    NewCache(cfg.Cache),
+		resolver: cfg.Resolver,
+		tracer:   cfg.Tracer,
+		start:    time.Now(),
+		maxBatch: cfg.MaxBatchBytes,
+	}
+	s.limiter = resilience.NewHTTPLimiter(resilience.HTTPLimiterConfig{
+		MaxInFlight: cfg.MaxInFlight,
+		Timeout:     cfg.RequestTimeout,
+	})
+	if cfg.Registry != nil {
+		s.m = newServerMetrics(cfg.Registry, s)
+	}
+	return s
+}
+
+// Cache exposes the compiled-form cache (the CLI shares it).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the full HTTP surface: decision endpoints behind the
+// limiter, /healthz outside it.
+func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("/decide", s.handleDecide)
+	api.HandleFunc("/v1/batch", s.handleBatch)
+	api.HandleFunc("/v1/filter", s.handleFilter)
+	limited := s.limiter.Wrap(api)
+	outer := http.NewServeMux()
+	outer.HandleFunc("/healthz", s.handleHealthz)
+	outer.Handle("/", limited)
+	return outer
+}
+
+// table resolves the serving table for a compiled string.
+func (s *Server) table(c *Compiled) *VendorTable {
+	if s.resolver == nil {
+		return nil
+	}
+	return s.resolver.Table(c.VendorListVersion)
+}
+
+func (s *Server) clientErr(w http.ResponseWriter, ep int, code int, msg string) {
+	s.errors.Add(1)
+	if s.m != nil {
+		s.m.errorsBy[ep].Inc()
+	}
+	http.Error(w, msg, code)
+}
+
+// decideResponse is the single-decision JSON shape.
+type decideResponse struct {
+	Allowed bool   `json:"allowed"`
+	Basis   string `json:"basis"`
+	// WireVersion is the consent string's wire format (1 or 2).
+	WireVersion int `json:"wireVersion"`
+	// VendorListVersion is the version stamped on the string;
+	// GVLResolved is the table version it resolved to (0 = none, the
+	// declaration check was skipped).
+	VendorListVersion int `json:"vendorListVersion"`
+	GVLResolved       int `json:"gvlResolved"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	if s.m != nil {
+		s.m.requestsBy[epSingle].Inc()
+	}
+	q := r.URL.Query()
+	tc := q.Get("tc")
+	vendor, err1 := strconv.Atoi(q.Get("vendor"))
+	purpose, err2 := strconv.Atoi(q.Get("purpose"))
+	if tc == "" || err1 != nil || err2 != nil {
+		s.clientErr(w, epSingle, http.StatusBadRequest, "need tc, vendor and purpose parameters")
+		return
+	}
+	c, err := s.cache.Get(tc)
+	if err != nil {
+		s.clientErr(w, epSingle, http.StatusBadRequest, "bad consent string: "+err.Error())
+		return
+	}
+	var sp *obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Start("decision.single")
+	}
+	t := s.table(c)
+	basis := Decide(c, t, vendor, purpose)
+	s.decisions.Add(1)
+	if s.m != nil {
+		s.m.decisionsBy[epSingle][basis].Inc()
+		s.m.singleSec.Observe(time.Since(start).Seconds())
+	}
+	if sp != nil {
+		sp.Attr("basis", basis.String())
+		sp.End()
+	}
+	resp := decideResponse{
+		Allowed:           basis.Allowed(),
+		Basis:             basis.String(),
+		WireVersion:       c.WireVersion,
+		VendorListVersion: c.VendorListVersion,
+	}
+	if t != nil {
+		resp.GVLResolved = t.Version
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Pre-rendered batch response lines, indexed by Basis.
+var batchAnswers = [3][]byte{
+	[]byte("{\"b\":\"N\"}\n"),
+	[]byte("{\"b\":\"C\"}\n"),
+	[]byte("{\"b\":\"L\"}\n"),
+}
+
+// BatchAnswerLen is the byte length of one batch response line; the
+// response body is exactly n·BatchAnswerLen bytes for n decisions.
+const BatchAnswerLen = 10
+
+// batchAnswerOffset is where the basis letter sits in a response line.
+const batchAnswerOffset = 6
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	if s.m != nil {
+		s.m.requestsBy[epBatch].Inc()
+	}
+	if r.Method != http.MethodPost {
+		s.clientErr(w, epBatch, http.StatusMethodNotAllowed, "POST NDJSON decision lines")
+		return
+	}
+	var sp *obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Start("decision.batch")
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.maxBatch), 64<<10)
+	bw := bufio.NewWriterSize(w, 64<<10)
+
+	var (
+		cur  *Compiled // sticky consent string
+		curT *VendorTable
+		n    int64
+	)
+	for {
+		line, err := br.ReadSlice('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			// Oversized line or transport error: cut the stream. If
+			// nothing was written yet this surfaces as a clean 400.
+			if n == 0 {
+				s.clientErr(w, epBatch, http.StatusBadRequest, "batch line unreadable: "+err.Error())
+			}
+			if sp != nil {
+				sp.Attr("error", err.Error())
+				sp.End()
+			}
+			return
+		}
+		line = bytes.TrimSuffix(line, []byte{'\n'})
+		line = bytes.TrimSuffix(line, []byte{'\r'})
+		if len(line) == 0 {
+			continue
+		}
+		tc, vendor, purpose, perr := parseBatchLine(line)
+		if perr != nil {
+			if n == 0 {
+				s.clientErr(w, epBatch, http.StatusBadRequest, perr.Error())
+			}
+			if sp != nil {
+				sp.Attr("error", perr.Error())
+				sp.End()
+			}
+			return
+		}
+		if tc != nil {
+			c, cerr := s.cache.GetBytes(tc)
+			if cerr != nil {
+				if n == 0 {
+					s.clientErr(w, epBatch, http.StatusBadRequest, "bad consent string: "+cerr.Error())
+				}
+				if sp != nil {
+					sp.Attr("error", cerr.Error())
+					sp.End()
+				}
+				return
+			}
+			cur, curT = c, s.table(c)
+		}
+		if cur == nil {
+			if n == 0 {
+				s.clientErr(w, epBatch, http.StatusBadRequest, "first batch line must carry a consent string")
+			}
+			if sp != nil {
+				sp.End()
+			}
+			return
+		}
+		basis := Decide(cur, curT, vendor, purpose)
+		if s.m != nil {
+			s.m.decisionsBy[epBatch][basis].Inc()
+		}
+		bw.Write(batchAnswers[basis])
+		n++
+	}
+	bw.Flush()
+	s.decisions.Add(n)
+	if s.m != nil {
+		s.m.batchSec.Observe(time.Since(start).Seconds())
+		s.m.batchPerReq.Observe(float64(n))
+	}
+	if sp != nil {
+		sp.Attr("decisions", strconv.FormatInt(n, 10))
+		sp.End()
+	}
+}
+
+// parseBatchLine parses one canonical batch line. tc is nil when the
+// line reuses the previous string. The grammar is deliberately rigid —
+// no whitespace, keys in order — so the hot path is a byte scan, not a
+// JSON parse.
+func parseBatchLine(line []byte) (tc []byte, vendor, purpose int, err error) {
+	rest := line
+	if !bytes.HasPrefix(rest, []byte(`{"`)) {
+		return nil, 0, 0, fmt.Errorf("decision: batch line must be a canonical JSON object")
+	}
+	rest = rest[2:]
+	if bytes.HasPrefix(rest, []byte(`t":"`)) {
+		rest = rest[4:]
+		end := bytes.IndexByte(rest, '"')
+		if end < 0 {
+			return nil, 0, 0, fmt.Errorf("decision: unterminated consent string in batch line")
+		}
+		tc = rest[:end]
+		for _, b := range tc {
+			if b < 0x20 || b == '\\' {
+				return nil, 0, 0, fmt.Errorf("decision: consent string contains invalid byte %q", b)
+			}
+		}
+		rest = rest[end+1:]
+		if !bytes.HasPrefix(rest, []byte(`,"`)) {
+			return nil, 0, 0, fmt.Errorf("decision: expected vendor after consent string")
+		}
+		rest = rest[2:]
+	}
+	if !bytes.HasPrefix(rest, []byte(`v":`)) {
+		return nil, 0, 0, fmt.Errorf("decision: batch line missing vendor")
+	}
+	rest = rest[3:]
+	vendor, rest, err = parseInt(rest)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if !bytes.HasPrefix(rest, []byte(`,"p":`)) {
+		return nil, 0, 0, fmt.Errorf("decision: batch line missing purpose")
+	}
+	rest = rest[5:]
+	purpose, rest, err = parseInt(rest)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(rest) != 1 || rest[0] != '}' {
+		return nil, 0, 0, fmt.Errorf("decision: trailing bytes in batch line")
+	}
+	return tc, vendor, purpose, nil
+}
+
+func parseInt(b []byte) (int, []byte, error) {
+	n, i := 0, 0
+	for ; i < len(b) && b[i] >= '0' && b[i] <= '9'; i++ {
+		if n > (1<<31)/10 {
+			return 0, nil, fmt.Errorf("decision: integer out of range")
+		}
+		n = n*10 + int(b[i]-'0')
+	}
+	if i == 0 {
+		return 0, nil, fmt.Errorf("decision: expected integer")
+	}
+	return n, b[i:], nil
+}
+
+// filterRequest / filterResponse are the vendor-filter wire shapes.
+type filterRequest struct {
+	TC      string `json:"t"`
+	Purpose int    `json:"purpose"`
+	Vendors []int  `json:"vendors"`
+}
+
+type filterResponse struct {
+	Allowed []int `json:"allowed"`
+	Checked int   `json:"checked"`
+}
+
+// maxFilterVendors bounds one filter request.
+const maxFilterVendors = 65536
+
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	if s.m != nil {
+		s.m.requestsBy[epFilter].Inc()
+	}
+	if r.Method != http.MethodPost {
+		s.clientErr(w, epFilter, http.StatusMethodNotAllowed, "POST a filter request")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req filterRequest
+	if err := dec.Decode(&req); err != nil {
+		s.clientErr(w, epFilter, http.StatusBadRequest, "malformed filter request: "+err.Error())
+		return
+	}
+	if req.TC == "" || len(req.Vendors) == 0 || len(req.Vendors) > maxFilterVendors {
+		s.clientErr(w, epFilter, http.StatusBadRequest, "need t and 1..65536 vendors")
+		return
+	}
+	c, err := s.cache.Get(req.TC)
+	if err != nil {
+		s.clientErr(w, epFilter, http.StatusBadRequest, "bad consent string: "+err.Error())
+		return
+	}
+	var sp *obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Start("decision.filter")
+	}
+	t := s.table(c)
+	allowed := make([]int, 0, len(req.Vendors))
+	if s.m == nil {
+		allowed = FilterVendors(c, t, req.Vendors, req.Purpose, allowed)
+	} else {
+		for _, v := range req.Vendors {
+			basis := Decide(c, t, v, req.Purpose)
+			s.m.decisionsBy[epFilter][basis].Inc()
+			if basis.Allowed() {
+				allowed = append(allowed, v)
+			}
+		}
+	}
+	s.decisions.Add(int64(len(req.Vendors)))
+	if s.m != nil {
+		s.m.filterSec.Observe(time.Since(start).Seconds())
+	}
+	if sp != nil {
+		sp.Attr("checked", strconv.Itoa(len(req.Vendors)))
+		sp.Attr("allowed", strconv.Itoa(len(allowed)))
+		sp.End()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(filterResponse{Allowed: allowed, Checked: len(req.Vendors)})
+}
+
+// Health is the /healthz document.
+type Health struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Decisions     int64                   `json:"decisions"`
+	Requests      int64                   `json:"requests"`
+	Errors        int64                   `json:"errors"`
+	Cache         CacheStats              `json:"cache"`
+	CacheHitRatio float64                 `json:"cache_hit_ratio"`
+	GVL           GVLHealth               `json:"gvl"`
+	Limiter       resilience.LimiterStats `json:"limiter"`
+}
+
+// GVLHealth summarizes the resolver.
+type GVLHealth struct {
+	Versions   int `json:"versions"`
+	MinVersion int `json:"min_version"`
+	MaxVersion int `json:"max_version"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	h := Health{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Decisions:     s.decisions.Load(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Cache:         st,
+		CacheHitRatio: st.HitRatio(),
+		Limiter:       s.limiter.Stats(),
+	}
+	if s.resolver != nil {
+		min, max, n := s.resolver.Versions()
+		h.GVL = GVLHealth{Versions: n, MinVersion: min, MaxVersion: max}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}

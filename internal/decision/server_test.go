@@ -1,0 +1,250 @@
+package decision
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gvl"
+	"repro/internal/obs"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	h := gvl.GenerateHistory(gvl.HistoryConfig{
+		Seed: 7, Versions: 20, InitialVendors: 60, PeakVendors: 200,
+	})
+	srv := NewServer(ServerConfig{
+		Resolver: NewResolver(gvl.UpgradeHistory(h, gvl.DefaultV2UpgradeConfig())),
+		Registry: obs.NewRegistry(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestParseBatchLine(t *testing.T) {
+	tc, v, p, err := parseBatchLine([]byte(`{"t":"COtybn4PA","v":12,"p":3}`))
+	if err != nil || string(tc) != "COtybn4PA" || v != 12 || p != 3 {
+		t.Fatalf("full line: tc=%q v=%d p=%d err=%v", tc, v, p, err)
+	}
+	tc, v, p, err = parseBatchLine([]byte(`{"v":650,"p":10}`))
+	if err != nil || tc != nil || v != 650 || p != 10 {
+		t.Fatalf("sticky line: tc=%q v=%d p=%d err=%v", tc, v, p, err)
+	}
+	for _, bad := range []string{
+		``, `{}`, `{"v":1}`, `{"p":1,"v":2}`, `[1,2]`,
+		`{"t":"abc","v":1,"p":2} `, `{"v":1,"p":2}x`,
+		`{"t":"unterminated,"v":1,"p":2}`,
+		"{\"t\":\"a\x00b\",\"v\":1,\"p\":2}",
+		`{"v":99999999999999999999,"p":1}`,
+		`{"v":-1,"p":2}`, `{"v":1.5,"p":2}`,
+		`{ "v":1,"p":2}`, `{"v":1, "p":2}`,
+	} {
+		if _, _, _, err := parseBatchLine([]byte(bad)); err == nil {
+			t.Errorf("parseBatchLine(%q) accepted", bad)
+		}
+	}
+}
+
+func TestServerDecide(t *testing.T) {
+	_, ts := testServer(t)
+	raw := mustEncodeV2(t, acceptAllV2(t, 100))
+
+	resp, err := http.Get(ts.URL + "/decide?tc=" + raw + "&vendor=3&purpose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var dr decideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.WireVersion != 2 || dr.VendorListVersion != 30 {
+		t.Fatalf("response header: %+v", dr)
+	}
+	if dr.GVLResolved == 0 {
+		t.Fatalf("GVL did not resolve: %+v", dr)
+	}
+	// Missing params and bad strings are client errors.
+	for _, q := range []string{"", "?tc=xyz", "?tc=" + raw + "&vendor=a&purpose=1"} {
+		r2, err := http.Get(ts.URL + "/decide" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /decide%s: status %s, want 400", q, r2.Status)
+		}
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	srv, ts := testServer(t)
+	raw := mustEncodeV2(t, acceptAllV2(t, 100))
+
+	body := `{"t":"` + raw + `","v":3,"p":1}` + "\n" +
+		`{"v":5,"p":2}` + "\n" +
+		`{"v":9999,"p":1}` + "\n"
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var out strings.Builder
+	if _, err := io.Copy(&out, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d answer lines: %q", len(lines), out.String())
+	}
+	// Vendor 9999 is outside every section and list: denied.
+	if lines[2] != `{"b":"N"}` {
+		t.Errorf("line 3 = %q, want denial", lines[2])
+	}
+	for _, l := range lines {
+		if len(l) != BatchAnswerLen-1 {
+			t.Errorf("answer line %q is %d bytes, want %d", l, len(l), BatchAnswerLen-1)
+		}
+	}
+	if got := srv.decisions.Load(); got != 3 {
+		t.Errorf("server counted %d decisions, want 3", got)
+	}
+
+	// First line without a consent string is a 400.
+	r2, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson",
+		strings.NewReader(`{"v":1,"p":1}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("headless batch: status %s, want 400", r2.Status)
+	}
+	// GET is rejected.
+	r3, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch: status %s, want 405", r3.Status)
+	}
+}
+
+func TestServerFilter(t *testing.T) {
+	_, ts := testServer(t)
+	c := acceptAllV2(t, 50)
+	delete(c.VendorConsent, 7)
+	raw := mustEncodeV2(t, c)
+
+	req := `{"t":"` + raw + `","purpose":1,"vendors":[3,7,20,51]}`
+	resp, err := http.Post(ts.URL+"/v1/filter", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var fr filterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Checked != 4 {
+		t.Errorf("checked = %d, want 4", fr.Checked)
+	}
+	// Vendor 7 lost consent; 51 is out of range; 3 and 20 pass the
+	// string but must also be registered on the resolved list, so just
+	// assert the denials are absent.
+	for _, v := range fr.Allowed {
+		if v == 7 || v == 51 {
+			t.Errorf("vendor %d allowed, want denied", v)
+		}
+	}
+
+	r2, err := http.Post(ts.URL+"/v1/filter", "application/json", strings.NewReader(`{"vendors":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty filter: status %s, want 400", r2.Status)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.GVL.Versions != 20 || h.GVL.MinVersion != 1 {
+		t.Errorf("GVL health: %+v", h.GVL)
+	}
+	if h.Cache.Capacity == 0 {
+		t.Errorf("cache health empty: %+v", h.Cache)
+	}
+}
+
+// TestLoadDriver runs the full loop: generate a population, boot a
+// server, drive a small load, then validate every sampled batch answer
+// against the naive path.
+func TestLoadDriver(t *testing.T) {
+	srv, ts := testServer(t)
+	pop, err := GeneratePopulation(PopulationConfig{Seed: 3, Size: 300, MaxVLV: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LoadConfig{
+		ServerURL:  ts.URL,
+		Population: pop,
+		Workers:    2,
+		Decisions:  4000,
+		BatchSize:  128,
+		Bodies:     8,
+	}
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions < 4000 {
+		t.Fatalf("only %d decisions", res.Decisions)
+	}
+	if res.DecisionsPerSec <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	var answered int64
+	for _, n := range res.Bases {
+		answered += n
+	}
+	if answered != res.Decisions {
+		t.Fatalf("basis counts %v do not sum to %d", res.Bases, res.Decisions)
+	}
+
+	vr, err := ValidateAgainstNaive(cfg, srv.resolver, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Checked != 4*128 {
+		t.Fatalf("validated %d answers, want %d", vr.Checked, 4*128)
+	}
+	if vr.Mismatches != 0 {
+		t.Fatalf("%d mismatches vs naive: %s", vr.Mismatches, vr.FirstMismatch)
+	}
+}

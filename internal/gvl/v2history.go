@@ -1,0 +1,161 @@
+package gvl
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// The serving-side read path (internal/decision) answers legal-basis
+// questions against the vendor list a consent string was written
+// under, not against whatever list happens to be current. That needs
+// the whole published v2 history in memory, addressable by version,
+// with the per-vendor flexible-purpose declarations that publisher
+// restrictions can flip. This file provides that history: the v1
+// generator's 215 versions upgraded to the v2 schema, enriched with
+// deterministic flexible-purpose declarations.
+
+// V2UpgradeConfig parameterizes the v1→v2 history upgrade.
+type V2UpgradeConfig struct {
+	// FlexibleSeed roots the deterministic flexible-purpose draw.
+	FlexibleSeed uint64
+	// FlexibleProb is the probability that a vendor declares one of
+	// its purposes as flexible (switchable between consent and
+	// legitimate interest by publisher restriction). The draw is keyed
+	// by (vendor, purpose), so a vendor's flexible declarations are
+	// stable across every version it appears on — matching how real
+	// GVL registrations persist between list publications.
+	FlexibleProb float64
+}
+
+// DefaultV2UpgradeConfig mirrors the observed v2 GVL, where roughly a
+// quarter of declared purposes are registered as flexible.
+func DefaultV2UpgradeConfig() V2UpgradeConfig {
+	return V2UpgradeConfig{FlexibleSeed: 1, FlexibleProb: 0.25}
+}
+
+// HistoryV2 is an ordered sequence of published v2 vendor lists,
+// ascending by VendorListVersion.
+type HistoryV2 struct {
+	Versions []ListV2
+}
+
+// UpgradeHistory converts a v1 history to its v2 equivalent, version
+// by version, and enriches each vendor with flexible-purpose
+// declarations drawn deterministically from cfg.
+func UpgradeHistory(h *History, cfg V2UpgradeConfig) *HistoryV2 {
+	src := rng.New(cfg.FlexibleSeed).Derive("gvl-flexible")
+	out := &HistoryV2{Versions: make([]ListV2, 0, len(h.Versions))}
+	for i := range h.Versions {
+		l2 := UpgradeList(&h.Versions[i])
+		for j := range l2.Vendors {
+			v := &l2.Vendors[j]
+			v.FlexiblePurposes = flexiblePurposes(src, v, cfg.FlexibleProb)
+		}
+		out.Versions = append(out.Versions, *l2)
+	}
+	sort.Slice(out.Versions, func(i, j int) bool {
+		return out.Versions[i].VendorListVersion < out.Versions[j].VendorListVersion
+	})
+	return out
+}
+
+// flexiblePurposes draws the flexible subset of a vendor's declared
+// purposes. Only declared purposes are eligible: a flexible purpose is
+// by definition one the vendor registered under some legal basis.
+func flexiblePurposes(src *rng.Source, v *VendorV2, prob float64) []int {
+	if prob <= 0 {
+		return nil
+	}
+	var out []int
+	add := func(ps []int) {
+		for _, p := range ps {
+			if src.Bool(prob, "flex", rng.Key(v.ID), rng.Key(p)) {
+				out = append(out, p)
+			}
+		}
+	}
+	add(v.Purposes)
+	add(v.LegIntPurposes)
+	sort.Ints(out)
+	return out
+}
+
+// At returns the list published exactly at the given version, or nil.
+func (h *HistoryV2) At(version int) *ListV2 {
+	i := sort.Search(len(h.Versions), func(i int) bool {
+		return h.Versions[i].VendorListVersion >= version
+	})
+	if i < len(h.Versions) && h.Versions[i].VendorListVersion == version {
+		return &h.Versions[i]
+	}
+	return nil
+}
+
+// AtOrBefore returns the newest list whose version is ≤ the given
+// version — the list a consent string stamped with that version was
+// written under, even if the exact version was never published (or the
+// string post-dates the history). Returns nil when the version
+// predates the first published list.
+func (h *HistoryV2) AtOrBefore(version int) *ListV2 {
+	i := sort.Search(len(h.Versions), func(i int) bool {
+		return h.Versions[i].VendorListVersion > version
+	})
+	if i == 0 {
+		return nil
+	}
+	return &h.Versions[i-1]
+}
+
+// MinVersion returns the first published version, or 0 if empty.
+func (h *HistoryV2) MinVersion() int {
+	if len(h.Versions) == 0 {
+		return 0
+	}
+	return h.Versions[0].VendorListVersion
+}
+
+// MaxVersion returns the last published version, or 0 if empty.
+func (h *HistoryV2) MaxVersion() int {
+	if len(h.Versions) == 0 {
+		return 0
+	}
+	return h.Versions[len(h.Versions)-1].VendorListVersion
+}
+
+// Vendor returns the vendor with the given ID on a v2 list, or nil —
+// the per-version membership check the decision pre-resolver encodes
+// into its presence bitsets.
+func (l *ListV2) Vendor(id int) *VendorV2 {
+	for i := range l.Vendors {
+		if l.Vendors[i].ID == id {
+			return &l.Vendors[i]
+		}
+	}
+	return nil
+}
+
+// MaxVendorID returns the highest vendor ID on the v2 list.
+func (l *ListV2) MaxVendorID() int {
+	max := 0
+	for i := range l.Vendors {
+		if l.Vendors[i].ID > max {
+			max = l.Vendors[i].ID
+		}
+	}
+	return max
+}
+
+// DeclaresConsent reports whether the vendor registered the purpose
+// under the consent legal basis.
+func (v *VendorV2) DeclaresConsent(purpose int) bool { return containsInt(v.Purposes, purpose) }
+
+// DeclaresLegInt reports whether the vendor registered the purpose
+// under legitimate interest.
+func (v *VendorV2) DeclaresLegInt(purpose int) bool { return containsInt(v.LegIntPurposes, purpose) }
+
+// DeclaresFlexible reports whether the vendor registered the purpose
+// as flexible (legal basis switchable by publisher restriction).
+func (v *VendorV2) DeclaresFlexible(purpose int) bool {
+	return containsInt(v.FlexiblePurposes, purpose)
+}

@@ -1,0 +1,166 @@
+package gvl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smallHistory(t *testing.T) *History {
+	t.Helper()
+	return GenerateHistory(HistoryConfig{Seed: 7, Versions: 60, InitialVendors: 40, PeakVendors: 120})
+}
+
+// TestUpgradeHistoryVersionBoundaries covers the lookups the decision
+// pre-resolver depends on: exact hits, the below-minimum hole, gaps,
+// and strings stamped with versions newer than the history.
+func TestUpgradeHistoryVersionBoundaries(t *testing.T) {
+	h := UpgradeHistory(smallHistory(t), DefaultV2UpgradeConfig())
+	if len(h.Versions) != 60 {
+		t.Fatalf("got %d versions, want 60", len(h.Versions))
+	}
+	if h.MinVersion() != 1 || h.MaxVersion() != 60 {
+		t.Fatalf("version range [%d,%d], want [1,60]", h.MinVersion(), h.MaxVersion())
+	}
+	for _, v := range []int{1, 2, 59, 60} {
+		l := h.At(v)
+		if l == nil || l.VendorListVersion != v {
+			t.Fatalf("At(%d) = %v", v, l)
+		}
+		if ab := h.AtOrBefore(v); ab != l {
+			t.Fatalf("AtOrBefore(%d) != At(%d) on an exact hit", v, v)
+		}
+	}
+	// Below the first published version there is nothing to resolve
+	// against: a v0 stamp predates the framework.
+	if l := h.At(0); l != nil {
+		t.Fatalf("At(0) = v%d, want nil", l.VendorListVersion)
+	}
+	if l := h.AtOrBefore(0); l != nil {
+		t.Fatalf("AtOrBefore(0) = v%d, want nil", l.VendorListVersion)
+	}
+	// Past the end of the history the newest list applies (strings
+	// written after our last download).
+	if l := h.At(61); l != nil {
+		t.Fatalf("At(61) = v%d, want nil", l.VendorListVersion)
+	}
+	if l := h.AtOrBefore(10_000); l == nil || l.VendorListVersion != 60 {
+		t.Fatalf("AtOrBefore(10000) = %v, want v60", l)
+	}
+
+	// Gap semantics: drop versions 20–29 to simulate an incomplete
+	// download; AtOrBefore must resolve mid-gap stamps to v19.
+	var gapped HistoryV2
+	for i := range h.Versions {
+		v := h.Versions[i].VendorListVersion
+		if v >= 20 && v <= 29 {
+			continue
+		}
+		gapped.Versions = append(gapped.Versions, h.Versions[i])
+	}
+	if l := gapped.At(25); l != nil {
+		t.Fatalf("At(25) over a gap = v%d, want nil", l.VendorListVersion)
+	}
+	if l := gapped.AtOrBefore(25); l == nil || l.VendorListVersion != 19 {
+		t.Fatalf("AtOrBefore(25) over a gap = %v, want v19", l)
+	}
+	if l := gapped.AtOrBefore(30); l == nil || l.VendorListVersion != 30 {
+		t.Fatalf("AtOrBefore(30) after a gap = %v, want v30", l)
+	}
+}
+
+// TestUpgradeHistoryVendorDeletion verifies that vendors leaving the
+// list between versions disappear from the upgraded history at exactly
+// the version they left — the membership edge the resolver's presence
+// bitsets encode (a deleted vendor must stop winning auctions under
+// newer strings while still resolving under older ones).
+func TestUpgradeHistoryVendorDeletion(t *testing.T) {
+	h := UpgradeHistory(smallHistory(t), DefaultV2UpgradeConfig())
+	deletions := 0
+	for i := 1; i < len(h.Versions); i++ {
+		prev, cur := &h.Versions[i-1], &h.Versions[i]
+		for j := range prev.Vendors {
+			id := prev.Vendors[j].ID
+			if cur.Vendor(id) != nil {
+				continue
+			}
+			deletions++
+			// Once gone, the generator never reuses the ID.
+			for k := i; k < len(h.Versions); k++ {
+				if h.Versions[k].Vendor(id) != nil {
+					t.Fatalf("vendor %d deleted at v%d reappears at v%d",
+						id, cur.VendorListVersion, h.Versions[k].VendorListVersion)
+				}
+			}
+			// The older list still resolves the vendor.
+			if prev.Vendor(id) == nil {
+				t.Fatalf("vendor %d lost from v%d", id, prev.VendorListVersion)
+			}
+		}
+	}
+	if deletions == 0 {
+		t.Fatal("history has no vendor deletions; churn generator broken or seed too tame")
+	}
+}
+
+// TestUpgradeHistoryFlexiblePurposes pins the flexible-purpose
+// contract: flexible ⊆ declared, draws are deterministic in the seed,
+// and a vendor's flexible declarations are stable across versions as
+// long as the underlying purpose stays declared.
+func TestUpgradeHistoryFlexiblePurposes(t *testing.T) {
+	v1 := smallHistory(t)
+	cfg := V2UpgradeConfig{FlexibleSeed: 3, FlexibleProb: 0.5}
+	h := UpgradeHistory(v1, cfg)
+	again := UpgradeHistory(smallHistory(t), cfg)
+
+	flexTotal := 0
+	for i := range h.Versions {
+		l := &h.Versions[i]
+		for j := range l.Vendors {
+			v := &l.Vendors[j]
+			for _, p := range v.FlexiblePurposes {
+				flexTotal++
+				if !v.DeclaresConsent(p) && !v.DeclaresLegInt(p) {
+					t.Fatalf("v%d vendor %d: flexible purpose %d not declared under any basis",
+						l.VendorListVersion, v.ID, p)
+				}
+			}
+			if g := again.Versions[i].Vendor(v.ID); g == nil || !reflect.DeepEqual(g.FlexiblePurposes, v.FlexiblePurposes) {
+				t.Fatalf("flexible purposes not deterministic for vendor %d at v%d", v.ID, l.VendorListVersion)
+			}
+		}
+	}
+	if flexTotal == 0 {
+		t.Fatal("no flexible purposes drawn at prob 0.5")
+	}
+
+	// Cross-version stability: whether (vendor, purpose) is flexible
+	// depends only on the (seed, vendor, purpose) key, never on the
+	// version, so a declared purpose cannot flap between flexible and
+	// fixed across publications.
+	type key struct{ vendor, purpose int }
+	flex := map[key]bool{}
+	for i := range h.Versions {
+		l := &h.Versions[i]
+		for j := range l.Vendors {
+			v := &l.Vendors[j]
+			for _, p := range append(append([]int(nil), v.Purposes...), v.LegIntPurposes...) {
+				k := key{v.ID, p}
+				isFlex := v.DeclaresFlexible(p)
+				if seen, ok := flex[k]; ok && seen != isFlex {
+					t.Fatalf("vendor %d purpose %d flips flexibility at v%d", v.ID, p, l.VendorListVersion)
+				}
+				flex[k] = isFlex
+			}
+		}
+	}
+
+	// Prob 0 yields no flexible purposes at all.
+	none := UpgradeHistory(v1, V2UpgradeConfig{FlexibleSeed: 3, FlexibleProb: 0})
+	for i := range none.Versions {
+		for j := range none.Versions[i].Vendors {
+			if len(none.Versions[i].Vendors[j].FlexiblePurposes) != 0 {
+				t.Fatal("FlexibleProb 0 produced flexible purposes")
+			}
+		}
+	}
+}

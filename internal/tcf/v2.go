@@ -407,6 +407,11 @@ func decodeV2Core(s string) (*V2ConsentString, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Restriction ranges carry no max-vendor bound of their own, so a
+	// hostile string could expand 4095 restrictions × 4095 entries ×
+	// 65535-wide ranges into gigabytes. Validate each entry and cap the
+	// total expansion across the section.
+	expanded := 0
 	for i := 0; i < int(numRestrictions); i++ {
 		purpose, err := r.readBits(6)
 		if err != nil {
@@ -426,6 +431,13 @@ func decodeV2Core(s string) (*V2ConsentString, error) {
 			if err != nil {
 				return nil, err
 			}
+			if start == 0 || end < start {
+				return nil, fmt.Errorf("tcf: v2 invalid restriction range [%d,%d]", start, end)
+			}
+			expanded += end - start + 1
+			if expanded > maxRestrictionVendorIDs {
+				return nil, fmt.Errorf("tcf: v2 restriction ranges expand past %d vendor ids", maxRestrictionVendorIDs)
+			}
 			for v := start; v <= end; v++ {
 				pr.VendorIDs = append(pr.VendorIDs, v)
 			}
@@ -434,6 +446,11 @@ func decodeV2Core(s string) (*V2ConsentString, error) {
 	}
 	return c, nil
 }
+
+// maxRestrictionVendorIDs caps the total vendor IDs the publisher-
+// restriction section may expand to — two orders of magnitude above
+// any real GVL, small enough to bound hostile input.
+const maxRestrictionVendorIDs = 1 << 17
 
 func readLetters(r *bitReader, n int) (string, error) {
 	b := make([]byte, n)
