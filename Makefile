@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke fuzz
 
-check: vet build race chaos obs-smoke fleet-smoke decision-smoke
+check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke
 
 vet:
 	$(GO) vet ./...
@@ -97,6 +97,19 @@ decision-smoke:
 	$(GO) build -o bin/consentd ./cmd/consentd
 	$(GO) run ./cmd/decisionsmoke -consentd bin/consentd
 
+# End-to-end replication smoke: three capd storage nodes behind a
+# capring proxy, fleetd + two crawl workers ingesting through the
+# ring, SIGKILL one storage node mid-lease and restart it, then assert
+# the ring repairs the node to convergence, every node's owned
+# segments are byte-identical to the single-process baseline, and the
+# ring's /metrics stays valid with the repl_* families.
+replication-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) build -o bin/capring ./cmd/capring
+	$(GO) build -o bin/fleetd ./cmd/fleetd
+	$(GO) build -o bin/crawl ./cmd/crawl
+	$(GO) run ./cmd/replsmoke -capd bin/capd -capring bin/capring -fleetd bin/fleetd -crawl bin/crawl
+
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer
 # benchtime than `make bench` so the ratio is stable; not part of
@@ -111,10 +124,11 @@ obs-overhead:
 # Short fuzz passes: the capture wire format (torn writes, segment
 # boundaries, malformed tuples), retry classification of malformed
 # webworld/chaos error strings, the fleet wire-protocol decoder, both
-# TCF consent-string codecs, and the compiled-vs-naive decision kernel
-# differential.
+# TCF consent-string codecs, the compiled-vs-naive decision kernel
+# differential, and the placement-ring invariants.
 fuzz:
 	$(GO) test ./internal/capturedb/ -run '^$$' -fuzz FuzzScan -fuzztime 30s
+	$(GO) test ./internal/ring/ -run '^$$' -fuzz FuzzRingPlacement -fuzztime 20s
 	$(GO) test ./internal/resilience/ -run '^$$' -fuzz FuzzClassifyError -fuzztime 15s
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 15s
 	$(GO) test ./internal/tcf/ -run '^$$' -fuzz FuzzDecode$$ -fuzztime 20s

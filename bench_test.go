@@ -19,11 +19,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/capstore"
+	"repro/internal/capstore/replica"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
 	"repro/internal/cmps"
@@ -740,4 +743,74 @@ func BenchmarkDecideBatch(b *testing.B) {
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(b.N)*batchSize/elapsed.Seconds(), "decisions/sec")
 	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(int64(b.N)*batchSize), "ns/decision")
+}
+
+// BenchmarkReplicatedQueryFanout prices the replicated store's read
+// path (DESIGN.md §11): a full query sweep through replica.Reader,
+// which serves each store segment from the first healthy replica, as a
+// single-node degenerate ring (R=1 — the fan-out machinery with no
+// replication) versus a three-node R=2 ring. The records and shard
+// layout are identical, so the delta is pure placement/fan-out cost:
+// per-segment replica selection plus the connection spread across
+// three backends instead of one.
+func BenchmarkReplicatedQueryFanout(b *testing.B) {
+	benchSetup(b)
+	caps := core.EUUniversityStore(benchCampaign).All()
+	const shards = 8
+	run := func(nodes, replicas int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := replica.Config{
+				Shards:        shards,
+				Seed:          11,
+				Replicas:      replicas,
+				Quorum:        1,
+				QuorumTimeout: 10 * time.Second,
+				NodeTimeout:   30 * time.Second,
+			}
+			for i := 0; i < nodes; i++ {
+				store, err := capstore.Create(b.TempDir(), shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { store.Close() })
+				ing, err := capstore.NewIngester(store, capstore.IngestConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mux := http.NewServeMux()
+				mux.Handle("/ingest", ing)
+				mux.Handle("/", capstore.NewResilientHandler(store, capstore.ServeConfig{}))
+				srv := httptest.NewServer(mux)
+				b.Cleanup(srv.Close)
+				cfg.Nodes = append(cfg.Nodes, replica.NodeConfig{Name: "node-" + strconv.Itoa(i), URL: srv.URL})
+			}
+			w, err := replica.NewWriter(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { w.Close() })
+			if _, err := w.RecordBatch(caps); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.WaitConverged(30 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+			r := w.Reader()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := 0
+				if err := r.Query(capturedb.Query{}, 0, 0, func(*capture.Capture) bool {
+					got++
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if got != len(caps) {
+					b.Fatalf("sweep returned %d records, want %d", got, len(caps))
+				}
+			}
+		}
+	}
+	b.Run("nodes=1", run(1, 1))
+	b.Run("nodes=3", run(3, 2))
 }

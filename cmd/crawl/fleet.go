@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/capstore"
 	"repro/internal/fleet"
+	"repro/internal/resilience"
 	"repro/internal/webworld"
 )
 
@@ -41,10 +42,18 @@ func fleetWorker(coordURL, id string) int {
 	// The feed is materialized by the coordinator; workers only need
 	// the world to crawl against.
 	world := webworld.New(webworld.Config{Seed: rc.WorldSeed, Domains: rc.WorldDomains})
+
+	// The ingest target may be a replicated ring that sheds with 503 +
+	// Retry-After while a storage node revives or a quorum reforms.
+	// Absorbing those client-side (on the fleet-wide retry budget, so
+	// behaviour cannot drift between nodes) keeps a momentary replica
+	// outage from failing the lease and dead-lettering its shares.
+	ingest := capstore.NewClient(rc.IngestURL)
+	ingest.Retry = resilience.RetryPolicy{MaxAttempts: rc.RetryAttempts}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		ID:          id,
 		Coordinator: coord,
-		Push:        fleet.IngestPush(capstore.NewClient(rc.IngestURL)),
+		Push:        fleet.IngestPush(ingest),
 		World:       world,
 		Run:         rc,
 	})

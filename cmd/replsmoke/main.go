@@ -1,0 +1,528 @@
+// Command replsmoke exercises the replicated capture store end to end
+// with real processes: three capd storage nodes, a capring replication
+// proxy fronting them, a fleetd coordinator ingesting through the
+// ring, and two `crawl -fleet` workers. One storage node is SIGKILLed
+// mid-lease — hard enough that its store may be left with a torn
+// segment tail — then restarted, and the run must still converge: the
+// ring repairs the returned node and every node's owned segments end
+// byte-identical to a single-process baseline crawl. Telemetry on the
+// ring must be valid exposition carrying the repl_* families, with at
+// least one repair pass actually booked. Any failure exits non-zero.
+//
+// Usage:
+//
+//	replsmoke [-capd bin/capd] [-capring bin/capring]
+//	          [-fleetd bin/fleetd] [-crawl bin/crawl]
+//
+// `make replication-smoke` builds the binaries and runs this; it is
+// part of `make check`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/capstore/replica"
+	"repro/internal/crawler"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/simtime"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// Fixture window (byte-affecting parameters mirror the baseline).
+const (
+	seed     = 7
+	ringSeed = 5
+	domains  = 1_500
+	shares   = 150
+	lastDay  = 1 // window [0, lastDay]
+	retries  = 2
+	shards   = 8
+	numNodes = 3
+)
+
+func main() {
+	capdBin := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	capringBin := flag.String("capring", filepath.Join("bin", "capring"), "path to the capring binary under test")
+	fleetdBin := flag.String("fleetd", filepath.Join("bin", "fleetd"), "path to the fleetd binary under test")
+	crawlBin := flag.String("crawl", filepath.Join("bin", "crawl"), "path to the crawl binary under test")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "replsmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	baseDir := filepath.Join(dir, "baseline")
+	baseStats := buildBaseline(baseDir)
+	fmt.Printf("replsmoke: baseline: %d captured (%d failed-recorded), %d dead-lettered\n",
+		baseStats.Succeeded+baseStats.FailedRecorded, baseStats.FailedRecorded, baseStats.DeadLettered)
+
+	// Three storage nodes: plain capds with remote ingest.
+	var (
+		names    []string
+		nodeDirs []string
+		nodeURLs []string
+		capds    []*proc
+	)
+	var nodesFlag []string
+	for i := 0; i < numNodes; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		ndir := filepath.Join(dir, name)
+		p := boot(*capdBin, "-store", ndir, "-init-shards", strconv.Itoa(shards),
+			"-ingest", "-addr", "127.0.0.1:0")
+		defer p.kill()
+		url := "http://" + p.addr()
+		names = append(names, name)
+		nodeDirs = append(nodeDirs, ndir)
+		nodeURLs = append(nodeURLs, url)
+		capds = append(capds, p)
+		nodesFlag = append(nodesFlag, name+"="+url)
+	}
+
+	// capring: R=2 W=1, a deliberately tiny handoff bound so the
+	// injected outage overflows to dirty and forces an anti-entropy
+	// repair (hints alone could not heal a torn tail).
+	capring := boot(*capringBin, "-nodes", strings.Join(nodesFlag, ","),
+		"-shards", strconv.Itoa(shards), "-replicas", "2", "-quorum", "1",
+		"-seed", strconv.Itoa(ringSeed), "-max-handoff", "1",
+		"-handoff-dir", filepath.Join(dir, "handoff"), "-metrics", "-addr", "127.0.0.1:0")
+	defer capring.kill()
+	ringURL := "http://" + capring.addr()
+
+	// Placement decides the victim: the node owning the most segments,
+	// so the outage is guaranteed to bite.
+	var info replica.RingInfo
+	check(json.Unmarshal([]byte(get(ringURL+"/ring")), &info))
+	owned := make(map[string]int)
+	for _, placed := range info.Placement {
+		for _, n := range placed {
+			owned[n]++
+		}
+	}
+	victim := 0
+	for i, n := range names {
+		if owned[n] > owned[names[victim]] {
+			victim = i
+		}
+	}
+	fmt.Printf("replsmoke: ring placement %v; victim %s owns %d/%d segments\n",
+		info.Placement, names[victim], owned[names[victim]], shards)
+
+	fleetd := boot(*fleetdBin, "-ingest", ringURL, "-addr", "127.0.0.1:0",
+		"-seed", strconv.Itoa(seed), "-domains", strconv.Itoa(domains), "-shares", strconv.Itoa(shares),
+		"-from", "0", "-to", strconv.Itoa(lastDay),
+		"-lease-size", "8", "-lease-ttl", "1s", "-retry-budget", "10",
+		"-retries", strconv.Itoa(retries), "-breaker", "0", "-politeness", "1ms", "-metrics")
+	defer fleetd.kill()
+	fleetdURL := "http://" + fleetd.addr()
+
+	w1 := start(*crawlBin, "-fleet", fleetdURL, "-worker-id", "replsmoke-w1")
+	defer w1.kill()
+	w2 := start(*crawlBin, "-fleet", fleetdURL, "-worker-id", "replsmoke-w2")
+	defer w2.kill()
+
+	// Chaos: SIGKILL the victim capd once leases are in flight and the
+	// ring has committed records — mid-lease, mid-ingest, no goodbye.
+	status := fleet.NewClient(fleetdURL)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			fatalf("no lease observed within 30s; fleet never started")
+		}
+		if fleetd.exited() {
+			fatalf("fleetd drained before the injected node kill; grow the fixture window")
+		}
+		st, err := status.Status()
+		if err == nil && st.Active >= 1 && healthz(ringURL).Committed > 0 {
+			check(capds[victim].cmd.Process.Kill())
+			fmt.Printf("replsmoke: SIGKILLed %s with %d leases active\n", names[victim], st.Active)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let the outage bite: the writer must mark the node down and, with
+	// -max-handoff 1, overflow its hints to dirty (repair scheduled).
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			fatalf("writer never flagged %s dirty: %+v", names[victim], healthz(ringURL))
+		}
+		if fleetd.exited() {
+			fatalf("fleetd drained before %s went dirty; grow the fixture window", names[victim])
+		}
+		if n := nodeStatus(ringURL, names[victim]); !n.Up && n.Dirty {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("replsmoke: %s is down and dirty; restarting it\n", names[victim])
+
+	// Revive: same store, same address. A torn segment tail from the
+	// SIGKILL is repaired on open (still a canonical prefix), and the
+	// ring's anti-entropy repair re-streams whatever is missing.
+	capds[victim] = boot(*capdBin, "-store", nodeDirs[victim], "-ingest",
+		"-addr", strings.TrimPrefix(nodeURLs[victim], "http://"))
+	defer capds[victim].kill()
+
+	// The drain itself proves availability: the fleet kept ingesting
+	// through the outage (W=1 acks via the surviving replica).
+	if err := fleetd.wait(120 * time.Second); err != nil {
+		fatalf("fleetd: %v\n%s", err, fleetd.output())
+	}
+	sub, caps, dead, dropped := parseLedger(fleetd.output())
+	if want := baseStats.Succeeded + baseStats.FailedRecorded + baseStats.DeadLettered; sub != want {
+		fatalf("fleetd submitted %d shares, baseline window has %d", sub, want)
+	}
+	if dropped != 0 {
+		fatalf("fleetd dropped %d shares on a clean drain", dropped)
+	}
+	if caps != baseStats.Succeeded+baseStats.FailedRecorded {
+		fatalf("fleet captured %d, baseline recorded %d", caps, baseStats.Succeeded+baseStats.FailedRecorded)
+	}
+	if dead != baseStats.DeadLettered {
+		fatalf("fleet dead-lettered %d, baseline %d", dead, baseStats.DeadLettered)
+	}
+	for _, w := range []*proc{w1, w2} {
+		w.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		w.wait(10 * time.Second)              //nolint:errcheck
+	}
+
+	// Repair convergence: every node up, clean, and with an empty
+	// handoff queue; then each node's record count must equal the sum
+	// of its owned baseline segments.
+	baseSegs := readSegments(baseDir)
+	wantCount := make(map[string]int)
+	for s, placed := range info.Placement {
+		for _, n := range placed {
+			wantCount[n] += bytes.Count(baseSegs[s], []byte("\n"))
+		}
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			fatalf("ring never converged: %+v", healthz(ringURL))
+		}
+		hz := healthz(ringURL)
+		settled := hz.Status == "ok"
+		for _, n := range hz.Nodes {
+			if !n.Up || n.Dirty || n.Handoff != 0 {
+				settled = false
+			}
+		}
+		if settled {
+			done := true
+			for i, name := range names {
+				if countAll(nodeURLs[i]) != wantCount[name] {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("replsmoke: ring converged; per-node counts match the baseline placement\n")
+
+	// Ring telemetry: valid exposition, the repl_* families present,
+	// the canonical commit counter booked every capture, and at least
+	// one repair pass actually ran against the revived node.
+	text := get(ringURL + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{"repl_node_up", "repl_handoff_depth", "repl_repairs_total",
+		"repl_quorum_wait_seconds", "repl_committed_records_total"} {
+		if !strings.Contains(text, want) {
+			fatalf("capring /metrics missing %q:\n%s", want, text)
+		}
+	}
+	if n := gaugeValue(text, "repl_committed_records_total"); n != caps {
+		fatalf("ring committed %d records, fleetd booked %d captures", n, caps)
+	}
+	if n := labelValue(text, "repl_repairs_total", names[victim]); n < 1 {
+		fatalf("no repair pass booked for %s:\n%s", names[victim], text)
+	}
+	if n := labelValue(text, "repl_handoff_dropped_total", names[victim]); n < 1 {
+		fatalf("no handoff overflow booked for %s (outage never went dirty):\n%s", names[victim], text)
+	}
+
+	// Graceful shutdown flushes every store; then the headline: each
+	// node's owned segments are byte-identical to the baseline, and
+	// unplaced segments are empty.
+	check(capring.cmd.Process.Signal(syscall.SIGTERM))
+	if err := capring.wait(10 * time.Second); err != nil {
+		fatalf("capring shutdown: %v", err)
+	}
+	for i := range capds {
+		check(capds[i].cmd.Process.Signal(syscall.SIGTERM))
+		if err := capds[i].wait(10 * time.Second); err != nil {
+			fatalf("capd %s shutdown: %v", names[i], err)
+		}
+	}
+	var totalOwned int
+	for i, name := range names {
+		for s := 0; s < shards; s++ {
+			got, err := os.ReadFile(filepath.Join(nodeDirs[i], fmt.Sprintf("seg-%03d.jsonl", s)))
+			check(err)
+			if slices.Contains(info.Placement[s], name) {
+				if !bytes.Equal(got, baseSegs[s]) {
+					fatalf("%s segment %d differs from baseline: %d bytes vs %d", name, s, len(got), len(baseSegs[s]))
+				}
+				totalOwned += len(got)
+			} else if len(got) != 0 {
+				fatalf("%s segment %d has %d bytes but is not placed there", name, s, len(got))
+			}
+		}
+	}
+	fmt.Printf("replsmoke: ok — %d shares, %d captured, %s repaired after SIGKILL, %d owned segment bytes byte-identical across the ring\n",
+		sub, caps, names[victim], totalOwned)
+}
+
+// buildBaseline runs the single-process reference pipeline: Workers=1
+// records captures in share order, the canonical byte layout every
+// ring node's owned segments must reproduce.
+func buildBaseline(dir string) crawler.StreamStats {
+	st, err := capstore.Create(dir, shards)
+	check(err)
+	world := webworld.New(webworld.Config{Seed: seed, Domains: domains})
+	feed := socialfeed.New(world, socialfeed.Config{Seed: seed, SharesPerDay: shares})
+	p := crawler.NewStreamPlatform(world, crawler.StreamConfig{
+		Seed:           seed,
+		Workers:        1,
+		PerDomainDelay: time.Millisecond,
+		Retry:          resilience.RetryPolicy{MaxAttempts: retries, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.5},
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(context.Background(), st)
+	}()
+	for day := simtime.Day(0); day <= lastDay; day++ {
+		for _, s := range feed.Day(day) {
+			check(p.Submit(context.Background(), day, s))
+		}
+	}
+	p.Close()
+	<-done
+	check(st.Close())
+	return p.Stats()
+}
+
+func readSegments(dir string) [][]byte {
+	segs := make([][]byte, shards)
+	for s := 0; s < shards; s++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("seg-%03d.jsonl", s)))
+		check(err)
+		segs[s] = data
+	}
+	return segs
+}
+
+type healthzPayload struct {
+	Status string `json:"status"`
+	replica.Stats
+}
+
+func healthz(ringURL string) healthzPayload {
+	var hz healthzPayload
+	check(json.Unmarshal([]byte(get(ringURL+"/healthz")), &hz))
+	return hz
+}
+
+func nodeStatus(ringURL, name string) replica.NodeStatus {
+	hz := healthz(ringURL)
+	for _, n := range hz.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	fatalf("node %s missing from /healthz: %+v", name, hz)
+	return replica.NodeStatus{}
+}
+
+func countAll(nodeURL string) int {
+	var payload struct {
+		Count int `json:"count"`
+	}
+	check(json.Unmarshal([]byte(get(nodeURL+"/count")), &payload))
+	return payload.Count
+}
+
+var ledgerRe = regexp.MustCompile(`drained — submitted=(\d+) captures=(\d+) dead=(\d+) dropped=(\d+)`)
+
+func parseLedger(out string) (submitted, captures, dead, dropped int64) {
+	m := ledgerRe.FindStringSubmatch(out)
+	if m == nil {
+		fatalf("no ledger line in fleetd output:\n%s", out)
+	}
+	vals := make([]int64, 4)
+	for i := range vals {
+		vals[i], _ = strconv.ParseInt(m[i+1], 10, 64)
+	}
+	return vals[0], vals[1], vals[2], vals[3]
+}
+
+// gaugeValue extracts the value of an unlabelled metric line.
+func gaugeValue(text, name string) int64 {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		fatalf("metric %s has no sample:\n%s", name, text)
+	}
+	n, _ := strconv.ParseInt(m[1], 10, 64)
+	return n
+}
+
+// labelValue extracts the value of a node-labelled metric line.
+func labelValue(text, name, node string) int64 {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{node="` + regexp.QuoteMeta(node) + `"\} (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.ParseInt(m[1], 10, 64)
+	return n
+}
+
+// proc is a child process whose stdout is captured (and echoed) so
+// startup banners and the final ledger line can be parsed.
+type proc struct {
+	cmd    *exec.Cmd
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	doneCh chan error
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// procs tracks every child so fatalf can reap them — an orphaned node
+// or worker would otherwise outlive a failed smoke run.
+var procs []*proc
+
+// start launches a child with captured stdout.
+func start(bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	check(err)
+	check(cmd.Start())
+	p := &proc{cmd: cmd, doneCh: make(chan error, 1)}
+	procs = append(procs, p)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := out.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.buf.Write(buf[:n])
+				p.mu.Unlock()
+				os.Stdout.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				break
+			}
+		}
+		p.doneCh <- cmd.Wait()
+	}()
+	return p
+}
+
+// boot is start plus waiting for the "… on 127.0.0.1:PORT" banner.
+func boot(bin string, args ...string) *proc {
+	p := start(bin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(p.output()); m != nil {
+			return p
+		}
+		if time.Now().After(deadline) || p.exited() {
+			p.kill()
+			fatalf("%s did not report a listen address:\n%s", bin, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *proc) addr() string {
+	return addrRe.FindStringSubmatch(p.output())[1]
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func (p *proc) exited() bool {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(d time.Duration) error {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return err
+	case <-time.After(d):
+		p.kill()
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil && !p.exited() {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.doneCh
+		p.doneCh <- nil
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replsmoke: "+format+"\n", args...)
+	for _, p := range procs {
+		p.kill()
+	}
+	os.Exit(1)
+}

@@ -3,15 +3,18 @@ package capstore
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/resilience"
 )
 
 // Client runs queries against a live capd over HTTP, mirroring the
@@ -21,6 +24,16 @@ type Client struct {
 	BaseURL string
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Retry, when enabled (MaxAttempts > 1), makes ingest pushes absorb
+	// transient failures client-side instead of surfacing them to the
+	// caller: 503 ordered-mode shedding honours the server's
+	// Retry-After hint, and transport errors classified Retryable by
+	// the resilience taxonomy back off on the policy's schedule.
+	// Terminal errors and an exhausted budget still surface.
+	Retry resilience.RetryPolicy
+	// Sleep is the retry clock, injectable for tests (default
+	// time.Sleep).
+	Sleep func(time.Duration)
 }
 
 // NewClient returns a client for the capd at base.
@@ -141,10 +154,31 @@ func (cl *Client) Health() (Health, error) {
 	return h, nil
 }
 
-// ingest POSTs an NDJSON body to /ingest with the given parameters and
-// decodes the IngestResult. A 503 (reorder buffer full) is surfaced as
-// ErrIngestShed so callers can back off and retry.
-func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
+// ShedError is a 503 from /ingest (ordered-mode reorder shedding)
+// carrying the server's Retry-After hint. It unwraps to ErrIngestShed
+// so existing errors.Is checks keep working.
+type ShedError struct {
+	// RetryAfter is the server's backoff hint (zero when the header was
+	// absent or unparseable).
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string { return ErrIngestShed.Error() }
+func (e *ShedError) Unwrap() error { return ErrIngestShed }
+
+// parseRetryAfter reads a delay-seconds Retry-After value; HTTP-date
+// forms are ignored (the servers here only ever send seconds).
+func parseRetryAfter(h string) time.Duration {
+	if n, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && n >= 0 {
+		return time.Duration(n) * time.Second
+	}
+	return 0
+}
+
+// ingestOnce POSTs an NDJSON body to /ingest and decodes the
+// IngestResult. A 503 (reorder buffer full) is surfaced as a
+// *ShedError wrapping ErrIngestShed.
+func (cl *Client) ingestOnce(v url.Values, body []byte) (IngestResult, error) {
 	var res IngestResult
 	u := cl.BaseURL + "/ingest"
 	if enc := v.Encode(); enc != "" {
@@ -157,7 +191,7 @@ func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 512)) //nolint:errcheck
-		return res, ErrIngestShed
+		return res, &ShedError{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -167,6 +201,39 @@ func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
 		return res, fmt.Errorf("capstore: /ingest: %w", err)
 	}
 	return res, nil
+}
+
+// ingest pushes with the client's retry policy. Re-delivery after an
+// ambiguous failure is safe: the server's idempotency keys drop
+// duplicates. Shedding honours the server's Retry-After (or the
+// policy's backoff, whichever is longer); other errors retry only when
+// the resilience taxonomy classifies them Retryable.
+func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
+	res, err := cl.ingestOnce(v, body)
+	if err == nil || !cl.Retry.Enabled() {
+		return res, err
+	}
+	sleep := cl.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 1; attempt < cl.Retry.MaxAttempts; attempt++ {
+		delay := cl.Retry.Backoff(nil, attempt)
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			if shed.RetryAfter > delay {
+				delay = shed.RetryAfter
+			}
+		} else if resilience.ClassifyError(err.Error()) == resilience.Terminal {
+			return res, err
+		}
+		sleep(delay)
+		res, err = cl.ingestOnce(v, body)
+		if err == nil {
+			return res, nil
+		}
+	}
+	return res, err
 }
 
 // encodeBatch renders captures as an NDJSON request body.
@@ -213,6 +280,121 @@ func (cl *Client) RecordBatchAt(at, n int64, caps []*capture.Capture) (IngestRes
 	v.Set("at", strconv.FormatInt(at, 10))
 	v.Set("n", strconv.FormatInt(n, 10))
 	return cl.ingest(v, body)
+}
+
+// RecordStream pushes a raw wire-format NDJSON stream over /ingest
+// (unordered mode) without buffering it — the repair re-stream sink,
+// fed directly from a peer's SegmentReader. No client-side retry: a
+// one-shot reader cannot be replayed, so the caller owns recovery
+// (re-delivery is idempotent server-side).
+func (cl *Client) RecordStream(r io.Reader) (IngestResult, error) {
+	var res IngestResult
+	resp, err := cl.httpClient().Post(cl.BaseURL+"/ingest", "application/x-ndjson", r)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512)) //nolint:errcheck
+		return res, &ShedError{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return res, fmt.Errorf("capstore: /ingest: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("capstore: /ingest: %w", err)
+	}
+	return res, nil
+}
+
+// CountShard runs the query server-side against one segment.
+func (cl *Client) CountShard(shard int, q capturedb.Query) (int, error) {
+	v := params(q, 0, 0)
+	v.Set("shard", strconv.Itoa(shard))
+	resp, err := cl.get("/count", v)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("capstore: /count: %w", err)
+	}
+	return out.Count, nil
+}
+
+// Manifest fetches the server's per-segment content summary.
+func (cl *Client) Manifest() (Manifest, error) {
+	var m Manifest
+	resp, err := cl.get("/manifest", nil)
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("capstore: /manifest: %w", err)
+	}
+	return m, nil
+}
+
+// PrefixManifest fetches the manifest of shard's first n records —
+// the repair loop's prefix-verification probe.
+func (cl *Client) PrefixManifest(shard, n int) (SegmentManifest, error) {
+	var m SegmentManifest
+	v := url.Values{}
+	v.Set("shard", strconv.Itoa(shard))
+	v.Set("n", strconv.Itoa(n))
+	resp, err := cl.get("/manifest", v)
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("capstore: /manifest: %w", err)
+	}
+	return m, nil
+}
+
+// SegmentReader opens the raw wire-format stream of shard's records
+// [from, current) — the repair re-stream. The caller must Close it.
+// The bytes are directly acceptable to a peer's /ingest.
+func (cl *Client) SegmentReader(shard, from int) (io.ReadCloser, error) {
+	v := url.Values{}
+	v.Set("shard", strconv.Itoa(shard))
+	v.Set("from", strconv.Itoa(from))
+	resp, err := cl.get("/segment", v)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// QueryShard streams one segment's matches — the replicated read
+// path's per-segment fan-out unit. Semantics otherwise match Query.
+func (cl *Client) QueryShard(shard int, q capturedb.Query, limit, offset int, fn func(*capture.Capture) bool) error {
+	v := params(q, limit, offset)
+	v.Set("shard", strconv.Itoa(shard))
+	resp, err := cl.get("/query", v)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rr := capturedb.NewRecordReader(resp.Body)
+	for {
+		c, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
 }
 
 // Stats fetches the server's store snapshot.

@@ -35,6 +35,8 @@ func NewHandler(s *Store) http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/count", s.handleCount)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/manifest", s.handleManifest)
+	mux.HandleFunc("/segment", s.handleSegment)
 	return mux
 }
 
@@ -170,6 +172,26 @@ func NewResilientHandler(s *Store, cfg ServeConfig) http.Handler {
 	return mux
 }
 
+// parseShard reads an optional shard=N parameter; -1 means absent.
+func parseShard(values url.Values) (int, error) {
+	v := values.Get("shard")
+	if v == "" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return -1, fmt.Errorf("bad shard=%q", v)
+	}
+	return n, nil
+}
+
+// ParseHTTPQuery translates URL parameters into the shared Query type
+// plus pagination bounds — exported so the replicated front end
+// (internal/capstore/replica) speaks the exact same query dialect.
+func ParseHTTPQuery(values url.Values) (q capturedb.Query, limit, offset int, err error) {
+	return parseHTTPQuery(values)
+}
+
 // parseHTTPQuery translates URL parameters into the shared Query type
 // plus pagination bounds.
 func parseHTTPQuery(values url.Values) (q capturedb.Query, limit, offset int, err error) {
@@ -222,18 +244,36 @@ func parseHTTPQuery(values url.Values) (q capturedb.Query, limit, offset int, er
 }
 
 // handleQuery streams matches as NDJSON with limit/offset pagination.
+// A shard=N parameter restricts the query to one segment (offset then
+// paginates within that segment's stream) — the replicated read path's
+// unit of fan-out.
 func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, limit, offset, err := parseHTTPQuery(r.URL.Query())
 	if err != nil {
 		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	shard, err := parseShard(r.URL.Query())
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	run := s.Query
+	if shard >= 0 {
+		if shard >= len(s.shards) {
+			http.Error(w, fmt.Sprintf("capstore: no shard %d (store has %d)", shard, len(s.shards)), http.StatusBadRequest)
+			return
+		}
+		run = func(q capturedb.Query, fn func(*capture.Capture) bool) error {
+			return s.QueryShard(shard, q, fn)
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	ctx := r.Context()
 	sent, seen := 0, 0
 	var werr error
-	qerr := s.Query(q, func(c *capture.Capture) bool {
+	qerr := run(q, func(c *capture.Capture) bool {
 		seen++
 		// Honour the per-request deadline/cancellation between rows so
 		// long streams degrade by being cut, not by buffering forever.
@@ -277,20 +317,105 @@ func (s *Store) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleCount answers {"count": N}.
+// handleCount answers {"count": N}; shard=N restricts to one segment.
 func (s *Store) handleCount(w http.ResponseWriter, r *http.Request) {
 	q, _, _, err := parseHTTPQuery(r.URL.Query())
 	if err != nil {
 		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	n, err := s.Count(q)
+	shard, err := parseShard(r.URL.Query())
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var n int
+	if shard >= 0 {
+		if shard >= len(s.shards) {
+			http.Error(w, fmt.Sprintf("capstore: no shard %d (store has %d)", shard, len(s.shards)), http.StatusBadRequest)
+			return
+		}
+		err = s.QueryShard(shard, q, func(*capture.Capture) bool { n++; return true })
+	} else {
+		n, err = s.Count(q)
+	}
 	if err != nil {
 		http.Error(w, "capstore: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"count": n}) //nolint:errcheck
+}
+
+// handleManifest answers the store's per-segment content summary.
+// With shard=N&n=M it answers the prefix manifest of shard N's first
+// M records — the repair loop's prefix-verification probe.
+func (s *Store) handleManifest(w http.ResponseWriter, r *http.Request) {
+	values := r.URL.Query()
+	shard, err := parseShard(values)
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if shard < 0 {
+		m, err := s.Manifest()
+		if err != nil {
+			http.Error(w, "capstore: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(m) //nolint:errcheck
+		return
+	}
+	n, err := strconv.Atoi(values.Get("n"))
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("capstore: bad n=%q", values.Get("n")), http.StatusBadRequest)
+		return
+	}
+	sm, err := s.PrefixManifest(shard, n)
+	if err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	json.NewEncoder(w).Encode(sm) //nolint:errcheck
+}
+
+// handleSegment streams the raw wire-format bytes of one segment's
+// records [from, current) — the repair re-stream source. The output
+// is directly acceptable to a peer's /ingest.
+func (s *Store) handleSegment(w http.ResponseWriter, r *http.Request) {
+	values := r.URL.Query()
+	shard, err := parseShard(values)
+	if err != nil || shard < 0 {
+		http.Error(w, "capstore: /segment needs shard=N", http.StatusBadRequest)
+		return
+	}
+	from := 0
+	if v := values.Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil || from < 0 {
+			http.Error(w, fmt.Sprintf("capstore: bad from=%q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	// Validate bounds before the status line goes out, so parameter
+	// errors are clean 400s rather than torn streams.
+	if shard >= len(s.shards) {
+		http.Error(w, fmt.Sprintf("capstore: no shard %d (store has %d)", shard, len(s.shards)), http.StatusBadRequest)
+		return
+	}
+	if count, _, err := s.segmentRange(shard); err != nil {
+		http.Error(w, "capstore: "+err.Error(), http.StatusInternalServerError)
+		return
+	} else if from > count {
+		http.Error(w, fmt.Sprintf("capstore: %s has %d records, stream from %d requested", segName(shard), count, from), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if _, _, err := s.StreamShard(shard, from, w); err != nil {
+		// The status line is gone; tear the connection so the client
+		// sees a torn stream rather than a clean short read.
+		panic(http.ErrAbortHandler)
+	}
 }
 
 // handleStats answers the store snapshot.

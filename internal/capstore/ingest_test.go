@@ -2,6 +2,7 @@ package capstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/obs"
@@ -272,8 +274,12 @@ func TestIngestOrderedShedding(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err := cl.RecordBatchAt(4, 2, []*capture.Capture{ingestCapture(4), ingestCapture(5)})
-	if err != ErrIngestShed {
+	if !errors.Is(err, ErrIngestShed) {
 		t.Fatalf("expected ErrIngestShed, got %v", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.RetryAfter != time.Second {
+		t.Fatalf("shed error should carry the server's Retry-After hint, got %#v", err)
 	}
 	if ing.Stats().Shed != 1 {
 		t.Fatalf("shed counter = %+v", ing.Stats())

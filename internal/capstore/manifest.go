@@ -1,0 +1,256 @@
+package capstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/simtime"
+)
+
+// The manifest API is the replicated store's diff surface: a replica
+// answers "what do you hold?" as per-segment (record count, byte
+// length, content hash) triples. Because every replica appends the
+// same records in the same canonical commit order, a lagging replica's
+// segment is always a byte prefix of a caught-up one — so repair never
+// needs record-level diffs: verify the prefix hash, then re-stream the
+// missing suffix (StreamShard) into the lagging node's /ingest.
+
+// SegmentManifest summarizes one segment's content.
+type SegmentManifest struct {
+	Segment string `json:"segment"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	// Hash is the FNV-64a of the segment's bytes, hex-encoded.
+	Hash string `json:"hash"`
+}
+
+// Manifest is the per-segment content summary of a whole store.
+type Manifest struct {
+	Segments []SegmentManifest `json:"segments"`
+}
+
+// segmentRange snapshots one shard's consistent (count, end) pair with
+// buffered bytes flushed, so ReadAt sees everything counted.
+func (s *Store) segmentRange(i int) (records int, end int64, err error) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	return len(sh.recs), sh.end, nil
+}
+
+// hashRange hashes segment i's bytes [0, end).
+func (s *Store) hashRange(i int, end int64) (string, error) {
+	h := fnv.New64a()
+	if _, err := io.Copy(h, io.NewSectionReader(s.shards[i].f, 0, end)); err != nil {
+		return "", fmt.Errorf("capstore: hashing %s: %w", segName(i), err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Manifest summarizes every segment. Concurrent ingest is safe: each
+// segment is snapshotted at a consistent (records, bytes) point and
+// hashed over exactly those bytes.
+func (s *Store) Manifest() (Manifest, error) {
+	m := Manifest{Segments: make([]SegmentManifest, len(s.shards))}
+	for i := range s.shards {
+		n, end, err := s.segmentRange(i)
+		if err != nil {
+			return Manifest{}, err
+		}
+		hash, err := s.hashRange(i, end)
+		if err != nil {
+			return Manifest{}, err
+		}
+		m.Segments[i] = SegmentManifest{Segment: segName(i), Records: n, Bytes: end, Hash: hash}
+	}
+	return m, nil
+}
+
+// prefixEnd returns the byte offset just past record n-1 of shard i
+// (0 for n == 0), holding the shard lock only for the metadata read.
+func (s *Store) prefixEnd(i, n int) (int64, error) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n > len(sh.recs) {
+		return 0, fmt.Errorf("capstore: %s has %d records, prefix of %d requested", segName(i), len(sh.recs), n)
+	}
+	if err := sh.bw.Flush(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	meta := sh.recs[n-1]
+	return meta.off + int64(meta.length), nil
+}
+
+// PrefixManifest summarizes the first n records of shard i — the probe
+// a repair loop uses to verify that a lagging replica's segment is a
+// byte prefix of this store's.
+func (s *Store) PrefixManifest(i, n int) (SegmentManifest, error) {
+	if i < 0 || i >= len(s.shards) {
+		return SegmentManifest{}, fmt.Errorf("capstore: no shard %d", i)
+	}
+	end, err := s.prefixEnd(i, n)
+	if err != nil {
+		return SegmentManifest{}, err
+	}
+	hash, err := s.hashRange(i, end)
+	if err != nil {
+		return SegmentManifest{}, err
+	}
+	return SegmentManifest{Segment: segName(i), Records: n, Bytes: end, Hash: hash}, nil
+}
+
+// StreamShard writes the raw wire-format bytes of shard i's records
+// [from, current) to w — the repair re-stream. The byte range is
+// snapshotted before streaming, so concurrent appends never tear the
+// output; the bytes are exactly what a peer's /ingest accepts.
+func (s *Store) StreamShard(i, from int, w io.Writer) (records int, bytes int64, err error) {
+	if i < 0 || i >= len(s.shards) {
+		return 0, 0, fmt.Errorf("capstore: no shard %d", i)
+	}
+	count, end, err := s.segmentRange(i)
+	if err != nil {
+		return 0, 0, err
+	}
+	if from < 0 || from > count {
+		return 0, 0, fmt.Errorf("capstore: %s has %d records, stream from %d requested", segName(i), count, from)
+	}
+	start, err := s.prefixEnd(i, from)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := io.Copy(w, io.NewSectionReader(s.shards[i].f, start, end-start))
+	if err != nil {
+		return 0, n, fmt.Errorf("capstore: streaming %s: %w", segName(i), err)
+	}
+	return count - from, n, nil
+}
+
+// QueryShard streams shard i's matches to fn in record order — the
+// unit of the replicated read fan-out, where each segment is served by
+// whichever replica answers first. Matching semantics are exactly
+// Query's, restricted to one segment.
+func (s *Store) QueryShard(i int, q capturedb.Query, fn func(*capture.Capture) bool) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("capstore: no shard %d", i)
+	}
+	s.counters.queries.Add(1)
+	sh := s.shards[i]
+	sh.mu.Lock()
+	if err := sh.bw.Flush(); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	metas := make([]recMeta, len(sh.recs))
+	copy(metas, sh.recs)
+	sh.mu.Unlock()
+
+	var scanned, skipped int64
+	var buf []byte
+	for _, meta := range metas {
+		if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+			skipped++
+			continue
+		}
+		c, err := s.readRecord(sh, meta, &buf)
+		if err != nil {
+			s.counters.rowsScanned.Add(scanned)
+			s.counters.rowsSkipped.Add(skipped)
+			return err
+		}
+		scanned++
+		if !q.Match(c) {
+			continue
+		}
+		if !fn(c) {
+			break
+		}
+	}
+	s.counters.rowsScanned.Add(scanned)
+	s.counters.rowsSkipped.Add(skipped)
+	return nil
+}
+
+// DiffKind classifies one segment's relation to a peer's.
+type DiffKind int
+
+const (
+	// DiffEqual: identical content.
+	DiffEqual DiffKind = iota
+	// DiffBehind: this segment is a strict prefix of the peer's — the
+	// peer has a suffix this replica is missing.
+	DiffBehind
+	// DiffAhead: the peer's segment is a strict prefix of this one.
+	DiffAhead
+	// DiffDiverged: neither is a prefix of the other — real corruption,
+	// never produced by crash-truncation under canonical commit order.
+	DiffDiverged
+)
+
+// SegmentDiff is one segment's repair decision against a peer.
+type SegmentDiff struct {
+	Shard int
+	Kind  DiffKind
+	// From/Records/Bytes describe the missing suffix when Kind is
+	// DiffBehind: re-stream records [From, From+Records) (Bytes bytes)
+	// from the peer.
+	From    int
+	Records int
+	Bytes   int64
+}
+
+// DiffManifests compares a local manifest against a peer's, using
+// prefixHash to fetch the hash of the longer side's prefix at the
+// shorter side's record count (needed only when lengths differ).
+// The callback signature keeps the function transport-agnostic: the
+// repair loop passes a client call, tests pass Store.PrefixManifest.
+func DiffManifests(local, peer Manifest, prefixHash func(shard, n int, ofPeer bool) (SegmentManifest, error)) ([]SegmentDiff, error) {
+	if len(local.Segments) != len(peer.Segments) {
+		return nil, fmt.Errorf("capstore: manifest shape mismatch: %d vs %d segments (stores created with different shard counts?)",
+			len(local.Segments), len(peer.Segments))
+	}
+	var diffs []SegmentDiff
+	for i := range local.Segments {
+		l, p := local.Segments[i], peer.Segments[i]
+		switch {
+		case l.Records == p.Records:
+			if l.Hash == p.Hash && l.Bytes == p.Bytes {
+				continue
+			}
+			diffs = append(diffs, SegmentDiff{Shard: i, Kind: DiffDiverged})
+		case l.Records < p.Records:
+			pp, err := prefixHash(i, l.Records, true)
+			if err != nil {
+				return nil, err
+			}
+			if pp.Hash == l.Hash && pp.Bytes == l.Bytes {
+				diffs = append(diffs, SegmentDiff{
+					Shard: i, Kind: DiffBehind,
+					From: l.Records, Records: p.Records - l.Records, Bytes: p.Bytes - l.Bytes,
+				})
+			} else {
+				diffs = append(diffs, SegmentDiff{Shard: i, Kind: DiffDiverged})
+			}
+		default:
+			lp, err := prefixHash(i, p.Records, false)
+			if err != nil {
+				return nil, err
+			}
+			if lp.Hash == p.Hash && lp.Bytes == p.Bytes {
+				diffs = append(diffs, SegmentDiff{Shard: i, Kind: DiffAhead})
+			} else {
+				diffs = append(diffs, SegmentDiff{Shard: i, Kind: DiffDiverged})
+			}
+		}
+	}
+	return diffs, nil
+}

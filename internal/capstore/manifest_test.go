@@ -1,0 +1,329 @@
+package capstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/resilience"
+)
+
+// manifestServer exposes a full store (query + ingest + manifest)
+// the way a replicated-store node sees it.
+func manifestServer(t *testing.T, shards int) (*Store, *Client) {
+	t.Helper()
+	store, err := Create(t.TempDir(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := httptest.NewServer(NewHandler(store))
+	t.Cleanup(srv.Close)
+	return store, NewClient(srv.URL)
+}
+
+func TestManifestTracksSegments(t *testing.T) {
+	store, cl := manifestServer(t, 4)
+	fill(t, store, 200)
+	m, err := cl.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 4 {
+		t.Fatalf("manifest has %d segments, want 4", len(m.Segments))
+	}
+	var records int
+	for i, sm := range m.Segments {
+		if sm.Segment != segName(i) {
+			t.Fatalf("segment %d named %q", i, sm.Segment)
+		}
+		data, err := os.ReadFile(filepath.Join(store.Dir(), sm.Segment))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(data)) != sm.Bytes {
+			t.Fatalf("%s: manifest bytes %d, file %d", sm.Segment, sm.Bytes, len(data))
+		}
+		want, err := store.PrefixManifest(i, sm.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Hash != sm.Hash {
+			t.Fatalf("%s: full hash %s != prefix-at-count hash %s", sm.Segment, sm.Hash, want.Hash)
+		}
+		records += sm.Records
+	}
+	if int64(records) != store.Len() {
+		t.Fatalf("manifest records %d, store %d", records, store.Len())
+	}
+}
+
+func TestPrefixManifestAndStream(t *testing.T) {
+	store, cl := manifestServer(t, 2)
+	fill(t, store, 120)
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < 2; shard++ {
+		data, err := os.ReadFile(filepath.Join(store.Dir(), segName(shard)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := store.PrefixManifest(shard, segmentCount(t, store, shard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := full.Records / 2
+		pm, err := cl.PrefixManifest(shard, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The prefix manifest must hash exactly the leading pm.Bytes of
+		// the file, and the /segment stream from `half` must be exactly
+		// the remaining suffix.
+		local, err := store.PrefixManifest(shard, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pm != local {
+			t.Fatalf("shard %d: client prefix manifest %+v != local %+v", shard, pm, local)
+		}
+		rc, err := cl.SegmentReader(shard, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var suffix bytes.Buffer
+		if _, err := suffix.ReadFrom(rc); err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+		if want := data[pm.Bytes:]; !bytes.Equal(suffix.Bytes(), want) {
+			t.Fatalf("shard %d: suffix stream %d bytes, want %d", shard, suffix.Len(), len(want))
+		}
+	}
+	// Out-of-range probes are clean errors, not torn streams.
+	if _, err := cl.PrefixManifest(0, 1<<20); err == nil {
+		t.Fatal("oversized prefix accepted")
+	}
+	if _, err := cl.SegmentReader(7, 0); err == nil {
+		t.Fatal("bad shard accepted")
+	}
+}
+
+func segmentCount(t *testing.T, s *Store, shard int) int {
+	t.Helper()
+	n, _, err := s.segmentRange(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestQueryShardPartitionsQuery: per-shard queries concatenated in
+// shard order must reproduce the whole-store query byte for byte —
+// the replicated read path's correctness core.
+func TestQueryShardPartitionsQuery(t *testing.T) {
+	store, cl := manifestServer(t, 4)
+	fill(t, store, 300)
+	q := capturedb.Query{IncludeFailed: true}
+	var whole bytes.Buffer
+	if err := store.Query(q, func(c *capture.Capture) bool {
+		line, err := capturedb.Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole.Write(line)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	for i := 0; i < store.NumShards(); i++ {
+		if err := cl.QueryShard(i, q, 0, 0, func(c *capture.Capture) bool {
+			line, err := capturedb.Encode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded.Write(line)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(whole.Bytes(), sharded.Bytes()) {
+		t.Fatalf("shard-partitioned query diverges: %d vs %d bytes", sharded.Len(), whole.Len())
+	}
+}
+
+func TestDiffManifests(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := Create(dirA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Create(dirB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	caps := make([]*capture.Capture, 40)
+	for i := range caps {
+		caps[i] = ingestCapture(i)
+	}
+	for _, c := range caps {
+		a.Record(c)
+	}
+	for _, c := range caps[:25] { // b stops early: strict prefix per shard
+		b.Record(c)
+	}
+	prefixHash := func(shard, n int, ofPeer bool) (SegmentManifest, error) {
+		if ofPeer {
+			return a.PrefixManifest(shard, n)
+		}
+		return b.PrefixManifest(shard, n)
+	}
+	ma, err := a.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffManifests(mb, ma, prefixHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repairRecords int
+	for _, d := range diffs {
+		if d.Kind != DiffBehind {
+			t.Fatalf("diff %+v: want DiffBehind", d)
+		}
+		repairRecords += d.Records
+	}
+	if repairRecords != 15 {
+		t.Fatalf("diffs cover %d missing records, want 15", repairRecords)
+	}
+	// Apply the repairs by streaming each missing suffix; the stores
+	// must converge to byte identity.
+	for _, d := range diffs {
+		var buf bytes.Buffer
+		if _, _, err := a.StreamShard(d.Shard, d.From, &buf); err != nil {
+			t.Fatal(err)
+		}
+		rr := capturedb.NewRecordReader(&buf)
+		for {
+			c, err := rr.Next()
+			if err != nil {
+				break
+			}
+			b.Record(c)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	compareSegments(t, readSegments(t, dirA), readSegments(t, dirB))
+
+	// Reversed direction reports DiffAhead; equality reports nothing.
+	mb, err = b.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err = DiffManifests(mb, ma, prefixHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("converged stores still diff: %+v", diffs)
+	}
+	// Divergence (same count, different bytes) is flagged, never
+	// "repaired".
+	b.Record(ingestCapture(100))
+	a.Record(ingestCapture(200))
+	ma, _ = a.Manifest()
+	mb, _ = b.Manifest()
+	diffs, err = DiffManifests(mb, ma, prefixHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDiverged := false
+	for _, d := range diffs {
+		if d.Kind == DiffDiverged {
+			foundDiverged = true
+		}
+	}
+	if !foundDiverged {
+		t.Fatalf("diverged segments not flagged: %+v", diffs)
+	}
+}
+
+// TestClientRetryAfterShed: the ingest client absorbs ordered-mode
+// shedding by honouring the server's Retry-After hint instead of
+// surfacing ErrIngestShed to the caller.
+func TestClientRetryAfterShed(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "capstore: ingest reorder buffer full, retry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"accepted":1}`)
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	cl := NewClient(srv.URL)
+	cl.Retry = resilience.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Jitter: -1}
+	cl.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	res, err := cl.RecordBatchAt(0, 1, []*capture.Capture{ingestCapture(1)})
+	if err != nil {
+		t.Fatalf("retrying client surfaced: %v", err)
+	}
+	if res.Accepted != 1 || calls.Load() != 3 {
+		t.Fatalf("res=%+v calls=%d", res, calls.Load())
+	}
+	for _, d := range slept {
+		if d != 3*time.Second {
+			t.Fatalf("client slept %v, want the server's Retry-After (3s)", d)
+		}
+	}
+	if len(slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(slept))
+	}
+}
+
+// TestClientRetryBudgetExhausted: a persistently shedding server still
+// surfaces the shed error (wrapped) once the policy budget is spent.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "full", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	cl.Retry = resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Jitter: -1}
+	var naps int
+	cl.Sleep = func(time.Duration) { naps++ }
+	_, err := cl.RecordBatch([]*capture.Capture{ingestCapture(1)})
+	if !errors.Is(err, ErrIngestShed) {
+		t.Fatalf("want wrapped ErrIngestShed, got %v", err)
+	}
+	if naps != 2 {
+		t.Fatalf("client slept %d times, want 2 (MaxAttempts-1)", naps)
+	}
+}

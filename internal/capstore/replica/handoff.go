@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+)
+
+// The durable hinted-handoff log mirrors a down node's delivery queue
+// to disk, one JSON hint per line, so hints survive a proxy restart.
+// Like the capstore segments and the fleet checkpoint it is
+// crash-tolerant by torn-tail repair-on-open: a write cut mid-line by
+// a crash leaves a tail that is not a complete, parseable hint line;
+// opening the log keeps the longest valid prefix and truncates the
+// rest. Append is not fsynced per hint (hints are an optimization —
+// anti-entropy repair reconciles any loss), but the valid-prefix scan
+// guarantees a torn log never resurrects corrupt deliveries.
+
+// hint is the wire form of one queued sub-batch.
+type hint struct {
+	// Seq is the commit's ordered-mode position (-1 for unordered).
+	Seq int64 `json:"seq"`
+	// Shards are the distinct segments the sub-batch touches.
+	Shards []int `json:"shards"`
+	// Caps are the records in canonical order, each a capturedb
+	// wire-format line without its trailing newline (a wire line is
+	// itself JSON, so it embeds verbatim).
+	Caps []json.RawMessage `json:"caps"`
+}
+
+// item reconstructs the in-memory delivery item. Loaded hints carry no
+// commitWait: their pushers belong to a previous process, so there is
+// no quorum left to credit.
+func (h hint) item() (item, error) {
+	var buf bytes.Buffer
+	for _, raw := range h.Caps {
+		buf.Write(raw)
+		buf.WriteByte('\n')
+	}
+	rr := capturedb.NewRecordReader(&buf)
+	var caps []*capture.Capture
+	for {
+		c, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return item{}, err
+		}
+		caps = append(caps, c)
+	}
+	if len(caps) != len(h.Caps) {
+		return item{}, fmt.Errorf("hint decoded %d of %d records", len(caps), len(h.Caps))
+	}
+	return item{caps: caps, shards: h.Shards}, nil
+}
+
+// handoffLog is one node's durable hint log.
+type handoffLog struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// handoffPath names the node's log file.
+func handoffPath(dir, node string) string {
+	return filepath.Join(dir, "handoff-"+node+".ndjson")
+}
+
+// openHandoffLog opens (creating if absent) the node's hint log,
+// repairs any torn tail, and returns the surviving hints in append
+// order.
+func openHandoffLog(dir, nodeName string) (*handoffLog, []hint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := handoffPath(dir, nodeName)
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if created {
+		// The name→inode link is a page of the parent directory, not of
+		// the file: sync it once at creation so a crash cannot drop the
+		// whole log while its appends survive.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	hints, valid := validHintPrefix(data)
+	if int64(valid) < int64(len(data)) {
+		// Torn tail: keep the valid prefix, drop the fragment.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &handoffLog{path: path, f: f, size: int64(valid)}, hints, nil
+}
+
+// syncDir fsyncs a directory so a just-created log's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// validHintPrefix scans data for the longest prefix of complete,
+// parseable hint lines, returning the decoded hints and the prefix
+// length in bytes. Anything after the first incomplete or unparseable
+// line is a torn tail.
+func validHintPrefix(data []byte) ([]hint, int) {
+	var hints []hint
+	valid := 0
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // no terminator: cut mid-line
+		}
+		line := data[valid : valid+nl]
+		var h hint
+		if err := json.Unmarshal(line, &h); err != nil {
+			break // complete line but not a hint: corrupt, stop here
+		}
+		hints = append(hints, h)
+		valid += nl + 1
+	}
+	return hints, valid
+}
+
+// Append records one queued sub-batch.
+func (l *handoffLog) Append(it item) error {
+	h := hint{Shards: it.shards, Caps: make([]json.RawMessage, 0, len(it.caps))}
+	if it.wait != nil {
+		h.Seq = it.wait.seq
+	} else {
+		h.Seq = -1
+	}
+	for _, c := range it.caps {
+		line, err := capturedb.Encode(c)
+		if err != nil {
+			return err
+		}
+		h.Caps = append(h.Caps, json.RawMessage(bytes.TrimSuffix(line, []byte("\n"))))
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	n, err := l.f.Write(line)
+	l.size += int64(n)
+	return err
+}
+
+// Reset drops all hints (delivered, or superseded by repair).
+func (l *handoffLog) Reset() error {
+	if l.size == 0 {
+		return nil
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.size = 0
+	return nil
+}
+
+func (l *handoffLog) Close() error { return l.f.Close() }

@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"fmt"
+
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+)
+
+// Reader fans queries out per segment: each of the store's S segments
+// is served by whichever of its R placed replicas answers first
+// (healthy-and-clean replicas are tried before known-bad ones), with
+// failover resuming mid-segment at the record offset already consumed
+// — a torn stream from a dying node costs a retry, never a gap or a
+// duplicate. Segments stream in index order, so a full sweep is
+// byte-identical to the same query against a single-node store holding
+// the canonical commit sequence.
+//
+// Reads are served while any single node is down (R ≥ 2 keeps every
+// segment covered). They are first-healthy-wins, not quorum reads: a
+// replica that is catching up can serve a shorter-but-correct prefix
+// of a segment until repair converges.
+type Reader struct {
+	w *Writer
+}
+
+// Reader returns the read fan-out over the writer's ring and node
+// health view.
+func (w *Writer) Reader() *Reader { return &Reader{w: w} }
+
+// candidates orders shard s's replicas for a read attempt: up and
+// clean first, placement order within each class.
+func (r *Reader) candidates(s int) []*node {
+	placed := r.w.ring.PlaceSegment(s)
+	nodes := make([]*node, 0, len(placed))
+	var degraded []*node
+	for _, name := range placed {
+		n := r.w.byName[name]
+		n.mu.Lock()
+		healthy := n.st == nodeUp && !n.dirty
+		n.mu.Unlock()
+		if healthy {
+			nodes = append(nodes, n)
+		} else {
+			degraded = append(degraded, n)
+		}
+	}
+	return append(nodes, degraded...)
+}
+
+// Query streams matches across all segments in segment order.
+// Returning false from fn stops early; limit and offset paginate the
+// merged stream (0 limit means unlimited).
+func (r *Reader) Query(q capturedb.Query, limit, offset int, fn func(*capture.Capture) bool) error {
+	seen, sent := 0, 0
+	for s := 0; s < r.w.cfg.Shards; s++ {
+		stop, err := r.queryShard(s, q, &seen, &sent, limit, offset, fn)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// queryShard streams one segment with per-replica failover. got counts
+// the filtered records already received for this segment across
+// attempts, which is exactly the resume offset on the next replica.
+func (r *Reader) queryShard(s int, q capturedb.Query, seen, sent *int, limit, offset int, fn func(*capture.Capture) bool) (stop bool, err error) {
+	got := 0
+	var lastErr error
+	cands := r.candidates(s)
+	// Two passes over the candidates: a replica that failed mid-stream
+	// (e.g. it was being killed) may be the only one that can finish
+	// the segment once it returns.
+	for round := 0; round < 2; round++ {
+		for i, nd := range cands {
+			if round > 0 || i > 0 {
+				r.w.m.failovers.Inc()
+			}
+			qerr := nd.cl.QueryShard(s, q, 0, got, func(c *capture.Capture) bool {
+				got++
+				*seen++
+				if *seen <= offset {
+					return true
+				}
+				if !fn(c) {
+					stop = true
+					return false
+				}
+				*sent++
+				if limit > 0 && *sent >= limit {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if qerr == nil || stop {
+				return stop, nil
+			}
+			lastErr = qerr
+		}
+	}
+	return false, fmt.Errorf("replica: segment %d unavailable on all replicas: %w", s, lastErr)
+}
+
+// Count sums per-segment counts, each served by the first replica
+// that answers.
+func (r *Reader) Count(q capturedb.Query) (int, error) {
+	total := 0
+	for s := 0; s < r.w.cfg.Shards; s++ {
+		var lastErr error
+		counted := false
+		for i, nd := range r.candidates(s) {
+			if i > 0 {
+				r.w.m.failovers.Inc()
+			}
+			n, err := nd.cl.CountShard(s, q)
+			if err == nil {
+				total += n
+				counted = true
+				break
+			}
+			lastErr = err
+		}
+		if !counted {
+			return 0, fmt.Errorf("replica: segment %d unavailable on all replicas: %w", s, lastErr)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,163 @@
+package replica
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/capstore"
+)
+
+// Anti-entropy repair runs inside the node's sender goroutine — the
+// node's only writer — so a repair stream can never interleave with a
+// live delivery. The canonical-prefix property makes it cheap: a dirty
+// node's segment is always a byte prefix of a healthy peer's, so the
+// whole reconciliation is (1) diff manifests, (2) verify the prefix
+// hash, (3) re-stream the missing suffix straight from the peer's
+// /segment into the node's /ingest. Divergent segments (prefix hash
+// mismatch — real corruption, not crash truncation) are counted and
+// left alone; they never self-"repair" by overwriting.
+//
+// Repair owes the node every record committed before its up
+// transition (the watermark taken in awaitRevival); records committed
+// after it flow through the live queue behind this repair. A peer may
+// itself still be draining those older commits, so repair loops —
+// diff, stream, re-check — until the node's placed segments reach the
+// watermark.
+
+// countingReader tallies bytes pulled through a repair stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// repair reconciles the node up to watermark (canonical per-shard
+// record counts at revival). Returns false only when the writer
+// closed mid-repair.
+func (n *node) repair(watermark []int64) bool {
+	owned := make(map[int]bool)
+	for _, s := range n.w.ring.SegmentsOf(n.name, n.w.cfg.Shards) {
+		owned[s] = true
+	}
+	for {
+		if n.w.isClosed() {
+			return false
+		}
+		behind, err := n.repairPass(owned, watermark)
+		if err != nil {
+			// Peer or node hiccup: back off and retry; the sender cannot
+			// proceed past repair anyway.
+			time.Sleep(n.w.cfg.ProbeInterval)
+			continue
+		}
+		if !behind {
+			n.w.m.repairs.With(n.name).Inc()
+			return true
+		}
+		// Still short of the watermark (peers draining their own
+		// queues): let them catch up, then diff again.
+		time.Sleep(n.w.cfg.ProbeInterval / 4)
+	}
+}
+
+// repairPass runs one diff-and-stream cycle. behind reports whether
+// any owned segment is still short of the watermark afterwards.
+func (n *node) repairPass(owned map[int]bool, watermark []int64) (behind bool, err error) {
+	local, err := n.cl.Manifest()
+	if err != nil {
+		return false, err
+	}
+	// Segments still short of the repair debt, grouped by the peer
+	// that will serve them: for each, the first other placed node that
+	// is currently up (with R=2 there is exactly one other).
+	needs := make(map[*node][]int)
+	for s := range owned {
+		if int64(local.Segments[s].Records) >= watermark[s] {
+			continue
+		}
+		behind = true
+		if peer := n.w.peerFor(s, n.name); peer != nil {
+			needs[peer] = append(needs[peer], s)
+		}
+	}
+	if !behind {
+		return false, nil
+	}
+	for peer, shards := range needs {
+		if n.w.isClosed() {
+			return behind, nil
+		}
+		if err := n.repairFrom(peer, shards, local); err != nil {
+			return behind, err
+		}
+	}
+	return behind, nil
+}
+
+// repairFrom diffs this node against one peer and streams every
+// missing suffix among shards.
+func (n *node) repairFrom(peer *node, shards []int, local capstore.Manifest) error {
+	peerM, err := peer.cl.Manifest()
+	if err != nil {
+		return err
+	}
+	diffs, err := capstore.DiffManifests(local, peerM, func(shard, cnt int, ofPeer bool) (capstore.SegmentManifest, error) {
+		if ofPeer {
+			return peer.cl.PrefixManifest(shard, cnt)
+		}
+		return n.cl.PrefixManifest(shard, cnt)
+	})
+	if err != nil {
+		return err
+	}
+	want := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		want[s] = true
+	}
+	for _, d := range diffs {
+		if !want[d.Shard] {
+			continue
+		}
+		switch d.Kind {
+		case capstore.DiffBehind:
+			rc, err := peer.cl.SegmentReader(d.Shard, d.From)
+			if err != nil {
+				return err
+			}
+			cr := &countingReader{r: rc}
+			res, err := n.cl.RecordStream(cr)
+			rc.Close()
+			if err != nil {
+				return err
+			}
+			n.w.m.repairRecords.Add(res.Accepted)
+			n.w.m.repairBytes.Add(cr.n)
+		case capstore.DiffDiverged:
+			n.w.m.diverged.Inc()
+		}
+	}
+	return nil
+}
+
+// peerFor picks the replica that serves shard s's repair stream: the
+// first placed node other than self that is up and clean.
+func (w *Writer) peerFor(s int, self string) *node {
+	for _, name := range w.ring.PlaceSegment(s) {
+		if name == self {
+			continue
+		}
+		p := w.byName[name]
+		p.mu.Lock()
+		ok := p.st == nodeUp && !p.dirty
+		p.mu.Unlock()
+		if ok {
+			return p
+		}
+	}
+	return nil
+}

@@ -229,12 +229,19 @@ func (s *Store) openSegment(i int, name string) ([]*capture.Capture, error) {
 	return captures, nil
 }
 
+// ShardOf returns the segment index domain hashes to in a store of n
+// segments — exported so the replicated ingest proxy partitions
+// batches exactly as every storage node's store will.
+func ShardOf(domain string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	return int(h.Sum32() % uint32(n))
+}
+
 // shardFor hash-partitions by final registrable domain so every
 // capture of a domain lands in one segment.
 func (s *Store) shardFor(domain string) int {
-	h := fnv.New32a()
-	h.Write([]byte(domain))
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return ShardOf(domain, len(s.shards))
 }
 
 // indexRecord publishes a record's secondary-index entries. Callers

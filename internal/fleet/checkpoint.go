@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // The checkpoint log is the coordinator's crash-safe progress record:
@@ -40,9 +41,21 @@ type checkpointLog struct {
 // openCheckpoint opens (or creates) the log at path and repairs a torn
 // tail so the append position starts at the last complete record.
 func openCheckpoint(path string) (*checkpointLog, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: opening checkpoint: %w", err)
+	}
+	if created {
+		// Appends fsync the file, but the name→inode link lives in the
+		// parent directory's own page: without syncing it, a crash right
+		// after creation can lose the whole file, and a restarted
+		// coordinator would silently start from zero.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: syncing checkpoint dir: %w", err)
+		}
 	}
 	valid, err := validPrefix(f)
 	if err != nil {
@@ -138,3 +151,15 @@ func (l *checkpointLog) Append(r ckptRecord) error {
 }
 
 func (l *checkpointLog) Close() error { return l.f.Close() }
+
+// syncDir fsyncs a directory. A newly created file is only durable
+// once both its data pages and its directory entry are on stable
+// storage; file.Sync covers the former, this covers the latter.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Node-loss chaos for the replicated capture store: a Gate sits in
+// front of one storage node's handler and, while "killed", tears every
+// connection the way a SIGKILLed process would (no response, no clean
+// close), so clients observe genuine transport failures. A KillPlan is
+// a seeded, deterministic schedule of single-node outages expressed in
+// commit counts rather than wall time — the test harness applies each
+// event when the writer's committed-record counter crosses the
+// threshold, which makes the fault schedule independent of goroutine
+// interleaving and machine speed.
+
+// Gate wraps one node's HTTP handler with a kill switch.
+type Gate struct {
+	next    http.Handler
+	down    atomic.Bool
+	refused atomic.Int64
+}
+
+// NewGate wraps h; the gate starts alive.
+func NewGate(h http.Handler) *Gate {
+	return &Gate{next: h}
+}
+
+// Kill makes every subsequent request tear its connection.
+func (g *Gate) Kill() { g.down.Store(true) }
+
+// Revive restores service.
+func (g *Gate) Revive() { g.down.Store(false) }
+
+// Down reports the current state.
+func (g *Gate) Down() bool { return g.down.Load() }
+
+// Refused counts requests torn while down.
+func (g *Gate) Refused() int64 { return g.refused.Load() }
+
+// ServeHTTP tears the connection while down (http.ErrAbortHandler is
+// recovered by net/http and closes the TCP stream mid-flight).
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.down.Load() {
+		g.refused.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// NodeEvent is one scheduled single-node outage: kill Node when the
+// writer has committed at least KillAt records, revive it when the
+// writer has committed at least ReviveAt.
+type NodeEvent struct {
+	Node     string
+	KillAt   int64
+	ReviveAt int64
+}
+
+// KillPlan draws a deterministic schedule of `count` single-node
+// outages across `span` committed records. Outages are strictly
+// sequential and disjoint (one node down at a time — the replicated
+// store's declared failure domain): event i lives inside the window
+// [i, i+1)·span/count, killing at a seeded point in the window's first
+// half and reviving at a seeded point in its second half.
+func KillPlan(seed uint64, nodes []string, count int, span int64) []NodeEvent {
+	if count <= 0 || span <= 0 || len(nodes) == 0 {
+		return nil
+	}
+	src := rng.New(seed).Derive("node-chaos")
+	window := span / int64(count)
+	if window < 2 {
+		window = 2
+	}
+	events := make([]NodeEvent, 0, count)
+	for i := 0; i < count; i++ {
+		base := int64(i) * window
+		half := window / 2
+		kill := base + int64(src.Intn(int(half), "kill", rng.Key(i)))
+		revive := base + half + int64(src.Intn(int(half), "revive", rng.Key(i)))
+		node := nodes[src.Intn(len(nodes), "node", rng.Key(i))]
+		events = append(events, NodeEvent{Node: node, KillAt: kill, ReviveAt: revive})
+	}
+	return events
+}
+
+// NodeChaos applies a KillPlan against live gates as the observed
+// commit counter advances. Safe for concurrent Step calls.
+type NodeChaos struct {
+	mu     sync.Mutex
+	plan   []NodeEvent
+	gates  map[string]*Gate
+	idx    int
+	killed bool
+	log    []string
+}
+
+// NewNodeChaos binds a plan to the gates it drives.
+func NewNodeChaos(plan []NodeEvent, gates map[string]*Gate) *NodeChaos {
+	return &NodeChaos{plan: plan, gates: gates}
+}
+
+// Step advances the schedule to the given committed-record count,
+// applying any kill/revive whose threshold has been crossed. Returns
+// true while events remain (killed or future).
+func (c *NodeChaos) Step(committed int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.idx < len(c.plan) {
+		ev := c.plan[c.idx]
+		g := c.gates[ev.Node]
+		if g == nil {
+			c.idx++
+			continue
+		}
+		if !c.killed {
+			if committed < ev.KillAt {
+				break
+			}
+			g.Kill()
+			c.killed = true
+			c.log = append(c.log, "kill "+ev.Node)
+		}
+		if committed < ev.ReviveAt {
+			break
+		}
+		g.Revive()
+		c.killed = false
+		c.log = append(c.log, "revive "+ev.Node)
+		c.idx++
+	}
+	return c.idx < len(c.plan) || c.killed
+}
+
+// Finish revives anything still down (end of run).
+func (c *NodeChaos) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed && c.idx < len(c.plan) {
+		c.gates[c.plan[c.idx].Node].Revive()
+		c.killed = false
+		c.idx++
+		c.log = append(c.log, "revive "+c.plan[c.idx-1].Node)
+	}
+}
+
+// Log returns the applied transitions in order.
+func (c *NodeChaos) Log() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.log...)
+}

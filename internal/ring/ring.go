@@ -1,0 +1,193 @@
+// Package ring is the deterministic consistent-hash ring behind the
+// replicated capture store: it places each logical store segment on R
+// of the N storage nodes so that the loss of any single node leaves
+// every segment with live replicas, and adding a node moves only the
+// keys the new node takes over.
+//
+// Determinism is the whole point. The ring is a pure function of
+// (seed, node names, virtual-node count): every capring proxy, every
+// repair loop, and every test that builds the same ring computes the
+// same placement, with no membership protocol and no persisted state
+// to drift. Virtual-node positions are FNV-64a points keyed by
+// (seed, node, replica index), so a node's points are stable across
+// restarts and independent of join order.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node point count used when Config
+// leaves it zero. 128 points keeps the max/min key-share ratio within
+// a few percent for small clusters without bloating the point table.
+const DefaultVirtualNodes = 128
+
+// Config parameterizes a ring.
+type Config struct {
+	// Seed roots the point hash, so disjoint deployments can use
+	// disjoint rings over the same node names.
+	Seed uint64
+	// Nodes are the member names (addresses, usually). Order does not
+	// affect placement; duplicates are an error.
+	Nodes []string
+	// Replicas is the replication factor R: how many distinct nodes
+	// each key is placed on (default 2, capped at len(Nodes)).
+	Replicas int
+	// VirtualNodes is the per-node point count (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// mix64 is a 64-bit finalizer (the splitmix64 / murmur3 fmix
+// construction) applied on top of FNV-64a. FNV alone has almost no
+// avalanche on short inputs that differ only in a trailing counter —
+// "seg-0".."seg-63" hash into one tight cluster, and so do a node's
+// virtual-node points — which degenerates the ring into one arc per
+// node and places every segment on the same replica set. The mix
+// spreads those clusters uniformly over the 64-bit circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// member node.
+type point struct {
+	pos  uint64
+	node int32
+}
+
+// Ring is an immutable consistent-hash ring. Safe for concurrent use.
+type Ring struct {
+	cfg    Config
+	nodes  []string
+	points []point
+}
+
+// New builds the ring. Nodes are deduplicated as an error, not
+// silently: a typo'd duplicate address would halve the real
+// replication factor.
+func New(cfg Config) (*Ring, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("ring: no nodes")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, errors.New("ring: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = DefaultVirtualNodes
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Nodes) {
+		cfg.Replicas = len(cfg.Nodes)
+	}
+	// Sort a copy of the node list so placement is independent of the
+	// order the caller enumerated members in.
+	nodes := append([]string(nil), cfg.Nodes...)
+	sort.Strings(nodes)
+	r := &Ring{
+		cfg:    cfg,
+		nodes:  nodes,
+		points: make([]point, 0, len(nodes)*cfg.VirtualNodes),
+	}
+	seedStr := strconv.FormatUint(cfg.Seed, 10)
+	for ni, name := range nodes {
+		for v := 0; v < cfg.VirtualNodes; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(seedStr))
+			h.Write([]byte{0x1f})
+			h.Write([]byte(name))
+			h.Write([]byte{0x1f})
+			h.Write([]byte(strconv.Itoa(v)))
+			r.points = append(r.points, point{pos: mix64(h.Sum64()), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Position collisions resolve by node order so the ring stays a
+		// total function even on (astronomically unlikely) hash ties.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the member names in placement order (sorted).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Replicas returns the effective replication factor.
+func (r *Ring) Replicas() int { return r.cfg.Replicas }
+
+// hashKey maps a key onto the ring.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// Place returns the R distinct nodes owning key, in ring order
+// starting at the key's successor point. It is total (every key maps
+// to exactly R nodes) and stable (the same ring always returns the
+// same slice).
+func (r *Ring) Place(key string) []string {
+	out := make([]string, 0, r.cfg.Replicas)
+	taken := make([]bool, len(r.nodes))
+	pos := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	for i := 0; len(out) < r.cfg.Replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.node] {
+			continue
+		}
+		taken[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// PlaceSegment places logical store segment i — the unit of
+// replication for the capture store, whose segment layout is fixed
+// fleet-wide.
+func (r *Ring) PlaceSegment(i int) []string {
+	return r.Place("seg-" + strconv.Itoa(i))
+}
+
+// Owns reports whether node is one of key's R replicas.
+func (r *Ring) Owns(node, key string) bool {
+	for _, n := range r.Place(key) {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentsOf returns the logical segments (of shards total) placed on
+// node, in ascending order.
+func (r *Ring) SegmentsOf(node string, shards int) []int {
+	var out []int
+	for i := 0; i < shards; i++ {
+		if r.Owns(node, "seg-"+strconv.Itoa(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustNew(t testing.TB, cfg Config) *Ring {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return out
+}
+
+func TestPlacementTotalAndDistinct(t *testing.T) {
+	r := mustNew(t, Config{Seed: 7, Nodes: names(5), Replicas: 3})
+	for i := 0; i < 1000; i++ {
+		p := r.Place(fmt.Sprintf("key-%d", i))
+		if len(p) != 3 {
+			t.Fatalf("key-%d placed on %d nodes, want 3", i, len(p))
+		}
+		seen := map[string]bool{}
+		for _, n := range p {
+			if seen[n] {
+				t.Fatalf("key-%d placement repeats node %s: %v", i, n, p)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestPlacementStable(t *testing.T) {
+	a := mustNew(t, Config{Seed: 7, Nodes: names(4), Replicas: 2})
+	b := mustNew(t, Config{Seed: 7, Nodes: []string{"node-03", "node-01", "node-00", "node-02"}, Replicas: 2})
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("seg-%d", i)
+		if got, want := b.Place(k), a.Place(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("placement depends on node enumeration order: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a := mustNew(t, Config{Seed: 1, Nodes: names(6), Replicas: 2})
+	b := mustNew(t, Config{Seed: 2, Nodes: names(6), Replicas: 2})
+	same := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if reflect.DeepEqual(a.Place(k), b.Place(k)) {
+			same++
+		}
+	}
+	if same == keys {
+		t.Fatalf("seed has no effect on placement")
+	}
+}
+
+// TestNodeAddMovesBoundedKeys is the consistent-hashing contract: when
+// a node joins, the only keys whose primary changes are those the new
+// node takes over — roughly 1/N of them — and every changed placement
+// includes the new node.
+func TestNodeAddMovesBoundedKeys(t *testing.T) {
+	const keys = 5000
+	before := mustNew(t, Config{Seed: 11, Nodes: names(8), Replicas: 2})
+	after := mustNew(t, Config{Seed: 11, Nodes: append(names(8), "node-99"), Replicas: 2})
+	movedPrimary := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		pb, pa := before.Place(k), after.Place(k)
+		if pb[0] != pa[0] {
+			movedPrimary++
+			if pa[0] != "node-99" {
+				t.Fatalf("key %s primary moved %s→%s without the new node claiming it", k, pb[0], pa[0])
+			}
+		}
+		// Any placement change must be caused by the new node's
+		// insertion: the after-set minus the new node must be a subset
+		// of the before-set.
+		inBefore := map[string]bool{}
+		for _, n := range pb {
+			inBefore[n] = true
+		}
+		for _, n := range pa {
+			if n != "node-99" && !inBefore[n] {
+				t.Fatalf("key %s gained node %s that neither held it before nor is the new node (%v → %v)", k, n, pb, pa)
+			}
+		}
+	}
+	// Expect ~ keys/9 primaries to move; allow generous slack (3×) for
+	// virtual-node variance.
+	if lim := 3 * keys / 9; movedPrimary > lim {
+		t.Fatalf("node add moved %d/%d primaries, want ≲ keys/N (limit %d)", movedPrimary, keys, lim)
+	}
+	if movedPrimary == 0 {
+		t.Fatalf("node add moved no keys; the new node owns nothing")
+	}
+}
+
+func TestSegmentsOfCoverAll(t *testing.T) {
+	const shards = 64
+	r := mustNew(t, Config{Seed: 3, Nodes: names(3), Replicas: 2})
+	cover := make([]int, shards)
+	for _, n := range r.Nodes() {
+		for _, s := range r.SegmentsOf(n, shards) {
+			cover[s]++
+		}
+	}
+	for i, c := range cover {
+		if c != 2 {
+			t.Fatalf("segment %d has %d replicas, want 2", i, c)
+		}
+	}
+}
+
+// TestSegmentBalance is the regression for the FNV clustering bug:
+// without a finalizing mix, "seg-N" keys and each node's vnode points
+// hash into tight clusters, and every segment lands on the same
+// replica pair — some nodes own nothing. Every node must carry a
+// reasonable share of the segments across several small cluster
+// shapes and seeds.
+func TestSegmentBalance(t *testing.T) {
+	const shards = 64
+	for _, nodes := range []int{3, 4, 5} {
+		for seed := uint64(1); seed <= 24; seed++ {
+			r := mustNew(t, Config{Seed: seed, Nodes: names(nodes), Replicas: 2})
+			counts := map[string]int{}
+			for s := 0; s < shards; s++ {
+				for _, n := range r.PlaceSegment(s) {
+					counts[n]++
+				}
+			}
+			fair := 2 * shards / nodes
+			for _, n := range r.Nodes() {
+				if counts[n] < fair/4 {
+					t.Fatalf("seed %d, %d nodes: %s owns %d/%d segment replicas, fair share %d (counts %v)",
+						seed, nodes, n, counts[n], 2*shards, fair, counts)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := New(Config{Nodes: []string{"a", "a"}}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := New(Config{Nodes: []string{"a", ""}}); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	// Replicas beyond the member count clamp rather than fail: a
+	// 3-replica ring over 2 nodes is a 2-replica ring.
+	r := mustNew(t, Config{Nodes: []string{"a", "b"}, Replicas: 5})
+	if got := r.Replicas(); got != 2 {
+		t.Fatalf("Replicas()=%d, want clamped 2", got)
+	}
+}
+
+// FuzzRingPlacement checks the placement invariants over arbitrary
+// keys and node-set sizes: placement is total (exactly R distinct
+// live nodes), stable (recomputing the same ring agrees), and adding
+// one node only ever moves a key onto the new node.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add("example.com", uint64(1), 3)
+	f.Add("seg-7", uint64(42), 5)
+	f.Add("", uint64(0), 1)
+	f.Add("\x00\x1fkey", uint64(1<<63), 9)
+	f.Fuzz(func(t *testing.T, key string, seed uint64, n int) {
+		if n < 1 || n > 12 {
+			return
+		}
+		cfg := Config{Seed: seed, Nodes: names(n), Replicas: 2, VirtualNodes: 32}
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		pa := a.Place(key)
+		if len(pa) != a.Replicas() {
+			t.Fatalf("placement of %q has %d nodes, want %d", key, len(pa), a.Replicas())
+		}
+		seen := map[string]bool{}
+		for _, node := range pa {
+			if seen[node] {
+				t.Fatalf("placement of %q repeats %s: %v", key, node, pa)
+			}
+			seen[node] = true
+		}
+		if pb := b.Place(key); !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("placement of %q unstable: %v vs %v", key, pa, pb)
+		}
+		grown, err := New(Config{Seed: seed, Nodes: append(names(n), "zz-added"), Replicas: 2, VirtualNodes: 32})
+		if err != nil {
+			t.Fatalf("New(grown): %v", err)
+		}
+		pg := grown.Place(key)
+		for _, node := range pg {
+			if node != "zz-added" && !seen[node] {
+				t.Fatalf("adding a node moved %q onto pre-existing node %s: %v → %v", key, node, pa, pg)
+			}
+		}
+	})
+}
