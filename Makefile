@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke pack-smoke fuzz
 
-check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke
+check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke pack-smoke
 
 vet:
 	$(GO) vet ./...
@@ -109,6 +109,16 @@ replication-smoke:
 	$(GO) build -o bin/fleetd ./cmd/fleetd
 	$(GO) build -o bin/crawl ./cmd/crawl
 	$(GO) run ./cmd/replsmoke -capd bin/capd -capring bin/capring -fleetd bin/fleetd -crawl bin/crawl
+
+# End-to-end pack-engine smoke: boot capd with an aggressive paced
+# compactor, ingest under live compaction, SIGKILL mid-compaction,
+# restart and re-deliver idempotently, force a /compact, then reopen
+# the store (indexed open path on every shard) and assert the full
+# query sweep, logical streams, and manifests are byte-identical to a
+# never-compacted baseline.
+pack-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) run ./cmd/packsmoke -capd bin/capd
 
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer

@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -813,4 +815,108 @@ func BenchmarkReplicatedQueryFanout(b *testing.B) {
 	}
 	b.Run("nodes=1", run(1, 1))
 	b.Run("nodes=3", run(3, 2))
+}
+
+// The open-path fixture stores, keyed "records-variant", are built
+// once per process (they are expensive at the 1M size) and removed by
+// TestMain. Records are deliberately small so the 1M store stays
+// modest on disk; what matters to Open is the record *count*, which
+// drives the unpacked scan, not the record size.
+var (
+	openBenchMu   sync.Mutex
+	openBenchRoot string
+	openBenchDirs = map[string]string{}
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if openBenchRoot != "" {
+		os.RemoveAll(openBenchRoot)
+	}
+	os.Exit(code)
+}
+
+func openBenchCapture(i int) *capture.Capture {
+	d := "s" + strconv.Itoa(i%1000) + ".ex"
+	u := "https://" + d + "/" + strconv.Itoa(i)
+	return &capture.Capture{
+		SeedURL:     u,
+		FinalURL:    u,
+		FinalDomain: d,
+		Day:         simtime.Day(i % 900),
+		Vantage:     capture.USCloud,
+		Status:      200,
+		Requests:    []capture.Request{{Host: "cmp" + strconv.Itoa(i%7) + ".ex", Path: "/c.js", Status: 200}},
+	}
+}
+
+func openBenchDir(b *testing.B, n int, packed bool) string {
+	b.Helper()
+	openBenchMu.Lock()
+	defer openBenchMu.Unlock()
+	key := strconv.Itoa(n) + "-tail"
+	if packed {
+		key = strconv.Itoa(n) + "-packed"
+	}
+	if dir, ok := openBenchDirs[key]; ok {
+		return dir
+	}
+	if openBenchRoot == "" {
+		root, err := os.MkdirTemp("", "benchopen-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		openBenchRoot = root
+	}
+	dir := filepath.Join(openBenchRoot, key)
+	s, err := capstore.Create(dir, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s.Record(openBenchCapture(i))
+	}
+	if packed {
+		if _, err := s.CompactAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	openBenchDirs[key] = dir
+	return dir
+}
+
+// BenchmarkOpenStore prices Store.Open across record counts, packed
+// (pack footer indexes load in O(packs); only the empty tail is
+// scanned) versus unpacked (the whole segment file is scanned and
+// decoded to rebuild indexes). The pack engine's core claim is the
+// shape of this table: the unpacked column grows linearly with record
+// count while the packed column stays flat — O(1)-open stores.
+func BenchmarkOpenStore(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		for _, packed := range []bool{false, true} {
+			variant := "tail"
+			if packed {
+				variant = "packed"
+			}
+			b.Run("n="+strconv.Itoa(n)+"/"+variant, func(b *testing.B) {
+				dir := openBenchDir(b, n, packed)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := capstore.Open(dir)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := s.Len(); got != int64(n) {
+						b.Fatalf("opened %d records, want %d", got, n)
+					}
+					if err := s.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

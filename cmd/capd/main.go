@@ -42,6 +42,14 @@
 // and /healthz gains a telemetry summary (uptime, slowest query
 // buckets).
 //
+// With -compact, a background compactor folds each shard's append-only
+// tail into immutable pack files with persistent footer indexes once
+// the tail crosses -compact-tail-bytes (or outlives -compact-age), so
+// a later open loads indexes instead of re-scanning segments;
+// -compact-pace bounds the compactor's write rate. POST /compact
+// (mounted outside the limiter, like /metrics) forces a full
+// compaction pass on demand regardless of -compact.
+//
 // The server degrades gracefully instead of falling over: at most
 // -max-inflight requests are served concurrently and the rest are shed
 // with 429 + Retry-After, each admitted request is bounded by
@@ -81,6 +89,12 @@ func main() {
 		ingest     = flag.Bool("ingest", false, "accept remote writes on POST /ingest (fleet storage backend)")
 		initShards = flag.Int("init-shards", 0, "create the store with N shards if -store does not exist yet (requires -ingest)")
 		maxPending = flag.Int("ingest-pending", 64, "ordered-ingest reorder batches buffered before shedding with 503")
+
+		compact      = flag.Bool("compact", false, "run the background segment compactor (pack engine)")
+		compactBytes = flag.Int64("compact-tail-bytes", capstore.DefaultMinTailBytes, "compact a shard once its tail reaches this many bytes")
+		compactAge   = flag.Duration("compact-age", 0, "also compact a non-empty tail older than this (0 disables the age trigger)")
+		compactEvery = flag.Duration("compact-interval", time.Second, "how often the compactor checks its triggers")
+		compactPace  = flag.Int64("compact-pace", 0, "bound compaction writes to this many bytes/sec (0 = unpaced)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -111,6 +125,23 @@ func main() {
 	st := store.Stats()
 	if st.TruncatedTails > 0 {
 		fmt.Fprintf(os.Stderr, "capd: repaired %d crash-truncated segment tail(s)\n", st.TruncatedTails)
+	}
+	if st.TornPacks > 0 {
+		fmt.Fprintf(os.Stderr, "capd: quarantined %d torn pack(s)\n", st.TornPacks)
+	}
+	if st.OverlapRepairs > 0 {
+		fmt.Fprintf(os.Stderr, "capd: completed %d interrupted compaction(s)\n", st.OverlapRepairs)
+	}
+	if *compact {
+		comp := store.StartCompactor(capstore.CompactConfig{
+			MinTailBytes:    *compactBytes,
+			MaxTailAge:      *compactAge,
+			Interval:        *compactEvery,
+			PaceBytesPerSec: *compactPace,
+		})
+		defer comp.Close()
+		fmt.Printf("capd: compactor on (tail ≥ %d bytes, age %v, every %v, pace %d B/s)\n",
+			*compactBytes, *compactAge, *compactEvery, *compactPace)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -146,7 +177,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	var handler http.Handler
+	// Admin and debug surfaces mount on an outer mux, beside /healthz
+	// and outside the limiter: scrapes, profiles, and compaction
+	// triggers must work exactly when the query path is saturated.
+	outer := http.NewServeMux()
 	if *metrics {
 		tracer := obs.NewTracer(obs.TracerConfig{})
 		tracer.RegisterMetrics(reg)
@@ -154,33 +188,38 @@ func main() {
 		store.SetTracer(tracer)
 		serveCfg.Registry = reg
 		serveCfg.Metrics = store.Metrics()
-		// The debug surface mounts on the outer mux, beside /healthz
-		// and outside the limiter: scrapes and profiles must work
-		// exactly when the query path is saturated.
-		outer := http.NewServeMux()
 		debug := obs.Handler(reg, tracer)
 		outer.Handle("/metrics", debug)
 		outer.Handle("/metrics.json", debug)
 		outer.Handle("/debug/", debug)
-		if ingester != nil {
-			// Ingest mounts outside the limiter and its 1 MiB body cap:
-			// the query path's shedding must not starve the fleet's
-			// storage backend, and batches are legitimately large. The
-			// ingester enforces its own body bound and reorder-buffer
-			// shedding instead.
-			outer.Handle("/ingest", ingester)
-		}
-		outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
-		handler = outer
 		fmt.Printf("capd: telemetry on /metrics, /metrics.json, /debug/trace, /debug/pprof/\n")
-	} else if ingester != nil {
-		outer := http.NewServeMux()
-		outer.Handle("/ingest", ingester)
-		outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
-		handler = outer
-	} else {
-		handler = capstore.NewResilientHandler(store, serveCfg)
 	}
+	if ingester != nil {
+		// Ingest mounts outside the limiter and its 1 MiB body cap:
+		// the query path's shedding must not starve the fleet's
+		// storage backend, and batches are legitimately large. The
+		// ingester enforces its own body bound and reorder-buffer
+		// shedding instead.
+		outer.Handle("/ingest", ingester)
+	}
+	outer.HandleFunc("/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		packed, err := store.CompactAll()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		cst := store.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"packed_records\":%d,\"packs\":%d,\"compactions\":%d}\n",
+			packed, cst.Packs, cst.Compactions)
+	})
+	outer.Handle("/", capstore.NewResilientHandler(store, serveCfg))
+	var handler http.Handler = outer
 	if ingester != nil {
 		fmt.Printf("capd: remote ingest on POST /ingest (≤%d reorder batches buffered)\n", *maxPending)
 	}

@@ -8,7 +8,12 @@
 //	capq -file captures.jsonl | -store capdir | -server http://host:8650
 //	     [-domain D] [-from YYYY-MM-DD] [-to YYYY-MM-DD]
 //	     [-vantage us-cloud|eu-cloud|eu-university] [-host H] [-failed]
-//	     [-count] [-cmp] [-n N]
+//	     [-count] [-cmp] [-n N] [-stats]
+//
+// -stats skips the query entirely and prints the store's shape: totals
+// plus one line per shard with its pack/tail record and byte split and
+// the open path the shard took ("indexed" = pack footer indexes were
+// loaded, "scan" = full segment scan).
 //
 // Examples:
 //
@@ -44,6 +49,7 @@ func main() {
 		countOnly = flag.Bool("count", false, "print only the match count")
 		withCMP   = flag.Bool("cmp", false, "annotate each capture with the detected CMP")
 		limit     = flag.Int("n", 50, "maximum captures to print (0 = unlimited)")
+		stats     = flag.Bool("stats", false, "print store shape (per-shard pack/tail split and open path) instead of querying")
 	)
 	flag.Parse()
 	sources := 0
@@ -56,6 +62,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "capq: exactly one of -file, -store, -server is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *stats {
+		var st capstore.Stats
+		var err error
+		switch {
+		case *server != "":
+			st, err = capstore.NewClient(*server).Stats()
+		case *storeDir != "":
+			var s *capstore.Store
+			if s, err = capstore.Open(*storeDir); err == nil {
+				st = s.Stats()
+				s.Close()
+			}
+		default:
+			err = fmt.Errorf("-stats needs -store or -server (a flat -file has no shards)")
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capq:", err)
+			os.Exit(1)
+		}
+		printStats(st)
+		return
 	}
 
 	q := capturedb.Query{
@@ -121,6 +150,28 @@ func main() {
 		fmt.Println(n)
 	} else if *limit > 0 && n >= *limit {
 		fmt.Printf("… (stopped after %d matches; raise -n)\n", *limit)
+	}
+}
+
+// printStats renders the store-shape snapshot: totals, then one line
+// per shard with its pack/tail split and which open path it took.
+func printStats(st capstore.Stats) {
+	// Sum the pack split from per-shard state, not the lifetime
+	// counters: a freshly opened -store has served no compactions this
+	// process, but its packs are on disk.
+	var packedRecs, packedBytes int64
+	for _, sh := range st.Shards {
+		packedRecs += sh.PackedRecords
+		packedBytes += sh.PackedBytes
+	}
+	fmt.Printf("records %d  shards %d  packs %d  packed %d records / %d bytes  (compactions this process: %d)\n",
+		st.Records, len(st.Shards), st.Packs, packedRecs, packedBytes, st.Compactions)
+	fmt.Printf("indexes: %d domains, %d hosts, %d host postings; repairs: %d torn tails, %d torn packs, %d overlaps\n",
+		st.IndexedDomains, st.IndexedHosts, st.HostPostings, st.TruncatedTails, st.TornPacks, st.OverlapRepairs)
+	for _, sh := range st.Shards {
+		fmt.Printf("%s  open=%-7s packs=%-3d packed=%d/%dB  tail=%d/%dB  records=%d  days=[%d,%d]\n",
+			sh.Segment, sh.OpenPath, sh.Packs, sh.PackedRecords, sh.PackedBytes,
+			sh.TailRecords, sh.TailBytes, sh.Records, sh.MinDay, sh.MaxDay)
 	}
 }
 

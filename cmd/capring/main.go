@@ -39,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -47,9 +48,11 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/capstore"
 	"repro/internal/capstore/replica"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -155,6 +158,45 @@ func main() {
 		outer.Handle("/metrics.json", debug)
 		fmt.Printf("capring: telemetry on /metrics, /metrics.json\n")
 	}
+	// POST /compact fans the pack-engine admin trigger out to every
+	// node — one call compacts the whole ring. Mounted outside the
+	// limiter like the other admin surfaces; per-node failures are
+	// reported, not fatal (a down node compacts on its own at restart
+	// or via its background compactor).
+	outer.HandleFunc("/compact", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			rw.Header().Set("Allow", http.MethodPost)
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		type nodeResult struct {
+			Node          string `json:"node"`
+			PackedRecords int64  `json:"packed_records"`
+			Packs         int    `json:"packs"`
+			Error         string `json:"error,omitempty"`
+		}
+		results := make([]nodeResult, len(nodes))
+		var wg sync.WaitGroup
+		for i, n := range nodes {
+			wg.Add(1)
+			go func(i int, n replica.NodeConfig) {
+				defer wg.Done()
+				results[i].Node = n.Name
+				cl := capstore.NewClient(n.URL)
+				cl.HTTP = &http.Client{Timeout: *nodeTO}
+				res, err := cl.Compact()
+				if err != nil {
+					results[i].Error = err.Error()
+					return
+				}
+				results[i].PackedRecords = res.PackedRecords
+				results[i].Packs = res.Packs
+			}(i, n)
+		}
+		wg.Wait()
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{"nodes": results}) //nolint:errcheck
+	})
 	outer.Handle("/", limiter.Wrap(replica.Handler(w)))
 	srv := &http.Server{
 		Handler: outer,

@@ -1,0 +1,392 @@
+// Command packsmoke exercises the pack engine end to end with a real
+// capd process: remote ingest under a deliberately aggressive (and
+// write-paced, so passes are slow and a kill lands mid-pass)
+// background compactor, a SIGKILL while the store is compacting, an
+// idempotent full re-delivery after restart, a forced POST /compact,
+// and a final comparison of the compacted store against a local
+// never-compacted baseline. The full query sweep, a set of filtered
+// queries, every shard's logical stream, and the manifests must all be
+// byte-identical, the reopened store must take the indexed open path
+// on every shard, and /metrics must carry the pack_* families. Any
+// failure exits non-zero.
+//
+// Usage:
+//
+//	packsmoke [-capd bin/capd]
+//
+// `make pack-smoke` builds capd and runs this; it is part of
+// `make check`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/capturedb"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/simtime"
+)
+
+const (
+	shards = 4
+	total  = 600
+	batch  = 20
+)
+
+// mkCapture fabricates a distinct capture; i keys the idempotency
+// identity, the domain (and so the shard), the day, and the failure
+// flag, so dedup, placement, pruning, and failed-row handling are all
+// exercised.
+func mkCapture(i int) *capture.Capture {
+	c := &capture.Capture{
+		SeedURL:     fmt.Sprintf("https://site%d.example/p/%d", i%37, i),
+		FinalURL:    fmt.Sprintf("https://site%d.example/p/%d", i%37, i),
+		FinalDomain: fmt.Sprintf("site%d.example", i%37),
+		Day:         simtime.Day(i % 300),
+		Vantage:     capture.USCloud,
+		Status:      200,
+		Requests: []capture.Request{
+			{Host: fmt.Sprintf("cmp%d.example", i%3), Path: "/c.js", Status: 200, BytesRaw: 90 + i, BytesCompressed: 80 + i},
+			{Host: fmt.Sprintf("assets%d.example", i%5), Path: "/a.js", Status: 200, BytesRaw: 40 + i, BytesCompressed: 30 + i},
+		},
+	}
+	if i%11 == 0 {
+		c.Failed = true
+		c.Error = "timeout"
+		c.Status = 0
+		c.Requests = nil
+	}
+	return c
+}
+
+// sweepQueries cover every access path: full scan, domain index, host
+// index, day-window pruning, and the failed filter.
+func sweepQueries() []capturedb.Query {
+	return []capturedb.Query{
+		{IncludeFailed: true},
+		{},
+		{Domain: "site3.example", IncludeFailed: true},
+		{Domain: "site11.example"},
+		{RequestHost: "cmp1.example"},
+		{RequestHost: "assets2.example", From: 40, To: 220, HasTo: true},
+		{From: 100, To: 200, HasTo: true, IncludeFailed: true},
+		{From: 299, To: 299, HasTo: true},
+	}
+}
+
+func main() {
+	capdBin := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "packsmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	caps := make([]*capture.Capture, total)
+	for i := range caps {
+		caps[i] = mkCapture(i)
+	}
+
+	// Never-compacted baseline: same records, same order, local store.
+	baseDir := filepath.Join(dir, "baseline")
+	baseline, err := capstore.Create(baseDir, shards)
+	check(err)
+	for _, c := range caps {
+		baseline.Record(c)
+	}
+
+	// capd under test: tiny compaction threshold so packs form while
+	// batches are still arriving, and a slow write pace so a pass is
+	// almost certainly in flight when the SIGKILL lands.
+	nodeDir := filepath.Join(dir, "store")
+	compactFlags := []string{"-compact", "-compact-tail-bytes", "512",
+		"-compact-interval", "2ms", "-compact-pace", "65536"}
+	p := boot(*capdBin, append([]string{"-store", nodeDir, "-init-shards", strconv.Itoa(shards),
+		"-ingest", "-metrics", "-addr", "127.0.0.1:0"}, compactFlags...)...)
+	defer p.kill()
+	url := "http://" + p.addr()
+	cl := client(url)
+
+	// Phase 1: stream the first half and require real compactions.
+	half := total / 2
+	push(cl, caps[:half])
+	deadline := time.Now().Add(20 * time.Second)
+	for stats(url).Compactions == 0 {
+		if time.Now().After(deadline) {
+			fatalf("no compaction within 20s of %d records (stats %+v)", half, stats(url))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: keep streaming, then SIGKILL with the compactor hot. The
+	// in-flight batch may die with the process — re-delivery heals it.
+	for at := half; at < total; at += batch {
+		if at >= total*3/4 {
+			check(p.cmd.Process.Kill())
+			fmt.Printf("packsmoke: SIGKILLed capd mid-compaction at %d/%d records\n", at, total)
+			break
+		}
+		push(cl, caps[at:at+batch])
+	}
+	p.wait(10 * time.Second) //nolint:errcheck
+
+	// Restart on the same store: a half-written pack is quarantined, an
+	// interrupted tail rewrite is completed, a torn tail is truncated —
+	// whatever the kill left, open repairs it to a canonical prefix.
+	p2 := boot(*capdBin, append([]string{"-store", nodeDir,
+		"-ingest", "-metrics", "-addr", "127.0.0.1:0"}, compactFlags...)...)
+	defer p2.kill()
+	url = "http://" + p2.addr()
+	cl = client(url)
+
+	// Re-deliver everything from the start: per-record idempotency
+	// drops what survived and appends exactly what the kill ate, in
+	// canonical order.
+	push(cl, caps)
+
+	// Forced pass via the admin trigger: everything left in the tails
+	// folds into packs.
+	var compactRes capstore.CompactResult
+	compactRes, err = cl.Compact()
+	check(err)
+	if compactRes.Packs == 0 {
+		fatalf("/compact left no packs: %+v", compactRes)
+	}
+
+	// The telemetry surface must expose the pack_* families as valid
+	// exposition, with compactions actually booked.
+	text := get(url + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{"pack_compactions_total", "pack_packed_records_total",
+		"pack_packed_bytes_total", "pack_packs", "pack_open_indexed_shards"} {
+		if !strings.Contains(text, want) {
+			fatalf("capd /metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	check(p2.cmd.Process.Signal(syscall.SIGTERM))
+	if err := p2.wait(10 * time.Second); err != nil {
+		fatalf("capd shutdown: %v", err)
+	}
+
+	// Headline: reopen the compacted store locally and compare it
+	// against the never-compacted baseline.
+	st, err := capstore.Open(nodeDir)
+	check(err)
+	defer st.Close()
+	nodeStats := st.Stats()
+	if nodeStats.Packs == 0 {
+		fatalf("reopened store has no packs")
+	}
+	for _, sh := range nodeStats.Shards {
+		if sh.OpenPath != "indexed" {
+			fatalf("shard %s took the %q open path; want indexed (stats %+v)", sh.Segment, sh.OpenPath, sh)
+		}
+	}
+	if nodeStats.Records != int64(total) {
+		fatalf("reopened store has %d records, want %d", nodeStats.Records, total)
+	}
+
+	for qi, q := range sweepQueries() {
+		want, got := sweep(baseline.Query, q), sweep(st.Query, q)
+		if !bytes.Equal(want, got) {
+			fatalf("query %d (%+v): compacted store returned %d bytes, baseline %d", qi, q, len(got), len(want))
+		}
+	}
+	bm, err := baseline.Manifest()
+	check(err)
+	nm, err := st.Manifest()
+	check(err)
+	for s := range bm.Segments {
+		if bm.Segments[s] != nm.Segments[s] {
+			fatalf("manifest mismatch on segment %d: %+v vs %+v", s, nm.Segments[s], bm.Segments[s])
+		}
+		var bb, nb bytes.Buffer
+		_, _, err = baseline.StreamShard(s, 0, &bb)
+		check(err)
+		_, _, err = st.StreamShard(s, 0, &nb)
+		check(err)
+		if !bytes.Equal(bb.Bytes(), nb.Bytes()) {
+			fatalf("segment %d logical stream differs: %d bytes vs %d", s, nb.Len(), bb.Len())
+		}
+	}
+	check(baseline.Close())
+	fmt.Printf("packsmoke: ok — %d records, %d packs across %d shards, survived SIGKILL mid-compaction byte-identical to the baseline\n",
+		total, nodeStats.Packs, shards)
+}
+
+func client(url string) *capstore.Client {
+	cl := capstore.NewClient(url)
+	cl.Retry = resilience.RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 500 * time.Millisecond, Multiplier: 2}
+	return cl
+}
+
+// push streams caps in order as fixed-size unordered batches.
+func push(cl *capstore.Client, caps []*capture.Capture) {
+	for at := 0; at < len(caps); at += batch {
+		end := at + batch
+		if end > len(caps) {
+			end = len(caps)
+		}
+		if _, err := cl.RecordBatch(caps[at:end]); err != nil {
+			fatalf("ingest batch at %d: %v", at, err)
+		}
+	}
+}
+
+func stats(url string) capstore.Stats {
+	var st capstore.Stats
+	check(json.Unmarshal([]byte(get(url+"/stats")), &st))
+	return st
+}
+
+// sweep renders a query's matches as wire-format bytes for comparison.
+func sweep(query func(capturedb.Query, func(*capture.Capture) bool) error, q capturedb.Query) []byte {
+	var buf bytes.Buffer
+	check(query(q, func(c *capture.Capture) bool {
+		line, err := capturedb.Encode(c)
+		check(err)
+		buf.Write(line)
+		return true
+	}))
+	return buf.Bytes()
+}
+
+// proc is a child process whose stdout is captured (and echoed) so the
+// listen-address banner can be parsed.
+type proc struct {
+	cmd    *exec.Cmd
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	doneCh chan error
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// procs tracks every child so fatalf can reap them.
+var procs []*proc
+
+func start(bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	check(err)
+	check(cmd.Start())
+	p := &proc{cmd: cmd, doneCh: make(chan error, 1)}
+	procs = append(procs, p)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := out.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.buf.Write(buf[:n])
+				p.mu.Unlock()
+				os.Stdout.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				break
+			}
+		}
+		p.doneCh <- cmd.Wait()
+	}()
+	return p
+}
+
+// boot is start plus waiting for the "… on 127.0.0.1:PORT" banner.
+func boot(bin string, args ...string) *proc {
+	p := start(bin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(p.output()); m != nil {
+			return p
+		}
+		if time.Now().After(deadline) || p.exited() {
+			p.kill()
+			fatalf("%s did not report a listen address:\n%s", bin, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *proc) addr() string {
+	return addrRe.FindStringSubmatch(p.output())[1]
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func (p *proc) exited() bool {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(d time.Duration) error {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return err
+	case <-time.After(d):
+		p.kill()
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil && !p.exited() {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.doneCh
+		p.doneCh <- nil
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "packsmoke: "+format+"\n", args...)
+	for _, p := range procs {
+		p.kill()
+	}
+	os.Exit(1)
+}

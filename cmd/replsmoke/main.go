@@ -3,9 +3,12 @@
 // proxy fronting them, a fleetd coordinator ingesting through the
 // ring, and two `crawl -fleet` workers. One storage node is SIGKILLed
 // mid-lease — hard enough that its store may be left with a torn
-// segment tail — then restarted, and the run must still converge: the
-// ring repairs the returned node and every node's owned segments end
-// byte-identical to a single-process baseline crawl. Telemetry on the
+// segment tail or a half-written pack — then restarted, and the run
+// must still converge: the ring repairs the returned node and every
+// node's owned segments end byte-identical to a single-process
+// baseline crawl. The nodes run the background compactor with tiny
+// thresholds, so the identity is checked over each shard's logical
+// stream (packs + tail), not raw segment files. Telemetry on the
 // ring must be valid exposition carrying the repl_* families, with at
 // least one repair pass actually booked. Any failure exits non-zero.
 //
@@ -76,7 +79,10 @@ func main() {
 	fmt.Printf("replsmoke: baseline: %d captured (%d failed-recorded), %d dead-lettered\n",
 		baseStats.Succeeded+baseStats.FailedRecorded, baseStats.FailedRecorded, baseStats.DeadLettered)
 
-	// Three storage nodes: plain capds with remote ingest.
+	// Three storage nodes: capds with remote ingest and an aggressive
+	// background compactor, so segments fold into packs while the fleet
+	// is actively writing — the byte-identity check at the end must
+	// hold through live compaction.
 	var (
 		names    []string
 		nodeDirs []string
@@ -88,7 +94,8 @@ func main() {
 		name := fmt.Sprintf("node-%d", i)
 		ndir := filepath.Join(dir, name)
 		p := boot(*capdBin, "-store", ndir, "-init-shards", strconv.Itoa(shards),
-			"-ingest", "-addr", "127.0.0.1:0")
+			"-ingest", "-addr", "127.0.0.1:0",
+			"-compact", "-compact-tail-bytes", "4096", "-compact-interval", "25ms")
 		defer p.kill()
 		url := "http://" + p.addr()
 		names = append(names, name)
@@ -181,7 +188,8 @@ func main() {
 	// SIGKILL is repaired on open (still a canonical prefix), and the
 	// ring's anti-entropy repair re-streams whatever is missing.
 	capds[victim] = boot(*capdBin, "-store", nodeDirs[victim], "-ingest",
-		"-addr", strings.TrimPrefix(nodeURLs[victim], "http://"))
+		"-addr", strings.TrimPrefix(nodeURLs[victim], "http://"),
+		"-compact", "-compact-tail-bytes", "4096", "-compact-interval", "25ms")
 	defer capds[victim].kill()
 
 	// The drain itself proves availability: the fleet kept ingesting
@@ -267,7 +275,10 @@ func main() {
 
 	// Graceful shutdown flushes every store; then the headline: each
 	// node's owned segments are byte-identical to the baseline, and
-	// unplaced segments are empty.
+	// unplaced segments are empty. The nodes compacted live, so the
+	// comparison is over each shard's *logical* stream (packs + tail
+	// re-spliced by StreamShard) — which must be byte-for-byte the
+	// never-compacted baseline's segment file.
 	check(capring.cmd.Process.Signal(syscall.SIGTERM))
 	if err := capring.wait(10 * time.Second); err != nil {
 		fatalf("capring shutdown: %v", err)
@@ -278,23 +289,33 @@ func main() {
 			fatalf("capd %s shutdown: %v", names[i], err)
 		}
 	}
-	var totalOwned int
+	var totalOwned, totalPacks int
 	for i, name := range names {
+		st, err := capstore.Open(nodeDirs[i])
+		check(err)
+		nodeStats := st.Stats()
+		totalPacks += nodeStats.Packs
 		for s := 0; s < shards; s++ {
-			got, err := os.ReadFile(filepath.Join(nodeDirs[i], fmt.Sprintf("seg-%03d.jsonl", s)))
+			var buf bytes.Buffer
+			_, _, err := st.StreamShard(s, 0, &buf)
 			check(err)
+			got := buf.Bytes()
 			if slices.Contains(info.Placement[s], name) {
 				if !bytes.Equal(got, baseSegs[s]) {
-					fatalf("%s segment %d differs from baseline: %d bytes vs %d", name, s, len(got), len(baseSegs[s]))
+					fatalf("%s segment %d logical stream differs from baseline: %d bytes vs %d", name, s, len(got), len(baseSegs[s]))
 				}
 				totalOwned += len(got)
 			} else if len(got) != 0 {
 				fatalf("%s segment %d has %d bytes but is not placed there", name, s, len(got))
 			}
 		}
+		check(st.Close())
 	}
-	fmt.Printf("replsmoke: ok — %d shares, %d captured, %s repaired after SIGKILL, %d owned segment bytes byte-identical across the ring\n",
-		sub, caps, names[victim], totalOwned)
+	if totalPacks == 0 {
+		fatalf("no node store holds packs: live compaction never ran (lower -compact-tail-bytes)")
+	}
+	fmt.Printf("replsmoke: ok — %d shares, %d captured, %s repaired after SIGKILL, %d owned logical bytes identical across the ring (%d packs)\n",
+		sub, caps, names[victim], totalOwned, totalPacks)
 }
 
 // buildBaseline runs the single-process reference pipeline: Workers=1

@@ -397,6 +397,33 @@ func (cl *Client) QueryShard(shard int, q capturedb.Query, limit, offset int, fn
 	}
 }
 
+// CompactResult is capd's /compact response: what one forced
+// compaction pass packed and the store's resulting pack shape.
+type CompactResult struct {
+	PackedRecords int64 `json:"packed_records"`
+	Packs         int   `json:"packs"`
+	Compactions   int64 `json:"compactions"`
+}
+
+// Compact asks the server to fold every shard's tail into packs now —
+// the admin trigger behind capring's fleet-wide compaction fan-out.
+func (cl *Client) Compact() (CompactResult, error) {
+	var res CompactResult
+	resp, err := cl.httpClient().Post(cl.BaseURL+"/compact", "", nil)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return res, fmt.Errorf("capstore: /compact: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("capstore: /compact: %w", err)
+	}
+	return res, nil
+}
+
 // Stats fetches the server's store snapshot.
 func (cl *Client) Stats() (Stats, error) {
 	var st Stats

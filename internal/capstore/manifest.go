@@ -2,12 +2,11 @@ package capstore
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
 
+	"repro/internal/capstore/pack"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
-	"repro/internal/simtime"
 )
 
 // The manifest API is the replicated store's diff surface: a replica
@@ -17,13 +16,23 @@ import (
 // segment is always a byte prefix of a caught-up one — so repair never
 // needs record-level diffs: verify the prefix hash, then re-stream the
 // missing suffix (StreamShard) into the lagging node's /ingest.
+//
+// All of it is defined over the *logical record stream* — per shard,
+// concat(pack₀.data, pack₁.data, …, tail) — which is byte-identical to
+// the never-compacted segment file. Manifests, prefix hashes, and
+// repair streams are therefore invariant under compaction: a packed
+// store and an unpacked store holding the same records produce the
+// same hashes and diff as Equal. Hashing never re-reads packed bytes:
+// each pack's footer carries per-record running FNV-64a states, so a
+// prefix inside a pack is answered from the index and only tail bytes
+// are ever hashed on demand.
 
-// SegmentManifest summarizes one segment's content.
+// SegmentManifest summarizes one segment's logical content.
 type SegmentManifest struct {
 	Segment string `json:"segment"`
 	Records int    `json:"records"`
 	Bytes   int64  `json:"bytes"`
-	// Hash is the FNV-64a of the segment's bytes, hex-encoded.
+	// Hash is the FNV-64a of the logical stream's bytes, hex-encoded.
 	Hash string `json:"hash"`
 }
 
@@ -32,63 +41,93 @@ type Manifest struct {
 	Segments []SegmentManifest `json:"segments"`
 }
 
-// segmentRange snapshots one shard's consistent (count, end) pair with
-// buffered bytes flushed, so ReadAt sees everything counted.
-func (s *Store) segmentRange(i int) (records int, end int64, err error) {
+// streamView freezes one shard's logical stream for manifest and
+// streaming reads: the pack chain plus a consistent (tailRecords,
+// tailEnd) pair with buffered bytes flushed, so ReadAt sees everything
+// counted.
+type streamView struct {
+	packs         []*pack.Pack
+	packedRecords int64
+	packedBytes   int64
+	packedHash    uint64
+	tailRecs      []recMeta
+	tailEnd       int64
+	f             io.ReaderAt
+}
+
+func (s *Store) streamView(i int) (streamView, error) {
 	sh := s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if err := sh.bw.Flush(); err != nil {
-		return 0, 0, err
+		return streamView{}, err
 	}
-	return len(sh.recs), sh.end, nil
+	v := streamView{
+		packs:         sh.packs[:len(sh.packs):len(sh.packs)],
+		packedRecords: sh.packedRecords,
+		packedBytes:   sh.packedBytes,
+		packedHash:    sh.packedHash,
+		tailRecs:      append([]recMeta(nil), sh.recs...),
+		tailEnd:       sh.end,
+		f:             sh.f,
+	}
+	return v, nil
 }
 
-// hashRange hashes segment i's bytes [0, end).
-func (s *Store) hashRange(i int, end int64) (string, error) {
-	h := fnv.New64a()
-	if _, err := io.Copy(h, io.NewSectionReader(s.shards[i].f, 0, end)); err != nil {
-		return "", fmt.Errorf("capstore: hashing %s: %w", segName(i), err)
+func (v *streamView) records() int { return int(v.packedRecords) + len(v.tailRecs) }
+func (v *streamView) bytes() int64 { return v.packedBytes + v.tailEnd }
+
+// prefixState returns the logical byte length and running FNV-64a
+// state of the stream's first n records. Prefixes ending inside or at
+// a pack boundary are answered from the pack index without reading
+// data; only when the prefix extends into the tail are tail bytes
+// hashed, resuming from the chain hash at the pack boundary.
+func (v *streamView) prefixState(n int) (int64, uint64, error) {
+	if n == 0 {
+		return 0, pack.HashOffset, nil
 	}
-	return fmt.Sprintf("%016x", h.Sum64()), nil
+	if int64(n) <= v.packedRecords {
+		var base int64
+		for _, p := range v.packs {
+			if int64(n) <= base+p.Summary.Records {
+				h, b, err := p.PrefixHash(int64(n) - base)
+				if err != nil {
+					return 0, 0, err
+				}
+				return p.Summary.BaseBytes + b, h, nil
+			}
+			base += p.Summary.Records
+		}
+		return 0, 0, fmt.Errorf("capstore: pack chain shorter than %d records", n)
+	}
+	m := n - int(v.packedRecords)
+	meta := v.tailRecs[m-1]
+	tailEnd := meta.off + int64(meta.length)
+	h, err := pack.HashReader(v.packedHash, io.NewSectionReader(v.f, 0, tailEnd))
+	if err != nil {
+		return 0, 0, fmt.Errorf("capstore: hashing tail prefix: %w", err)
+	}
+	return v.packedBytes + tailEnd, h, nil
 }
 
-// Manifest summarizes every segment. Concurrent ingest is safe: each
-// segment is snapshotted at a consistent (records, bytes) point and
-// hashed over exactly those bytes.
+// Manifest summarizes every segment. Concurrent ingest and compaction
+// are safe: each shard's stream is snapshotted at a consistent point
+// and hashed over exactly those bytes, resuming from the pack chain's
+// stored boundary hash so packed bytes are never re-read.
 func (s *Store) Manifest() (Manifest, error) {
 	m := Manifest{Segments: make([]SegmentManifest, len(s.shards))}
 	for i := range s.shards {
-		n, end, err := s.segmentRange(i)
+		v, err := s.streamView(i)
 		if err != nil {
 			return Manifest{}, err
 		}
-		hash, err := s.hashRange(i, end)
+		bytes, hash, err := v.prefixState(v.records())
 		if err != nil {
 			return Manifest{}, err
 		}
-		m.Segments[i] = SegmentManifest{Segment: segName(i), Records: n, Bytes: end, Hash: hash}
+		m.Segments[i] = SegmentManifest{Segment: segName(i), Records: v.records(), Bytes: bytes, Hash: pack.HashHex(hash)}
 	}
 	return m, nil
-}
-
-// prefixEnd returns the byte offset just past record n-1 of shard i
-// (0 for n == 0), holding the shard lock only for the metadata read.
-func (s *Store) prefixEnd(i, n int) (int64, error) {
-	sh := s.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if n > len(sh.recs) {
-		return 0, fmt.Errorf("capstore: %s has %d records, prefix of %d requested", segName(i), len(sh.recs), n)
-	}
-	if err := sh.bw.Flush(); err != nil {
-		return 0, err
-	}
-	if n == 0 {
-		return 0, nil
-	}
-	meta := sh.recs[n-1]
-	return meta.off + int64(meta.length), nil
 }
 
 // PrefixManifest summarizes the first n records of shard i — the probe
@@ -98,86 +137,127 @@ func (s *Store) PrefixManifest(i, n int) (SegmentManifest, error) {
 	if i < 0 || i >= len(s.shards) {
 		return SegmentManifest{}, fmt.Errorf("capstore: no shard %d", i)
 	}
-	end, err := s.prefixEnd(i, n)
+	v, err := s.streamView(i)
 	if err != nil {
 		return SegmentManifest{}, err
 	}
-	hash, err := s.hashRange(i, end)
+	if n > v.records() {
+		return SegmentManifest{}, fmt.Errorf("capstore: %s has %d records, prefix of %d requested", segName(i), v.records(), n)
+	}
+	bytes, hash, err := v.prefixState(n)
 	if err != nil {
 		return SegmentManifest{}, err
 	}
-	return SegmentManifest{Segment: segName(i), Records: n, Bytes: end, Hash: hash}, nil
+	return SegmentManifest{Segment: segName(i), Records: n, Bytes: bytes, Hash: pack.HashHex(hash)}, nil
 }
 
 // StreamShard writes the raw wire-format bytes of shard i's records
-// [from, current) to w — the repair re-stream. The byte range is
-// snapshotted before streaming, so concurrent appends never tear the
+// [from, current) to w — the repair re-stream, spliced transparently
+// across the pack chain and the tail. The stream is snapshotted before
+// writing, so concurrent appends and compactions never tear the
 // output; the bytes are exactly what a peer's /ingest accepts.
 func (s *Store) StreamShard(i, from int, w io.Writer) (records int, bytes int64, err error) {
 	if i < 0 || i >= len(s.shards) {
 		return 0, 0, fmt.Errorf("capstore: no shard %d", i)
 	}
-	count, end, err := s.segmentRange(i)
+	v, err := s.streamView(i)
 	if err != nil {
 		return 0, 0, err
 	}
+	count := v.records()
 	if from < 0 || from > count {
 		return 0, 0, fmt.Errorf("capstore: %s has %d records, stream from %d requested", segName(i), count, from)
 	}
-	start, err := s.prefixEnd(i, from)
+	start, err := v.byteOfRecord(from)
 	if err != nil {
 		return 0, 0, err
 	}
-	n, err := io.Copy(w, io.NewSectionReader(s.shards[i].f, start, end-start))
-	if err != nil {
-		return 0, n, fmt.Errorf("capstore: streaming %s: %w", segName(i), err)
+	end := v.bytes()
+	var n int64
+	var base int64
+	for _, p := range v.packs {
+		lo, hi := base, base+p.Summary.DataBytes
+		base = hi
+		if start >= hi || lo >= end {
+			continue
+		}
+		pFrom, pTo := max64(start, lo)-lo, min64(end, hi)-lo
+		c, cerr := io.Copy(w, p.DataReader(pFrom, pTo))
+		n += c
+		if cerr != nil {
+			return 0, n, fmt.Errorf("capstore: streaming %s: %w", segName(i), cerr)
+		}
+	}
+	if end > v.packedBytes {
+		tFrom := max64(start, v.packedBytes) - v.packedBytes
+		c, cerr := io.Copy(w, io.NewSectionReader(v.f, tFrom, v.tailEnd-tFrom))
+		n += c
+		if cerr != nil {
+			return 0, n, fmt.Errorf("capstore: streaming %s: %w", segName(i), cerr)
+		}
 	}
 	return count - from, n, nil
+}
+
+// byteOfRecord returns the logical byte offset of record n's first
+// byte (== the stream's total length for n == records()).
+func (v *streamView) byteOfRecord(n int) (int64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if int64(n) <= v.packedRecords {
+		b, _, err := v.prefixState(n)
+		return b, err
+	}
+	m := n - int(v.packedRecords)
+	if m == len(v.tailRecs) {
+		return v.packedBytes + v.tailEnd, nil
+	}
+	return v.packedBytes + v.tailRecs[m].off, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// segmentRange snapshots one shard's consistent logical (count, bytes)
+// pair with buffered bytes flushed — the bounds handleSegment
+// validates against before committing to a response.
+func (s *Store) segmentRange(i int) (records int, bytes int64, err error) {
+	v, err := s.streamView(i)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.records(), v.bytes(), nil
 }
 
 // QueryShard streams shard i's matches to fn in record order — the
 // unit of the replicated read fan-out, where each segment is served by
 // whichever replica answers first. Matching semantics are exactly
-// Query's, restricted to one segment.
+// Query's, restricted to one segment, spliced across packs and tail.
 func (s *Store) QueryShard(i int, q capturedb.Query, fn func(*capture.Capture) bool) error {
 	if i < 0 || i >= len(s.shards) {
 		return fmt.Errorf("capstore: no shard %d", i)
 	}
 	s.counters.queries.Add(1)
-	sh := s.shards[i]
-	sh.mu.Lock()
-	if err := sh.bw.Flush(); err != nil {
-		sh.mu.Unlock()
+	v, err := s.shards[i].snapshotScan()
+	if err != nil {
 		return err
 	}
-	metas := make([]recMeta, len(sh.recs))
-	copy(metas, sh.recs)
-	sh.mu.Unlock()
-
-	var scanned, skipped int64
-	var buf []byte
-	for _, meta := range metas {
-		if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
-			skipped++
-			continue
-		}
-		c, err := s.readRecord(sh, meta, &buf)
-		if err != nil {
-			s.counters.rowsScanned.Add(scanned)
-			s.counters.rowsSkipped.Add(skipped)
-			return err
-		}
-		scanned++
-		if !q.Match(c) {
-			continue
-		}
-		if !fn(c) {
-			break
-		}
-	}
+	scanned, skipped, _, err := scanView(&v, q, fn)
 	s.counters.rowsScanned.Add(scanned)
 	s.counters.rowsSkipped.Add(skipped)
-	return nil
+	return err
 }
 
 // DiffKind classifies one segment's relation to a peer's.

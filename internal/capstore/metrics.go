@@ -75,27 +75,94 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 		"Segment files backing the store.",
 		func() float64 { return float64(len(s.shards)) })
 	obs.NewGaugeFunc(reg, "capstore_indexed_domains",
-		"Distinct final domains in the secondary index.",
+		"Final-domain posting keys across pack indexes and tail indexes.",
 		func() float64 {
-			s.idxMu.RLock()
-			n := len(s.byDomain)
-			s.idxMu.RUnlock()
+			n := 0
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				n += len(sh.byDomain)
+				for _, p := range sh.packs {
+					n += p.Summary.DomainKeys
+				}
+				sh.mu.Unlock()
+			}
 			return float64(n)
 		})
 	obs.NewGaugeFunc(reg, "capstore_indexed_hosts",
-		"Distinct request hosts in the posting-list index.",
+		"Request-host posting keys across pack indexes and tail indexes.",
 		func() float64 {
-			s.idxMu.RLock()
-			n := len(s.byHost)
-			s.idxMu.RUnlock()
+			n := 0
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				n += len(sh.byHost)
+				for _, p := range sh.packs {
+					n += p.Summary.HostKeys
+				}
+				sh.mu.Unlock()
+			}
 			return float64(n)
 		})
 	obs.NewGaugeFunc(reg, "capstore_host_postings",
 		"Total request-host posting-list entries.",
 		func() float64 {
-			s.idxMu.RLock()
-			n := s.postings
-			s.idxMu.RUnlock()
+			var n int64
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				n += sh.hostPostings
+				for _, p := range sh.packs {
+					n += p.Summary.HostPostings
+				}
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		})
+
+	// Pack engine.
+	obs.NewCounterFunc(reg, "pack_compactions_total",
+		"Tail-to-pack compactions completed.", s.counters.compactions.Load)
+	obs.NewCounterFunc(reg, "pack_packed_records_total",
+		"Records folded into packs by compaction.", s.counters.packedRecords.Load)
+	obs.NewCounterFunc(reg, "pack_packed_bytes_total",
+		"Wire bytes folded into packs by compaction.", s.counters.packedBytes.Load)
+	obs.NewCounterFunc(reg, "pack_torn_quarantined_total",
+		"Torn pack files quarantined aside at open.", s.counters.tornPacks.Load)
+	obs.NewCounterFunc(reg, "pack_overlap_repairs_total",
+		"Interrupted compactions completed at open by dropping the packed tail prefix.",
+		s.counters.overlapRepairs.Load)
+	obs.NewGaugeFunc(reg, "pack_pace_sleep_seconds_total",
+		"Time the compactor slept to honor its write-pace bound.",
+		func() float64 { return float64(s.counters.paceSleepNanos.Load()) / 1e9 })
+	obs.NewGaugeFunc(reg, "pack_packs",
+		"Pack files across all shards.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				n += len(sh.packs)
+				sh.mu.Unlock()
+			}
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "pack_open_indexed_shards",
+		"Shards whose last open loaded pack footer indexes instead of a full scan.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				if sh.openIndexed {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	obs.NewGaugeFunc(reg, "pack_open_scan_shards",
+		"Shards whose last open fell back to a full segment scan.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				if !sh.openIndexed {
+					n++
+				}
+			}
 			return float64(n)
 		})
 	s.metrics.Store(NewStoreMetrics(reg))

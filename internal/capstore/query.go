@@ -2,10 +2,11 @@ package capstore
 
 import (
 	"fmt"
-	"sort"
+	"os"
 	"strconv"
 	"time"
 
+	"repro/internal/capstore/pack"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
 	"repro/internal/obs"
@@ -13,26 +14,24 @@ import (
 )
 
 // Query streams matching captures to fn in canonical store order
-// (segment number, then record position); returning false from fn
-// stops early. The planner picks the most selective access path:
-// domain index, request-host posting list, or a segment scan pruned by
-// per-segment day ranges. Results are exactly those a linear
-// capturedb.Scan over the segment files would yield.
+// (shard number, then pack-chain position, then tail position);
+// returning false from fn stops early. The planner picks the most
+// selective access path: domain index, request-host posting list, or
+// a scan pruned by per-pack and tail day ranges. Results are exactly
+// those a linear capturedb.Scan over the logical record stream (packs
+// then tail, per shard) would yield.
 //
-// Queries running concurrently with ingest see a consistent per-shard
-// prefix of the store: a record is visible only once it is fully
-// indexed.
+// Queries running concurrently with ingest and compaction see a
+// consistent per-shard prefix of the store: each shard's pack chain,
+// tail state, and tail file handle are snapshotted under one lock
+// hold, so a record is visible exactly once — in a pack or in the
+// tail — and only once it is fully indexed.
 func (s *Store) Query(q capturedb.Query, fn func(*capture.Capture) bool) error {
 	s.counters.queries.Add(1)
 	m := s.metrics.Load()
 	var start time.Time
 	if m != nil {
 		start = m.now()
-	}
-	counts := s.snapshotCounts()
-	var total int64
-	for _, n := range counts {
-		total += int64(n)
 	}
 
 	path := "scan"
@@ -51,11 +50,11 @@ func (s *Store) Query(q capturedb.Query, fn func(*capture.Capture) bool) error {
 	var err error
 	switch path {
 	case "domain-index":
-		scanned, skipped, err = s.runRefs(s.lookupRefs(s.byDomain, q.Domain, counts), total, q, fn)
+		scanned, skipped, err = s.runIndexed(indexDomain, q.Domain, q, fn)
 	case "host-index":
-		scanned, skipped, err = s.runRefs(s.lookupRefs(s.byHost, q.RequestHost, counts), total, q, fn)
+		scanned, skipped, err = s.runIndexed(indexHost, q.RequestHost, q, fn)
 	default:
-		scanned, skipped, err = s.runScan(counts, q, fn)
+		scanned, skipped, err = s.runScan(q, fn)
 	}
 	s.counters.rowsScanned.Add(scanned)
 	s.counters.rowsSkipped.Add(skipped)
@@ -79,85 +78,175 @@ func (s *Store) Count(q capturedb.Query) (int, error) {
 	return n, err
 }
 
-// snapshotCounts freezes the per-shard record counts visible to one
-// query. Records appended afterwards are ignored for the rest of the
-// query, keeping results a consistent prefix per shard.
-func (s *Store) snapshotCounts() []int32 {
-	counts := make([]int32, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.Lock()
-		counts[i] = int32(len(sh.recs))
-		sh.mu.Unlock()
-	}
-	return counts
+type indexKind int
+
+const (
+	indexDomain indexKind = iota
+	indexHost
+)
+
+// shardView is one shard's consistent query snapshot: the pack chain,
+// the tail records (or just the indexed candidates), and the tail
+// file handle they refer to — all captured under a single lock hold so
+// a concurrent compaction can never tear the view.
+type shardView struct {
+	packs         []*pack.Pack
+	packedRecords int64
+	tailCount     int
+	f             *os.File
+
+	// Indexed path: candidate tail positions and their metadata.
+	tailIdxs  []int32
+	tailMetas []recMeta
+
+	// Scan path: every tail record's metadata plus the tail day range.
+	allMetas []recMeta
+	minDay   simtime.Day
+	maxDay   simtime.Day
 }
 
-// lookupRefs copies an index posting list capped to the snapshot, in
-// canonical order.
-func (s *Store) lookupRefs(idx map[string][]ref, key string, counts []int32) []ref {
-	s.idxMu.RLock()
-	postings := idx[key]
-	refs := make([]ref, 0, len(postings))
-	for _, r := range postings {
-		if r.idx < counts[r.shard] {
-			refs = append(refs, r)
-		}
+func (v *shardView) total() int64 { return v.packedRecords + int64(v.tailCount) }
+
+// snapshotIndexed captures shard sh's view for an indexed query on
+// key. The tail buffer is flushed so ReadAt sees every counted byte.
+func (sh *shard) snapshotIndexed(kind indexKind, key string) (shardView, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.bw.Flush(); err != nil {
+		return shardView{}, err
 	}
-	s.idxMu.RUnlock()
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].shard != refs[j].shard {
-			return refs[i].shard < refs[j].shard
-		}
-		return refs[i].idx < refs[j].idx
-	})
-	return refs
+	v := shardView{
+		packs:         sh.packs[:len(sh.packs):len(sh.packs)],
+		packedRecords: sh.packedRecords,
+		tailCount:     len(sh.recs),
+		f:             sh.f,
+	}
+	var idxs []int32
+	if kind == indexDomain {
+		idxs = sh.byDomain[key]
+	} else {
+		idxs = sh.byHost[key]
+	}
+	v.tailIdxs = append([]int32(nil), idxs...)
+	v.tailMetas = make([]recMeta, len(idxs))
+	for k, ix := range idxs {
+		v.tailMetas[k] = sh.recs[ix]
+	}
+	return v, nil
 }
 
-// runRefs reads exactly the indexed candidate records, pre-filtering
-// on the in-memory day/failed metadata so non-candidates never touch
-// disk. Every record excluded without a disk read counts as skipped;
-// the per-query tallies are returned so Query can book them globally
-// and per-query in one place.
-func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
-	skipped = total - int64(len(refs))
-
-	// Fetch metadata per contiguous shard run (refs are sorted),
-	// flushing each touched shard once so ReadAt sees the bytes.
-	metas := make([]recMeta, len(refs))
-	for i := 0; i < len(refs); {
-		j := i
-		for j < len(refs) && refs[j].shard == refs[i].shard {
-			j++
-		}
-		sh := s.shards[refs[i].shard]
-		sh.mu.Lock()
-		if err := sh.bw.Flush(); err != nil {
-			sh.mu.Unlock()
-			return scanned, skipped, err
-		}
-		for k := i; k < j; k++ {
-			metas[k] = sh.recs[refs[k].idx]
-		}
-		sh.mu.Unlock()
-		i = j
+// snapshotScan captures shard sh's view for a scan.
+func (sh *shard) snapshotScan() (shardView, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.bw.Flush(); err != nil {
+		return shardView{}, err
 	}
+	v := shardView{
+		packs:         sh.packs[:len(sh.packs):len(sh.packs)],
+		packedRecords: sh.packedRecords,
+		tailCount:     len(sh.recs),
+		f:             sh.f,
+		minDay:        sh.minDay,
+		maxDay:        sh.maxDay,
+	}
+	v.allMetas = make([]recMeta, len(sh.recs))
+	copy(v.allMetas, sh.recs)
+	return v, nil
+}
 
+// runIndexed drives a domain or host query: per shard, pack posting
+// lists then tail posting lists, reading exactly the candidate records
+// and pre-filtering on day/failed metadata so non-candidates never
+// touch disk. Every record excluded without a disk read counts as
+// skipped, so scanned+skipped equals the snapshot's record total.
+func (s *Store) runIndexed(kind indexKind, key string, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
+	// A domain lives in exactly one shard; hosts can appear anywhere.
+	only := -1
+	if kind == indexDomain {
+		only = s.shardFor(key)
+	}
 	var buf []byte
-	for i, r := range refs {
-		meta := metas[i]
-		if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
-			skipped++
+	for i, sh := range s.shards {
+		if only >= 0 && i != only {
+			sh.mu.Lock()
+			skipped += sh.logicalRecords()
+			sh.mu.Unlock()
 			continue
 		}
-		c, err := s.readRecord(s.shards[r.shard], meta, &buf)
+		v, err := sh.snapshotIndexed(kind, key)
 		if err != nil {
 			return scanned, skipped, err
 		}
-		scanned++
-		if !q.Match(c) {
-			continue
+		var candidates int64
+		stop := false
+		for _, p := range v.packs {
+			var idxs []int32
+			var perr error
+			if kind == indexDomain {
+				idxs, perr = p.Domain(key)
+			} else {
+				idxs, perr = p.Host(key)
+			}
+			if perr != nil {
+				return scanned, skipped, perr
+			}
+			candidates += int64(len(idxs))
+			if stop || len(idxs) == 0 {
+				continue
+			}
+			recs, perr := p.Recs()
+			if perr != nil {
+				return scanned, skipped, perr
+			}
+			for _, ix := range idxs {
+				r := recs[ix]
+				if !q.MatchMeta(simtime.Day(r.Day), r.Failed) {
+					skipped++
+					continue
+				}
+				line, perr := p.ReadRecord(recs, int(ix), &buf)
+				if perr != nil {
+					return scanned, skipped, perr
+				}
+				c, perr := capturedb.Decode(line)
+				if perr != nil {
+					return scanned, skipped, fmt.Errorf("capstore: pack record %d of %s: %w", ix, p.Path, perr)
+				}
+				scanned++
+				if !q.Match(c) {
+					continue
+				}
+				if !fn(c) {
+					stop = true
+					break
+				}
+			}
 		}
-		if !fn(c) {
+		candidates += int64(len(v.tailIdxs))
+		if !stop {
+			for k := range v.tailIdxs {
+				meta := v.tailMetas[k]
+				if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+					skipped++
+					continue
+				}
+				c, rerr := readRecord(v.f, meta, &buf)
+				if rerr != nil {
+					return scanned, skipped, rerr
+				}
+				scanned++
+				if !q.Match(c) {
+					continue
+				}
+				if !fn(c) {
+					stop = true
+					break
+				}
+			}
+		}
+		skipped += v.total() - candidates
+		if stop {
 			return scanned, skipped, nil
 		}
 	}
@@ -165,64 +254,100 @@ func (s *Store) runRefs(refs []ref, total int64, q capturedb.Query, fn func(*cap
 }
 
 // runScan is the fallback path for queries with no indexed key: every
-// segment is scanned in order, skipping whole segments whose day range
-// cannot intersect the query's bounds.
-func (s *Store) runScan(counts []int32, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
-	upper, bounded := q.Upper()
-	for i, sh := range s.shards {
-		n := int(counts[i])
-		if n == 0 {
-			continue
-		}
-		sh.mu.Lock()
-		minDay, maxDay := sh.minDay, sh.maxDay
-		sh.mu.Unlock()
-		// Per-segment day-range pruning. The range may have widened
-		// past the snapshot under concurrent ingest, which only makes
-		// pruning conservative, never wrong.
-		if q.From > maxDay || (bounded && upper < minDay) {
-			skipped += int64(n)
-			continue
-		}
-		sh.mu.Lock()
-		if err := sh.bw.Flush(); err != nil {
-			sh.mu.Unlock()
+// shard's packs and tail are walked in order, skipping whole packs (or
+// the whole tail) whose day range cannot intersect the query's bounds.
+func (s *Store) runScan(q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, err error) {
+	for _, sh := range s.shards {
+		v, err := sh.snapshotScan()
+		if err != nil {
 			return scanned, skipped, err
 		}
-		metas := make([]recMeta, n)
-		copy(metas, sh.recs[:n])
-		sh.mu.Unlock()
+		sc, sk, stop, err := scanView(&v, q, fn)
+		scanned += sc
+		skipped += sk
+		if err != nil || stop {
+			return scanned, skipped, err
+		}
+	}
+	return scanned, skipped, nil
+}
 
-		var buf []byte
-		for _, meta := range metas {
-			if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+// scanView walks one shard view in logical order: packs, then tail.
+func scanView(v *shardView, q capturedb.Query, fn func(*capture.Capture) bool) (scanned, skipped int64, stop bool, err error) {
+	upper, bounded := q.Upper()
+	var buf []byte
+	for _, p := range v.packs {
+		// Per-pack day-range pruning from the persistent summary.
+		if q.From > simtime.Day(p.Summary.MaxDay) || (bounded && upper < simtime.Day(p.Summary.MinDay)) {
+			skipped += p.Summary.Records
+			continue
+		}
+		recs, perr := p.Recs()
+		if perr != nil {
+			return scanned, skipped, false, perr
+		}
+		for ix := range recs {
+			if !q.MatchMeta(simtime.Day(recs[ix].Day), recs[ix].Failed) {
 				skipped++
 				continue
 			}
-			c, err := s.readRecord(sh, meta, &buf)
-			if err != nil {
-				return scanned, skipped, err
+			line, perr := p.ReadRecord(recs, ix, &buf)
+			if perr != nil {
+				return scanned, skipped, false, perr
+			}
+			c, perr := capturedb.Decode(line)
+			if perr != nil {
+				return scanned, skipped, false, fmt.Errorf("capstore: pack record %d of %s: %w", ix, p.Path, perr)
 			}
 			scanned++
 			if !q.Match(c) {
 				continue
 			}
 			if !fn(c) {
-				return scanned, skipped, nil
+				return scanned, skipped, true, nil
 			}
 		}
 	}
-	return scanned, skipped, nil
+	if v.tailCount == 0 {
+		return scanned, skipped, false, nil
+	}
+	// Tail day-range pruning. The range may have widened past the
+	// snapshot under concurrent ingest, which only makes pruning
+	// conservative, never wrong.
+	if q.From > v.maxDay || (bounded && upper < v.minDay) {
+		skipped += int64(v.tailCount)
+		return scanned, skipped, false, nil
+	}
+	for _, meta := range v.allMetas {
+		if !q.MatchMeta(simtime.Day(meta.day), meta.failed) {
+			skipped++
+			continue
+		}
+		c, rerr := readRecord(v.f, meta, &buf)
+		if rerr != nil {
+			return scanned, skipped, false, rerr
+		}
+		scanned++
+		if !q.Match(c) {
+			continue
+		}
+		if !fn(c) {
+			return scanned, skipped, true, nil
+		}
+	}
+	return scanned, skipped, false, nil
 }
 
-// readRecord fetches and decodes one record by offset, reusing *buf
-// across calls.
-func (s *Store) readRecord(sh *shard, meta recMeta, buf *[]byte) (*capture.Capture, error) {
+// readRecord fetches and decodes one tail record by offset, reusing
+// *buf across calls. The file handle comes from the caller's shard
+// view, so a concurrent compaction's tail swap cannot redirect the
+// read.
+func readRecord(f *os.File, meta recMeta, buf *[]byte) (*capture.Capture, error) {
 	if cap(*buf) < int(meta.length) {
 		*buf = make([]byte, meta.length)
 	}
 	b := (*buf)[:meta.length]
-	if _, err := sh.f.ReadAt(b, meta.off); err != nil {
+	if _, err := f.ReadAt(b, meta.off); err != nil {
 		return nil, fmt.Errorf("capstore: reading record at %d: %w", meta.off, err)
 	}
 	c, err := capturedb.Decode(b)

@@ -10,15 +10,31 @@ type counters struct {
 	rowsSkipped atomic.Int64
 	records     atomic.Int64
 	truncated   atomic.Int64
+
+	// Pack engine.
+	compactions    atomic.Int64
+	packedRecords  atomic.Int64
+	packedBytes    atomic.Int64
+	tornPacks      atomic.Int64
+	overlapRepairs atomic.Int64
+	paceSleepNanos atomic.Int64
 }
 
-// ShardStats describes one segment.
+// ShardStats describes one shard: the logical totals (packs + tail)
+// plus the pack/tail split and which open path the shard took.
 type ShardStats struct {
 	Segment string `json:"segment"`
 	Records int    `json:"records"`
 	Bytes   int64  `json:"bytes"`
 	MinDay  int    `json:"min_day"`
 	MaxDay  int    `json:"max_day"`
+
+	Packs         int    `json:"packs"`
+	PackedRecords int64  `json:"packed_records"`
+	PackedBytes   int64  `json:"packed_bytes"`
+	TailRecords   int    `json:"tail_records"`
+	TailBytes     int64  `json:"tail_bytes"`
+	OpenPath      string `json:"open_path"`
 }
 
 // Stats is a point-in-time snapshot of store shape and counters.
@@ -32,35 +48,83 @@ type Stats struct {
 	RowsScanned    int64        `json:"rows_scanned"`
 	RowsSkipped    int64        `json:"rows_skipped"`
 	TruncatedTails int64        `json:"truncated_tails"`
+
+	Packs            int     `json:"packs"`
+	Compactions      int64   `json:"compactions"`
+	PackedRecords    int64   `json:"packed_records"`
+	PackedBytes      int64   `json:"packed_bytes"`
+	TornPacks        int64   `json:"torn_packs"`
+	OverlapRepairs   int64   `json:"overlap_repairs"`
+	PaceSleepSeconds float64 `json:"pace_sleep_seconds"`
 }
 
-// Stats snapshots the store: per-shard record counts and byte sizes,
-// index sizes, and the cumulative query counters (queries served,
-// rows scanned vs. rows skipped by index pruning).
+// openPath names the path a shard's open took: "indexed" (pack footer
+// summaries + tail scan) or "scan" (full segment scan).
+func openPath(indexed bool) string {
+	if indexed {
+		return "indexed"
+	}
+	return "scan"
+}
+
+// Stats snapshots the store: per-shard record counts and byte sizes
+// split by pack/tail, index sizes, compaction totals, and the
+// cumulative query counters (queries served, rows scanned vs. rows
+// skipped by index pruning). Index-shape figures count posting keys: a
+// domain or host present in k packs plus the tail contributes k(+1)
+// keys.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Records:        s.counters.records.Load(),
-		QueriesServed:  s.counters.queries.Load(),
-		RowsScanned:    s.counters.rowsScanned.Load(),
-		RowsSkipped:    s.counters.rowsSkipped.Load(),
-		TruncatedTails: s.counters.truncated.Load(),
+		Records:          s.counters.records.Load(),
+		QueriesServed:    s.counters.queries.Load(),
+		RowsScanned:      s.counters.rowsScanned.Load(),
+		RowsSkipped:      s.counters.rowsSkipped.Load(),
+		TruncatedTails:   s.counters.truncated.Load(),
+		Compactions:      s.counters.compactions.Load(),
+		PackedRecords:    s.counters.packedRecords.Load(),
+		PackedBytes:      s.counters.packedBytes.Load(),
+		TornPacks:        s.counters.tornPacks.Load(),
+		OverlapRepairs:   s.counters.overlapRepairs.Load(),
+		PaceSleepSeconds: float64(s.counters.paceSleepNanos.Load()) / 1e9,
 	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		ss := ShardStats{
-			Segment: segName(i),
-			Records: len(sh.recs),
-			Bytes:   sh.end,
-			MinDay:  int(sh.minDay),
-			MaxDay:  int(sh.maxDay),
+			Segment:       segName(i),
+			Records:       int(sh.logicalRecords()),
+			Bytes:         sh.packedBytes + sh.end,
+			MinDay:        int(sh.minDay),
+			MaxDay:        int(sh.maxDay),
+			Packs:         len(sh.packs),
+			PackedRecords: sh.packedRecords,
+			PackedBytes:   sh.packedBytes,
+			TailRecords:   len(sh.recs),
+			TailBytes:     sh.end,
+			OpenPath:      openPath(sh.openIndexed),
 		}
+		// Widen the day range over the pack chain so the stats view
+		// covers the shard's whole logical stream, not just the tail.
+		haveRange := len(sh.recs) > 0
+		for _, p := range sh.packs {
+			if !haveRange || int(p.Summary.MinDay) < ss.MinDay {
+				ss.MinDay = int(p.Summary.MinDay)
+			}
+			if !haveRange || int(p.Summary.MaxDay) > ss.MaxDay {
+				ss.MaxDay = int(p.Summary.MaxDay)
+			}
+			haveRange = true
+		}
+		st.IndexedDomains += len(sh.byDomain)
+		st.IndexedHosts += len(sh.byHost)
+		st.HostPostings += sh.hostPostings
+		for _, p := range sh.packs {
+			st.IndexedDomains += p.Summary.DomainKeys
+			st.IndexedHosts += p.Summary.HostKeys
+			st.HostPostings += p.Summary.HostPostings
+		}
+		st.Packs += len(sh.packs)
 		sh.mu.Unlock()
 		st.Shards = append(st.Shards, ss)
 	}
-	s.idxMu.RLock()
-	st.IndexedDomains = len(s.byDomain)
-	st.IndexedHosts = len(s.byHost)
-	st.HostPostings = s.postings
-	s.idxMu.RUnlock()
 	return st
 }

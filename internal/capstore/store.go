@@ -2,11 +2,14 @@
 // platform's query API — the production substrate for the "central
 // database, which can be queried using a custom API" of Section 3.2.
 // Captures are hash-partitioned by final registrable domain into N
-// segment files in the capturedb wire format, with in-memory secondary
-// indexes (domain → record offsets, request-host posting lists,
-// per-segment day ranges) built at open/ingest time so domain and
-// CMP-indicator queries become index lookups instead of full scans.
-// cmd/capd serves the store over HTTP.
+// shards in the capturedb wire format. Each shard is a chain of
+// immutable pack files (compacted bundles with persistent footer
+// indexes — see internal/capstore/pack) plus one active tail segment
+// for hot appends. Opening a store loads each pack's fixed-size
+// summary and scans only the tail, so open cost tracks tail size, not
+// total capture count; domain and CMP-indicator queries resolve
+// through pack posting lists and in-memory tail indexes instead of
+// full scans. cmd/capd serves the store over HTTP.
 package capstore
 
 import (
@@ -17,10 +20,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/capstore/pack"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
 	"repro/internal/obs"
@@ -34,16 +39,10 @@ const DefaultShards = 8
 // the per-file overhead outweighs any pruning benefit.
 const maxShards = 256
 
-// ref addresses one record: segment number plus position in that
-// segment's record list.
-type ref struct {
-	shard int32
-	idx   int32
-}
-
-// recMeta is the per-record index entry: where the record lives in its
-// segment plus the two fields (day, failed) every query filters on, so
-// non-matching records are skipped without touching disk.
+// recMeta is the per-record index entry for a tail record: where the
+// record lives in the tail file plus the two fields (day, failed)
+// every query filters on, so non-matching records are skipped without
+// touching disk.
 type recMeta struct {
 	off    int64
 	length int32
@@ -51,15 +50,40 @@ type recMeta struct {
 	failed bool
 }
 
-// shard is one segment file with its concurrent-safe appender.
+// shard is one partition: an ordered chain of immutable packs plus the
+// active tail segment with its concurrent-safe appender and in-memory
+// tail indexes. The tail's secondary indexes are updated under mu in
+// the same critical section as the record append, so a tail
+// record-count snapshot is always a fully indexed prefix.
 type shard struct {
 	mu     sync.Mutex
 	f      *os.File
 	bw     *bufio.Writer
-	end    int64 // logical end offset, including buffered bytes
+	end    int64 // tail logical end offset, including buffered bytes
 	recs   []recMeta
-	minDay simtime.Day
+	minDay simtime.Day // tail day range
 	maxDay simtime.Day
+
+	// Tail secondary indexes: key → tail-record indices, ascending.
+	byDomain     map[string][]int32
+	byHost       map[string][]int32
+	hostPostings int64
+
+	// The immutable pack chain. packs only ever grows (append on
+	// compaction); packedHash is the running logical-stream FNV-64a at
+	// the chain's end, which tail hashing resumes from.
+	packs         []*pack.Pack
+	packedRecords int64
+	packedBytes   int64
+	packedHash    uint64
+
+	// compacting serializes compaction per shard without holding mu
+	// across the pack build.
+	compacting bool
+
+	// openIndexed records which open path this shard took: pack
+	// summaries + tail scan (true) or full segment scan (false).
+	openIndexed bool
 }
 
 func (sh *shard) noteDay(d simtime.Day) {
@@ -71,21 +95,33 @@ func (sh *shard) noteDay(d simtime.Day) {
 	}
 }
 
-// Store is a sharded capture store rooted at a directory of segment
-// files. It implements capture.Sink (write-through from the crawler)
-// and is safe for concurrent ingest and query.
+// indexTail publishes one tail record's secondary-index entries.
+// Callers hold sh.mu.
+func (sh *shard) indexTail(c *capture.Capture, idx int32) {
+	if c.FinalDomain != "" {
+		sh.byDomain[c.FinalDomain] = append(sh.byDomain[c.FinalDomain], idx)
+	}
+	seen := make(map[string]bool, len(c.Requests))
+	for _, q := range c.Requests {
+		if q.Host == "" || seen[q.Host] {
+			continue
+		}
+		seen[q.Host] = true
+		sh.byHost[q.Host] = append(sh.byHost[q.Host], idx)
+		sh.hostPostings++
+	}
+}
+
+// logicalRecords returns the shard's total record count (packs +
+// tail). Callers hold sh.mu.
+func (sh *shard) logicalRecords() int64 { return sh.packedRecords + int64(len(sh.recs)) }
+
+// Store is a sharded capture store rooted at a directory of pack and
+// segment files. It implements capture.Sink (write-through from the
+// crawler) and is safe for concurrent ingest, query, and compaction.
 type Store struct {
 	dir    string
 	shards []*shard
-
-	// Secondary indexes. Lock ordering: shard.mu before idxMu; index
-	// entries for a record are published before its shard releases
-	// the shard lock, so a per-shard record-count snapshot is always
-	// a fully indexed prefix.
-	idxMu    sync.RWMutex
-	byDomain map[string][]ref
-	byHost   map[string][]ref
-	postings int64
 
 	counters counters
 
@@ -100,6 +136,9 @@ type Store struct {
 }
 
 func segName(i int) string { return fmt.Sprintf("seg-%03d.jsonl", i) }
+
+// packName is pack file seq of shard i; lexical order is chain order.
+func packName(i, seq int) string { return fmt.Sprintf("pack-%03d-%06d.pack", i, seq) }
 
 // Create initialises an empty store with the given number of segments
 // (0 means DefaultShards) under dir, truncating any existing segments.
@@ -126,11 +165,17 @@ func Create(dir string, shards int) (*Store, error) {
 	return s, nil
 }
 
-// Open loads an existing store, rebuilding the in-memory indexes by
-// scanning every segment. Crash-truncated segment tails (torn writes)
-// are detected via capturedb.ErrTruncated, counted in Stats, and
-// repaired by truncating the segment to its last complete record so
-// subsequent appends stay well-framed.
+// Open loads an existing store. Shards with a pack chain load each
+// pack's persistent footer summary (O(packs), no data read) and scan
+// only the tail segment; unpacked shards scan their whole segment to
+// rebuild the in-memory indexes. Shard opens run on a
+// GOMAXPROCS-bounded worker pool; each shard's index is built inside
+// its own worker, so the result is deterministic with no cross-shard
+// merge. Crash debris is repaired: leftover .tmp files are removed,
+// torn segment tails (capturedb.ErrTruncated) are truncated to the
+// last complete record, a torn final pack is quarantined aside, and a
+// tail still holding an already-packed prefix (crash between pack
+// commit and tail rewrite) is rewritten to drop the duplicate.
 func Open(dir string) (*Store, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
 	if err != nil {
@@ -142,16 +187,38 @@ func Open(dir string) (*Store, error) {
 	sort.Strings(names)
 	s := newStore(dir, len(names))
 
-	captures := make([][]*capture.Capture, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			captures[i], errs[i] = s.openSegment(i, name)
-		}(i, name)
+	// Crash debris: in-flight pack builds and tail rewrites die under
+	// a .tmp name; anything still there is garbage.
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return nil, err
 	}
+	for _, t := range tmps {
+		if err := os.Remove(t); err != nil {
+			return nil, fmt.Errorf("capstore: removing crash debris %s: %w", t, err)
+		}
+	}
+
+	errs := make([]error, len(names))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = s.openShard(i, names[i])
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	for i, err := range errs {
@@ -160,41 +227,176 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("capstore: %s: %w", names[i], err)
 		}
 	}
-	// Index merge runs single-threaded: segment order then record
-	// order, the store's canonical result order.
-	for i, segCaps := range captures {
-		for j, c := range segCaps {
-			s.indexRecord(c, ref{shard: int32(i), idx: int32(j)})
-		}
-		s.counters.records.Add(int64(len(segCaps)))
+	for _, sh := range s.shards {
+		s.counters.records.Add(sh.logicalRecords())
 	}
 	return s, nil
 }
 
 func newStore(dir string, shards int) *Store {
 	s := &Store{
-		dir:      dir,
-		shards:   make([]*shard, shards),
-		byDomain: make(map[string][]ref),
-		byHost:   make(map[string][]ref),
+		dir:    dir,
+		shards: make([]*shard, shards),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{}
+		s.shards[i] = &shard{
+			byDomain:   make(map[string][]int32),
+			byHost:     make(map[string][]int32),
+			packedHash: pack.HashOffset,
+		}
 	}
 	return s
 }
 
-// openSegment scans one segment file, fills the shard's record
-// metadata, repairs a torn tail, and returns the decoded captures for
-// index building.
-func (s *Store) openSegment(i int, name string) ([]*capture.Capture, error) {
-	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, err
-	}
+// openShard loads shard i: pack chain first (summaries only), then the
+// tail segment scan, repairing crash states along the way.
+func (s *Store) openShard(i int, segPath string) error {
 	sh := s.shards[i]
+	if err := s.openPacks(i, sh); err != nil {
+		return err
+	}
+	if err := s.repairTailOverlap(i, sh, segPath); err != nil {
+		return err
+	}
+	return s.openTail(i, sh, segPath)
+}
+
+// openPacks loads shard i's pack chain, validating each pack's chain
+// position against the running (records, bytes, hash) state. A torn or
+// chain-breaking final pack is quarantined aside (renamed .corrupt) —
+// the only way one arises is filesystem damage, and the bytes usually
+// still live in the tail (see repairTailOverlap); a broken pack in the
+// middle of the chain is unrecoverable locally and fails the open.
+func (s *Store) openPacks(i int, sh *shard) error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("pack-%03d-*.pack", i)))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for k, path := range paths {
+		p, err := pack.Open(path)
+		if err == nil {
+			baseHash, herr := pack.ParseHash(p.Summary.BaseHash)
+			if herr != nil {
+				err = herr
+			} else if p.Summary.BaseRecords != sh.packedRecords ||
+				p.Summary.BaseBytes != sh.packedBytes || baseHash != sh.packedHash {
+				err = fmt.Errorf("%w: %s: chain position (%d records, %d bytes, %s) does not extend (%d, %d, %s)",
+					pack.ErrBadPack, path, p.Summary.BaseRecords, p.Summary.BaseBytes, p.Summary.BaseHash,
+					sh.packedRecords, sh.packedBytes, pack.HashHex(sh.packedHash))
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, pack.ErrBadPack) || k != len(paths)-1 {
+				return err
+			}
+			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+				return fmt.Errorf("quarantining torn pack: %w", rerr)
+			}
+			s.counters.tornPacks.Add(1)
+			break
+		}
+		endHash, err := pack.ParseHash(p.Summary.Hash)
+		if err != nil {
+			return err
+		}
+		sh.packs = append(sh.packs, p)
+		sh.packedRecords += p.Summary.Records
+		sh.packedBytes += p.Summary.DataBytes
+		sh.packedHash = endHash
+	}
+	sh.openIndexed = len(sh.packs) > 0
+	return nil
+}
+
+// repairTailOverlap completes a compaction interrupted between pack
+// commit and tail rewrite: if the tail still starts with the last
+// pack's exact bytes (verified by resuming the FNV chain from the
+// pack's base hash), the duplicated prefix is dropped by rewriting the
+// tail through a temp file and atomic rename.
+func (s *Store) repairTailOverlap(i int, sh *shard, segPath string) error {
+	if len(sh.packs) == 0 {
+		return nil
+	}
+	lp := sh.packs[len(sh.packs)-1]
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		return err
+	}
+	if fi.Size() < lp.Summary.DataBytes {
+		return nil
+	}
+	f, err := os.Open(segPath)
+	if err != nil {
+		return err
+	}
+	baseHash, err := pack.ParseHash(lp.Summary.BaseHash)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	h, err := pack.HashReader(baseHash, io.NewSectionReader(f, 0, lp.Summary.DataBytes))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if pack.HashHex(h) != lp.Summary.Hash {
+		return f.Close() // tail does not duplicate the pack: normal state
+	}
+	if err := rewriteTail(segPath, f, lp.Summary.DataBytes, fi.Size()); err != nil {
+		f.Close()
+		return fmt.Errorf("dropping packed tail prefix: %w", err)
+	}
+	f.Close()
+	s.counters.overlapRepairs.Add(1)
+	return nil
+}
+
+// rewriteTail replaces segPath with bytes [from, to) of src via a temp
+// file and atomic rename.
+func rewriteTail(segPath string, src io.ReaderAt, from, to int64) error {
+	tmp, err := os.Create(segPath + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(tmp, io.NewSectionReader(src, from, to-from)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), segPath); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(segPath))
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// openTail scans shard i's tail segment, fills the record metadata and
+// tail indexes, and repairs a torn tail.
+func (s *Store) openTail(i int, sh *shard, segPath string) error {
+	f, err := os.OpenFile(segPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
 	sh.f = f
-	var captures []*capture.Capture
 	rr := capturedb.NewRecordReader(f)
 	for {
 		start := rr.Offset()
@@ -205,12 +407,12 @@ func (s *Store) openSegment(i int, name string) ([]*capture.Capture, error) {
 		if errors.Is(err, capturedb.ErrTruncated) {
 			s.counters.truncated.Add(1)
 			if err := f.Truncate(rr.Valid()); err != nil {
-				return nil, fmt.Errorf("repairing torn tail: %w", err)
+				return fmt.Errorf("repairing torn tail: %w", err)
 			}
 			break
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sh.recs = append(sh.recs, recMeta{
 			off:    start,
@@ -219,14 +421,14 @@ func (s *Store) openSegment(i int, name string) ([]*capture.Capture, error) {
 			failed: c.Failed,
 		})
 		sh.noteDay(c.Day)
-		captures = append(captures, c)
+		sh.indexTail(c, int32(len(sh.recs)-1))
 	}
 	sh.end = rr.Valid()
 	if _, err := f.Seek(sh.end, io.SeekStart); err != nil {
-		return nil, err
+		return err
 	}
 	sh.bw = bufio.NewWriterSize(f, 1<<16)
-	return captures, nil
+	return nil
 }
 
 // ShardOf returns the segment index domain hashes to in a store of n
@@ -244,29 +446,11 @@ func (s *Store) shardFor(domain string) int {
 	return ShardOf(domain, len(s.shards))
 }
 
-// indexRecord publishes a record's secondary-index entries. Callers
-// must already hold the record's shard lock (or be single-threaded,
-// as in Open).
-func (s *Store) indexRecord(c *capture.Capture, r ref) {
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
-	if c.FinalDomain != "" {
-		s.byDomain[c.FinalDomain] = append(s.byDomain[c.FinalDomain], r)
-	}
-	seen := make(map[string]bool, len(c.Requests))
-	for _, q := range c.Requests {
-		if q.Host == "" || seen[q.Host] {
-			continue
-		}
-		seen[q.Host] = true
-		s.byHost[q.Host] = append(s.byHost[q.Host], r)
-		s.postings++
-	}
-}
-
 // Record implements capture.Sink: write-through into the domain's
-// segment plus index update. The first error is retained and returned
-// by Close, matching capturedb.Writer semantics.
+// tail segment plus tail-index update, all under one shard lock so a
+// record is visible to queries only once fully indexed. The first
+// error is retained and returned by Close, matching capturedb.Writer
+// semantics.
 func (s *Store) Record(c *capture.Capture) {
 	line, err := capturedb.Encode(c)
 	if err != nil {
@@ -281,7 +465,6 @@ func (s *Store) Record(c *capture.Capture) {
 		s.fail(err)
 		return
 	}
-	r := ref{shard: int32(si), idx: int32(len(sh.recs))}
 	sh.recs = append(sh.recs, recMeta{
 		off:    sh.end,
 		length: int32(len(line)),
@@ -290,7 +473,7 @@ func (s *Store) Record(c *capture.Capture) {
 	})
 	sh.end += int64(len(line))
 	sh.noteDay(c.Day)
-	s.indexRecord(c, r)
+	sh.indexTail(c, int32(len(sh.recs)-1))
 	sh.mu.Unlock()
 	s.counters.records.Add(1)
 }
@@ -330,8 +513,8 @@ func (s *Store) Flush() error {
 	return first
 }
 
-// Close flushes and closes every segment, returning the first error
-// encountered over the store's lifetime.
+// Close flushes and closes every segment and pack, returning the first
+// error encountered over the store's lifetime.
 func (s *Store) Close() error {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -346,6 +529,12 @@ func (s *Store) Close() error {
 			}
 			sh.f = nil
 		}
+		for _, p := range sh.packs {
+			if err := p.Close(); err != nil {
+				s.fail(err)
+			}
+		}
+		sh.packs = nil
 		sh.mu.Unlock()
 	}
 	s.errMu.Lock()
