@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke pack-smoke fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke fuzz
 
-check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke pack-smoke
+check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -119,6 +119,21 @@ replication-smoke:
 pack-smoke:
 	$(GO) build -o bin/capd ./cmd/capd
 	$(GO) run ./cmd/packsmoke -capd bin/capd
+
+# End-to-end fleet-observability smoke: three capds + capring (all
+# -metrics), fleetd + two crawl workers pushing span exports to a real
+# obsd, which scrapes every long-lived node. Asserts valid exposition
+# on every scrape and on the /cluster/metrics rollup, at least one
+# trace stitched across fleetd→worker→capring→capd with zero orphans,
+# and that deliberately induced reorder-buffer sheds trip the shed-rate
+# burn alert.
+cluster-obs-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) build -o bin/capring ./cmd/capring
+	$(GO) build -o bin/fleetd ./cmd/fleetd
+	$(GO) build -o bin/crawl ./cmd/crawl
+	$(GO) build -o bin/obsd ./cmd/obsd
+	$(GO) run ./cmd/clustersmoke -capd bin/capd -capring bin/capring -fleetd bin/fleetd -crawl bin/crawl -obsd bin/obsd
 
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer

@@ -508,7 +508,8 @@ func benchDetectOne(b *testing.B, det *detect.Detector) {
 // Submit through politeness, browser visit, detection-free discard
 // sink — and reports the per-share cost. The nop/live pair bounds the
 // overhead of the visit-path telemetry (latency histogram, outcome
-// counters, visit/store spans); `make obs-overhead` gates it at 5%.
+// counters, visit/store spans with cross-process id derivation);
+// `make obs-overhead` gates it at 5%.
 func BenchmarkStreamVisit(b *testing.B) {
 	b.Run("nop", func(b *testing.B) { benchStreamVisit(b, false) })
 	b.Run("live", func(b *testing.B) { benchStreamVisit(b, true) })
@@ -536,6 +537,11 @@ func benchStreamVisit(b *testing.B, live bool) {
 	if live {
 		cfg.Metrics = crawler.NewStreamMetrics(obs.NewRegistry())
 		cfg.Tracer = obs.NewTracer(obs.TracerConfig{Cap: 4096})
+		// Propagation on: every visit span derives its ids under a
+		// remote parent, the same path a fleet worker exercises.
+		lease := obs.NewTracer(obs.TracerConfig{Service: "fleetd"}).
+			Start("lease", obs.A("first", "0"), obs.A("attempt", "1"))
+		cfg.TraceContext = lease.Context()
 	}
 	p := crawler.NewStreamPlatform(world, cfg)
 	ctx := context.Background()

@@ -163,14 +163,19 @@ func main() {
 		RequestTimeout: timeout,
 	}
 	var reg *obs.Registry
+	var tracer *obs.Tracer
 	if *metrics {
 		reg = obs.NewRegistry()
+		// Service is the role, never a per-process identity, so span
+		// exports stay byte-identical across node counts.
+		tracer = obs.NewTracer(obs.TracerConfig{Service: "capd"})
 	}
 	var ingester *capstore.Ingester
 	if *ingest {
 		ingester, err = capstore.NewIngester(store, capstore.IngestConfig{
 			MaxPendingBatches: *maxPending,
 			Registry:          reg,
+			Tracer:            tracer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capd:", err)
@@ -182,7 +187,6 @@ func main() {
 	// triggers must work exactly when the query path is saturated.
 	outer := http.NewServeMux()
 	if *metrics {
-		tracer := obs.NewTracer(obs.TracerConfig{})
 		tracer.RegisterMetrics(reg)
 		store.RegisterMetrics(reg)
 		store.SetTracer(tracer)

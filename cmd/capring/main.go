@@ -110,8 +110,13 @@ func main() {
 	}
 
 	var reg *obs.Registry
+	var tracer *obs.Tracer
 	if *metrics {
 		reg = obs.NewRegistry()
+		// Service is the role, not this process's identity — role names
+		// keep trace exports byte-identical across deployments.
+		tracer = obs.NewTracer(obs.TracerConfig{Service: "capring"})
+		tracer.RegisterMetrics(reg)
 	}
 	w, err := replica.NewWriter(replica.Config{
 		Nodes:             nodes,
@@ -125,6 +130,7 @@ func main() {
 		QuorumTimeout:     *quorumTO,
 		NodeTimeout:       *nodeTO,
 		Registry:          reg,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capring:", err)
@@ -153,10 +159,15 @@ func main() {
 	// probes and scrapes must work exactly when the ring is shedding.
 	outer.Handle("/healthz", replica.HealthzHandler(w))
 	if reg != nil {
-		debug := obs.Handler(reg, nil)
+		// The full capd-style debug surface: metrics, trace export, and
+		// pprof, all outside the limiter so obsd scrapes keep working
+		// while the ring sheds.
+		debug := obs.Handler(reg, tracer)
 		outer.Handle("/metrics", debug)
 		outer.Handle("/metrics.json", debug)
-		fmt.Printf("capring: telemetry on /metrics, /metrics.json\n")
+		outer.Handle("/debug/trace", debug)
+		outer.Handle("/debug/pprof/", debug)
+		fmt.Printf("capring: telemetry on /metrics, /metrics.json, /debug/trace, /debug/pprof\n")
 	}
 	// POST /compact fans the pack-engine admin trigger out to every
 	// node — one call compacts the whole ring. Mounted outside the

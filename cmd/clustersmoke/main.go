@@ -1,0 +1,375 @@
+// Command clustersmoke exercises fleet-wide observability end to end
+// with real processes: three capd storage nodes and a capring
+// replication proxy (all with -metrics), a fleetd coordinator and two
+// `crawl -fleet` workers pushing their span exports to an obsd
+// aggregation daemon, and obsd itself scraping every long-lived node.
+// The run must produce:
+//
+//   - valid Prometheus exposition on every node's /metrics AND on
+//     obsd's /cluster/metrics rollup (obs.ValidateExposition);
+//   - at least one fully-stitched cross-process trace: one trace id
+//     carrying spans from fleetd, worker, capring, and capd with zero
+//     orphans — the lease→work→push→ring→ingest chain reassembled
+//     from four processes' exports;
+//   - a tripped SLO burn-rate alert: far-future ordered pushes into
+//     the ring's bounded reorder buffer induce sheds, and the shed
+//     rate rule on obsd must transition to firing.
+//
+// Any failure exits non-zero.
+//
+// Usage:
+//
+//	clustersmoke [-capd bin/capd] [-capring bin/capring]
+//	             [-fleetd bin/fleetd] [-crawl bin/crawl] [-obsd bin/obsd]
+//
+// `make cluster-obs-smoke` builds the binaries and runs this; it is
+// part of `make check`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/agg"
+)
+
+const (
+	seed     = 7
+	ringSeed = 5
+	domains  = 600
+	shares   = 60
+	shards   = 4
+	numNodes = 3
+)
+
+func main() {
+	capdBin := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	capringBin := flag.String("capring", filepath.Join("bin", "capring"), "path to the capring binary under test")
+	fleetdBin := flag.String("fleetd", filepath.Join("bin", "fleetd"), "path to the fleetd binary under test")
+	crawlBin := flag.String("crawl", filepath.Join("bin", "crawl"), "path to the crawl binary under test")
+	obsdBin := flag.String("obsd", filepath.Join("bin", "obsd"), "path to the obsd binary under test")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "clustersmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	// Three storage nodes, all with the full telemetry surface.
+	var nodeURLs, nodesFlag, targets []string
+	var capds []*proc
+	for i := 0; i < numNodes; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		p := boot(*capdBin, "-store", filepath.Join(dir, name),
+			"-init-shards", strconv.Itoa(shards),
+			"-ingest", "-metrics", "-addr", "127.0.0.1:0")
+		defer p.kill()
+		url := "http://" + p.addr()
+		nodeURLs = append(nodeURLs, url)
+		capds = append(capds, p)
+		nodesFlag = append(nodesFlag, name+"="+url)
+		targets = append(targets, name+"=capd="+url)
+	}
+
+	// capring with a deliberately tiny reorder buffer: far-future
+	// ordered pushes overflow it on demand, which is how the smoke
+	// induces the sheds that must trip the burn-rate alert.
+	capring := boot(*capringBin, "-nodes", strings.Join(nodesFlag, ","),
+		"-shards", strconv.Itoa(shards), "-replicas", "2", "-quorum", "1",
+		"-seed", strconv.Itoa(ringSeed), "-ingest-pending", "4",
+		"-metrics", "-addr", "127.0.0.1:0")
+	defer capring.kill()
+	ringURL := "http://" + capring.addr()
+	targets = append(targets, "ring=capring="+ringURL)
+
+	// obsd scrapes the long-lived nodes on a tight interval and holds
+	// one SLO rule: shed rate through the ring.
+	obsd := boot(*obsdBin, "-targets", strings.Join(targets, ","),
+		"-interval", "100ms", "-metrics", "-addr", "127.0.0.1:0",
+		"-slo", "name=shed,kind=rate,metric=repl_ingest_shed_total,threshold=0.5,fast=5s,slow=10s,fastburn=1,slowburn=1")
+	defer obsd.kill()
+	obsdURL := "http://" + obsd.addr()
+
+	// fleetd pushes its span export to obsd at drain and hands the obsd
+	// URL to every worker via /config.
+	fleetd := boot(*fleetdBin, "-ingest", ringURL, "-obsd", obsdURL,
+		"-addr", "127.0.0.1:0",
+		"-seed", strconv.Itoa(seed), "-domains", strconv.Itoa(domains),
+		"-shares", strconv.Itoa(shares), "-from", "0", "-to", "0",
+		"-lease-size", "8", "-lease-ttl", "2s", "-retry-budget", "10",
+		"-retries", "2", "-breaker", "0", "-politeness", "1ms", "-metrics")
+	defer fleetd.kill()
+
+	w1 := start(*crawlBin, "-fleet", "http://"+fleetd.addr(), "-worker-id", "clustersmoke-w1")
+	defer w1.kill()
+	w2 := start(*crawlBin, "-fleet", "http://"+fleetd.addr(), "-worker-id", "clustersmoke-w2")
+	defer w2.kill()
+
+	if err := fleetd.wait(120 * time.Second); err != nil {
+		fatalf("fleetd: %v\n%s", err, fleetd.output())
+	}
+	captures := parseLedger(fleetd.output())
+	if captures == 0 {
+		fatalf("fleetd drained with zero captures")
+	}
+	// A worker that was idle at the drain moment never sees a drained
+	// frame (fleetd is gone); SIGTERM is the normal teardown, and the
+	// span export is pushed on that path too.
+	for _, w := range []*proc{w1, w2} {
+		w.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		w.wait(10 * time.Second)              //nolint:errcheck
+	}
+	fmt.Printf("clustersmoke: fleet drained with %d captures; checking scrapes\n", captures)
+
+	// 1. Every node's text exposition and the cluster rollup validate.
+	for i, url := range append(append([]string{}, nodeURLs...), ringURL, obsdURL) {
+		text := get(url + "/metrics")
+		if err := obs.ValidateExposition(strings.NewReader(text)); err != nil {
+			fatalf("scrape %d (%s) invalid: %v", i, url, err)
+		}
+	}
+	cluster := get(obsdURL + "/cluster/metrics")
+	check(obs.ValidateExposition(strings.NewReader(cluster)))
+	for _, want := range []string{
+		"cluster:repl_committed_records_total",
+		"role:repl_node_up",
+		"node:capstore_ingest_batches_total",
+	} {
+		if !strings.Contains(cluster, want) {
+			fatalf("/cluster/metrics missing rollup %q", want)
+		}
+	}
+	var health agg.Health
+	check(json.Unmarshal([]byte(get(obsdURL+"/cluster/healthz")), &health))
+	for _, n := range health.Nodes {
+		if !n.Up {
+			fatalf("node %s down in /cluster/healthz: %+v", n.Name, health)
+		}
+	}
+	fmt.Printf("clustersmoke: %d scrapes valid; waiting for a stitched trace\n", numNodes+2)
+
+	// 2. A fully-stitched cross-process trace. The worker exports land
+	// at exit and capd/capring spans ride the scrape cadence, so poll.
+	wantSvcs := []string{"capd", "capring", "fleetd", "worker"}
+	var stitched agg.TraceSummary
+	deadline := time.Now().Add(20 * time.Second)
+	for stitched.TID == "" {
+		if time.Now().After(deadline) {
+			fatalf("no trace stitched across %v within 20s: %s", wantSvcs, get(obsdURL+"/cluster/traces"))
+		}
+		var sums []agg.TraceSummary
+		check(json.Unmarshal([]byte(get(obsdURL+"/cluster/traces")), &sums))
+		for _, s := range sums {
+			if s.Orphans == 0 && hasAll(s.Svcs, wantSvcs) {
+				stitched = s
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	body := get(obsdURL + "/cluster/traces/" + stitched.TID)
+	for _, svc := range wantSvcs {
+		if !strings.Contains(body, "["+svc+"]") {
+			fatalf("trace %s render missing a [%s] span:\n%s", stitched.TID, svc, body)
+		}
+	}
+	fmt.Printf("clustersmoke: trace %s spans %d processes (%s), %d spans, 0 orphans\n",
+		stitched.TID, len(stitched.Svcs), strings.Join(stitched.Svcs, ","), stitched.Spans)
+
+	// 3. Induce sheds: ordered pushes at far-future sequences jam the
+	// ring's 4-slot reorder buffer; everything past the bound sheds
+	// with 503, and the shed-rate rule must trip.
+	sheds := 0
+	for i := 0; i < 30; i++ {
+		resp, err := http.Post(fmt.Sprintf("%s/ingest?at=%d&n=1", ringURL, 9_000_000+i),
+			"application/octet-stream", bytes.NewReader(nil))
+		check(err)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sheds++
+		}
+	}
+	if sheds < 5 {
+		fatalf("induced only %d sheds out of 30 far-future pushes; buffer never overflowed", sheds)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			fatalf("shed alert never fired: %s", get(obsdURL+"/cluster/alerts"))
+		}
+		var alerts []agg.Alert
+		check(json.Unmarshal([]byte(get(obsdURL+"/cluster/alerts")), &alerts))
+		if len(alerts) != 1 {
+			fatalf("want one alert rule, got %+v", alerts)
+		}
+		if alerts[0].State == "firing" {
+			fmt.Printf("clustersmoke: shed alert firing (fast burn %.1f, slow burn %.1f) after %d induced sheds\n",
+				alerts[0].FastBurn, alerts[0].SlowBurn, sheds)
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	fmt.Printf("clustersmoke: ok — %d captures, %d valid scrapes, trace %s stitched across %s, shed alert tripped\n",
+		captures, numNodes+2, stitched.TID, strings.Join(stitched.Svcs, ","))
+}
+
+func hasAll(have, want []string) bool {
+	set := map[string]bool{}
+	for _, s := range have {
+		set[s] = true
+	}
+	for _, s := range want {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+var ledgerRe = regexp.MustCompile(`drained — submitted=(\d+) captures=(\d+) dead=(\d+) dropped=(\d+)`)
+
+func parseLedger(out string) int64 {
+	m := ledgerRe.FindStringSubmatch(out)
+	if m == nil {
+		fatalf("no ledger line in fleetd output:\n%s", out)
+	}
+	n, _ := strconv.ParseInt(m[2], 10, 64)
+	return n
+}
+
+// proc is a child process whose stdout is captured (and echoed) so
+// startup banners and the final ledger line can be parsed.
+type proc struct {
+	cmd    *exec.Cmd
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	doneCh chan error
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// procs tracks every child so fatalf can reap them — an orphaned node
+// or worker would otherwise outlive a failed smoke run.
+var procs []*proc
+
+func start(bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	check(err)
+	check(cmd.Start())
+	p := &proc{cmd: cmd, doneCh: make(chan error, 1)}
+	procs = append(procs, p)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := out.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.buf.Write(buf[:n])
+				p.mu.Unlock()
+				os.Stdout.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				break
+			}
+		}
+		p.doneCh <- cmd.Wait()
+	}()
+	return p
+}
+
+// boot is start plus waiting for the "… on 127.0.0.1:PORT" banner.
+func boot(bin string, args ...string) *proc {
+	p := start(bin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(p.output()); m != nil {
+			return p
+		}
+		if time.Now().After(deadline) || p.exited() {
+			p.kill()
+			fatalf("%s did not report a listen address:\n%s", bin, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *proc) addr() string {
+	return addrRe.FindStringSubmatch(p.output())[1]
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func (p *proc) exited() bool {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(d time.Duration) error {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil && !p.exited() {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.doneCh
+		p.doneCh <- nil
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clustersmoke: "+format+"\n", args...)
+	for _, p := range procs {
+		p.kill()
+	}
+	os.Exit(1)
+}

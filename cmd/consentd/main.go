@@ -87,7 +87,9 @@ func main() {
 	var tracer *obs.Tracer
 	if *metrics {
 		reg = obs.NewRegistry()
-		tracer = obs.NewTracer(obs.TracerConfig{})
+		// Service is the role, never a per-process identity, so span
+		// exports stay byte-identical across deployments.
+		tracer = obs.NewTracer(obs.TracerConfig{Service: "consentd"})
 		tracer.RegisterMetrics(reg)
 	}
 	srv := decision.NewServer(decision.ServerConfig{

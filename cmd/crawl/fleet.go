@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/capstore"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/webworld"
 )
@@ -50,17 +52,35 @@ func fleetWorker(coordURL, id string) int {
 	// outage from failing the lease and dead-lettering its shares.
 	ingest := capstore.NewClient(rc.IngestURL)
 	ingest.Retry = resilience.RetryPolicy{MaxAttempts: rc.RetryAttempts}
+	// When the run has an obsd aggregator, the worker traces its leases
+	// and pushes the span export before exiting — workers are ephemeral,
+	// a scrape cadence would miss them. Service is the role "worker",
+	// never the worker id: per-process names would break byte-identical
+	// trace assembly across worker counts.
+	var tracer *obs.Tracer
+	if rc.ObsURL != "" {
+		tracer = obs.NewTracer(obs.TracerConfig{Service: "worker"})
+	}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		ID:          id,
 		Coordinator: coord,
 		Push:        fleet.IngestPush(ingest),
 		World:       world,
 		Run:         rc,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		return 1
 	}
+	defer func() {
+		if rc.ObsURL == "" {
+			return
+		}
+		if err := obs.PushSpans(http.DefaultClient, rc.ObsURL+"/ingest/spans", tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "crawl: fleet worker %s: span push: %v\n", id, err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -12,6 +12,7 @@
 //	       [-lease-size 32] [-lease-ttl 10s] [-retry-budget 3]
 //	       [-max-leases 64] [-checkpoint fleet.ckpt]
 //	       [-retries 3] [-breaker 0] [-politeness 2ms] [-metrics]
+//	       [-obsd http://127.0.0.1:8670]
 //
 // Endpoints:
 //
@@ -73,6 +74,7 @@ func main() {
 		breaker    = flag.Int("breaker", 0, "worker-side per-domain breaker threshold (0 disables; breakers are order-dependent, keep 0 for reproducible runs)")
 		politeness = flag.Duration("politeness", 2*time.Millisecond, "worker-side per-domain politeness delay")
 		metrics    = flag.Bool("metrics", false, "expose /metrics, /debug/trace and /debug/pprof (outside the limiter)")
+		obsURL     = flag.String("obsd", "", "obsd aggregator base URL: served to workers on /config and the destination for fleetd's own span export at drain")
 	)
 	flag.Parse()
 	if *ingestURL == "" {
@@ -97,9 +99,13 @@ func main() {
 
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metrics {
-		reg = obs.NewRegistry()
-		tracer = obs.NewTracer(obs.TracerConfig{})
+	if *metrics || *obsURL != "" {
+		if *metrics {
+			reg = obs.NewRegistry()
+		}
+		// Service is the role, never a per-process identity, so span
+		// exports stay byte-identical across worker counts.
+		tracer = obs.NewTracer(obs.TracerConfig{Service: "fleetd"})
 		tracer.RegisterMetrics(reg)
 	}
 
@@ -133,6 +139,7 @@ func main() {
 		BreakerThreshold: *breaker,
 		PolitenessMS:     politeness.Milliseconds(),
 		IngestURL:        *ingestURL,
+		ObsURL:           *obsURL,
 	}
 	handler := fleet.NewHandler(co, rc, fleet.ServerConfig{MaxInFlight: 2 * *maxLeases})
 	if *metrics {
@@ -198,6 +205,14 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx) //nolint:errcheck
+
+	// fleetd is ephemeral from obsd's point of view: push the span
+	// export on the way out, where a scrape cadence would miss it.
+	if *obsURL != "" {
+		if err := obs.PushSpans(http.DefaultClient, *obsURL+"/ingest/spans", tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetd: span push:", err)
+		}
+	}
 
 	l := co.Ledger()
 	fmt.Printf("fleetd: drained — submitted=%d captures=%d dead=%d dropped=%d (leases=%d reassigned=%d dup-completions=%d)\n",

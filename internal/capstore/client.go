@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -176,15 +177,24 @@ func parseRetryAfter(h string) time.Duration {
 }
 
 // ingestOnce POSTs an NDJSON body to /ingest and decodes the
-// IngestResult. A 503 (reorder buffer full) is surfaced as a
-// *ShedError wrapping ErrIngestShed.
-func (cl *Client) ingestOnce(v url.Values, body []byte) (IngestResult, error) {
+// IngestResult. trace, when non-empty, rides the Traceparent header so
+// the server's ingest span joins the pusher's trace. A 503 (reorder
+// buffer full) is surfaced as a *ShedError wrapping ErrIngestShed.
+func (cl *Client) ingestOnce(v url.Values, trace string, body []byte) (IngestResult, error) {
 	var res IngestResult
 	u := cl.BaseURL + "/ingest"
 	if enc := v.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	resp, err := cl.httpClient().Post(u, "application/x-ndjson", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if trace != "" {
+		req.Header.Set(obs.TraceparentHeader, trace)
+	}
+	resp, err := cl.httpClient().Do(req)
 	if err != nil {
 		return res, err
 	}
@@ -208,8 +218,8 @@ func (cl *Client) ingestOnce(v url.Values, body []byte) (IngestResult, error) {
 // duplicates. Shedding honours the server's Retry-After (or the
 // policy's backoff, whichever is longer); other errors retry only when
 // the resilience taxonomy classifies them Retryable.
-func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
-	res, err := cl.ingestOnce(v, body)
+func (cl *Client) ingest(v url.Values, trace string, body []byte) (IngestResult, error) {
+	res, err := cl.ingestOnce(v, trace, body)
 	if err == nil || !cl.Retry.Enabled() {
 		return res, err
 	}
@@ -228,7 +238,7 @@ func (cl *Client) ingest(v url.Values, body []byte) (IngestResult, error) {
 			return res, err
 		}
 		sleep(delay)
-		res, err = cl.ingestOnce(v, body)
+		res, err = cl.ingestOnce(v, trace, body)
 		if err == nil {
 			return res, nil
 		}
@@ -258,11 +268,18 @@ func (cl *Client) Record(c *capture.Capture) (IngestResult, error) {
 // RecordBatch pushes captures over /ingest (unordered mode); they are
 // applied in slice order with per-record idempotency.
 func (cl *Client) RecordBatch(caps []*capture.Capture) (IngestResult, error) {
+	return cl.RecordBatchTrace("", caps)
+}
+
+// RecordBatchTrace is RecordBatch carrying a propagated trace context
+// (traceparent form; empty disables) — the replica fan-out path, where
+// each per-node delivery continues the ring's ingest span.
+func (cl *Client) RecordBatchTrace(trace string, caps []*capture.Capture) (IngestResult, error) {
 	body, err := encodeBatch(caps)
 	if err != nil {
 		return IngestResult{}, err
 	}
-	return cl.ingest(nil, body)
+	return cl.ingest(nil, trace, body)
 }
 
 // RecordBatchAt pushes the ordered batch covering work items [at, at+n)
@@ -272,6 +289,13 @@ func (cl *Client) RecordBatch(caps []*capture.Capture) (IngestResult, error) {
 // order; ErrIngestShed means the reorder buffer is full and the push
 // should be retried after a short delay.
 func (cl *Client) RecordBatchAt(at, n int64, caps []*capture.Capture) (IngestResult, error) {
+	return cl.RecordBatchAtTrace("", at, n, caps)
+}
+
+// RecordBatchAtTrace is RecordBatchAt carrying a propagated trace
+// context (traceparent form; empty disables) — the fleet worker's push
+// path, which hands its push-span context to the store.
+func (cl *Client) RecordBatchAtTrace(trace string, at, n int64, caps []*capture.Capture) (IngestResult, error) {
 	body, err := encodeBatch(caps)
 	if err != nil {
 		return IngestResult{}, err
@@ -279,7 +303,7 @@ func (cl *Client) RecordBatchAt(at, n int64, caps []*capture.Capture) (IngestRes
 	v := url.Values{}
 	v.Set("at", strconv.FormatInt(at, 10))
 	v.Set("n", strconv.FormatInt(n, 10))
-	return cl.ingest(v, body)
+	return cl.ingest(v, trace, body)
 }
 
 // RecordStream pushes a raw wire-format NDJSON stream over /ingest

@@ -57,6 +57,11 @@ type IngestConfig struct {
 	MaxBodyBytes int64
 	// Registry, when non-nil, receives the ingest metric families.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records an ingest span for every /ingest
+	// request that arrives with a Traceparent header, parented to the
+	// pusher's span — the capd end of the fleetd→worker→ring→capd
+	// trace. Requests without the header stay unspanned.
+	Tracer *obs.Tracer
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -305,6 +310,28 @@ func (in *Ingester) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Adopt the pusher's trace context, if any: the ingest span is the
+	// capd end of the fleetd→worker→ring→capd trace. Its identity
+	// attrs are the batch's canonical coordinates (range for ordered,
+	// size for unordered) — never per-node or per-request values — so
+	// replica re-deliveries of one batch collapse to one span at
+	// assembly and exports stay byte-identical across worker counts.
+	// A malformed or absent header leaves the request unspanned;
+	// tracing never fails an ingest.
+	if in.cfg.Tracer != nil {
+		if pctx, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); err == nil && pctx.Valid() {
+			var span *obs.Span
+			if ordered {
+				span = in.cfg.Tracer.StartRemote("ingest", pctx,
+					obs.A("at", strconv.FormatInt(at, 10)),
+					obs.A("n", strconv.FormatInt(n, 10)))
+			} else {
+				span = in.cfg.Tracer.StartRemote("ingest", pctx)
+			}
+			defer span.End()
+		}
+	}
+
 	body := http.MaxBytesReader(w, r.Body, in.cfg.MaxBodyBytes)
 	var caps []*capture.Capture
 	rr := capturedb.NewRecordReader(body)

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/capstore"
 	"repro/internal/capture"
 	"repro/internal/capturedb"
+	"repro/internal/obs"
 )
 
 // The replicated store's HTTP surface, served by cmd/capring. It
@@ -43,8 +45,11 @@ func Handler(w *Writer) http.Handler {
 }
 
 // HealthzHandler answers the writer snapshot; mount it outside any
-// limiter so probes are never shed.
+// limiter so probes are never shed. With metrics registered the
+// payload carries the capd-style telemetry digest (uptime + slowest
+// quorum-wait buckets), so capstore.Client.Health round-trips it.
 func HealthzHandler(w *Writer) http.Handler {
+	started := time.Now()
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		st := w.Stats()
 		status := "ok"
@@ -53,11 +58,16 @@ func HealthzHandler(w *Writer) http.Handler {
 				status = "degraded"
 			}
 		}
+		var tel *obs.TelemetrySummary
+		if w.cfg.Registry != nil {
+			tel = obs.Summarize(time.Since(started), w.m.quorumSeconds.Snapshot(), 3)
+		}
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(struct { //nolint:errcheck
 			Status string `json:"status"`
 			Stats
-		}{Status: status, Stats: st})
+			Telemetry *obs.TelemetrySummary `json:"telemetry,omitempty"`
+		}{Status: status, Stats: st, Telemetry: tel})
 	})
 }
 
@@ -96,10 +106,11 @@ func handleIngest(w *Writer, rw http.ResponseWriter, r *http.Request) {
 	}
 	var res capstore.IngestResult
 	var err error
+	trace := r.Header.Get(obs.TraceparentHeader)
 	if ordered {
-		res, err = w.RecordBatchAt(at, n, caps)
+		res, err = w.RecordBatchAtTrace(trace, at, n, caps)
 	} else {
-		res, err = w.RecordBatch(caps)
+		res, err = w.RecordBatchTrace(trace, caps)
 	}
 	switch {
 	case errors.Is(err, capstore.ErrIngestShed):

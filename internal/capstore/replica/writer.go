@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -103,6 +104,10 @@ type Config struct {
 	NodeTimeout time.Duration
 	// Registry, when non-nil, receives the replication metrics.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records a ring.ingest span per traced
+	// commit (the pusher's Traceparent header parents it) and stamps
+	// the span's context onto every per-node delivery.
+	Tracer *obs.Tracer
 	// HTTP overrides the per-node HTTP client (tests).
 	HTTP *http.Client
 }
@@ -172,6 +177,10 @@ type item struct {
 	caps   []*capture.Capture
 	shards []int // distinct shards covered, for quorum acking
 	wait   *commitWait
+	// tp is the commit's ring.ingest span context, forwarded on the
+	// node delivery so capd's ingest span joins the same trace. Empty
+	// for untraced commits and handoff replays loaded from disk.
+	tp string
 }
 
 // commitWait tracks one commit's write quorum: each touched shard
@@ -182,11 +191,13 @@ type commitWait struct {
 	remaining int
 	start     time.Time
 	done      chan struct{}
+	span      *obs.Span // ring.ingest span, ended when the quorum lands
 }
 
 type pendingBatch struct {
-	n    int64
-	caps []*capture.Capture
+	n     int64
+	caps  []*capture.Capture
+	trace string // pusher's traceparent, replayed when the batch commits
 }
 
 type nodeState int
@@ -373,12 +384,23 @@ func (w *Writer) Close() error {
 // RecordBatch commits caps immediately in arrival order (unordered
 // mode) and waits for the write quorum.
 func (w *Writer) RecordBatch(caps []*capture.Capture) (capstore.IngestResult, error) {
+	return w.RecordBatchTrace("", caps)
+}
+
+// RecordBatchTrace is RecordBatch with the pusher's traceparent: when
+// the writer has a Tracer, the commit records a ring.ingest span
+// parented by trace and forwards its context on every node delivery.
+func (w *Writer) RecordBatchTrace(trace string, caps []*capture.Capture) (capstore.IngestResult, error) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return capstore.IngestResult{}, ErrClosed
 	}
-	wait := w.fanOutLocked(-1, caps)
+	sp := w.ringSpan(trace, -1, 0)
+	wait := w.fanOutLocked(-1, caps, sp)
+	if wait == nil && sp != nil {
+		sp.End() // empty batch: nothing fans out
+	}
 	w.mu.Unlock()
 	res := capstore.IngestResult{Accepted: int64(len(caps))}
 	return w.await(wait, res)
@@ -392,6 +414,13 @@ func (w *Writer) RecordBatch(caps []*capture.Capture) (capstore.IngestResult, er
 // whole as duplicates. In-order pushes additionally wait for the write
 // quorum of their own records.
 func (w *Writer) RecordBatchAt(at, n int64, caps []*capture.Capture) (capstore.IngestResult, error) {
+	return w.RecordBatchAtTrace("", at, n, caps)
+}
+
+// RecordBatchAtTrace is RecordBatchAt with the pusher's traceparent.
+// Buffered out-of-order batches remember their trace and commit under
+// it when the gap fills.
+func (w *Writer) RecordBatchAtTrace(trace string, at, n int64, caps []*capture.Capture) (capstore.IngestResult, error) {
 	if at < 0 || n <= 0 {
 		return capstore.IngestResult{}, fmt.Errorf("replica: bad ordered range at=%d n=%d", at, n)
 	}
@@ -419,13 +448,13 @@ func (w *Writer) RecordBatchAt(at, n int64, caps []*capture.Capture) (capstore.I
 			w.m.shed.Inc()
 			return capstore.IngestResult{}, capstore.ErrIngestShed
 		}
-		w.pending[at] = pendingBatch{n: n, caps: caps}
+		w.pending[at] = pendingBatch{n: n, caps: caps, trace: trace}
 		res := capstore.IngestResult{Accepted: int64(len(caps)), Pending: len(w.pending)}
 		w.mu.Unlock()
 		return res, nil
 	}
 	// at == nextSeq: commit, then drain whatever it unblocked.
-	wait := w.commitLocked(at, n, caps)
+	wait := w.commitLocked(at, n, caps, trace)
 	for {
 		pb, ok := w.pending[w.nextSeq]
 		if !ok {
@@ -433,7 +462,7 @@ func (w *Writer) RecordBatchAt(at, n int64, caps []*capture.Capture) (capstore.I
 		}
 		seq := w.nextSeq
 		delete(w.pending, seq)
-		w.commitLocked(seq, pb.n, pb.caps)
+		w.commitLocked(seq, pb.n, pb.caps, pb.trace)
 	}
 	res := capstore.IngestResult{Accepted: int64(len(caps)), Pending: len(w.pending)}
 	w.mu.Unlock()
@@ -442,19 +471,48 @@ func (w *Writer) RecordBatchAt(at, n int64, caps []*capture.Capture) (capstore.I
 
 // commitLocked assigns the batch its canonical position and fans it
 // out. Caller holds w.mu.
-func (w *Writer) commitLocked(seq, n int64, caps []*capture.Capture) *commitWait {
-	wait := w.fanOutLocked(seq, caps)
+func (w *Writer) commitLocked(seq, n int64, caps []*capture.Capture, trace string) *commitWait {
+	sp := w.ringSpan(trace, seq, n)
+	wait := w.fanOutLocked(seq, caps, sp)
+	if wait == nil && sp != nil {
+		sp.End() // skip-range commit: no records to wait for
+	}
 	w.nextSeq = seq + n
 	return wait
+}
+
+// ringSpan starts the commit's ring.ingest span when the pusher
+// carried a trace context. Attrs are canonical coordinates only —
+// never node names, queue depths, or retry counts — so propagated
+// traces stay byte-identical across worker counts and replica
+// layouts.
+func (w *Writer) ringSpan(trace string, seq, n int64) *obs.Span {
+	if w.cfg.Tracer == nil || trace == "" {
+		return nil
+	}
+	pctx, err := obs.ParseTraceparent(trace)
+	if err != nil || !pctx.Valid() {
+		return nil
+	}
+	if seq >= 0 {
+		return w.cfg.Tracer.StartRemote("ring.ingest", pctx,
+			obs.A("at", strconv.FormatInt(seq, 10)),
+			obs.A("n", strconv.FormatInt(n, 10)))
+	}
+	return w.cfg.Tracer.StartRemote("ring.ingest", pctx)
 }
 
 // fanOutLocked splits caps by shard, enqueues each node's sub-batch on
 // its sender, and registers the commit's quorum accounting. Caller
 // holds w.mu; enqueue order across nodes is the canonical order
 // because this lock serializes all commits.
-func (w *Writer) fanOutLocked(seq int64, caps []*capture.Capture) *commitWait {
+func (w *Writer) fanOutLocked(seq int64, caps []*capture.Capture, sp *obs.Span) *commitWait {
 	if len(caps) == 0 {
 		return nil
+	}
+	tp := ""
+	if sp != nil {
+		tp = sp.Context().Traceparent()
 	}
 	perNode := make(map[string]*item)
 	nodeShards := make(map[string]map[int]bool)
@@ -477,7 +535,7 @@ func (w *Writer) fanOutLocked(seq int64, caps []*capture.Capture) *commitWait {
 	w.committed += int64(len(caps))
 	w.m.committed.Add(int64(len(caps)))
 
-	wait := &commitWait{seq: seq, need: make(map[int]int, len(touched)), start: time.Now(), done: make(chan struct{})}
+	wait := &commitWait{seq: seq, need: make(map[int]int, len(touched)), start: time.Now(), done: make(chan struct{}), span: sp}
 	enqueued := make(map[int]int, len(touched))
 	// Deterministic fan-out order keeps runs comparable (map iteration
 	// would shuffle only goroutine wakeups, never bytes, but stable
@@ -490,6 +548,7 @@ func (w *Writer) fanOutLocked(seq int64, caps []*capture.Capture) *commitWait {
 	for _, name := range names {
 		it := perNode[name]
 		it.wait = wait
+		it.tp = tp
 		for s := range nodeShards[name] {
 			it.shards = append(it.shards, s)
 		}
@@ -537,6 +596,9 @@ func (w *Writer) ackDelivery(it item) {
 	if wait.remaining == 0 && !isClosedChan(wait.done) {
 		close(wait.done)
 		w.m.quorumSeconds.Observe(time.Since(wait.start).Seconds())
+		if wait.span != nil {
+			wait.span.End() // span brackets commit → write quorum
+		}
 		if wait.seq >= 0 {
 			delete(w.awaiting, wait.seq)
 		}
@@ -779,7 +841,7 @@ func (n *node) deliver(it item) {
 				return
 			}
 		}
-		_, err := n.cl.RecordBatch(it.caps)
+		_, err := n.cl.RecordBatchTrace(it.tp, it.caps)
 		if err == nil {
 			n.noteSuccess(it)
 			n.w.ackDelivery(it)

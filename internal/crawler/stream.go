@@ -95,6 +95,10 @@ type StreamConfig struct {
 	// Tracer records visit/retry/store spans for each processed share;
 	// nil disables tracing.
 	Tracer *obs.Tracer
+	// TraceContext, when valid, makes every visit span a child of this
+	// remote parent — the fleet worker passes its lease-scoped span so
+	// visits stitch into the fleetd-rooted trace.
+	TraceContext obs.SpanContext
 	// Now is the clock behind politeness scheduling and visit timing,
 	// injectable for deterministic tests — the same pattern as
 	// resilience.BreakerConfig.Now (default time.Now).
@@ -324,7 +328,8 @@ func (p *StreamPlatform) process(ctx context.Context, b *browser.Browser, sink c
 	domain := q.share.Domain
 	var visit *obs.Span
 	if p.cfg.Tracer != nil {
-		visit = p.cfg.Tracer.Start("visit", obs.A("url", q.share.URL), obs.A("day", q.day.String()))
+		visit = p.cfg.Tracer.StartRemote("visit", p.cfg.TraceContext,
+			obs.A("url", q.share.URL), obs.A("day", q.day.String()))
 		defer visit.End()
 	}
 	if m := p.cfg.Metrics; m != nil {

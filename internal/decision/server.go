@@ -296,7 +296,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var sp *obs.Span
 	if s.tracer != nil {
-		sp = s.tracer.Start("decision.batch")
+		// A fleet pusher's Traceparent header stitches the batch span
+		// into the caller's trace; absent or malformed headers degrade
+		// to a root span.
+		pctx, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		sp = s.tracer.StartRemote("decision.batch", pctx)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.maxBatch), 64<<10)
@@ -527,6 +531,9 @@ type Health struct {
 	CacheHitRatio float64                 `json:"cache_hit_ratio"`
 	GVL           GVLHealth               `json:"gvl"`
 	Limiter       resilience.LimiterStats `json:"limiter"`
+	// Telemetry is the capd-style digest (uptime + slowest batch-latency
+	// buckets), present only when the server runs with metrics.
+	Telemetry *obs.TelemetrySummary `json:"telemetry,omitempty"`
 }
 
 // GVLHealth summarizes the resolver.
@@ -550,6 +557,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.resolver != nil {
 		min, max, n := s.resolver.Versions()
 		h.GVL = GVLHealth{Versions: n, MinVersion: min, MaxVersion: max}
+	}
+	if s.m != nil {
+		h.Telemetry = obs.Summarize(time.Since(s.start), s.m.batchSec.Snapshot(), 3)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)

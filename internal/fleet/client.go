@@ -60,14 +60,15 @@ func (cl *Client) Lease(worker string, capacity int) (*Frame, error) {
 }
 
 // Heartbeat extends a lease; an error frame means the lease is gone and
-// the chunk should be abandoned.
-func (cl *Client) Heartbeat(worker string, lease int64) (*Frame, error) {
-	return cl.exchange("/heartbeat", &Frame{Type: FrameHeartbeat, Worker: worker, Lease: lease})
+// the chunk should be abandoned. trace echoes the grant's trace context
+// (empty for untraced runs) so the lease's frames share one trace.
+func (cl *Client) Heartbeat(worker string, lease int64, trace string) (*Frame, error) {
+	return cl.exchange("/heartbeat", &Frame{Type: FrameHeartbeat, Worker: worker, Lease: lease, Trace: trace})
 }
 
-// Complete reports a lease's outcomes.
-func (cl *Client) Complete(worker string, lease int64, results []Result) (*Frame, error) {
-	return cl.exchange("/complete", &Frame{Type: FrameCompletion, Worker: worker, Lease: lease, Results: results})
+// Complete reports a lease's outcomes; trace as on Heartbeat.
+func (cl *Client) Complete(worker string, lease int64, results []Result, trace string) (*Frame, error) {
+	return cl.exchange("/complete", &Frame{Type: FrameCompletion, Worker: worker, Lease: lease, Results: results, Trace: trace})
 }
 
 // Config fetches the coordinator's RunConfig.

@@ -317,15 +317,21 @@ func (co *Coordinator) grantLocked(worker string, c *chunk) *Frame {
 	if co.metrics != nil {
 		co.metrics.granted.Inc()
 	}
+	var trace string
 	if co.cfg.Tracer != nil {
 		// Span identity is structural: (name, Start attrs). first+attempt
 		// uniquely identifies this lease across the run; worker and
-		// outcome are display-only post-Start attrs.
+		// outcome are display-only post-Start attrs. The span's context
+		// rides the grant so every downstream span — worker visits, the
+		// ordered push, ring fan-out, capd ingest — joins this trace.
+		// No worker attr: which worker wins a lease is a scheduling
+		// accident, and recording it would break byte-identical trace
+		// exports across worker counts.
 		sp := co.cfg.Tracer.Start("lease",
 			obs.A("first", fmt.Sprintf("%d", c.first)),
 			obs.A("attempt", fmt.Sprintf("%d", c.attempts)))
-		sp.Attr("worker", worker)
 		co.spans[c.lease] = sp
+		trace = sp.Context().Traceparent()
 	}
 	return &Frame{
 		Type:  FrameLeaseGrant,
@@ -334,6 +340,7 @@ func (co *Coordinator) grantLocked(worker string, c *chunk) *Frame {
 		N:     c.n(),
 		Items: c.items,
 		TTLMS: co.cfg.LeaseTTL.Milliseconds(),
+		Trace: trace,
 	}
 }
 

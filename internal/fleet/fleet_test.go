@@ -333,7 +333,7 @@ func TestWorkerPatience(t *testing.T) {
 	w, err := NewWorker(WorkerConfig{
 		ID:          "impatient",
 		Coordinator: NewClient(srv.URL),
-		Push:        func(at, n int64, caps []*capture.Capture) error { return nil },
+		Push:        func(trace string, at, n int64, caps []*capture.Capture) error { return nil },
 		World:       fleetWorld(),
 		Patience:    200 * time.Millisecond,
 	})

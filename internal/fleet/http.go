@@ -29,6 +29,10 @@ type RunConfig struct {
 	PolitenessMS     int64 `json:"politeness_ms"`
 	// IngestURL is the capd the workers push captures to.
 	IngestURL string `json:"ingest_url"`
+	// ObsURL, when set, is the obsd aggregator workers push their span
+	// exports to (POST {ObsURL}/ingest/spans) after draining — workers
+	// are ephemeral, so scrape-based collection would miss them.
+	ObsURL string `json:"obs_url,omitempty"`
 }
 
 // ServerConfig parameterizes the coordinator's HTTP surface.

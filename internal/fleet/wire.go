@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -106,6 +107,12 @@ type Frame struct {
 	Dup bool `json:"dup,omitempty"`
 	// Err carries the reason on error frames.
 	Err string `json:"e,omitempty"`
+	// Trace carries the lease span's context in traceparent form: set
+	// by the coordinator on grants (when it runs a tracer), echoed by
+	// workers on heartbeats and completions, and adopted as the remote
+	// parent of every worker-side span. Optional — an empty string
+	// means the exchange is untraced.
+	Trace string `json:"tp,omitempty"`
 }
 
 // EncodeFrame renders a frame as one JSON line (with trailing newline).
@@ -208,6 +215,11 @@ func (f *Frame) Validate() error {
 		}
 	default:
 		return fmt.Errorf("fleet: unknown frame type %q", f.Type)
+	}
+	if f.Trace != "" {
+		if _, err := obs.ParseTraceparent(f.Trace); err != nil {
+			return fmt.Errorf("fleet: %s frame trace context: %w", f.Type, err)
+		}
 	}
 	return nil
 }

@@ -10,20 +10,24 @@ import (
 	"repro/internal/capstore"
 	"repro/internal/capture"
 	"repro/internal/crawler"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/socialfeed"
 	"repro/internal/webworld"
 )
 
 // PushFunc delivers a completed chunk's captures to the store at its
-// canonical range [at, at+n). capstore.Client.RecordBatchAt satisfies
-// it over HTTP; tests push straight into an in-process Ingester.
-type PushFunc func(at, n int64, caps []*capture.Capture) error
+// canonical range [at, at+n). trace is the worker's push-span context
+// in traceparent form (empty for untraced runs); HTTP pushers forward
+// it as the Traceparent header so the store's ingest span joins the
+// lease's trace. capstore.Client.RecordBatchAtTrace satisfies it over
+// HTTP; tests push straight into an in-process Ingester.
+type PushFunc func(trace string, at, n int64, caps []*capture.Capture) error
 
 // IngestPush adapts a capstore client to PushFunc.
 func IngestPush(cl *capstore.Client) PushFunc {
-	return func(at, n int64, caps []*capture.Capture) error {
-		_, err := cl.RecordBatchAt(at, n, caps)
+	return func(trace string, at, n int64, caps []*capture.Capture) error {
+		_, err := cl.RecordBatchAtTrace(trace, at, n, caps)
 		return err
 	}
 }
@@ -51,6 +55,12 @@ type WorkerConfig struct {
 	// crash+restart; without a bound, a worker that misses the drained
 	// frame because the coordinator exited would retry forever.
 	Patience time.Duration
+	// Tracer records the worker's spans (the per-lease work span, its
+	// visit children, and the push span), adopted into the grant's
+	// trace context; nil disables tracing. Configure it with a role
+	// Service ("worker"), never a per-worker name — exports must stay
+	// byte-identical across worker counts.
+	Tracer *obs.Tracer
 }
 
 // ErrWorkerCrashed is returned by Worker.Run when the test crash hook
@@ -68,6 +78,7 @@ type Worker struct {
 	run      RunConfig
 	visitor  browser.Visitor
 	patience time.Duration
+	tracer   *obs.Tracer
 
 	// crash, when set by in-package tests, is consulted at named stages
 	// ("granted" before processing, "processed" before the push,
@@ -93,6 +104,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		run:      cfg.Run,
 		visitor:  cfg.Visitor,
 		patience: patience,
+		tracer:   cfg.Tracer,
 	}, nil
 }
 
@@ -171,6 +183,17 @@ func (w *Worker) runLease(ctx context.Context, grant *Frame) error {
 	if w.crashed("granted", grant.First) {
 		return ErrWorkerCrashed
 	}
+	// Adopt the grant's trace context: the work span (and through it
+	// every visit and the push) becomes a child of fleetd's lease span.
+	// A malformed context is treated as absent — tracing must never
+	// fail a lease.
+	pctx, _ := obs.ParseTraceparent(grant.Trace)
+	var work *obs.Span
+	if w.tracer != nil {
+		work = w.tracer.StartRemote("work", pctx,
+			obs.A("first", fmt.Sprintf("%d", grant.First)))
+		defer work.End()
+	}
 	leaseCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	hbDone := make(chan struct{})
@@ -180,9 +203,10 @@ func (w *Worker) runLease(ctx context.Context, grant *Frame) error {
 	}()
 	defer func() { cancel(); <-hbDone }()
 
-	results, caps := w.processChunk(leaseCtx, grant)
+	results, caps := w.processChunk(leaseCtx, grant, work.Context())
 	if leaseCtx.Err() != nil && ctx.Err() == nil {
 		// Lease lost mid-crawl: abandon silently.
+		work.Attr("outcome", "lease-lost")
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -191,15 +215,16 @@ func (w *Worker) runLease(ctx context.Context, grant *Frame) error {
 	if w.crashed("processed", grant.First) {
 		return ErrWorkerCrashed
 	}
-	if err := w.pushWithRetry(ctx, grant, caps); err != nil {
+	if err := w.pushWithRetry(ctx, grant, caps, work); err != nil {
 		return err
 	}
 	if w.crashed("pushed", grant.First) {
 		return ErrWorkerCrashed
 	}
+	work.Attr("outcome", "completed")
 	down := outage{limit: w.patience}
 	for {
-		f, err := w.coord.Complete(w.id, grant.Lease, results)
+		f, err := w.coord.Complete(w.id, grant.Lease, results, grant.Trace)
 		if err == nil {
 			if f.Type == FrameError {
 				return fmt.Errorf("fleet: completion rejected: %s", f.Err)
@@ -236,7 +261,7 @@ func (w *Worker) heartbeat(ctx context.Context, grant *Frame, cancel context.Can
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			f, err := w.coord.Heartbeat(w.id, grant.Lease)
+			f, err := w.coord.Heartbeat(w.id, grant.Lease, grant.Trace)
 			if err != nil {
 				continue // transient transport failure; the TTL absorbs a few
 			}
@@ -255,13 +280,15 @@ func (w *Worker) heartbeat(ctx context.Context, grant *Frame, cancel context.Can
 // the ordered push. Breakers follow RunConfig.BreakerThreshold
 // (0 disables; their state is cross-share order-dependent, so
 // determinism runs keep them off).
-func (w *Worker) processChunk(ctx context.Context, grant *Frame) ([]Result, []*capture.Capture) {
+func (w *Worker) processChunk(ctx context.Context, grant *Frame, tctx obs.SpanContext) ([]Result, []*capture.Capture) {
 	sink := capture.NewMemStore()
 	dead := resilience.NewMemDeadLetter()
 	p := crawler.NewStreamPlatform(w.world, crawler.StreamConfig{
 		Seed:           w.run.CrawlSeed,
 		Workers:        1,
 		QueueDepth:     grant.N,
+		Tracer:         w.tracer,
+		TraceContext:   tctx,
 		PerDomainDelay: time.Duration(w.run.PolitenessMS) * time.Millisecond,
 		Retry: resilience.RetryPolicy{
 			MaxAttempts: w.run.RetryAttempts,
@@ -336,10 +363,17 @@ func sortResults(rs []Result) {
 // shedding (the store is waiting for an earlier range) with retries.
 // Shedding is a live server asking for backoff and never counts toward
 // the patience budget; transport failures do.
-func (w *Worker) pushWithRetry(ctx context.Context, grant *Frame, caps []*capture.Capture) error {
+func (w *Worker) pushWithRetry(ctx context.Context, grant *Frame, caps []*capture.Capture, work *obs.Span) error {
+	var push *obs.Span
+	if work != nil {
+		push = work.Start("push", obs.A("first", fmt.Sprintf("%d", grant.First)))
+		defer push.End()
+	}
 	down := outage{limit: w.patience}
 	for {
-		err := w.push(grant.First, int64(grant.N), caps)
+		// No per-retry attrs: shed/retry counts vary across worker
+		// counts and would break byte-identical trace exports.
+		err := w.push(push.Context().Traceparent(), grant.First, int64(grant.N), caps)
 		if err == nil {
 			return nil
 		}

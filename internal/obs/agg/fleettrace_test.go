@@ -1,0 +1,189 @@
+package agg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capstore"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/obs/agg"
+	"repro/internal/socialfeed"
+	"repro/internal/webworld"
+)
+
+// The acceptance test for cross-process propagation: a real in-process
+// fleet — coordinator, workers, and a capd ingester behind actual HTTP
+// servers — traced under fixed clocks, with every process's NDJSON
+// export fed into an aggregator. One lease's trace must stitch spans
+// from fleetd, worker, and capd with no orphans, and the full rendered
+// trace set must be byte-identical between a 1-worker and a 3-worker
+// run: which worker wins a lease is a scheduling accident the traces
+// may not record.
+
+const (
+	ftSeed    = 11
+	ftDomains = 300
+	ftShares  = 40
+)
+
+func ftClock() func() time.Time {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return at }
+}
+
+func runTracedFleet(t *testing.T, workers int) *agg.Aggregator {
+	t.Helper()
+	store, err := capstore.Create(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capdTracer := obs.NewTracer(obs.TracerConfig{Service: "capd", Clock: ftClock()})
+	ing, err := capstore.NewIngester(store, capstore.IngestConfig{Tracer: capdTracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capdSrv := httptest.NewServer(ing)
+	defer capdSrv.Close()
+
+	world := webworld.New(webworld.Config{Seed: ftSeed, Domains: ftDomains})
+	feed := socialfeed.New(world, socialfeed.Config{Seed: ftSeed, SharesPerDay: ftShares})
+	items := fleet.WorkFromFeed(feed, 0, 0)
+	capCl := capstore.NewClient(capdSrv.URL)
+	fleetdTracer := obs.NewTracer(obs.TracerConfig{Service: "fleetd", Clock: ftClock()})
+	co, err := fleet.NewCoordinator(items, fleet.CoordinatorConfig{
+		LeaseSize: 8,
+		LeaseTTL:  10 * time.Second,
+		IdleRetry: 10 * time.Millisecond,
+		Skip: func(at, n int64) error {
+			_, err := capCl.RecordBatchAt(at, n, nil)
+			return err
+		},
+		Tracer: fleetdTracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(fleet.NewHandler(co, fleet.RunConfig{
+		WorldSeed:     ftSeed,
+		WorldDomains:  ftDomains,
+		CrawlSeed:     ftSeed,
+		RetryAttempts: 2,
+		PolitenessMS:  1,
+		IngestURL:     capdSrv.URL,
+	}, fleet.ServerConfig{}))
+	defer coordSrv.Close()
+
+	rc, err := fleet.NewClient(coordSrv.URL).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	workerTracers := make([]*obs.Tracer, workers)
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		tr := obs.NewTracer(obs.TracerConfig{Service: "worker", Clock: ftClock()})
+		workerTracers[i] = tr
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			ID:          fmt.Sprintf("worker-%d", i),
+			Coordinator: fleet.NewClient(coordSrv.URL),
+			Push:        fleet.IngestPush(capCl),
+			World:       webworld.New(webworld.Config{Seed: ftSeed, Domains: ftDomains}),
+			Run:         rc,
+			Tracer:      tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { done <- w.Run(ctx) }()
+	}
+	select {
+	case <-co.Done():
+	case <-ctx.Done():
+		t.Fatalf("fleet did not drain: %+v", co.Status())
+	}
+	cancel() // release idle workers
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("worker: %v", err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Assemble exactly as obsd would: capd scraped, ephemeral processes
+	// pushed. Capd-first mimics the usual child-before-parent arrival.
+	a, err := agg.New(agg.Config{Clock: ftClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(tr *obs.Tracer) {
+		var buf strings.Builder
+		if err := tr.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.IngestSpans(strings.NewReader(buf.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(capdTracer)
+	for _, tr := range workerTracers {
+		ingest(tr)
+	}
+	ingest(fleetdTracer)
+	return a
+}
+
+func renderAllTraces(t *testing.T, a *agg.Aggregator) string {
+	t.Helper()
+	var b strings.Builder
+	for _, s := range a.Traces() {
+		ok, err := a.WriteTrace(&b, s.TID)
+		if !ok || err != nil {
+			t.Fatalf("render %s: ok=%v err=%v", s.TID, ok, err)
+		}
+	}
+	return b.String()
+}
+
+func TestFleetTraceByteIdentity(t *testing.T) {
+	a1 := runTracedFleet(t, 1)
+	sums := a1.Traces()
+	if len(sums) == 0 {
+		t.Fatal("fleet run produced no traces")
+	}
+	stitched := 0
+	for _, s := range sums {
+		if s.Orphans != 0 {
+			t.Errorf("trace %s has %d orphans", s.TID, s.Orphans)
+		}
+		svcs := strings.Join(s.Svcs, ",")
+		if strings.Contains(svcs, "fleetd") && strings.Contains(svcs, "worker") && strings.Contains(svcs, "capd") {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatalf("no trace stitched across fleetd, worker, and capd: %+v", sums)
+	}
+
+	r1 := renderAllTraces(t, a1)
+	a3 := runTracedFleet(t, 3)
+	r3 := renderAllTraces(t, a3)
+	if r1 != r3 {
+		l1 := strings.Split(r1, "\n")
+		l3 := strings.Split(r3, "\n")
+		for i := 0; i < len(l1) && i < len(l3); i++ {
+			if l1[i] != l3[i] {
+				t.Fatalf("trace render diverges at line %d:\n 1 worker: %s\n 3 workers: %s", i+1, l1[i], l3[i])
+			}
+		}
+		t.Fatalf("trace renders differ in length: %d vs %d lines", len(l1), len(l3))
+	}
+}

@@ -1,0 +1,229 @@
+package agg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Cluster rollups. Every scraped family folds into three derived
+// families, named with the colon prefixes the Prometheus exposition
+// grammar reserves for recording rules:
+//
+//	cluster:<name>        sum across all nodes (counters, gauges) or
+//	                      the quantile-mergeable bucket union
+//	                      (histograms), per label set
+//	cluster:<name>:max    gauges additionally keep the per-node max —
+//	                      a summed queue depth hides one saturated node
+//	role:<name>           the same fold restricted to nodes sharing a
+//	                      role, with a role label
+//	node:<name>           the raw per-node children, with node and role
+//	                      labels — the drill-down surface
+//
+// Vecs with disjoint label children across nodes merge by label set:
+// a child seen on only one node contributes itself, unchanged, to the
+// cluster fold.
+
+// RollupFamily is one derived family in the cluster exposition.
+type RollupFamily struct {
+	Name    string                 `json:"name"`
+	Kind    string                 `json:"kind"`
+	Help    string                 `json:"help,omitempty"`
+	Metrics []obs.ExpositionMetric `json:"metrics"`
+}
+
+// labelKey canonicalizes a label set for grouping.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"\x00"+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// foldChild accumulates one scraped metric into a group keyed by label
+// set.
+type foldChild struct {
+	labels map[string]string
+	sum    float64
+	max    float64
+	n      int
+	hist   obs.HistogramSnapshot
+}
+
+type fold struct {
+	kind     string
+	help     string
+	children map[string]*foldChild
+}
+
+func (f *fold) add(m obs.ExpositionMetric, extra map[string]string) {
+	labels := make(map[string]string, len(m.Labels)+len(extra))
+	for k, v := range m.Labels {
+		labels[k] = v
+	}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	key := labelKey(labels)
+	c := f.children[key]
+	if c == nil {
+		c = &foldChild{labels: labels}
+		f.children[key] = c
+	}
+	if m.Histogram != nil {
+		c.hist = obs.MergeHistogramSnapshots(c.hist, *m.Histogram)
+	}
+	if m.Value != nil {
+		c.sum += *m.Value
+		if c.n == 0 || *m.Value > c.max {
+			c.max = *m.Value
+		}
+	}
+	c.n++
+}
+
+func (f *fold) family(name string, value func(*foldChild) float64) RollupFamily {
+	rf := RollupFamily{Name: name, Kind: f.kind, Help: f.help}
+	for _, key := range sortedKeys(f.children) {
+		c := f.children[key]
+		m := obs.ExpositionMetric{}
+		if len(c.labels) > 0 {
+			m.Labels = c.labels
+		}
+		if f.kind == "histogram" {
+			h := c.hist
+			m.Histogram = &h
+		} else {
+			v := value(c)
+			m.Value = &v
+		}
+		rf.Metrics = append(rf.Metrics, m)
+	}
+	return rf
+}
+
+// Rollup folds the latest scrape of every node into the derived
+// cluster families, sorted by name.
+func (a *Aggregator) Rollup() []RollupFamily {
+	nodes := a.snapshotNodes()
+
+	cluster := map[string]*fold{}
+	role := map[string]*fold{}
+	node := map[string]*fold{}
+	ensure := func(m map[string]*fold, name, kind, help string) *fold {
+		f := m[name]
+		if f == nil {
+			f = &fold{kind: kind, help: help, children: map[string]*foldChild{}}
+			m[name] = f
+		}
+		return f
+	}
+	for _, ns := range nodes {
+		for _, fam := range ns.families {
+			for _, metric := range fam.Metrics {
+				ensure(cluster, fam.Name, fam.Kind, fam.Help).add(metric, nil)
+				ensure(role, fam.Name, fam.Kind, fam.Help).add(metric,
+					map[string]string{"role": ns.target.Role})
+				ensure(node, fam.Name, fam.Kind, fam.Help).add(metric,
+					map[string]string{"node": ns.target.Name, "role": ns.target.Role})
+			}
+		}
+	}
+
+	sum := func(c *foldChild) float64 { return c.sum }
+	max := func(c *foldChild) float64 { return c.max }
+	var out []RollupFamily
+	for _, name := range sortedKeys(cluster) {
+		f := cluster[name]
+		out = append(out, f.family("cluster:"+name, sum))
+		if f.kind == "gauge" {
+			mf := f.family("cluster:"+name+":max", max)
+			mf.Kind = "gauge"
+			mf.Help = "Per-node maximum of " + name + "."
+			out = append(out, mf)
+		}
+	}
+	for _, name := range sortedKeys(role) {
+		out = append(out, role[name].family("role:"+name, sum))
+	}
+	for _, name := range sortedKeys(node) {
+		out = append(out, node[name].family("node:"+name, sum))
+	}
+	return out
+}
+
+// WritePrometheus renders the rollup in the Prometheus text format —
+// the /cluster/metrics body, valid under obs.ValidateExposition.
+func WritePrometheus(w io.Writer, fams []RollupFamily) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", `\n`))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, m := range f.Metrics {
+			labels := renderLabels(m.Labels, "", "")
+			switch {
+			case m.Histogram != nil:
+				for _, b := range m.Histogram.Buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, renderLabels(m.Labels, "le", b.Label), b.Count)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, labels, formatValue(m.Histogram.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.Name, labels, m.Histogram.Count)
+			case m.Value != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name, labels, formatValue(*m.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func renderLabels(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteString(`"`)
+	}
+	if extraK != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,147 @@
+package agg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sloHarness scrapes one synthetic node under a hand-advanced clock —
+// the burn windows move only when the test says so.
+type sloHarness struct {
+	t   *testing.T
+	a   *Aggregator
+	now time.Time
+}
+
+func newSLOHarness(t *testing.T, reg *obs.Registry, rule Rule) *sloHarness {
+	t.Helper()
+	h := &sloHarness{t: t, now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	node := fakeNode(t, reg, nil)
+	a, err := New(Config{
+		Targets: []Target{{Name: "n1", Role: "capd", URL: node.URL}},
+		Rules:   []Rule{rule},
+		Clock:   func() time.Time { return h.now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.a = a
+	return h
+}
+
+func (h *sloHarness) scrapeAfter(d time.Duration) Alert {
+	h.t.Helper()
+	h.now = h.now.Add(d)
+	h.a.ScrapeOnce()
+	alerts := h.a.Alerts()
+	if len(alerts) != 1 {
+		h.t.Fatalf("want one alert, got %+v", alerts)
+	}
+	return alerts[0]
+}
+
+// A rate rule fires when the counter climbs faster than the threshold
+// over both windows, and clears once the windows go quiet again.
+func TestSLORateBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	shed := obs.NewCounter(reg, "shed_total", "sheds")
+	h := newSLOHarness(t, reg, Rule{
+		Name: "shed", Kind: "rate", Metric: "shed_total",
+		Threshold:  1, // events/sec
+		FastWindow: 10 * time.Second, SlowWindow: 30 * time.Second,
+		FastBurn: 1, SlowBurn: 1,
+	})
+
+	// First scrape: one sample, no elapsed window → cannot fire.
+	if a := h.scrapeAfter(0); a.State != "ok" {
+		t.Fatalf("fired on the first scrape: %+v", a)
+	}
+	shed.Add(100)
+	a := h.scrapeAfter(5 * time.Second) // 20 events/sec over the window
+	if a.State != "firing" {
+		t.Fatalf("hot shed rate did not fire: %+v", a)
+	}
+	if a.FastBurn < 1 || a.SlowBurn < 1 {
+		t.Fatalf("firing alert reports burns %v/%v", a.FastBurn, a.SlowBurn)
+	}
+	if a.Since.IsZero() {
+		t.Fatal("firing alert has no since timestamp")
+	}
+
+	// Quiet scrapes walk the spike out of both windows.
+	var last Alert
+	for i := 0; i < 8; i++ {
+		last = h.scrapeAfter(10 * time.Second)
+	}
+	if last.State != "ok" {
+		t.Fatalf("alert did not clear after quiet windows: %+v", last)
+	}
+}
+
+// A latency rule burns on the fraction of window observations above
+// the threshold, against the quantile objective.
+func TestSLOLatencyBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := obs.NewHistogram(reg, "req_seconds", "latency", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		hist.Observe(0.05) // a healthy history, all under threshold
+	}
+	h := newSLOHarness(t, reg, Rule{
+		Name: "p90", Kind: "latency", Metric: "req_seconds",
+		Threshold: 0.1, Quantile: 0.9, // ≤10% of observations may exceed 100ms
+		FastWindow: 10 * time.Second, SlowWindow: 30 * time.Second,
+		FastBurn: 2, SlowBurn: 2,
+	})
+
+	// Baseline sample: zero delta → "no observations", not a fire.
+	if a := h.scrapeAfter(0); a.State != "ok" {
+		t.Fatalf("fired with no window delta: %+v", a)
+	}
+	// Window goes entirely bad: bad_frac=1, burn = 1/(1-0.9) = 10.
+	for i := 0; i < 10; i++ {
+		hist.Observe(0.5)
+	}
+	a := h.scrapeAfter(5 * time.Second)
+	if a.State != "firing" {
+		t.Fatalf("all-bad window did not fire: %+v", a)
+	}
+	if a.FastBurn < 9.9 || a.FastBurn > 10.1 {
+		t.Fatalf("fast burn = %v, want ~10", a.FastBurn)
+	}
+
+	// A healthy window clears it.
+	var last Alert
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 10; j++ {
+			hist.Observe(0.05)
+		}
+		last = h.scrapeAfter(10 * time.Second)
+	}
+	if last.State != "ok" {
+		t.Fatalf("alert did not clear on a healthy window: %+v", last)
+	}
+}
+
+// A ratio rule divides two counter deltas.
+func TestSLORatioBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := obs.NewCounter(reg, "dead_total", "dead-lettered")
+	all := obs.NewCounter(reg, "pushed_total", "pushed")
+	all.Add(100)
+	h := newSLOHarness(t, reg, Rule{
+		Name: "dead", Kind: "ratio", Metric: "dead_total", Denom: "pushed_total",
+		Threshold:  0.01, // ≤1% may dead-letter
+		FastWindow: 10 * time.Second, SlowWindow: 30 * time.Second,
+		FastBurn: 1, SlowBurn: 1,
+	})
+	if a := h.scrapeAfter(0); a.State != "ok" {
+		t.Fatalf("fired with no delta: %+v", a)
+	}
+	bad.Add(50)
+	all.Add(100)
+	if a := h.scrapeAfter(5 * time.Second); a.State != "firing" {
+		t.Fatalf("50%% dead-letter ratio did not fire: %+v", a)
+	}
+}

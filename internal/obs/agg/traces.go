@@ -1,0 +1,275 @@
+package agg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cross-process trace assembly. Span lines arrive from two directions
+// — /debug/trace scrapes of long-lived nodes and /ingest/spans pushes
+// from ephemeral ones — in no particular order: a capd's ingest span
+// is usually scraped before the worker that caused it pushes the
+// parent work span. The table therefore never demands a parent at
+// ingest time; every span files under its trace id immediately, and
+// orphan-ness is a property computed at read time (a span whose psid
+// matches no sid in the trace *yet*). The TTL watermark bounds how
+// long a trace waits for stragglers: a trace that saw no new span for
+// TraceTTL is evicted, and with it any orphans whose parents never
+// arrived.
+//
+// Dedup is by canonical line bytes. Re-scrapes re-deliver every
+// retained span, and the replica layer fans identical ingest spans
+// out to every node of a placement — both collapse to one span here,
+// which is what makes the assembled tree byte-identical across worker
+// counts and replica layouts.
+
+// traceEntry is one assembled trace.
+type traceEntry struct {
+	tid   string
+	lines map[string]obs.SpanRecord // canonical line → decoded span
+	last  time.Time                 // watermark: last new span
+}
+
+type traceTable struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	byTID   map[string]*traceEntry
+	evictN  int64
+	badLine int64
+}
+
+func newTraceTable(cap int, ttl time.Duration) *traceTable {
+	return &traceTable{cap: cap, ttl: ttl, byTID: make(map[string]*traceEntry)}
+}
+
+// ingest reads an NDJSON span export, filing each line under its
+// trace. Lines without a tid (spans recorded by a tracer that never
+// saw a context — nothing to stitch) are skipped, not errors.
+func (t *traceTable) ingest(r io.Reader, now time.Time) (added, deduped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec obs.SpanRecord
+		if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
+			t.badLine++
+			return added, deduped, fmt.Errorf("agg: bad span line %q: %w", line, jerr)
+		}
+		if rec.TID == "" {
+			continue
+		}
+		e := t.byTID[rec.TID]
+		if e == nil {
+			e = &traceEntry{tid: rec.TID, lines: make(map[string]obs.SpanRecord)}
+			t.byTID[rec.TID] = e
+		}
+		if _, dup := e.lines[line]; dup {
+			deduped++
+			continue
+		}
+		e.lines[line] = rec
+		e.last = now
+		added++
+	}
+	return added, deduped, sc.Err()
+}
+
+// sweep evicts traces beyond the TTL watermark, then — if still over
+// cap — the stalest survivors.
+func (t *traceTable) sweep(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for tid, e := range t.byTID {
+		if now.Sub(e.last) > t.ttl {
+			delete(t.byTID, tid)
+			t.evictN++
+		}
+	}
+	if len(t.byTID) <= t.cap {
+		return
+	}
+	type aged struct {
+		tid  string
+		last time.Time
+	}
+	all := make([]aged, 0, len(t.byTID))
+	for tid, e := range t.byTID {
+		all = append(all, aged{tid, e.last})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].last.Equal(all[j].last) {
+			return all[i].last.Before(all[j].last)
+		}
+		return all[i].tid < all[j].tid
+	})
+	for _, v := range all[:len(t.byTID)-t.cap] {
+		delete(t.byTID, v.tid)
+		t.evictN++
+	}
+}
+
+func (t *traceTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byTID)
+}
+
+func (t *traceTable) evicted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictN
+}
+
+// TraceSummary is one row of the /cluster/traces listing.
+type TraceSummary struct {
+	TID     string   `json:"tid"`
+	Spans   int      `json:"spans"`
+	Svcs    []string `json:"svcs"` // distinct services, sorted
+	Orphans int      `json:"orphans"`
+	Root    string   `json:"root,omitempty"` // root span id, when assembled
+}
+
+// summaries lists every retained trace, sorted by tid.
+func (t *traceTable) summaries() []TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(t.byTID))
+	for _, tid := range sortedKeys(t.byTID) {
+		out = append(out, t.byTID[tid].summary())
+	}
+	return out
+}
+
+func (t *traceTable) get(tid string) (*traceEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.byTID[tid]
+	if !ok {
+		return nil, false
+	}
+	// Shallow-copy under the lock; lines is append-only per trace so
+	// the copy is a consistent snapshot.
+	cp := &traceEntry{tid: e.tid, lines: make(map[string]obs.SpanRecord, len(e.lines)), last: e.last}
+	for l, r := range e.lines {
+		cp.lines[l] = r
+	}
+	return cp, true
+}
+
+func (e *traceEntry) summary() TraceSummary {
+	s := TraceSummary{TID: e.tid, Spans: len(e.lines)}
+	svcs := map[string]bool{}
+	sids := map[string]bool{}
+	for _, r := range e.lines {
+		svcs[r.Svc] = true
+		sids[r.SID] = true
+	}
+	s.Svcs = sortedKeys(svcs)
+	for _, l := range sortedKeys(e.lines) {
+		r := e.lines[l]
+		switch {
+		case r.PSID == "":
+			if s.Root == "" {
+				s.Root = r.ID
+			}
+		case !sids[r.PSID]:
+			s.Orphans++
+		}
+	}
+	return s
+}
+
+// WriteTrace renders one assembled trace. The body has two parts:
+//
+//	trace <tid> spans=<n> svcs=<a,b,c> orphans=<k>
+//	<indented tree, children sorted by encoded line>
+//
+//	<the trace's span lines as sorted NDJSON>
+//
+// Both parts are deterministic functions of the span multiset, so two
+// runs that did the same work under the same clocks render
+// byte-identical bodies at any worker count.
+func (e *traceEntry) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sum := e.summary()
+	fmt.Fprintf(bw, "trace %s spans=%d svcs=%s orphans=%d\n",
+		sum.TID, sum.Spans, strings.Join(sum.Svcs, ","), sum.Orphans)
+
+	// Tree: group lines by parent sid; roots and orphans surface at
+	// depth zero (orphans marked), children render under their parent
+	// in canonical line order.
+	lines := sortedKeys(e.lines)
+	sids := map[string]bool{}
+	for _, r := range e.lines {
+		sids[r.SID] = true
+	}
+	children := map[string][]string{}
+	var roots, orphans []string
+	for _, l := range lines {
+		r := e.lines[l]
+		switch {
+		case r.PSID == "":
+			roots = append(roots, l)
+		case !sids[r.PSID]:
+			orphans = append(orphans, l)
+		default:
+			children[r.PSID] = append(children[r.PSID], l)
+		}
+	}
+	visited := map[string]bool{} // guards against pathological psid cycles
+	var render func(line string, depth int)
+	render = func(line string, depth int) {
+		if visited[line] {
+			return
+		}
+		visited[line] = true
+		r := e.lines[line]
+		fmt.Fprintf(bw, "%s- [%s] %s dur_ns=%d\n", strings.Repeat("  ", depth), r.Svc, r.ID, r.DurNS)
+		for _, c := range children[r.SID] {
+			render(c, depth+1)
+		}
+	}
+	for _, l := range roots {
+		render(l, 0)
+	}
+	for _, l := range orphans {
+		r := e.lines[l]
+		fmt.Fprintf(bw, "- [%s] %s dur_ns=%d (orphan psid=%s)\n", r.Svc, r.ID, r.DurNS, r.PSID)
+		for _, c := range children[r.SID] {
+			render(c, 1)
+		}
+	}
+
+	bw.WriteByte('\n') //nolint:errcheck
+	for _, l := range lines {
+		bw.WriteString(l)  //nolint:errcheck
+		bw.WriteByte('\n') //nolint:errcheck
+	}
+	return bw.Flush()
+}
+
+// Traces lists the retained trace summaries.
+func (a *Aggregator) Traces() []TraceSummary { return a.traces.summaries() }
+
+// WriteTrace renders the trace by id; false when unknown.
+func (a *Aggregator) WriteTrace(w io.Writer, tid string) (bool, error) {
+	e, ok := a.traces.get(tid)
+	if !ok {
+		return false, nil
+	}
+	return true, e.WriteTrace(w)
+}

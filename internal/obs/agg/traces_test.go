@@ -1,0 +1,156 @@
+package agg
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func fixedAt() time.Time { return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func ingestTracer(t *testing.T, a *Aggregator, tr *obs.Tracer) {
+	t.Helper()
+	var buf strings.Builder
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.IngestSpans(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Spans arrive child-first (the capd scrape usually lands before the
+// worker's push): the child is an orphan until the parent's export
+// shows up, then the trace stitches. Re-ingesting an export — the
+// normal re-scrape case — must dedup, not double the trace.
+func TestTraceAssemblyOutOfOrder(t *testing.T) {
+	a, err := New(Config{Clock: fixedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() time.Time { return fixedAt() }
+	fleetd := obs.NewTracer(obs.TracerConfig{Service: "fleetd", Clock: clock})
+	capd := obs.NewTracer(obs.TracerConfig{Service: "capd", Clock: clock})
+
+	root := fleetd.Start("lease", obs.A("first", "0"), obs.A("attempt", "1"))
+	child := capd.StartRemote("ingest", root.Context(), obs.A("at", "0"), obs.A("n", "8"))
+	child.End()
+	tid := root.Context().TraceID
+
+	// Child first: one orphan.
+	ingestTracer(t, a, capd)
+	sums := a.Traces()
+	if len(sums) != 1 || sums[0].TID != tid {
+		t.Fatalf("traces = %+v, want one trace %s", sums, tid)
+	}
+	if sums[0].Orphans != 1 || sums[0].Root != "" {
+		t.Fatalf("parentless child should read as orphan: %+v", sums[0])
+	}
+	var buf strings.Builder
+	if ok, err := a.WriteTrace(&buf, tid); !ok || err != nil {
+		t.Fatalf("WriteTrace: ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(buf.String(), "(orphan psid=") {
+		t.Fatalf("orphan not flagged in render:\n%s", buf.String())
+	}
+
+	// Parent arrives: orphan resolves, tree assembles.
+	root.End()
+	ingestTracer(t, a, fleetd)
+	sums = a.Traces()
+	if sums[0].Orphans != 0 || sums[0].Spans != 2 {
+		t.Fatalf("trace did not stitch: %+v", sums[0])
+	}
+	if want := "lease[attempt=1;first=0]"; sums[0].Root == "" || !strings.Contains(sums[0].Root, "lease") {
+		t.Fatalf("root = %q, want the lease span (structural id like %q)", sums[0].Root, want)
+	}
+	buf.Reset()
+	if _, err := a.WriteTrace(&buf, tid); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "svcs=capd,fleetd") || !strings.Contains(out, "orphans=0") || strings.Contains(out, "(orphan") {
+		t.Fatalf("stitched render wrong:\n%s", out)
+	}
+	// The child renders indented under its parent.
+	if !strings.Contains(out, "\n  - [capd] ingest") {
+		t.Fatalf("child not nested under parent:\n%s", out)
+	}
+
+	// Re-scrape: identical lines dedup to the same trace.
+	ingestTracer(t, a, fleetd)
+	ingestTracer(t, a, capd)
+	if sums = a.Traces(); sums[0].Spans != 2 {
+		t.Fatalf("re-ingest doubled the trace: %+v", sums[0])
+	}
+}
+
+// Spans exported without a trace id (a tracer that never saw a
+// context) are skipped; a malformed line is an error.
+func TestTraceIngestSkipsAndRejects(t *testing.T) {
+	a, err := New(Config{Clock: fixedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.IngestSpans(strings.NewReader("\n\n")); err != nil {
+		t.Fatalf("blank lines: %v", err)
+	}
+	if err := a.IngestSpans(strings.NewReader(`{"name":"x","id":"x[]","svc":"capd"}` + "\n")); err != nil {
+		t.Fatalf("tid-less span line: %v", err)
+	}
+	if len(a.Traces()) != 0 {
+		t.Fatalf("tid-less span created a trace: %+v", a.Traces())
+	}
+	if err := a.IngestSpans(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+// TTL watermark and cap eviction: a trace that stops receiving spans
+// ages out, and over cap the stalest traces go first.
+func TestTraceEviction(t *testing.T) {
+	now := fixedAt()
+	a, err := New(Config{
+		Clock:    func() time.Time { return now },
+		TraceCap: 2,
+		TraceTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := fixedAt
+	mkTrace := func(i string) string {
+		tr := obs.NewTracer(obs.TracerConfig{Service: "fleetd", Clock: clock})
+		sp := tr.Start("lease", obs.A("first", i), obs.A("attempt", "1"))
+		tid := sp.Context().TraceID
+		sp.End()
+		ingestTracer(t, a, tr)
+		return tid
+	}
+
+	tidA := mkTrace("0")
+	now = now.Add(10 * time.Second)
+	tidB := mkTrace("16")
+	now = now.Add(10 * time.Second)
+	tidC := mkTrace("32")
+
+	a.ScrapeOnce() // no targets: just sweeps and re-evaluates
+	tids := map[string]bool{}
+	for _, s := range a.Traces() {
+		tids[s.TID] = true
+	}
+	if len(tids) != 2 || tids[tidA] || !tids[tidB] || !tids[tidC] {
+		t.Fatalf("cap eviction kept %v; want stalest (%s) gone", tids, tidA)
+	}
+
+	now = now.Add(2 * time.Minute) // beyond the TTL watermark
+	a.ScrapeOnce()
+	if got := a.Traces(); len(got) != 0 {
+		t.Fatalf("TTL sweep left %+v", got)
+	}
+	if h := a.Health(); h.Traces != 0 {
+		t.Fatalf("health still counts traces: %+v", h)
+	}
+}

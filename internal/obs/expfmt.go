@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"strconv"
 	"strings"
@@ -91,29 +92,64 @@ func formatLabelsExtra(names, values []string, extraK, extraV string) string {
 	return b.String()
 }
 
-// jsonMetric and jsonFamily shape the JSON exposition.
-type jsonMetric struct {
+// ExpositionMetric and ExpositionFamily shape the JSON exposition —
+// exported so scrapers (obsd) can decode /metrics.json without
+// re-declaring the document.
+type ExpositionMetric struct {
 	Labels    map[string]string  `json:"labels,omitempty"`
 	Value     *float64           `json:"value,omitempty"`
 	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
 }
 
-type jsonFamily struct {
-	Name    string       `json:"name"`
-	Kind    string       `json:"kind"`
-	Help    string       `json:"help,omitempty"`
-	Metrics []jsonMetric `json:"metrics"`
+type ExpositionFamily struct {
+	Name    string             `json:"name"`
+	Kind    string             `json:"kind"`
+	Help    string             `json:"help,omitempty"`
+	Metrics []ExpositionMetric `json:"metrics"`
+}
+
+// ParseJSONExposition decodes a /metrics.json document. Histogram
+// bucket bounds (which marshal only as their "le" labels) are
+// re-parsed into LE so merged rollups and quantiles work on scraped
+// snapshots.
+func ParseJSONExposition(r io.Reader) ([]ExpositionFamily, error) {
+	var doc struct {
+		Families []ExpositionFamily `json:"families"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: decoding exposition: %w", err)
+	}
+	for _, f := range doc.Families {
+		for _, m := range f.Metrics {
+			if m.Histogram == nil {
+				continue
+			}
+			for i := range m.Histogram.Buckets {
+				b := &m.Histogram.Buckets[i]
+				if b.Label == "+Inf" {
+					b.LE = math.Inf(1)
+					continue
+				}
+				le, err := strconv.ParseFloat(b.Label, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: family %s: bad bucket bound %q", f.Name, b.Label)
+				}
+				b.LE = le
+			}
+		}
+	}
+	return doc.Families, nil
 }
 
 // WriteJSON renders the registry as a JSON document mirroring the text
 // exposition: {"families":[{name, kind, help, metrics:[…]}]}. A nil
 // registry writes an empty family list.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	fams := []jsonFamily{}
+	fams := []ExpositionFamily{}
 	for _, f := range r.snapshotFamilies() {
-		jf := jsonFamily{Name: f.name, Kind: f.kind.String(), Help: f.help, Metrics: []jsonMetric{}}
+		jf := ExpositionFamily{Name: f.name, Kind: f.kind.String(), Help: f.help, Metrics: []ExpositionMetric{}}
 		for _, c := range f.sortedChildren() {
-			m := jsonMetric{}
+			m := ExpositionMetric{}
 			if len(f.labelNames) > 0 {
 				m.Labels = make(map[string]string, len(f.labelNames))
 				for i, n := range f.labelNames {
@@ -141,7 +177,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Families []jsonFamily `json:"families"`
+		Families []ExpositionFamily `json:"families"`
 	}{fams})
 }
 

@@ -1,0 +1,43 @@
+package obs
+
+import "time"
+
+// TelemetrySummary is the capd-style /healthz digest of a live
+// registry: uptime plus the slowest non-empty latency buckets, for
+// health probes that don't want to parse a full /metrics exposition.
+// capring and consentd serve the same shape (same JSON keys), so
+// capstore.Client.Health round-trips it from any of the three.
+type TelemetrySummary struct {
+	// UptimeSeconds counts from handler construction.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// SlowestQueryBuckets are the highest-latency non-empty buckets of
+	// the service's primary latency histogram, slowest first.
+	SlowestQueryBuckets []SummaryBucket `json:"slowest_query_buckets,omitempty"`
+}
+
+// SummaryBucket is one histogram bucket in the health summary.
+type SummaryBucket struct {
+	// LE is the bucket's inclusive upper bound in seconds ("+Inf" for
+	// the overflow bucket).
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Summarize builds the health digest from an uptime and a cumulative
+// latency snapshot, keeping the n slowest non-empty buckets.
+func Summarize(uptime time.Duration, snap HistogramSnapshot, n int) *TelemetrySummary {
+	counts := make([]int64, len(snap.Buckets))
+	var prev int64
+	for i, b := range snap.Buckets {
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	out := &TelemetrySummary{UptimeSeconds: uptime.Seconds()}
+	for i := len(counts) - 1; i >= 0 && len(out.SlowestQueryBuckets) < n; i-- {
+		if counts[i] > 0 {
+			out.SlowestQueryBuckets = append(out.SlowestQueryBuckets,
+				SummaryBucket{LE: snap.Buckets[i].Label, Count: counts[i]})
+		}
+	}
+	return out
+}

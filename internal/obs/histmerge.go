@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram snapshot algebra for cluster rollups. obsd merges the same
+// family's snapshots from N nodes into one cluster histogram and reads
+// quantiles off the merge; both operations are defined over the
+// cumulative snapshot form so they work on scraped expositions, not
+// just live histograms.
+
+// MergeHistogramSnapshots merges two cumulative snapshots into one
+// over the union of their bucket bounds. Observations keep the upper
+// bound they were recorded under, so merging is exact when the bound
+// sets agree and conservative (never re-bins downward) when they
+// differ. Either side may be the zero snapshot.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if len(a.Buckets) == 0 && a.Count == 0 {
+		return cloneSnapshot(b)
+	}
+	if len(b.Buckets) == 0 && b.Count == 0 {
+		return cloneSnapshot(a)
+	}
+	// De-cumulate each side into per-bound counts, then union.
+	perLE := map[float64]int64{}
+	addSide := func(s HistogramSnapshot) {
+		var prev int64
+		for _, bk := range s.Buckets {
+			perLE[bk.LE] += bk.Count - prev
+			prev = bk.Count
+		}
+	}
+	addSide(a)
+	addSide(b)
+	bounds := make([]float64, 0, len(perLE)+1)
+	for le := range perLE {
+		if !math.IsInf(le, 1) {
+			bounds = append(bounds, le)
+		}
+	}
+	sort.Float64s(bounds)
+	// Always close the merge with an overflow bucket so the result is a
+	// well-formed snapshot even if neither input carried one.
+	bounds = append(bounds, math.Inf(1))
+	out := HistogramSnapshot{
+		Buckets: make([]Bucket, len(bounds)),
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+	}
+	var cum int64
+	for i, le := range bounds {
+		cum += perLE[le]
+		out.Buckets[i] = Bucket{LE: le, Label: formatFloat(le), Count: cum}
+	}
+	return out
+}
+
+func cloneSnapshot(s HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Buckets = append([]Bucket(nil), s.Buckets...)
+	for i := range out.Buckets {
+		if out.Buckets[i].Label == "" {
+			out.Buckets[i].Label = formatFloat(out.Buckets[i].LE)
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the snapshot's
+// cumulative buckets, interpolating linearly within the bucket the
+// rank falls in (the first bucket interpolates from zero, so the
+// estimate assumes non-negative observations — these are latency
+// histograms). Following the Prometheus convention, a rank landing in
+// the +Inf bucket reports the highest finite bound. Degenerate shapes
+// answer NaN: an empty snapshot, a zero count, or a histogram whose
+// only bucket is +Inf (there is no finite bound to estimate with).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	total := s.Buckets[len(s.Buckets)-1].Count
+	if total <= 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	// Highest finite bound, for overflow answers.
+	finite := math.NaN()
+	for i := len(s.Buckets) - 1; i >= 0; i-- {
+		if !math.IsInf(s.Buckets[i].LE, 1) {
+			finite = s.Buckets[i].LE
+			break
+		}
+	}
+	var prevCum int64
+	var prevLE float64
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.LE, 1) {
+				return finite // NaN when the +Inf bucket is the only one
+			}
+			in := b.Count - prevCum
+			if in <= 0 {
+				return b.LE
+			}
+			return prevLE + (b.LE-prevLE)*((rank-float64(prevCum))/float64(in))
+		}
+		prevCum = b.Count
+		if !math.IsInf(b.LE, 1) {
+			prevLE = b.LE
+		}
+	}
+	return finite
+}

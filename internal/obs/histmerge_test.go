@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// snap builds a cumulative snapshot from (le, cumulative count) pairs;
+// math.Inf(1) renders as "+Inf".
+func snap(sum float64, pairs ...float64) HistogramSnapshot {
+	s := HistogramSnapshot{Sum: sum}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		le := pairs[i]
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Label: formatFloat(le), Count: int64(pairs[i+1])})
+	}
+	if n := len(s.Buckets); n > 0 {
+		s.Count = s.Buckets[n-1].Count
+	}
+	return s
+}
+
+func TestMergeHistogramSnapshots(t *testing.T) {
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		name string
+		a, b HistogramSnapshot
+		want HistogramSnapshot
+	}{
+		{
+			name: "identical bounds sum per bucket",
+			a:    snap(3, 0.1, 2, 1, 5, inf, 6),
+			b:    snap(2, 0.1, 1, 1, 1, inf, 2),
+			want: snap(5, 0.1, 3, 1, 6, inf, 8),
+		},
+		{
+			name: "zero left returns right",
+			a:    HistogramSnapshot{},
+			b:    snap(1, 0.5, 4, inf, 4),
+			want: snap(1, 0.5, 4, inf, 4),
+		},
+		{
+			name: "zero right returns left",
+			a:    snap(1, 0.5, 4, inf, 4),
+			b:    HistogramSnapshot{},
+			want: snap(1, 0.5, 4, inf, 4),
+		},
+		{
+			name: "disjoint bounds union and stay cumulative",
+			a:    snap(1, 0.1, 3, inf, 3),
+			b:    snap(9, 1, 2, inf, 5),
+			// a's 3 obs at le=0.1 precede b's 2 at le=1 and 3 overflow.
+			want: snap(10, 0.1, 3, 1, 5, inf, 8),
+		},
+		{
+			name: "missing overflow bucket is synthesized",
+			a:    snap(1, 0.1, 2),
+			b:    snap(2, 0.5, 3),
+			want: snap(3, 0.1, 2, 0.5, 5, inf, 5),
+		},
+		{
+			name: "both empty stays empty",
+			a:    HistogramSnapshot{},
+			b:    HistogramSnapshot{},
+			want: HistogramSnapshot{},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeHistogramSnapshots(tc.a, tc.b)
+			if got.Count != tc.want.Count || got.Sum != tc.want.Sum {
+				t.Fatalf("count/sum = %d/%v, want %d/%v", got.Count, got.Sum, tc.want.Count, tc.want.Sum)
+			}
+			if len(got.Buckets) != len(tc.want.Buckets) {
+				t.Fatalf("buckets = %+v, want %+v", got.Buckets, tc.want.Buckets)
+			}
+			for i, b := range got.Buckets {
+				w := tc.want.Buckets[i]
+				if b.LE != w.LE || b.Count != w.Count || b.Label != w.Label {
+					t.Errorf("bucket %d = %+v, want %+v", i, b, w)
+				}
+			}
+		})
+	}
+}
+
+// Merging must commute: scrape order across nodes is arbitrary.
+func TestMergeHistogramSnapshotsCommutes(t *testing.T) {
+	inf := math.Inf(1)
+	a := snap(1, 0.1, 3, 0.5, 4, inf, 6)
+	b := snap(2, 0.25, 1, 1, 9, inf, 9)
+	ab := MergeHistogramSnapshots(a, b)
+	ba := MergeHistogramSnapshots(b, a)
+	if len(ab.Buckets) != len(ba.Buckets) || ab.Count != ba.Count || ab.Sum != ba.Sum {
+		t.Fatalf("merge not commutative: %+v vs %+v", ab, ba)
+	}
+	for i := range ab.Buckets {
+		if ab.Buckets[i] != ba.Buckets[i] {
+			t.Fatalf("bucket %d: %+v vs %+v", i, ab.Buckets[i], ba.Buckets[i])
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want float64 // NaN for degenerate shapes
+	}{
+		{"empty snapshot", HistogramSnapshot{}, 0.99, math.NaN()},
+		{"zero count", snap(0, 0.1, 0, inf, 0), 0.5, math.NaN()},
+		{"only +Inf bucket", snap(0, inf, 7), 0.5, math.NaN()},
+		{"single finite bucket interpolates from zero", snap(0, 1, 10, inf, 10), 0.5, 0.5},
+		{"rank in overflow reports highest finite bound", snap(0, 1, 1, inf, 10), 0.99, 1},
+		{"median interpolates within its bucket", snap(0, 1, 0, 2, 10, inf, 10), 0.5, 1.5},
+		{"q clamps below zero", snap(0, 1, 10, inf, 10), -3, 0},
+		{"q clamps above one", snap(0, 1, 10, inf, 10), 7, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.s.Quantile(tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v) = %v, want NaN", tc.q, got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// The JSON exposition must survive a scrape round-trip: histogram
+// bucket bounds marshal only as their "le" labels, and obsd's rollup
+// needs the numeric LE back to merge and take quantiles.
+func TestParseJSONExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram(reg, "rt_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+	c := NewCounterVec(reg, "ops_total", "ops", "op")
+	c.With("read").Inc()
+	c.With("write").Add(3)
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseJSONExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ExpositionFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	rt, ok := byName["rt_seconds"]
+	if !ok || len(rt.Metrics) != 1 || rt.Metrics[0].Histogram == nil {
+		t.Fatalf("rt_seconds did not round-trip: %+v", rt)
+	}
+	buckets := rt.Metrics[0].Histogram.Buckets
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		t.Fatalf("+Inf bound not re-parsed, got %v", last.LE)
+	}
+	if got := buckets[0].LE; got != 0.1 {
+		t.Fatalf("first bound = %v, want 0.1", got)
+	}
+	ops, ok := byName["ops_total"]
+	if !ok || len(ops.Metrics) != 2 {
+		t.Fatalf("ops_total children did not round-trip: %+v", ops)
+	}
+	for _, m := range ops.Metrics {
+		if m.Labels["op"] == "" || m.Value == nil {
+			t.Fatalf("counter child lost labels or value: %+v", m)
+		}
+	}
+}

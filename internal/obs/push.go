@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// PushSpans exports the tracer's retained spans as NDJSON and POSTs
+// them to url (obsd's /ingest/spans). Scraping /debug/trace covers
+// long-lived nodes; pushing covers ephemeral processes — fleet workers
+// and a draining fleetd — whose tracers vanish before the next scrape
+// tick. Pushing the same spans twice is harmless: the aggregator
+// dedups on the canonical line bytes. A nil tracer pushes nothing.
+func PushSpans(client *http.Client, url string, t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := t.WriteNDJSON(&buf); err != nil {
+		return err
+	}
+	if buf.Len() == 0 {
+		return nil
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(url, "application/x-ndjson", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("obs: pushing spans to %s: %s", url, resp.Status)
+	}
+	return nil
+}

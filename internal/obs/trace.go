@@ -42,6 +42,11 @@ type TracerConfig struct {
 	// Cap bounds retained finished spans (default 16384); beyond it the
 	// oldest are dropped and counted in Dropped.
 	Cap int
+	// Service names the role this tracer records for ("fleetd",
+	// "worker", "capd", …) and is stamped on every exported span line.
+	// It must be a role, never a per-process identity: per-process
+	// names would break byte-identical exports across worker counts.
+	Service string
 }
 
 // DefaultTraceCap is the default retained-span bound.
@@ -51,9 +56,10 @@ const DefaultTraceCap = 16384
 // disabled recorder: Start returns a nil span and every span method is
 // a no-op.
 type Tracer struct {
-	clock func() time.Time
-	cap   int
-	mu    sync.Mutex
+	clock   func() time.Time
+	cap     int
+	service string
+	mu      sync.Mutex
 	// spans is a ring once it reaches cap: head indexes the oldest
 	// retained span, so eviction is one pointer store instead of a
 	// slice copy on every End past the cap.
@@ -70,7 +76,7 @@ func NewTracer(cfg TracerConfig) *Tracer {
 	if cfg.Cap <= 0 {
 		cfg.Cap = DefaultTraceCap
 	}
-	return &Tracer{clock: cfg.Clock, cap: cfg.Cap}
+	return &Tracer{clock: cfg.Clock, cap: cfg.Cap, service: cfg.Service}
 }
 
 // Span is one traced interval. Create with Tracer.Start or Span.Start;
@@ -80,21 +86,34 @@ type Span struct {
 	name   string
 	id     string
 	parent string
-	start  time.Time
-	mu     sync.Mutex
-	end    time.Time
-	attrs  []Attr
-	ended  bool
+	// ctx is the span's propagation identity (trace id + own span id);
+	// psid is the parent's span id within that trace. Both are derived
+	// from structural identity — see tracecontext.go.
+	ctx   SpanContext
+	psid  string
+	start time.Time
+	mu    sync.Mutex
+	end   time.Time
+	attrs []Attr
+	ended bool
 }
 
 // Start begins a root span. The attrs given here are part of the
 // span's identity (its id is "name[k=v;…]"); attach purely descriptive
 // attributes afterwards with Span.Attr.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
-	return t.start(name, "", attrs)
+	return t.start(name, "", SpanContext{}, attrs)
 }
 
-func (t *Tracer) start(name, parent string, attrs []Attr) *Span {
+// StartRemote begins a span as the child of a parent span in another
+// process, identified by a propagated context (typically parsed from a
+// traceparent header or wire frame). An invalid context degrades to a
+// root span. Nil-safe.
+func (t *Tracer) StartRemote(name string, parent SpanContext, attrs ...Attr) *Span {
+	return t.start(name, "", parent, attrs)
+}
+
+func (t *Tracer) start(name, parent string, pctx SpanContext, attrs []Attr) *Span {
 	if t == nil {
 		return nil
 	}
@@ -106,11 +125,21 @@ func (t *Tracer) start(name, parent string, attrs []Attr) *Span {
 		id += a.K + "=" + a.V
 	}
 	id += "]"
+	var ctx SpanContext
+	var psid string
+	if pctx.Valid() {
+		ctx = SpanContext{TraceID: pctx.TraceID, SpanID: spanIDFor(pctx.SpanID, id)}
+		psid = pctx.SpanID
+	} else {
+		ctx = SpanContext{TraceID: traceIDFor(id), SpanID: spanIDFor("", id)}
+	}
 	return &Span{
 		tr:     t,
 		name:   name,
 		id:     id,
 		parent: parent,
+		ctx:    ctx,
+		psid:   psid,
 		start:  t.clock(),
 		attrs:  append([]Attr(nil), attrs...),
 	}
@@ -121,7 +150,16 @@ func (s *Span) Start(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.start(name, s.id, attrs)
+	return s.tr.start(name, s.id, s.ctx, attrs)
+}
+
+// Context returns the span's propagation identity for handing to
+// another process. Nil-safe: a nil span yields the invalid context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
 }
 
 // Attr attaches a descriptive attribute after Start; it appears in the
@@ -201,14 +239,22 @@ func (t *Tracer) RegisterMetrics(reg *Registry) {
 		t.Dropped)
 }
 
-// spanLine is the NDJSON wire form of one finished span.
-type spanLine struct {
+// SpanRecord is the NDJSON wire form of one finished span. TID/SID/
+// PSID carry the cross-process identity (tracecontext.go); Svc is the
+// recording tracer's role. Parent is the in-process structural parent
+// id; for a span adopted via StartRemote it is empty and PSID alone
+// links the tree.
+type SpanRecord struct {
 	Name   string `json:"name"`
 	ID     string `json:"id"`
 	Parent string `json:"parent,omitempty"`
 	Start  string `json:"start"`
 	DurNS  int64  `json:"dur_ns"`
 	Attrs  []Attr `json:"attrs,omitempty"`
+	TID    string `json:"tid,omitempty"`
+	SID    string `json:"sid,omitempty"`
+	PSID   string `json:"psid,omitempty"`
+	Svc    string `json:"svc,omitempty"`
 }
 
 // WriteNDJSON exports the retained finished spans, one JSON object per
@@ -235,13 +281,17 @@ func (t *Tracer) WriteNDJSON(w io.Writer, names ...string) error {
 			continue
 		}
 		s.mu.Lock()
-		line := spanLine{
+		line := SpanRecord{
 			Name:   s.name,
 			ID:     s.id,
 			Parent: s.parent,
 			Start:  s.start.UTC().Format(time.RFC3339Nano),
 			DurNS:  s.durNS(),
 			Attrs:  append([]Attr(nil), s.attrs...),
+			TID:    s.ctx.TraceID,
+			SID:    s.ctx.SpanID,
+			PSID:   s.psid,
+			Svc:    t.service,
 		}
 		s.mu.Unlock()
 		b, err := json.Marshal(line)

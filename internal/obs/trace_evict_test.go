@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The retention ring only ever holds FINISHED spans: End hands the
+// span to the tracer, so an unfinished parent cannot be evicted — it
+// is not in the ring yet. This test hammers that boundary under
+// -race: children finish concurrently while eviction pressure churns
+// the ring, then the parents End late and must still export.
+func TestTraceRingEvictionConcurrentFinish(t *testing.T) {
+	const (
+		cap     = 64
+		parents = 8
+		kids    = 200 // per parent; far beyond cap → heavy eviction
+	)
+	tr := NewTracer(TracerConfig{Cap: cap})
+
+	roots := make([]*Span, parents)
+	for i := range roots {
+		roots[i] = tr.Start("parent", A("i", fmt.Sprint(i)))
+	}
+	var wg sync.WaitGroup
+	for i, root := range roots {
+		wg.Add(1)
+		go func(i int, root *Span) {
+			defer wg.Done()
+			for k := 0; k < kids; k++ {
+				c := root.Start("child", A("k", fmt.Sprint(k)))
+				c.End()
+			}
+		}(i, root)
+	}
+	wg.Wait()
+	// Every parent is still live — eviction must not have touched it.
+	// Ending them now must retain all of them (they are the newest
+	// finished spans).
+	for _, root := range roots {
+		root.End()
+	}
+	if got := tr.Len(); got != cap {
+		t.Fatalf("retained %d spans, want cap %d", got, cap)
+	}
+	wantDropped := int64(parents*kids + parents - cap)
+	if got := tr.Dropped(); got != wantDropped {
+		t.Fatalf("dropped %d, want %d", got, wantDropped)
+	}
+
+	var buf strings.Builder
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != cap {
+		t.Fatalf("exported %d lines, want %d", len(lines), cap)
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatal("export not sorted after eviction")
+	}
+	nParents := 0
+	for _, l := range lines {
+		if strings.Contains(l, `"name":"parent"`) {
+			nParents++
+		}
+	}
+	if nParents != parents {
+		t.Fatalf("export has %d parents, want %d — a live parent was dropped", nParents, parents)
+	}
+}
+
+// Concurrent End across goroutines with an over-capacity churn must
+// leave the export sorted and exactly cap lines long.
+func TestTraceRingExportSortedUnderChurn(t *testing.T) {
+	const cap = 32
+	tr := NewTracer(TracerConfig{Cap: cap})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("churn", A("g", fmt.Sprint(g)), A("i", fmt.Sprint(i)))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf strings.Builder
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var prev string
+	n := 0
+	for sc.Scan() {
+		if sc.Text() < prev {
+			t.Fatalf("line %d out of order", n)
+		}
+		prev = sc.Text()
+		n++
+	}
+	if n != cap {
+		t.Fatalf("exported %d lines, want %d", n, cap)
+	}
+}

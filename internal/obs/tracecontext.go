@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cross-process trace context. A SpanContext names one span inside one
+// trace so a downstream process can attach its own spans as children:
+// fleetd starts a lease span, the grant carries the context to the
+// worker, the worker's push carries it to capring, the fan-out carries
+// it to each capd — and an aggregator stitches the NDJSON exports back
+// into a single tree.
+//
+// Ids are derived, not drawn: the trace id is a hash of the root
+// span's structural id, and each span id is a hash of the parent's
+// span id plus the span's own structural id. No randomness, no
+// counters, no host names — two fleets doing the same work at any
+// worker count mint byte-identical ids, which is what keeps
+// cross-process traces inside the repo's byte-reproducibility
+// discipline (DESIGN.md §13). The cost is that identical structural
+// siblings collapse to one id; replica fan-out exploits this so N
+// copies of one delivery dedup to a single span at assembly.
+
+// SpanContext identifies a span within a trace for cross-process
+// propagation. The zero value is "no context".
+type SpanContext struct {
+	// TraceID is 32 lowercase hex characters, constant across every
+	// span of one trace.
+	TraceID string
+	// SpanID is 16 lowercase hex characters naming one span; children
+	// record it as their parent.
+	SpanID string
+}
+
+// Valid reports whether the context carries a usable trace identity.
+func (sc SpanContext) Valid() bool {
+	return len(sc.TraceID) == 32 && len(sc.SpanID) == 16
+}
+
+// TraceparentHeader is the HTTP header the context travels in,
+// following the W3C trace-context convention.
+const TraceparentHeader = "Traceparent"
+
+// Traceparent renders the context in W3C traceparent form:
+// "00-<trace id>-<span id>-01". An invalid context renders "".
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a traceparent string. An empty string is not
+// an error: it returns the zero (invalid) context, so callers can pass
+// an absent header straight through.
+func ParseTraceparent(s string) (SpanContext, error) {
+	if s == "" {
+		return SpanContext{}, nil
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return SpanContext{}, fmt.Errorf("obs: traceparent %q has non-hex field", s)
+			}
+		}
+	}
+	sc := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if strings.Count(sc.TraceID, "0") == 32 || strings.Count(sc.SpanID, "0") == 16 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q has all-zero id", s)
+	}
+	return sc, nil
+}
+
+// FNV-64a, inlined so the id derivation allocates nothing beyond the
+// two hex strings.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(seed uint64, s string) uint64 {
+	h := seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hex64(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// nonZero64 keeps ids out of the all-zero form traceparent reserves
+// for "absent".
+func nonZero64(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// traceIDFor derives the 128-bit trace id for a trace rooted at the
+// span with the given structural id: two chained FNV-64a passes over
+// the id, hex-concatenated.
+func traceIDFor(structuralID string) string {
+	hi := nonZero64(fnv64a(fnvOffset64, structuralID))
+	lo := nonZero64(fnv64a(hi, structuralID))
+	return hex64(hi) + hex64(lo)
+}
+
+// spanIDFor derives a span id from the parent's span id (empty for a
+// root) and the span's own structural id. Chaining through the parent
+// id keeps structurally-identical spans distinct when they sit under
+// different parents (the same "visit" under two lease attempts).
+func spanIDFor(parentSpanID, structuralID string) string {
+	return hex64(nonZero64(fnv64a(fnv64a(fnvOffset64, parentSpanID), "\x1f"+structuralID)))
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(TracerConfig{Service: "fleetd"})
+	sp := tr.Start("lease", A("first", "0"), A("attempt", "1"))
+	tp := sp.Context().Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q not in 00-…-01 form", tp)
+	}
+	ctx, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx != sp.Context() {
+		t.Fatalf("round-trip: %+v != %+v", ctx, sp.Context())
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	for _, bad := range []string{
+		"00-short-0123456789abcdef-01",
+		"00-0123456789abcdef0123456789abcdef-short-01",
+		"xx-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef",
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // all-zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // all-zero span id
+		"00-0123456789abcdeg0123456789abcdef-0123456789abcdef-01", // non-hex
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	ctx, err := ParseTraceparent("")
+	if err != nil || ctx.Valid() {
+		t.Fatalf("empty header: ctx=%+v err=%v, want zero ctx and nil error", ctx, err)
+	}
+}
+
+// Ids are derived from structural identity: the same span tree started
+// on different tracers — or in different processes — gets the same
+// trace and span ids. This is the invariant that makes assembled
+// traces byte-identical across worker counts.
+func TestTraceContextDeterministic(t *testing.T) {
+	build := func() (root, child, remote SpanContext) {
+		tr := NewTracer(TracerConfig{Service: "fleetd"})
+		sp := tr.Start("lease", A("first", "0"), A("attempt", "1"))
+		ch := sp.Start("push", A("first", "0"))
+		// Another process adopts the root's context.
+		tr2 := NewTracer(TracerConfig{Service: "worker"})
+		ad := tr2.StartRemote("work", sp.Context(), A("first", "0"))
+		return sp.Context(), ch.Context(), ad.Context()
+	}
+	r1, c1, a1 := build()
+	r2, c2, a2 := build()
+	if r1 != r2 || c1 != c2 || a1 != a2 {
+		t.Fatalf("contexts differ across identical builds:\n%v %v %v\n%v %v %v", r1, c1, a1, r2, c2, a2)
+	}
+	if c1.TraceID != r1.TraceID || a1.TraceID != r1.TraceID {
+		t.Fatalf("children left the trace: root=%v child=%v adopted=%v", r1, c1, a1)
+	}
+	if c1.SpanID == r1.SpanID || a1.SpanID == r1.SpanID || c1.SpanID == a1.SpanID {
+		t.Fatal("span ids collide across distinct spans")
+	}
+	// Different structural identity → different trace.
+	tr := NewTracer(TracerConfig{})
+	other := tr.Start("lease", A("first", "16"), A("attempt", "1"))
+	if other.Context().TraceID == r1.TraceID {
+		t.Fatal("distinct roots share a trace id")
+	}
+}
+
+// An invalid propagated context degrades to a root span rather than
+// dropping the span.
+func TestStartRemoteInvalidContext(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	sp := tr.StartRemote("work", SpanContext{}, A("first", "0"))
+	if !sp.Context().Valid() {
+		t.Fatal("degraded span has no identity")
+	}
+	root := tr.Start("work", A("first", "0"))
+	if sp.Context() != root.Context() {
+		t.Fatalf("degraded root %+v differs from plain root %+v", sp.Context(), root.Context())
+	}
+}
+
+// NDJSON export carries the propagation fields and stays sorted.
+func TestWriteNDJSONCarriesContext(t *testing.T) {
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(TracerConfig{Service: "capd", Clock: func() time.Time { return clock }})
+	sp := tr.StartRemote("ingest", SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)},
+		A("at", "0"))
+	sp.End()
+	var buf strings.Builder
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"svc":"capd"`, `"tid":"` + strings.Repeat("ab", 16) + `"`, `"psid":"` + strings.Repeat("cd", 8) + `"`, `"sid":"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s:\n%s", want, out)
+		}
+	}
+}
