@@ -26,9 +26,9 @@ OBS_THRESHOLD ?= 0.05
 OBS_BENCHTIME ?= 1s
 OBS_COUNT     ?= 4
 
-.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke fuzz
+.PHONY: check vet build test race chaos bench benchdiff bench-capstore obs-smoke obs-overhead fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke analytics-smoke fuzz
 
-check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke
+check: vet build race chaos obs-smoke fleet-smoke decision-smoke replication-smoke pack-smoke cluster-obs-smoke analytics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -134,6 +134,18 @@ cluster-obs-smoke:
 	$(GO) build -o bin/crawl ./cmd/crawl
 	$(GO) build -o bin/obsd ./cmd/obsd
 	$(GO) run ./cmd/clustersmoke -capd bin/capd -capring bin/capring -fleetd bin/fleetd -crawl bin/crawl -obsd bin/obsd
+
+# End-to-end incremental-analytics smoke: boot capd (-ingest) and an
+# analyzed follower with a short checkpoint interval, stream a fixture
+# world, SIGKILL analyzed mid-stream, restart it (must resume from the
+# checkpoint and fold only the suffix), finish the stream, and assert
+# every served view is byte-identical to `analyze -store` batch mode
+# over the same store.
+analytics-smoke:
+	$(GO) build -o bin/capd ./cmd/capd
+	$(GO) build -o bin/analyzed ./cmd/analyzed
+	$(GO) build -o bin/analyze ./cmd/analyze
+	$(GO) run ./cmd/analyticssmoke -capd bin/capd -analyzed bin/analyzed -analyze bin/analyze
 
 # Telemetry overhead gate: the live recorder must stay within
 # OBS_THRESHOLD of the no-op recorder on both hot paths. Longer

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analytics"
 	"repro/internal/capstore"
 	"repro/internal/capstore/replica"
 	"repro/internal/capture"
@@ -925,4 +926,89 @@ func BenchmarkOpenStore(b *testing.B) {
 			})
 		}
 	}
+}
+
+// analyticsCaptures fabricates a deterministic capture stream for the
+// incremental-analytics benchmarks: a few hundred domains cycling
+// through the studied CMPs, with CMP-less and failed pages mixed in.
+func analyticsCaptures(n int) []*capture.Capture {
+	caps := make([]*capture.Capture, n)
+	for i := range caps {
+		domain := "site" + strconv.Itoa(i%311) + ".example"
+		c := &capture.Capture{
+			SeedURL:     "https://" + domain + "/p/" + strconv.Itoa(i),
+			FinalURL:    "https://" + domain + "/",
+			FinalDomain: domain,
+			Day:         simtime.Day((i * 5) % simtime.NumDays),
+			Vantage:     capture.EUCloud,
+			Config:      "default",
+			Status:      200,
+		}
+		switch i % 7 {
+		case 0:
+		case 1:
+			c.Failed = true
+			c.Error = "timeout"
+		default:
+			id := cmps.ID(1 + i%int(cmps.Count))
+			c.Requests = []capture.Request{{Host: id.Hostname(), Path: "/cmp.js", Status: 200}}
+		}
+		caps[i] = c
+	}
+	return caps
+}
+
+// BenchmarkViewFold prices the incremental engine's per-record fold —
+// the work analyzed does for every committed capture, excluding view
+// marshalling. This is the path that must keep up with live ingest.
+func BenchmarkViewFold(b *testing.B) {
+	caps := analyticsCaptures(4096)
+	e := analytics.NewEngine(analytics.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Apply(i%4, []*capture.Capture{caps[i%len(caps)]})
+	}
+}
+
+// BenchmarkAnalyzedQuery prices view serving: "cached" is the steady
+// state (repeated queries between commits hit the per-cursor snapshot
+// cache), "rebuild" folds one record first so every query pays the
+// full view refresh + marshal — the worst-case update latency the
+// analytics_view_update_seconds histogram tracks.
+func BenchmarkAnalyzedQuery(b *testing.B) {
+	caps := analyticsCaptures(5000)
+	mk := func() *analytics.Engine {
+		e := analytics.NewEngine(analytics.Config{})
+		for i, c := range caps {
+			e.Apply(i%4, []*capture.Capture{c})
+		}
+		return e
+	}
+	b.Run("cached", func(b *testing.B) {
+		e := mk()
+		if _, err := e.SnapshotAll(); err != nil {
+			b.Fatal(err)
+		}
+		names := analytics.ViewNames()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Snapshot(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		e := mk()
+		names := analytics.ViewNames()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Apply(i%4, []*capture.Capture{caps[i%len(caps)]})
+			if _, err := e.Snapshot(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

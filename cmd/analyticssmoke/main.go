@@ -1,0 +1,392 @@
+// Command analyticssmoke exercises the incremental-analytics path end
+// to end with real processes: a capd ingest node, an analyzed follower
+// with a short checkpoint interval, a SIGKILL mid-stream, a restart
+// that must resume from the checkpoint (not refold the whole store),
+// and a final byte-for-byte comparison of every served view against
+// `analyze -store` batch mode over the same store. Any failure exits
+// non-zero.
+//
+// Usage:
+//
+//	analyticssmoke [-capd bin/capd] [-analyzed bin/analyzed] [-analyze bin/analyze]
+//
+// `make analytics-smoke` builds the three binaries and runs this; it
+// is part of `make check`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/cmps"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/simtime"
+)
+
+const (
+	shards = 4
+	total  = 480
+	batch  = 16
+)
+
+// mkCapture fabricates capture i: a few dozen domains cycling through
+// the studied CMPs across the window, with CMP-less pages and failed
+// captures mixed in so the folds' skip paths run too.
+func mkCapture(i int) *capture.Capture {
+	domain := fmt.Sprintf("site%d.example", i%29)
+	c := &capture.Capture{
+		SeedURL:     fmt.Sprintf("https://%s/p/%d", domain, i),
+		FinalURL:    "https://" + domain + "/",
+		FinalDomain: domain,
+		Day:         simtime.Day((i * 7) % simtime.NumDays),
+		Vantage:     capture.EUCloud,
+		Config:      "default",
+		Status:      200,
+	}
+	if i%3 == 0 {
+		c.Vantage = capture.USCloud
+	}
+	switch i % 7 {
+	case 0: // CMP-less page
+	case 1:
+		c.Failed = true
+		c.Error = "timeout"
+		c.Status = 0
+	default:
+		id := cmps.ID(1 + i%int(cmps.Count))
+		c.Requests = []capture.Request{{Host: id.Hostname(), Path: "/cmp.js", Status: 200}}
+	}
+	return c
+}
+
+func main() {
+	capdBin := flag.String("capd", filepath.Join("bin", "capd"), "path to the capd binary under test")
+	analyzedBin := flag.String("analyzed", filepath.Join("bin", "analyzed"), "path to the analyzed binary under test")
+	analyzeBin := flag.String("analyze", filepath.Join("bin", "analyze"), "path to the analyze binary (batch reference)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "analyticssmoke-*")
+	check(err)
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "store")
+	ckptDir := filepath.Join(dir, "checkpoints")
+
+	caps := make([]*capture.Capture, total)
+	for i := range caps {
+		caps[i] = mkCapture(i)
+	}
+
+	// Boot the ingest node and the follower against it.
+	capd := boot(*capdBin, "-store", storeDir, "-init-shards", strconv.Itoa(shards),
+		"-ingest", "-metrics", "-addr", "127.0.0.1:0")
+	defer capd.kill()
+	capdURL := "http://" + capd.addr()
+	cl := client(capdURL)
+
+	analyzed := boot(*analyzedBin, "-server", capdURL, "-checkpoint", ckptDir,
+		"-checkpoint-every", "64", "-poll", "10ms", "-metrics", "-addr", "127.0.0.1:0")
+	defer analyzed.kill()
+	anURL := "http://" + analyzed.addr()
+
+	// Phase 1: stream ~40% and wait for the follower to catch up and
+	// cut at least one durable checkpoint.
+	phase1 := total * 2 / 5
+	push(cl, caps[:phase1])
+	waitHealth(anURL, func(h analytics.AnalyzedHealth) bool {
+		return h.Cursor == int64(phase1) && h.CheckpointCursor > 0
+	}, "cursor %d with a checkpoint", phase1)
+
+	// Phase 2: SIGKILL analyzed mid-stream — no graceful checkpoint —
+	// and keep ingesting while it is down.
+	ckptBefore := health(anURL).CheckpointCursor
+	check(analyzed.cmd.Process.Kill())
+	analyzed.wait(10 * time.Second) //nolint:errcheck
+	fmt.Printf("analyticssmoke: SIGKILLed analyzed at cursor %d (checkpoint %d)\n", phase1, ckptBefore)
+	phase2 := total * 7 / 10
+	push(cl, caps[phase1:phase2])
+
+	// Phase 3: restart on the same checkpoint directory. The banner
+	// must report a resume, and the process must fold only the suffix
+	// past its checkpoint — never the whole store again.
+	analyzed2 := boot(*analyzedBin, "-server", capdURL, "-checkpoint", ckptDir,
+		"-checkpoint-every", "64", "-poll", "10ms", "-metrics", "-addr", "127.0.0.1:0")
+	defer analyzed2.kill()
+	anURL = "http://" + analyzed2.addr()
+	m := resumeRe.FindStringSubmatch(analyzed2.output())
+	if m == nil {
+		fatalf("restarted analyzed did not resume from a checkpoint:\n%s", analyzed2.output())
+	}
+	resumed, err := strconv.ParseInt(m[1], 10, 64)
+	check(err)
+	if resumed <= 0 || resumed > int64(phase1) {
+		fatalf("resumed cursor %d out of range (0, %d]", resumed, phase1)
+	}
+
+	// Phase 4: stream the rest and wait for full catch-up.
+	push(cl, caps[phase2:])
+	waitHealth(anURL, func(h analytics.AnalyzedHealth) bool {
+		return h.Cursor == int64(total) && h.Lag == 0
+	}, "cursor %d with zero lag", total)
+
+	// The restarted process folded exactly the post-checkpoint suffix.
+	folded := metricValue(anURL, "analytics_fold_records_total")
+	if want := float64(total) - float64(resumed); folded != want {
+		fatalf("restarted analyzed folded %.0f records, want %.0f (resumed at %d of %d — full replay?)",
+			folded, want, resumed, total)
+	}
+
+	// Satellite check: capd's /healthz exposes the ingest commit
+	// cursor, and it agrees with what analyzed applied.
+	var capdHealth capstore.Health
+	check(json.Unmarshal([]byte(get(capdURL+"/healthz")), &capdHealth))
+	if capdHealth.Ingest == nil || capdHealth.Ingest.Accepted != int64(total) {
+		fatalf("capd /healthz ingest = %+v, want %d accepted", capdHealth.Ingest, total)
+	}
+
+	// Pull every view (twice, so the snapshot cache also serves) and
+	// validate the telemetry surface.
+	views := make(map[string][]byte)
+	for _, name := range analytics.ViewNames() {
+		get(anURL + "/view/" + name)
+		views[name] = bytes.TrimSuffix([]byte(get(anURL+"/view/"+name)), []byte("\n"))
+		if lines := strings.Count(get(anURL+"/series/"+name), "\n"); lines == 0 {
+			fatalf("/series/%s served no points", name)
+		}
+	}
+	text := get(anURL + "/metrics")
+	check(obs.ValidateExposition(strings.NewReader(text)))
+	for _, want := range []string{"analytics_fold_records_total", "analytics_cursor",
+		"analytics_lag_records", "analytics_checkpoints_total", "analytics_queries_total",
+		"analytics_view_update_seconds"} {
+		if !strings.Contains(text, want) {
+			fatalf("analyzed /metrics missing %q", want)
+		}
+	}
+
+	// Shut both down gracefully; batch mode needs the store unlocked.
+	for _, p := range []*proc{analyzed2, capd} {
+		check(p.cmd.Process.Signal(syscall.SIGTERM))
+		if err := p.wait(10 * time.Second); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+	}
+
+	// Headline: `analyze -store` over the very store capd wrote must
+	// reproduce every served view byte for byte.
+	out := filepath.Join(dir, "views.json")
+	cmd := exec.Command(*analyzeBin, "-store", storeDir, "-views-out", out)
+	cmd.Stderr = os.Stderr
+	check(cmd.Run())
+	var envelope struct {
+		Cursor int64                      `json:"cursor"`
+		Views  map[string]json.RawMessage `json:"views"`
+	}
+	b, err := os.ReadFile(out)
+	check(err)
+	check(json.Unmarshal(b, &envelope))
+	if envelope.Cursor != int64(total) {
+		fatalf("batch cursor %d, want %d", envelope.Cursor, total)
+	}
+	for name, served := range views {
+		if !bytes.Equal(served, envelope.Views[name]) {
+			fatalf("view %s: analyzed served different bytes than batch analyze\nserved: %.200s\nbatch:  %.200s",
+				name, served, envelope.Views[name])
+		}
+	}
+	fmt.Printf("analyticssmoke: ok — %d records, %d views byte-identical to batch after SIGKILL + checkpoint resume at cursor %d\n",
+		total, len(views), resumed)
+}
+
+var resumeRe = regexp.MustCompile(`resumed from checkpoint at cursor (\d+)`)
+
+func client(url string) *capstore.Client {
+	cl := capstore.NewClient(url)
+	cl.Retry = resilience.RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 500 * time.Millisecond, Multiplier: 2}
+	return cl
+}
+
+// push streams caps in order as fixed-size batches.
+func push(cl *capstore.Client, caps []*capture.Capture) {
+	for at := 0; at < len(caps); at += batch {
+		end := at + batch
+		if end > len(caps) {
+			end = len(caps)
+		}
+		if _, err := cl.RecordBatch(caps[at:end]); err != nil {
+			fatalf("ingest batch at %d: %v", at, err)
+		}
+	}
+}
+
+func health(url string) analytics.AnalyzedHealth {
+	var h analytics.AnalyzedHealth
+	check(json.Unmarshal([]byte(get(url+"/healthz")), &h))
+	return h
+}
+
+func waitHealth(url string, ok func(analytics.AnalyzedHealth) bool, format string, args ...any) {
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		h := health(url)
+		if ok(h) {
+			return
+		}
+		if time.Now().After(deadline) {
+			fatalf("timed out waiting for "+format+" (health %+v)", append(args, h)...)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// metricValue extracts one untyped sample from the text exposition.
+func metricValue(url, name string) float64 {
+	for _, line := range strings.Split(get(url+"/metrics"), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+			check(err)
+			return v
+		}
+	}
+	fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+// proc is a child process whose stdout is captured (and echoed) so the
+// listen-address banner can be parsed.
+type proc struct {
+	cmd    *exec.Cmd
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	doneCh chan error
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// procs tracks every child so fatalf can reap them.
+var procs []*proc
+
+func start(bin string, args ...string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	check(err)
+	check(cmd.Start())
+	p := &proc{cmd: cmd, doneCh: make(chan error, 1)}
+	procs = append(procs, p)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := out.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.buf.Write(buf[:n])
+				p.mu.Unlock()
+				os.Stdout.Write(buf[:n]) //nolint:errcheck
+			}
+			if err != nil {
+				break
+			}
+		}
+		p.doneCh <- cmd.Wait()
+	}()
+	return p
+}
+
+// boot is start plus waiting for the "… on 127.0.0.1:PORT" banner.
+func boot(bin string, args ...string) *proc {
+	p := start(bin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(p.output()); m != nil {
+			return p
+		}
+		if time.Now().After(deadline) || p.exited() {
+			p.kill()
+			fatalf("%s did not report a listen address:\n%s", bin, p.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *proc) addr() string {
+	return addrRe.FindStringSubmatch(p.output())[1]
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func (p *proc) exited() bool {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *proc) wait(d time.Duration) error {
+	select {
+	case err := <-p.doneCh:
+		p.doneCh <- err
+		return err
+	case <-time.After(d):
+		p.kill()
+		return fmt.Errorf("still running after %v", d)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil && !p.exited() {
+		p.cmd.Process.Kill() //nolint:errcheck
+		<-p.doneCh
+		p.doneCh <- nil
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "analyticssmoke: "+format+"\n", args...)
+	for _, p := range procs {
+		p.kill()
+	}
+	os.Exit(1)
+}

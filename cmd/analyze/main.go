@@ -8,20 +8,32 @@
 //
 //	analyze [-quick] [-seed N] [-domains N] [-shares N] [-toplist N] [-workers N]
 //	        [-telemetry]
+//	analyze -store DIR [-views-out FILE]
 //
 // -quick runs at test scale (seconds); the default scale is ≈1/100 of
 // the paper's capture volume and takes a few minutes. -telemetry meters
 // the detector, the aggregation sink and the campaign-memoization cache
 // and dumps the Prometheus text exposition after the report.
+//
+// -store switches to batch-over-store mode: instead of simulating a
+// world, analyze folds an existing capture store through the same
+// incremental engine cmd/analyzed runs live and emits every
+// materialized view as one JSON envelope ({"cursor":N,"views":{...}}).
+// Each view's bytes are identical to what analyzed serves on
+// /view/<name> at the same commit cursor — the byte-for-byte
+// batch/incremental invariant the analytics tests enforce.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"repro/internal/analysis"
+	"repro/internal/analytics"
+	"repro/internal/capstore"
 	"repro/internal/cmps"
 	"repro/internal/consent"
 	"repro/internal/core"
@@ -41,8 +53,18 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign/crawl worker count")
 		verbose   = flag.Bool("v", false, "print crawl progress")
 		telemetry = flag.Bool("telemetry", false, "meter the run and dump the Prometheus exposition after the report")
+		storeDir  = flag.String("store", "", "batch mode: fold this capture store through the analytics engine and emit the views as JSON")
+		viewsOut  = flag.String("views-out", "", "with -store, write the views envelope here instead of stdout")
 	)
 	flag.Parse()
+
+	if *storeDir != "" {
+		if err := runStoreBatch(*storeDir, *viewsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	if *quick {
@@ -222,4 +244,42 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runStoreBatch is the -store path: fold the whole store through the
+// incremental engine and emit one JSON envelope with every view at
+// the store's final commit cursor.
+func runStoreBatch(dir, out string) error {
+	store, err := capstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	eng, err := analytics.BatchEngine(store, analytics.Config{})
+	if err != nil {
+		return err
+	}
+	snaps, err := eng.SnapshotAll()
+	if err != nil {
+		return err
+	}
+	envelope := struct {
+		Cursor int64                      `json:"cursor"`
+		Views  map[string]json.RawMessage `json:"views"`
+	}{Cursor: eng.Cursor(), Views: make(map[string]json.RawMessage, len(snaps))}
+	for name, b := range snaps {
+		envelope.Views[name] = b
+	}
+	b, err := json.Marshal(envelope)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	fmt.Fprintf(os.Stderr, "analyze: folded %d records into %d views from %s\n",
+		eng.Cursor(), len(snaps), dir)
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
 }

@@ -181,6 +181,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "capd:", err)
 			os.Exit(1)
 		}
+		// /healthz reports the ingest commit cursor so operators can
+		// compare it against analyzed view lag in one probe.
+		serveCfg.Ingester = ingester
 	}
 	// Admin and debug surfaces mount on an outer mux, beside /healthz
 	// and outside the limiter: scrapes, profiles, and compaction

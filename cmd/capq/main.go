@@ -69,7 +69,17 @@ func main() {
 		var err error
 		switch {
 		case *server != "":
-			st, err = capstore.NewClient(*server).Stats()
+			cl := capstore.NewClient(*server)
+			if st, err = cl.Stats(); err == nil {
+				// A serving node also knows its ingest commit cursor;
+				// print it beside the store shape so operators can
+				// compare against analyzed view lag.
+				if h, herr := cl.Health(); herr == nil && h.Ingest != nil {
+					fmt.Printf("ingest: cursor %d  accepted %d  duplicates %d  shed %d  pending %d\n",
+						h.Ingest.NextSeq, h.Ingest.Accepted, h.Ingest.Duplicates,
+						h.Ingest.Shed, h.Ingest.PendingBatches)
+				}
+			}
 		case *storeDir != "":
 			var s *capstore.Store
 			if s, err = capstore.Open(*storeDir); err == nil {

@@ -68,6 +68,51 @@ func snapshotPoint(size int, counts map[cmps.ID]int, total int) MarketSharePoint
 	return pt
 }
 
+// SharePoint is one sample of the store-driven market-share series:
+// at Day, how many distinct observed domains each CMP served, among
+// all domains with any presence interval.
+type SharePoint struct {
+	Day simtime.Day
+	// Count[cmp] is the number of domains using the CMP at Day.
+	Count map[cmps.ID]int
+	// WithCMP is the number of domains with any CMP at Day.
+	WithCMP int
+	// Share[cmp] = Count[cmp] / WithCMP (0 when WithCMP is 0).
+	Share map[cmps.ID]float64
+}
+
+// CMPShareSeries samples per-CMP domain counts and relative shares at
+// each day, over every domain in the presence DB. Unlike
+// MarketShareByRank it needs no toplist — it is the market-share
+// analysis a live capture stream can answer on its own, and the shape
+// the analyzed marketshare view serves.
+func CMPShareSeries(p *PresenceDB, days []simtime.Day) []SharePoint {
+	points := make([]SharePoint, len(days))
+	for i, day := range days {
+		points[i] = SharePoint{Day: day, Count: make(map[cmps.ID]int), Share: make(map[cmps.ID]float64)}
+	}
+	for _, ivs := range p.intervals {
+		for i, day := range days {
+			for _, iv := range ivs {
+				if day >= iv.Start && day < iv.End && iv.CMP != cmps.None {
+					points[i].Count[iv.CMP]++
+					points[i].WithCMP++
+					break
+				}
+			}
+		}
+	}
+	for i := range points {
+		if points[i].WithCMP == 0 {
+			continue
+		}
+		for id, n := range points[i].Count {
+			points[i].Share[id] = float64(n) / float64(points[i].WithCMP)
+		}
+	}
+	return points
+}
+
 // EUUKShare computes, per CMP, the share of its websites with an EU or
 // UK TLD at the snapshot day (Section 4.1: Quantcast 38.3%, OneTrust
 // 16.3%).

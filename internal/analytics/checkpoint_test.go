@@ -1,0 +1,101 @@
+package analytics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if cur, _, err := LoadLatestCheckpoint(dir); err != nil || cur != -1 {
+		t.Fatalf("empty dir: cursor %d, err %v; want -1, nil", cur, err)
+	}
+	if cur, _, err := LoadLatestCheckpoint(filepath.Join(dir, "missing")); err != nil || cur != -1 {
+		t.Fatalf("missing dir: cursor %d, err %v; want -1, nil", cur, err)
+	}
+
+	payload := []byte(`{"view":"state"}`)
+	if _, err := WriteCheckpoint(dir, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	cur, got, err := LoadLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("got cursor %d payload %q", cur, got)
+	}
+
+	// The newest cursor wins, and old checkpoints are pruned to two.
+	for _, c := range []int64{100, 250, 999} {
+		if _, err := WriteCheckpoint(dir, c, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cur, _, _ = LoadLatestCheckpoint(dir); cur != 999 {
+		t.Fatalf("latest cursor = %d, want 999", cur)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 2 {
+		t.Fatalf("%d checkpoint files on disk, want ≤ 2", len(entries))
+	}
+}
+
+// TestCheckpointTornTailFallsBack crashes mid-write, by hand: the
+// newest checkpoint file is truncated (torn) or corrupted, and load
+// must fall back to the previous valid one.
+func TestCheckpointTornTailFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	good := []byte(`{"cursor":7}`)
+	if _, err := WriteCheckpoint(dir, 7, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 9, []byte(`{"cursor":9}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest file: keep the header, drop half the payload.
+	name := filepath.Join(dir, ckptName(9))
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, b[:len(b)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur, payload, err := LoadLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != 7 || !bytes.Equal(payload, good) {
+		t.Fatalf("got cursor %d payload %q, want the older intact checkpoint", cur, payload)
+	}
+
+	// Corrupt (bit-flipped) payload with intact length: hash rejects
+	// it. Fresh dir so pruning cannot evict the fallback checkpoint.
+	dir = t.TempDir()
+	if _, err := WriteCheckpoint(dir, 7, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 11, []byte(`{"cursor":11}`)); err != nil {
+		t.Fatal(err)
+	}
+	name = filepath.Join(dir, ckptName(11))
+	if b, err = os.ReadFile(name); err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x40
+	if err := os.WriteFile(name, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cur, payload, err = LoadLatestCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if cur != 7 || !bytes.Equal(payload, good) {
+		t.Fatalf("bit flip survived: cursor %d payload %q", cur, payload)
+	}
+}

@@ -1,0 +1,215 @@
+package analytics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// HandlerConfig parameterizes the analyzed HTTP surface.
+type HandlerConfig struct {
+	Engine *Engine
+	// Follower, when non-nil, contributes lag and checkpoint fields to
+	// /healthz.
+	Follower *Follower
+
+	// MaxInFlight bounds concurrent view queries (default 64);
+	// RequestTimeout bounds one query (default 30s). /healthz is
+	// served outside the limiter so operators can always probe a
+	// saturated node.
+	MaxInFlight    int
+	RequestTimeout time.Duration
+
+	// Tracer, when non-nil, adopts the caller's trace context from a
+	// Traceparent header on view queries.
+	Tracer *obs.Tracer
+}
+
+// AnalyzedHealth is the /healthz payload.
+type AnalyzedHealth struct {
+	Status string `json:"status"`
+	// Cursor is the total ingest commit cursor applied to the views.
+	Cursor int64 `json:"cursor"`
+	// Shards maps shard id to its applied record count.
+	Shards map[string]int64 `json:"shards"`
+	// Lag is the source cursor minus Cursor as of the last sweep.
+	Lag int64 `json:"lag"`
+	// CheckpointCursor is the last durable checkpoint's cursor, -1
+	// before any checkpoint.
+	CheckpointCursor int64                   `json:"checkpoint_cursor"`
+	Views            []ViewInfo              `json:"views"`
+	Limiter          resilience.LimiterStats `json:"limiter"`
+	Telemetry        *obs.TelemetrySummary   `json:"telemetry,omitempty"`
+}
+
+type handler struct {
+	cfg     HandlerConfig
+	limiter *resilience.HTTPLimiter
+	reg     *obs.Registry
+	started time.Time
+}
+
+// NewHandler returns the analyzed query surface: /views, /view/{name},
+// /series/{name} (NDJSON), and /healthz. reg, when non-nil, feeds the
+// telemetry summary on /healthz (the /metrics endpoint itself is
+// mounted by the caller, outside the limiter).
+func NewHandler(cfg HandlerConfig, reg *obs.Registry) http.Handler {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	h := &handler{
+		cfg: cfg,
+		limiter: resilience.NewHTTPLimiter(resilience.HTTPLimiterConfig{
+			MaxInFlight: cfg.MaxInFlight,
+			Timeout:     cfg.RequestTimeout,
+		}),
+		reg:     reg,
+		started: time.Now(),
+	}
+	inner := http.NewServeMux()
+	inner.HandleFunc("/views", h.handleViews)
+	inner.HandleFunc("/view/", h.handleView)
+	inner.HandleFunc("/series/", h.handleSeries)
+	limited := h.limiter.Wrap(readOnly(inner))
+	outer := http.NewServeMux()
+	outer.HandleFunc("/healthz", h.handleHealth)
+	outer.Handle("/", limited)
+	return outer
+}
+
+// readOnly rejects anything but GET and HEAD: every view endpoint is
+// a pure read.
+func readOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "read-only endpoint", http.StatusMethodNotAllowed)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// span adopts the caller's trace context, if any.
+func (h *handler) span(r *http.Request, view string) *obs.Span {
+	if h.cfg.Tracer == nil {
+		return nil
+	}
+	pctx, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if err != nil || !pctx.Valid() {
+		return nil
+	}
+	return h.cfg.Tracer.StartRemote("analytics_query", pctx, obs.A("view", view))
+}
+
+func (h *handler) handleViews(w http.ResponseWriter, r *http.Request) {
+	if span := h.span(r, "catalog"); span != nil {
+		defer span.End()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h.cfg.Engine.Views())
+}
+
+// viewName extracts the trailing path element of /view/ or /series/.
+func viewName(path, prefix string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(path, prefix), "/")
+}
+
+func (h *handler) serveSnapshot(w http.ResponseWriter, r *http.Request, name string) ([]byte, bool) {
+	start := time.Now()
+	e := h.cfg.Engine
+	b, err := e.Snapshot(name)
+	if err != nil {
+		var unknown *ErrUnknownView
+		if errors.As(err, &unknown) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return nil, false
+	}
+	e.m.queries.With(name).Add(1)
+	e.m.querySeconds.Observe(time.Since(start).Seconds())
+	return b, true
+}
+
+func (h *handler) handleView(w http.ResponseWriter, r *http.Request) {
+	name := viewName(r.URL.Path, "/view/")
+	if span := h.span(r, name); span != nil {
+		defer span.End()
+	}
+	b, ok := h.serveSnapshot(w, r, name)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// seriesEnvelope picks the per-point array out of a view snapshot.
+type seriesEnvelope struct {
+	Points []json.RawMessage `json:"points"`
+	Months []json.RawMessage `json:"months"`
+}
+
+func (h *handler) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := viewName(r.URL.Path, "/series/")
+	if span := h.span(r, name); span != nil {
+		defer span.End()
+	}
+	b, ok := h.serveSnapshot(w, r, name)
+	if !ok {
+		return
+	}
+	var env seriesEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rows := env.Points
+	if rows == nil {
+		rows = env.Months
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, row := range rows {
+		w.Write(row)
+		w.Write([]byte("\n"))
+	}
+}
+
+func (h *handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	e := h.cfg.Engine
+	hp := AnalyzedHealth{
+		Status:           "ok",
+		Cursor:           e.Cursor(),
+		Shards:           make(map[string]int64),
+		CheckpointCursor: -1,
+		Views:            e.Views(),
+		Limiter:          h.limiter.Stats(),
+	}
+	for _, shard := range e.SortedShards() {
+		hp.Shards[fmt.Sprintf("%d", shard)] = e.ShardCursor(shard)
+	}
+	if f := h.cfg.Follower; f != nil {
+		hp.Lag = f.Lag()
+		hp.CheckpointCursor = f.lastCkpt
+	}
+	if h.limiter.Saturated() {
+		hp.Status = "saturated"
+	}
+	if h.reg != nil {
+		hp.Telemetry = obs.Summarize(time.Since(h.started), e.m.querySeconds.Snapshot(), 3)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(hp)
+}

@@ -1,0 +1,180 @@
+package analytics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/capstore"
+	"repro/internal/capture"
+	"repro/internal/obs"
+)
+
+// newTestServer boots a handler over an engine pre-folded with the
+// first n stream captures.
+func newTestServer(t *testing.T, n int) (*httptest.Server, *Engine) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	eng := NewEngine(Config{GVL: testGVL, Registry: reg})
+	for i := 0; i < n; i++ {
+		c := testCapture(i)
+		eng.Apply(capstore.ShardOf(c.FinalDomain, 2), []*capture.Capture{c})
+	}
+	srv := httptest.NewServer(NewHandler(HandlerConfig{Engine: eng}, reg))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHandlerViewCatalog(t *testing.T) {
+	srv, eng := newTestServer(t, 50)
+	code, body := get(t, srv.URL+"/views")
+	if code != http.StatusOK {
+		t.Fatalf("/views: %d\n%s", code, body)
+	}
+	var views []ViewInfo
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(ViewNames()) {
+		t.Fatalf("catalog has %d views, want %d", len(views), len(ViewNames()))
+	}
+	for _, v := range views {
+		if v.Cursor != eng.Cursor() {
+			t.Errorf("view %s at cursor %d, want %d", v.Name, v.Cursor, eng.Cursor())
+		}
+		if v.Description == "" {
+			t.Errorf("view %s has no description", v.Name)
+		}
+	}
+}
+
+func TestHandlerViewServesEngineBytes(t *testing.T) {
+	srv, eng := newTestServer(t, 50)
+	for _, name := range ViewNames() {
+		code, body := get(t, srv.URL+"/view/"+name)
+		if code != http.StatusOK {
+			t.Fatalf("/view/%s: %d\n%s", name, code, body)
+		}
+		want, err := eng.Snapshot(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSuffix(body, []byte("\n")), want) {
+			t.Errorf("/view/%s bytes differ from engine snapshot", name)
+		}
+	}
+}
+
+func TestHandlerUnknownView(t *testing.T) {
+	srv, _ := newTestServer(t, 5)
+	for _, path := range []string{"/view/nope", "/series/nope"} {
+		if code, _ := get(t, srv.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s: %d, want 404", path, code)
+		}
+	}
+}
+
+func TestHandlerSeriesNDJSON(t *testing.T) {
+	srv, eng := newTestServer(t, 80)
+	for _, name := range ViewNames() {
+		code, body := get(t, srv.URL+"/series/"+name)
+		if code != http.StatusOK {
+			t.Fatalf("/series/%s: %d\n%s", name, code, body)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lines := 0
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			var v json.RawMessage
+			if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+				t.Fatalf("/series/%s line %d is not JSON: %v", name, lines+1, err)
+			}
+			lines++
+		}
+		if lines == 0 {
+			t.Errorf("/series/%s: no points", name)
+		}
+	}
+	// The adoption series must have exactly the snapshot's point count.
+	var av AdoptionView
+	snap, err := eng.Snapshot(ViewAdoption)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(snap, &av); err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, srv.URL+"/series/"+ViewAdoption)
+	got := strings.Count(string(body), "\n")
+	if got != len(av.Points) {
+		t.Errorf("adoption series: %d NDJSON lines, snapshot has %d points", got, len(av.Points))
+	}
+}
+
+func TestHandlerHealth(t *testing.T) {
+	srv, eng := newTestServer(t, 30)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: %d\n%s", code, body)
+	}
+	var h AnalyzedHealth
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.Cursor != eng.Cursor() {
+		t.Errorf("cursor = %d, want %d", h.Cursor, eng.Cursor())
+	}
+	if h.CheckpointCursor != -1 {
+		t.Errorf("checkpoint cursor = %d, want -1 without a follower", h.CheckpointCursor)
+	}
+	var sum int64
+	for _, c := range h.Shards {
+		sum += c
+	}
+	if sum != h.Cursor {
+		t.Errorf("shard cursors sum to %d, cursor is %d", sum, h.Cursor)
+	}
+	if len(h.Views) != len(ViewNames()) {
+		t.Errorf("%d views in health, want %d", len(h.Views), len(ViewNames()))
+	}
+	if h.Telemetry == nil {
+		t.Error("no telemetry summary despite a registry")
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t, 5)
+	resp, err := http.Post(srv.URL+"/view/adoption", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /view: %d, want 405", resp.StatusCode)
+	}
+}

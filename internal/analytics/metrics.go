@@ -1,0 +1,46 @@
+package analytics
+
+import "repro/internal/obs"
+
+// metrics is the engine/follower telemetry set. All fields are
+// nil-safe: with a nil registry every handle is nil and every
+// observation a no-op.
+type metrics struct {
+	foldRecords       *obs.Counter
+	foldSeconds       *obs.Histogram
+	viewUpdateSeconds *obs.HistogramVec
+	lagRecords        *obs.Gauge
+	checkpoints       *obs.Counter
+	checkpointCursor  *obs.Gauge
+	queries           *obs.CounterVec
+	querySeconds      *obs.Histogram
+	bootstraps        *obs.Counter
+}
+
+func newMetrics(r *obs.Registry, e *Engine) *metrics {
+	m := &metrics{
+		foldRecords: obs.NewCounter(r, "analytics_fold_records_total",
+			"Committed capture records folded into the views."),
+		foldSeconds: obs.NewHistogram(r, "analytics_fold_seconds",
+			"Latency of applying one committed batch to all folds.", obs.LatencyBuckets),
+		viewUpdateSeconds: obs.NewHistogramVec(r, "analytics_view_update_seconds",
+			"Latency of rebuilding one view snapshot after the cursor advanced.",
+			obs.LatencyBuckets, "view"),
+		lagRecords: obs.NewGauge(r, "analytics_lag_records",
+			"Store commit cursor minus the engine cursor (records not yet folded)."),
+		checkpoints: obs.NewCounter(r, "analytics_checkpoints_total",
+			"View-state checkpoints written."),
+		checkpointCursor: obs.NewGauge(r, "analytics_checkpoint_cursor",
+			"Commit cursor of the last durable checkpoint."),
+		queries: obs.NewCounterVec(r, "analytics_queries_total",
+			"View queries served.", "view"),
+		querySeconds: obs.NewHistogram(r, "analytics_query_seconds",
+			"Latency of serving one view query.", obs.LatencyBuckets),
+		bootstraps: obs.NewCounter(r, "analytics_bootstraps_total",
+			"Cold-start bootstrap sweeps completed."),
+	}
+	obs.NewGaugeFunc(r, "analytics_cursor",
+		"Total ingest commit cursor applied to the views.",
+		func() float64 { return float64(e.Cursor()) })
+	return m
+}

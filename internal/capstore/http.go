@@ -62,6 +62,10 @@ type ServeConfig struct {
 	// Now is the uptime clock for /healthz telemetry, injectable for
 	// deterministic tests (default time.Now).
 	Now func() time.Time
+	// Ingester, when non-nil, contributes the ingest commit cursor and
+	// counters to /healthz, so operators can compare the store cursor
+	// against analyzed view lag without scraping /metrics.
+	Ingester *Ingester
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -92,7 +96,10 @@ type Health struct {
 	TruncatedTails int64                   `json:"truncated_tails"`
 	QueriesServed  int64                   `json:"queries_served"`
 	Limiter        resilience.LimiterStats `json:"limiter"`
-	Telemetry      *HealthTelemetry        `json:"telemetry,omitempty"`
+	// Ingest reports the ingest path (commit cursor, accepted counts)
+	// when the node serves /ingest.
+	Ingest    *IngestStats     `json:"ingest,omitempty"`
+	Telemetry *HealthTelemetry `json:"telemetry,omitempty"`
 }
 
 // HealthTelemetry summarizes the live registry for health probes that
@@ -158,6 +165,10 @@ func NewResilientHandler(s *Store, cfg ServeConfig) http.Handler {
 		}
 		if lim.Saturated() {
 			h.Status = "saturated"
+		}
+		if cfg.Ingester != nil {
+			ist := cfg.Ingester.Stats()
+			h.Ingest = &ist
 		}
 		if cfg.Metrics != nil {
 			h.Telemetry = &HealthTelemetry{

@@ -62,6 +62,13 @@ type IngestConfig struct {
 	// pusher's span — the capd end of the fleetd→worker→ring→capd
 	// trace. Requests without the header stay unspanned.
 	Tracer *obs.Tracer
+	// OnCommit, when non-nil, observes every record the ingest path
+	// appends to the store, in commit order, after idempotency dedup —
+	// the subscription feed incremental consumers (analytics views)
+	// fold record-by-record. It runs under the ingest lock so commit
+	// order is exact; implementations must be fast and must not call
+	// back into the ingester.
+	OnCommit func(caps []*capture.Capture)
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -183,6 +190,7 @@ func (in *Ingester) Stats() IngestStats {
 
 // apply appends records with per-key idempotency. Callers hold in.mu.
 func (in *Ingester) apply(caps []*capture.Capture) (accepted, dups int64) {
+	var committed []*capture.Capture
 	for _, c := range caps {
 		k := IngestKey(c)
 		if _, ok := in.seen[k]; ok {
@@ -191,11 +199,17 @@ func (in *Ingester) apply(caps []*capture.Capture) (accepted, dups int64) {
 		}
 		in.seen[k] = struct{}{}
 		in.store.Record(c)
+		if in.cfg.OnCommit != nil {
+			committed = append(committed, c)
+		}
 		accepted++
 	}
 	in.stats.Accepted += accepted
 	in.stats.Duplicates += dups
 	in.metrics.record(accepted, dups)
+	if len(committed) > 0 {
+		in.cfg.OnCommit(committed)
+	}
 	return accepted, dups
 }
 

@@ -52,14 +52,18 @@ type obsShard struct {
 	_       [40]byte
 }
 
-// obsRec is one capture's compact detection record.
-type obsRec struct {
-	day int32
-	cmp int8 // cmps.ID of the first detected CMP; 0 = none
+// Rec is one capture's compact detection record: the day it was taken
+// and the first detected CMP (0 = none). Eight bytes per capture is all
+// the longitudinal analyses retain; the incremental fold layer
+// (internal/analysis.PresenceFold) accumulates the same records so the
+// batch and streaming paths classify through one implementation.
+type Rec struct {
+	Day int32
+	CMP int8 // cmps.ID of the first detected CMP; 0 = none
 }
 
 type domainObs struct {
-	recs   []obsRec
+	recs   []Rec
 	sorted bool
 }
 
@@ -105,7 +109,7 @@ func (o *Observations) Record(c *capture.Capture) {
 		dom = &domainObs{}
 		sh.domains[c.FinalDomain] = dom
 	}
-	dom.recs = append(dom.recs, obsRec{day: int32(c.Day), cmp: int8(id)})
+	dom.recs = append(dom.recs, Rec{Day: int32(c.Day), CMP: int8(id)})
 	dom.sorted = false
 	sh.mu.Unlock()
 	if span != nil {
@@ -175,7 +179,18 @@ func (o *Observations) DayObservations(domain string) []DayObservation {
 // DayObservationsWithThreshold applies a custom per-day share
 // threshold; used by the site-heuristic ablation.
 func (o *Observations) DayObservationsWithThreshold(domain string, threshold float64) []DayObservation {
-	recs := o.sortedRecs(domain)
+	return ClassifyRecs(o.sortedRecs(domain), threshold)
+}
+
+// ClassifyRecs aggregates a domain's detection records (sorted by day)
+// into classified day observations, applying the per-day share
+// threshold (pass SiteHeuristicThreshold for the paper's ≥⅓ rule).
+// The classification is count-based per day, so any record order
+// within a day yields the same result; ties between CMPs break in
+// cmps.All order. This is the single day-classification
+// implementation, shared by the striped Observations aggregate and the
+// incremental presence fold.
+func ClassifyRecs(recs []Rec, threshold float64) []DayObservation {
 	if recs == nil {
 		return nil
 	}
@@ -183,12 +198,12 @@ func (o *Observations) DayObservationsWithThreshold(domain string, threshold flo
 	for i := 0; i < len(recs); {
 		j := i
 		var counts [cmps.Count + 1]int
-		for j < len(recs) && recs[j].day == recs[i].day {
-			counts[recs[j].cmp]++
+		for j < len(recs) && recs[j].Day == recs[i].Day {
+			counts[recs[j].CMP]++
 			j++
 		}
 		total := j - i
-		obs := DayObservation{Day: simtime.Day(recs[i].day), Captures: total}
+		obs := DayObservation{Day: simtime.Day(recs[i].Day), Captures: total}
 		best, bestCount := cmps.None, 0
 		for _, id := range cmps.All() {
 			if counts[id] > bestCount {
@@ -207,7 +222,7 @@ func (o *Observations) DayObservationsWithThreshold(domain string, threshold flo
 
 // sortedRecs returns the domain's records sorted by day, sorting
 // lazily under the shard lock.
-func (o *Observations) sortedRecs(domain string) []obsRec {
+func (o *Observations) sortedRecs(domain string) []Rec {
 	sh := o.shard(domain)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -216,7 +231,7 @@ func (o *Observations) sortedRecs(domain string) []obsRec {
 		return nil
 	}
 	if !dom.sorted {
-		sort.Slice(dom.recs, func(i, j int) bool { return dom.recs[i].day < dom.recs[j].day })
+		sort.Slice(dom.recs, func(i, j int) bool { return dom.recs[i].Day < dom.recs[j].Day })
 		dom.sorted = true
 	}
 	return dom.recs
@@ -232,8 +247,8 @@ func (o *Observations) DailyShareDistribution(minCaptures int, lo, hi float64) (
 		for i := 0; i < len(recs); {
 			j := i
 			withCMP := 0
-			for j < len(recs) && recs[j].day == recs[i].day {
-				if recs[j].cmp != 0 {
+			for j < len(recs) && recs[j].Day == recs[i].Day {
+				if recs[j].CMP != 0 {
 					withCMP++
 				}
 				j++

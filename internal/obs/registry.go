@@ -270,3 +270,33 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	v.f.mu.Unlock()
 	return c.gauge
 }
+
+// HistogramVec is a histogram family with labels; every child shares
+// the family's bucket layout.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// NewHistogramVec registers a labeled histogram family with the given
+// bucket upper bounds. Returns nil when r is nil.
+func NewHistogramVec(r *Registry, name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labelNames...), buckets: buckets}
+}
+
+// With returns the child histogram for the label values. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	c := v.f.getChild(values)
+	v.f.mu.Lock()
+	if c.hist == nil {
+		c.hist = newHistogram(v.buckets)
+	}
+	v.f.mu.Unlock()
+	return c.hist
+}
